@@ -1,0 +1,240 @@
+package repro
+
+// This file regenerates every table and figure of the SMARTS paper's
+// evaluation, one benchmark per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the paper-shaped table to the test log and
+// reports its headline quantities as custom metrics. References (the
+// full-stream detailed ground truth) are cached in a shared context so
+// the suite pays for each one once. Run with -scale via
+// cmd/smartsweep for other scales.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/uarch"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+)
+
+// ctx returns the shared small-scale experiment context, preloading the
+// 8-way references in parallel on first use.
+func ctx(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx = experiments.NewContext(experiments.Small)
+		if err := benchCtx.Preload(uarch.Config8Way(), 8); err != nil {
+			b.Fatalf("preload references: %v", err)
+		}
+	})
+	return benchCtx
+}
+
+func BenchmarkFig2CoeffVariation(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(c, uarch.Config8Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			// Headline: CV at U=1000, averaged over the suite (the paper
+			// observes values clustering near 1.0).
+			var sum float64
+			var n int
+			for bi := range r.Benches {
+				for ui, u := range r.Us {
+					if u == 1000 && r.CV[bi][ui] >= 0 {
+						sum += r.CV[bi][ui]
+						n++
+					}
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(sum/float64(n), "meanCV@U=1000")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3MinInstructions(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(c, uarch.Config8Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			var worst uint64
+			for _, row := range r.Rows {
+				if row.MinInsts[0] > worst {
+					worst = row.MinInsts[0]
+				}
+			}
+			b.ReportMetric(float64(worst), "worstMinInsts±3%@99.7%")
+		}
+	}
+}
+
+func BenchmarkFig4PerfModel(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.Points[0].FW, "rateFW@W=0")
+		}
+	}
+}
+
+func BenchmarkFig5OptimalU(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(c, uarch.Config8Way(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable4DetailedWarming(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(c, uarch.Config8Way(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			// Headline: how many benchmarks remain biased at the largest
+			// swept W (the paper's ">500k" bucket).
+			unfixed := 0
+			for _, row := range r.Rows {
+				if row.RequiredW == 0 {
+					unfixed++
+				}
+			}
+			b.ReportMetric(float64(unfixed), "benchesNeedingW>max")
+		}
+	}
+}
+
+func BenchmarkTable5FunctionalWarmingBias(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(c, uarch.Config8Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.WorstBias()*100, "worstBias%")
+		}
+	}
+}
+
+func BenchmarkFig6CPIEstimation(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(c, uarch.Config8Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.MeanAbsErr*100, "meanAbsCPIErr%")
+		}
+	}
+}
+
+func BenchmarkFig7EPIEstimation(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(c, uarch.Config8Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.MeanAbsErr*100, "meanAbsEPIErr%")
+			b.ReportMetric(r.MeanCIRatio, "EPIvsCPICIRatio")
+		}
+	}
+}
+
+func BenchmarkTable6Runtimes(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table6(c, uarch.Config8Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.AvgSpeedup, "avgSpeedupX")
+		}
+	}
+}
+
+func BenchmarkFig8SimPointComparison(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(c, uarch.Config8Way(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.MeanSimPointErr*100, "meanSimPointErr%")
+			b.ReportMetric(r.MeanSMARTSErr*100, "meanSMARTSErr%")
+		}
+	}
+}
+
+// BenchmarkAblationWarming runs the warming-component ablation (an
+// extension beyond the paper: which warmed structure carries functional
+// warming's benefit).
+func BenchmarkAblationWarming(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationWarming(c, uarch.Config8Way(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkSixteenWay exercises the 16-way configuration on the bias
+// experiment (the paper reports Table 5 for both machines).
+func BenchmarkSixteenWayTable5(b *testing.B) {
+	c := ctx(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(c, uarch.Config16Way())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r.Format(os.Stdout)
+			b.ReportMetric(r.WorstBias()*100, "worstBias%")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command simpoint runs the SimPoint baseline (profile, cluster, select,
+// estimate) on one workload of the synthetic suite and reports the
+// selected simulation points and the weighted CPI estimate.
+//
+// Usage:
+//
+//	simpoint -bench gccx -interval 50000 -maxk 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/program"
+	"repro/internal/simpoint"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gccx", "workload name")
+		cfgName  = flag.String("config", "8-way", "machine configuration")
+		length   = flag.Uint64("length", 2_000_000, "target dynamic instruction count")
+		interval = flag.Uint64("interval", 50_000, "profiling interval length")
+		maxK     = flag.Int("maxk", 10, "maximum cluster count")
+		seed     = flag.Int64("seed", 42, "clustering seed")
+	)
+	flag.Parse()
+
+	cfg, err := uarch.ConfigByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := program.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := program.Generate(spec, *length)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, sel, err := simpoint.Run(p, cfg, *interval, *maxK, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s: %d instructions, %d intervals of %d\n",
+		p.Name, p.Length, p.Length / *interval, *interval)
+	fmt.Printf("chosen K = %d simulation points:\n", sel.K)
+	for i, pt := range sel.Points {
+		fmt.Printf("  point %d: interval %d (insts %d..%d), weight %.3f, CPI %.4f\n",
+			i, pt.Interval, uint64(pt.Interval)*sel.IntervalLen,
+			uint64(pt.Interval+1)*sel.IntervalLen, pt.Weight, res.PerPoint[i])
+	}
+	fmt.Printf("weighted CPI estimate: %.4f\n", res.CPI)
+	fmt.Printf("weighted EPI estimate: %.4f nJ\n", res.EPI)
+	fmt.Printf("instructions: %d detailed, %d fast-forwarded\n", res.SimulatedInsts, res.FastFwdInsts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simpoint:", err)
+	os.Exit(1)
+}

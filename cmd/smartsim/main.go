@@ -1,0 +1,122 @@
+// Command smartsim is the SMARTSim equivalent: a sampling
+// microarchitecture simulator. It runs one workload of the synthetic
+// suite under a chosen machine configuration and sampling plan and
+// prints the CPI and EPI estimates with their confidence, or — with
+// -procedure — executes the paper's full two-step estimation procedure.
+//
+// Usage:
+//
+//	smartsim -bench gccx -config 8-way -n 400
+//	smartsim -bench mcfx -u 1000 -w 2000 -warming functional -n 1000
+//	smartsim -bench ammpx -procedure -eps 0.03
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "gccx", "workload name (see -list)")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		cfgName   = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
+		length    = flag.Uint64("length", 2_000_000, "target dynamic instruction count")
+		u         = flag.Uint64("u", 1000, "sampling unit size U")
+		w         = flag.Uint64("w", 0, "detailed warming W (0 = recommended for config)")
+		n         = flag.Uint64("n", 400, "number of sampling units n")
+		j         = flag.Uint64("j", 0, "systematic phase offset j (units)")
+		warming   = flag.String("warming", "functional", "warming mode: none, detailed, functional")
+		procedure = flag.Bool("procedure", false, "run the full two-step procedure")
+		eps       = flag.Float64("eps", 0.03, "target relative confidence interval")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, spec := range program.Suite() {
+			fmt.Printf("%-10s (archetype of %s)\n", spec.Name, spec.Model)
+		}
+		return
+	}
+
+	cfg, err := uarch.ConfigByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseWarming(*warming)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := program.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := program.Generate(spec, *length)
+	if err != nil {
+		fatal(err)
+	}
+	if *w == 0 {
+		*w = smarts.RecommendedW(cfg)
+	}
+	fmt.Printf("workload %s: %d instructions, %d sampling units of %d\n",
+		p.Name, p.Length, p.Length / *u, *u)
+
+	if *procedure {
+		pc := smarts.DefaultProcedure(cfg, *n)
+		pc.U, pc.W, pc.Warming, pc.Eps, pc.J = *u, *w, mode, *eps, *j
+		pr, err := smarts.RunProcedure(p, cfg, pc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("initial run  (n=%d): CPI %v\n", pr.Initial.CPISample().N(), pr.InitialCPI)
+		if pr.Tuned != nil {
+			fmt.Printf("tuned run  (n=%d): CPI %v\n", pr.Tuned.CPISample().N(), pr.TunedCPI)
+		} else {
+			fmt.Println("initial run met the confidence target; no second run needed")
+		}
+		report(pr.FinalResult())
+		return
+	}
+
+	plan := smarts.PlanForN(p.Length, *u, *w, *n, mode, *j)
+	res, err := smarts.Run(p, cfg, plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan: U=%d W=%d k=%d j=%d warming=%v\n", plan.U, plan.W, plan.K, plan.J, plan.Warming)
+	report(res)
+}
+
+func report(res *smarts.Result) {
+	cpi := res.CPIEstimate(stats.Alpha997)
+	epi := res.EPIEstimate(stats.Alpha997)
+	fmt.Printf("CPI estimate: %v\n", cpi)
+	fmt.Printf("EPI estimate: %v nJ\n", epi)
+	fmt.Printf("instructions: %d measured, %d detailed warming, %d fast-forwarded\n",
+		res.MeasuredInsts, res.WarmingInsts, res.FastFwdInsts)
+	fmt.Printf("time: %v fast-forward, %v detailed\n",
+		res.FastFwdTime.Round(1e6), res.DetailedTime.Round(1e6))
+}
+
+func parseWarming(s string) (smarts.WarmingMode, error) {
+	switch s {
+	case "none":
+		return smarts.NoWarming, nil
+	case "detailed":
+		return smarts.DetailedWarming, nil
+	case "functional":
+		return smarts.FunctionalWarming, nil
+	}
+	return 0, fmt.Errorf("unknown warming mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartsim:", err)
+	os.Exit(1)
+}

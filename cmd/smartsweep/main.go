@@ -1,0 +1,55 @@
+// Command smartsweep regenerates the SMARTS paper's evaluation artifacts
+// (Figures 2-8, Tables 4-6) at a chosen scale.
+//
+// Usage:
+//
+//	smartsweep -experiment fig6 -config 8-way -scale small
+//	smartsweep -experiment all -scale tiny
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "experiment id (fig2..fig8, table4..table6, or 'all')")
+		cfgName = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
+		scale   = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
+	)
+	flag.Parse()
+
+	cfg, err := uarch.ConfigByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := experiments.NewContext(sc)
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		fmt.Printf("==== %s (scale %s) ====\n", name, sc.Name)
+		if err := experiments.Run(name, ctx, cfg, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartsweep:", err)
+	os.Exit(1)
+}

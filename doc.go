@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "SMARTS:
+// Accelerating Microarchitecture Simulation via Rigorous Statistical
+// Sampling" (Wunderlich, Wenisch, Falsafi, Hoe — ISCA 2003).
+//
+// The library lives under internal/: the SMARTS sampling framework
+// (internal/smarts), the detailed out-of-order superscalar substrate
+// (internal/uarch with internal/cache, internal/bpred, internal/energy),
+// the functional simulator and synthetic SPEC2K-archetype workload suite
+// (internal/functional, internal/program), the statistics machinery
+// (internal/stats), and the SimPoint baseline (internal/simpoint).
+// Executables are under cmd/, runnable examples under examples/, and the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,58 @@
+// Quickstart: estimate the CPI of one benchmark with SMARTS.
+//
+// This is the minimal end-to-end use of the library: generate a
+// workload, build a sampling plan with functional warming, run it, and
+// read the estimate with its confidence interval.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// 1. Pick a workload from the synthetic SPEC2K-archetype suite and
+	//    generate a ~2M-instruction build of it.
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := program.Generate(spec, 4_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (archetype of SPEC %s): %d dynamic instructions\n",
+		prog.Name, spec.Model, prog.Length)
+
+	// 2. Configure the machine: the paper's 8-way out-of-order baseline.
+	cfg := uarch.Config8Way()
+
+	// 3. Build a systematic sampling plan: U=1000-instruction units,
+	//    detailed warming W=2000, n=400 units, functional warming during
+	//    fast-forward. PlanForN derives the sampling interval k from the
+	//    benchmark length.
+	plan := smarts.PlanForN(prog.Length, 1000, smarts.RecommendedW(cfg), 250,
+		smarts.FunctionalWarming, 0)
+	fmt.Printf("plan: U=%d W=%d k=%d (measuring %d of %d units)\n",
+		plan.U, plan.W, plan.K, prog.Length/plan.U/plan.K, prog.Length/plan.U)
+
+	// 4. Run and report.
+	res, err := smarts.Run(prog, cfg, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpi := res.CPIEstimate(stats.Alpha997)
+	epi := res.EPIEstimate(stats.Alpha997)
+	fmt.Printf("CPI: %v\n", cpi)
+	fmt.Printf("EPI: %v nJ\n", epi)
+	fmt.Printf("simulated in detail: %.2f%% of the stream (%d measured + %d warming)\n",
+		100*float64(res.MeasuredInsts+res.WarmingInsts)/float64(prog.Length),
+		res.MeasuredInsts, res.WarmingInsts)
+}

@@ -1,0 +1,356 @@
+// Package bpred implements the branch prediction structures of the
+// simulated machines: a combining predictor (bimodal + gshare with a
+// chooser, SimpleScalar's "comb"), a branch target buffer, and a return
+// address stack.
+//
+// Prediction and update are separate operations on shared state so that
+// functional warming (which only updates) and the detailed core (which
+// predicts, then updates) drive the same tables — the mechanism SMARTS's
+// functional warming depends on.
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config sizes the predictor per the paper's Table 3.
+type Config struct {
+	// TableEntries is the size of the bimodal, gshare, and chooser tables
+	// (power of two). 2048 for the 8-way machine, 8192 for the 16-way.
+	TableEntries int
+	// HistoryBits is the global history length for the gshare component.
+	HistoryBits uint
+	// BTBSets and BTBWays size the branch target buffer.
+	BTBSets, BTBWays int
+	// RASEntries sizes the return address stack.
+	RASEntries int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TableEntries <= 0 || c.TableEntries&(c.TableEntries-1) != 0 {
+		return fmt.Errorf("bpred: table entries %d must be a power of two", c.TableEntries)
+	}
+	if c.HistoryBits == 0 || c.HistoryBits > 16 {
+		return fmt.Errorf("bpred: history bits %d out of range", c.HistoryBits)
+	}
+	if c.BTBSets <= 0 || c.BTBSets&(c.BTBSets-1) != 0 {
+		return fmt.Errorf("bpred: BTB sets %d must be a power of two", c.BTBSets)
+	}
+	if c.BTBWays <= 0 || c.RASEntries <= 0 {
+		return fmt.Errorf("bpred: BTB ways / RAS entries must be positive")
+	}
+	return nil
+}
+
+// Stats counts prediction outcomes, split by cause.
+type Stats struct {
+	Branches   uint64 // conditional branches seen
+	DirMispred uint64 // conditional direction mispredictions
+	TargetMiss uint64 // taken control flow with wrong/unknown target
+	RASMispred uint64 // return address mispredictions
+	Indirect   uint64 // indirect jumps seen
+	Lookups    uint64 // total predictor consultations
+}
+
+// MispredRate returns direction mispredictions per conditional branch.
+func (s Stats) MispredRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.DirMispred) / float64(s.Branches)
+}
+
+// Unit is the complete prediction unit of one simulated core.
+type Unit struct {
+	cfg     Config
+	bimodal []uint8 // 2-bit counters
+	gshare  []uint8 // 2-bit counters
+	chooser []uint8 // 2-bit counters: >=2 selects gshare
+	history uint64  // global history register
+
+	btbTags  []uint64
+	btbTgts  []uint64
+	btbValid []bool
+	btbLRU   []uint64
+	btbStamp uint64
+
+	ras    []uint64
+	rasTop int
+
+	// Stats accumulate over the unit's lifetime; callers snapshot/diff.
+	Stats Stats
+}
+
+// New builds a prediction unit.
+func New(cfg Config) *Unit {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.TableEntries
+	u := &Unit{
+		cfg:      cfg,
+		bimodal:  make([]uint8, n),
+		gshare:   make([]uint8, n),
+		chooser:  make([]uint8, n),
+		btbTags:  make([]uint64, cfg.BTBSets*cfg.BTBWays),
+		btbTgts:  make([]uint64, cfg.BTBSets*cfg.BTBWays),
+		btbValid: make([]bool, cfg.BTBSets*cfg.BTBWays),
+		btbLRU:   make([]uint64, cfg.BTBSets*cfg.BTBWays),
+		ras:      make([]uint64, cfg.RASEntries),
+	}
+	// Weakly taken initial counters, the SimpleScalar default.
+	for i := range u.bimodal {
+		u.bimodal[i] = 2
+		u.gshare[i] = 2
+		u.chooser[i] = 1 // weakly prefer bimodal
+	}
+	return u
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+func (u *Unit) idx(pc uint64) int {
+	return int(pc) & (u.cfg.TableEntries - 1)
+}
+
+func (u *Unit) gidx(pc uint64) int {
+	h := u.history & ((1 << u.cfg.HistoryBits) - 1)
+	return int(pc^h) & (u.cfg.TableEntries - 1)
+}
+
+// Prediction is the front end's view of one control instruction.
+type Prediction struct {
+	// Taken is the predicted direction (always true for unconditional).
+	Taken bool
+	// Target is the predicted target PC; valid only when TargetKnown.
+	Target uint64
+	// TargetKnown reports whether the BTB/RAS produced a target.
+	TargetKnown bool
+}
+
+// Predict consults the predictor for the control instruction at pc and
+// returns the prediction. It does not update any state: call Update with
+// the actual outcome afterwards (the detailed core does both; functional
+// warming calls Update only... see Warm).
+func (u *Unit) Predict(pc uint64, op isa.Op) Prediction {
+	u.Stats.Lookups++
+	switch op.Class() {
+	case isa.ClassBranch:
+		var taken bool
+		if u.chooser[u.gidx(pc)] >= 2 {
+			taken = u.gshare[u.gidx(pc)] >= 2
+		} else {
+			taken = u.bimodal[u.idx(pc)] >= 2
+		}
+		tgt, ok := u.btbLookup(pc)
+		return Prediction{Taken: taken, Target: tgt, TargetKnown: ok}
+	case isa.ClassJump:
+		// Direct jumps and calls: target comes from the BTB (decode would
+		// also supply it; BTB misses cost a bubble, modelled by the core).
+		tgt, ok := u.btbLookup(pc)
+		return Prediction{Taken: true, Target: tgt, TargetKnown: ok}
+	case isa.ClassRet:
+		if op == isa.OpRet && u.rasTop > 0 {
+			return Prediction{Taken: true, Target: u.ras[u.rasTop-1], TargetKnown: true}
+		}
+		// Indirect jump: BTB is the only source.
+		tgt, ok := u.btbLookup(pc)
+		return Prediction{Taken: true, Target: tgt, TargetKnown: ok}
+	}
+	return Prediction{}
+}
+
+// Outcome describes the resolved behaviour of a control instruction.
+type Outcome struct {
+	Op     isa.Op
+	PC     uint64
+	Taken  bool
+	Target uint64 // actual next PC when taken
+	NextPC uint64 // fall-through successor (PC+1)
+}
+
+// Update trains the predictor with the actual outcome. The update rules
+// are identical whichever mode calls them; functional warming simply
+// calls Predict+Update in instruction order, which is how SMARTSim warms
+// sim-bpred state.
+func (u *Unit) Update(o Outcome) {
+	switch o.Op.Class() {
+	case isa.ClassBranch:
+		u.Stats.Branches++
+		gi, bi := u.gidx(o.PC), u.idx(o.PC)
+		gPred := u.gshare[gi] >= 2
+		bPred := u.bimodal[bi] >= 2
+		// Chooser trains toward the component that was right.
+		ci := u.gidx(o.PC)
+		if gPred != bPred {
+			if gPred == o.Taken {
+				u.chooser[ci] = satInc(u.chooser[ci])
+			} else {
+				u.chooser[ci] = satDec(u.chooser[ci])
+			}
+		}
+		if o.Taken {
+			u.gshare[gi] = satInc(u.gshare[gi])
+			u.bimodal[bi] = satInc(u.bimodal[bi])
+		} else {
+			u.gshare[gi] = satDec(u.gshare[gi])
+			u.bimodal[bi] = satDec(u.bimodal[bi])
+		}
+		u.history = u.history<<1 | b2u(o.Taken)
+		if o.Taken {
+			u.btbInsert(o.PC, o.Target)
+		}
+	case isa.ClassJump:
+		u.btbInsert(o.PC, o.Target)
+		if o.Op == isa.OpCall {
+			u.rasPush(o.NextPC)
+		}
+	case isa.ClassRet:
+		if o.Op == isa.OpRet {
+			u.rasPop()
+		} else {
+			u.Stats.Indirect++
+			u.btbInsert(o.PC, o.Target)
+		}
+	}
+}
+
+// CheckMispredict compares a prediction against the resolved outcome and
+// records the mispredict cause in the stats. It returns true when the
+// front end would have followed the wrong path.
+func (u *Unit) CheckMispredict(p Prediction, o Outcome) bool {
+	switch o.Op.Class() {
+	case isa.ClassBranch:
+		if p.Taken != o.Taken {
+			u.Stats.DirMispred++
+			return true
+		}
+		if o.Taken && (!p.TargetKnown || p.Target != o.Target) {
+			u.Stats.TargetMiss++
+			return true
+		}
+		return false
+	case isa.ClassJump:
+		if !p.TargetKnown || p.Target != o.Target {
+			u.Stats.TargetMiss++
+			return true
+		}
+		return false
+	case isa.ClassRet:
+		if !p.TargetKnown || p.Target != o.Target {
+			if o.Op == isa.OpRet {
+				u.Stats.RASMispred++
+			} else {
+				u.Stats.TargetMiss++
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Warm performs the functional-warming action for one control
+// instruction: a full predict+update pass so counters, history, BTB, and
+// RAS evolve exactly as an in-order front end would train them.
+func (u *Unit) Warm(o Outcome) {
+	p := u.Predict(o.PC, o.Op)
+	u.CheckMispredict(p, o)
+	u.Update(o)
+}
+
+// Flush resets all predictor state to cold (stats preserved).
+func (u *Unit) Flush() {
+	for i := range u.bimodal {
+		u.bimodal[i] = 2
+		u.gshare[i] = 2
+		u.chooser[i] = 1
+	}
+	u.history = 0
+	for i := range u.btbValid {
+		u.btbValid[i] = false
+	}
+	u.rasTop = 0
+}
+
+func (u *Unit) btbLookup(pc uint64) (uint64, bool) {
+	set := int(pc) & (u.cfg.BTBSets - 1)
+	base := set * u.cfg.BTBWays
+	for w := 0; w < u.cfg.BTBWays; w++ {
+		i := base + w
+		if u.btbValid[i] && u.btbTags[i] == pc {
+			u.btbStamp++
+			u.btbLRU[i] = u.btbStamp
+			return u.btbTgts[i], true
+		}
+	}
+	return 0, false
+}
+
+func (u *Unit) btbInsert(pc, target uint64) {
+	set := int(pc) & (u.cfg.BTBSets - 1)
+	base := set * u.cfg.BTBWays
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < u.cfg.BTBWays; w++ {
+		i := base + w
+		if u.btbValid[i] && u.btbTags[i] == pc {
+			u.btbTgts[i] = target
+			return
+		}
+		if !u.btbValid[i] {
+			victim = i
+			oldest = 0
+		} else if u.btbLRU[i] < oldest {
+			oldest = u.btbLRU[i]
+			victim = i
+		}
+	}
+	u.btbStamp++
+	u.btbValid[victim] = true
+	u.btbTags[victim] = pc
+	u.btbTgts[victim] = target
+	u.btbLRU[victim] = u.btbStamp
+}
+
+func (u *Unit) rasPush(ret uint64) {
+	if u.rasTop < len(u.ras) {
+		u.ras[u.rasTop] = ret
+		u.rasTop++
+	} else {
+		// Overflow: shift (oldest entry lost), standard RAS behaviour.
+		copy(u.ras, u.ras[1:])
+		u.ras[len(u.ras)-1] = ret
+	}
+}
+
+func (u *Unit) rasPop() {
+	if u.rasTop > 0 {
+		u.rasTop--
+	}
+}
+
+func satInc(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return 3
+}
+
+func satDec(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,195 @@
+package bpred_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+func unit() *bpred.Unit {
+	return bpred.New(bpred.Config{
+		TableEntries: 1024,
+		HistoryBits:  10,
+		BTBSets:      64,
+		BTBWays:      2,
+		RASEntries:   4,
+	})
+}
+
+func branch(pc uint64, taken bool, target uint64) bpred.Outcome {
+	return bpred.Outcome{Op: isa.OpBne, PC: pc, Taken: taken, Target: target, NextPC: pc + 1}
+}
+
+// TestLearnsAlwaysTaken checks counters converge on a monomorphic branch.
+func TestLearnsAlwaysTaken(t *testing.T) {
+	u := unit()
+	o := branch(100, true, 50)
+	for i := 0; i < 10; i++ {
+		u.Warm(o)
+	}
+	p := u.Predict(100, isa.OpBne)
+	if !p.Taken {
+		t.Error("did not learn always-taken")
+	}
+	if !p.TargetKnown || p.Target != 50 {
+		t.Errorf("BTB target %v known=%v, want 50", p.Target, p.TargetKnown)
+	}
+}
+
+// TestLearnsPattern checks gshare captures a short alternating pattern a
+// bimodal predictor cannot.
+func TestLearnsPattern(t *testing.T) {
+	u := unit()
+	// Pattern: T N T N ... on one branch.
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		o := branch(200, taken, 77)
+		p := u.Predict(200, isa.OpBne)
+		u.CheckMispredict(p, o)
+		u.Update(o)
+	}
+	// After training, measure accuracy over one more period.
+	correct := 0
+	for i := 0; i < 100; i++ {
+		taken := i%2 == 0
+		p := u.Predict(200, isa.OpBne)
+		if p.Taken == taken {
+			correct++
+		}
+		u.Update(branch(200, taken, 77))
+	}
+	if correct < 95 {
+		t.Errorf("pattern accuracy %d/100, want >= 95 (gshare should capture period 2)", correct)
+	}
+}
+
+// TestRandomBranchMispredicts checks a random branch stays ~50%.
+func TestRandomBranchMispredicts(t *testing.T) {
+	u := unit()
+	rng := rand.New(rand.NewSource(6))
+	miss := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		taken := rng.Intn(2) == 0
+		o := branch(300, taken, 99)
+		p := u.Predict(300, isa.OpBne)
+		if u.CheckMispredict(p, o) {
+			miss++
+		}
+		u.Update(o)
+	}
+	rate := float64(miss) / n
+	if rate < 0.3 || rate > 0.7 {
+		t.Errorf("random-branch mispredict rate %.2f, want ~0.5", rate)
+	}
+}
+
+// TestRASCallRet checks return address prediction through nesting.
+func TestRASCallRet(t *testing.T) {
+	u := unit()
+	call := func(pc, tgt uint64) {
+		u.Update(bpred.Outcome{Op: isa.OpCall, PC: pc, Taken: true, Target: tgt, NextPC: pc + 1})
+	}
+	// call at 10 -> 100; call at 110 -> 200; ret; ret.
+	call(10, 100)
+	call(110, 200)
+	p := u.Predict(250, isa.OpRet)
+	if !p.TargetKnown || p.Target != 111 {
+		t.Errorf("inner return predicted %d, want 111", p.Target)
+	}
+	u.Update(bpred.Outcome{Op: isa.OpRet, PC: 250, Taken: true, Target: 111})
+	p = u.Predict(150, isa.OpRet)
+	if !p.TargetKnown || p.Target != 11 {
+		t.Errorf("outer return predicted %d, want 11", p.Target)
+	}
+}
+
+// TestRASOverflow checks deep call chains degrade gracefully.
+func TestRASOverflow(t *testing.T) {
+	u := unit() // 4 RAS entries
+	for i := uint64(0); i < 10; i++ {
+		u.Update(bpred.Outcome{Op: isa.OpCall, PC: i * 10, Taken: true, Target: 500 + i, NextPC: i*10 + 1})
+	}
+	// The newest 4 returns should still predict correctly.
+	for i := uint64(9); i >= 6; i-- {
+		p := u.Predict(600, isa.OpRet)
+		want := i*10 + 1
+		if !p.TargetKnown || p.Target != want {
+			t.Errorf("return %d predicted %d, want %d", i, p.Target, want)
+		}
+		u.Update(bpred.Outcome{Op: isa.OpRet, PC: 600, Taken: true, Target: want})
+	}
+}
+
+// TestIndirectJumpBTB checks indirect targets train through the BTB and
+// mispredict when the target changes.
+func TestIndirectJumpBTB(t *testing.T) {
+	u := unit()
+	o := bpred.Outcome{Op: isa.OpJr, PC: 400, Taken: true, Target: 1000}
+	p := u.Predict(400, isa.OpJr)
+	if !u.CheckMispredict(p, o) {
+		t.Error("cold indirect jump should mispredict")
+	}
+	u.Update(o)
+	p = u.Predict(400, isa.OpJr)
+	if u.CheckMispredict(p, o) {
+		t.Error("trained indirect jump mispredicted")
+	}
+	// Target changes: mispredict again.
+	o2 := bpred.Outcome{Op: isa.OpJr, PC: 400, Taken: true, Target: 2000}
+	p = u.Predict(400, isa.OpJr)
+	if !u.CheckMispredict(p, o2) {
+		t.Error("changed indirect target should mispredict")
+	}
+}
+
+// TestFlushForgets checks Flush resets learning but keeps stats.
+func TestFlushForgets(t *testing.T) {
+	u := unit()
+	for i := 0; i < 10; i++ {
+		u.Warm(branch(100, true, 50))
+	}
+	stats := u.Stats
+	u.Flush()
+	if u.Stats != stats {
+		t.Error("Flush cleared stats")
+	}
+	p := u.Predict(100, isa.OpBne)
+	if p.TargetKnown {
+		t.Error("BTB entry survived flush")
+	}
+}
+
+// TestStatsAccounting checks counters add up.
+func TestStatsAccounting(t *testing.T) {
+	u := unit()
+	for i := 0; i < 50; i++ {
+		u.Warm(branch(uint64(i), i%2 == 0, uint64(1000+i)))
+	}
+	if u.Stats.Branches != 50 {
+		t.Errorf("branches = %d, want 50", u.Stats.Branches)
+	}
+	if u.Stats.Lookups != 50 {
+		t.Errorf("lookups = %d, want 50", u.Stats.Lookups)
+	}
+	if u.Stats.MispredRate() < 0 || u.Stats.MispredRate() > 1 {
+		t.Errorf("mispredict rate %f out of range", u.Stats.MispredRate())
+	}
+}
+
+// TestConfigValidate exercises the error paths.
+func TestConfigValidate(t *testing.T) {
+	bad := []bpred.Config{
+		{TableEntries: 1000, HistoryBits: 10, BTBSets: 64, BTBWays: 2, RASEntries: 4},
+		{TableEntries: 1024, HistoryBits: 0, BTBSets: 64, BTBWays: 2, RASEntries: 4},
+		{TableEntries: 1024, HistoryBits: 10, BTBSets: 63, BTBWays: 2, RASEntries: 4},
+		{TableEntries: 1024, HistoryBits: 10, BTBSets: 64, BTBWays: 0, RASEntries: 4},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package cache models the memory hierarchy: set-associative write-back
+// caches with true-LRU replacement, translation lookaside buffers, miss
+// status holding registers (MSHRs), and the committed-store buffer.
+//
+// Every structure exposes two faces:
+//
+//   - an untimed state-update face (Touch/WarmAccess) used by functional
+//     warming, which replays the in-order instruction stream into the
+//     structure without computing latencies; and
+//   - a timed face (Access with latency results) used by the detailed
+//     model.
+//
+// The same instance is shared across simulation modes, which is exactly
+// the mechanism SMARTS's functional warming relies on: state accumulated
+// during fast-forwarding is what the next sampling unit's detailed
+// simulation observes.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name is used in stats output ("L1D" etc.).
+	Name string
+	// Sets and Ways define the organization. Sets must be a power of two.
+	Sets, Ways int
+	// BlockBits is log2 of the block size in bytes.
+	BlockBits uint
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets %d must be a power of two", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.BlockBits == 0 || c.BlockBits > 12 {
+		return fmt.Errorf("cache %s: block bits %d out of range", c.Name, c.BlockBits)
+	}
+	return nil
+}
+
+// SizeBytes returns the total data capacity.
+func (c Config) SizeBytes() uint64 {
+	return uint64(c.Sets) * uint64(c.Ways) << c.BlockBits
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one level of set-associative cache with true LRU.
+type Cache struct {
+	cfg      Config
+	setMask  uint64
+	tags     []uint64 // sets*ways
+	valid    []bool
+	dirty    []bool
+	lastUsed []uint64 // LRU stamps
+	stamp    uint64
+
+	// Stats accumulates over the cache's lifetime. Callers snapshot and
+	// diff it for per-unit measurements.
+	Stats Stats
+}
+
+// New builds a cache; the configuration must be valid.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Sets * cfg.Ways
+	return &Cache{
+		cfg:      cfg,
+		setMask:  uint64(cfg.Sets - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		lastUsed: make([]uint64, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// index splits addr into set base index and tag.
+func (c *Cache) index(addr uint64) (int, uint64) {
+	block := addr >> c.cfg.BlockBits
+	set := int(block & c.setMask)
+	tag := block >> 0 // full block number as tag; set bits are redundant but harmless
+	return set * c.cfg.Ways, tag
+}
+
+// AccessResult describes the outcome of a timed access.
+type AccessResult struct {
+	Hit bool
+	// WritebackDirty reports that the victim block was dirty and a
+	// writeback to the next level is required.
+	WritebackDirty bool
+	// VictimAddr is the byte address of the evicted block when
+	// WritebackDirty is set.
+	VictimAddr uint64
+}
+
+// Access performs one access, updating replacement and contents.
+// write marks the block dirty on hit or after fill (write-allocate).
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.Stats.Accesses++
+	c.stamp++
+	base, tag := c.index(addr)
+	ways := c.cfg.Ways
+	// Hit check.
+	for w := 0; w < ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.lastUsed[i] = c.stamp
+			if write {
+				c.dirty[i] = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: choose victim (invalid first, else LRU).
+	c.Stats.Misses++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	found := false
+	for w := 0; w < ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			found = true
+			break
+		}
+		if c.lastUsed[i] < oldest {
+			oldest = c.lastUsed[i]
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if !found && c.valid[victim] {
+		c.Stats.Evictions++
+		if c.dirty[victim] {
+			c.Stats.Writebacks++
+			res.WritebackDirty = true
+			res.VictimAddr = c.tags[victim] << c.cfg.BlockBits
+		}
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.dirty[victim] = write
+	c.lastUsed[victim] = c.stamp
+	return res
+}
+
+// Probe reports whether addr currently hits, without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	base, tag := c.index(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all contents (stats are preserved).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.lastUsed[i] = 0
+	}
+}
+
+// Occupancy returns the number of valid blocks.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package cache_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func smallCache() *cache.Cache {
+	return cache.New(cache.Config{Name: "T", Sets: 4, Ways: 2, BlockBits: 6})
+}
+
+// TestHitAfterFill checks the basic fill-then-hit sequence.
+func TestHitAfterFill(t *testing.T) {
+	c := smallCache()
+	if c.Access(0x1000, false).Hit {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000, false).Hit {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1038, false).Hit {
+		t.Error("same-block access missed")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Misses != 1 {
+		t.Errorf("stats %+v", c.Stats)
+	}
+}
+
+// TestLRUEviction checks true-LRU victim selection.
+func TestLRUEviction(t *testing.T) {
+	c := smallCache()   // 4 sets x 2 ways, 64B blocks: same set every 4 blocks
+	a := uint64(0)      // set 0
+	b := uint64(4 * 64) // set 0
+	d := uint64(8 * 64) // set 0
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU now
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a evicted, want b")
+	}
+	if c.Probe(b) {
+		t.Error("b survived, want evicted")
+	}
+	if !c.Probe(d) {
+		t.Error("d not resident")
+	}
+}
+
+// TestDirtyWriteback checks dirty victims report writebacks with the
+// correct victim address.
+func TestDirtyWriteback(t *testing.T) {
+	c := smallCache()
+	c.Access(0, true) // dirty block at 0, set 0
+	c.Access(4*64, false)
+	res := c.Access(8*64, false) // evicts one of them
+	if res.Hit {
+		t.Fatal("expected miss")
+	}
+	if !res.WritebackDirty {
+		t.Fatal("expected dirty writeback of block 0")
+	}
+	if res.VictimAddr != 0 {
+		t.Errorf("victim address %#x, want 0", res.VictimAddr)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+// TestProbeDoesNotDisturb checks Probe is side-effect free.
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := smallCache()
+	c.Access(0, false)
+	before := c.Stats
+	c.Probe(0)
+	c.Probe(1 << 20)
+	if c.Stats != before {
+		t.Error("Probe changed stats")
+	}
+}
+
+// TestOccupancyNeverExceedsCapacity is a property test: after any access
+// sequence, occupancy is bounded by capacity and stats are consistent.
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := smallCache()
+		for _, a := range addrs {
+			c.Access(uint64(a)*64, a%3 == 0)
+		}
+		if c.Occupancy() > 4*2 {
+			return false
+		}
+		return c.Stats.Misses <= c.Stats.Accesses &&
+			c.Stats.Writebacks <= c.Stats.Evictions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkingSetResidency: a working set no bigger than the cache stays
+// resident after one pass (no conflict-free thrash with LRU and
+// power-of-two strides within a set).
+func TestWorkingSetResidency(t *testing.T) {
+	c := cache.New(cache.Config{Name: "T", Sets: 16, Ways: 4, BlockBits: 6})
+	// 64 blocks = exactly capacity, sequential: maps 4 per set.
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 64; i++ {
+			c.Access(i*64, false)
+		}
+	}
+	if c.Stats.Misses != 64 {
+		t.Errorf("misses = %d, want 64 (second pass fully resident)", c.Stats.Misses)
+	}
+}
+
+// TestFlush invalidates contents but keeps stats.
+func TestFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0, false)
+	c.Flush()
+	if c.Probe(0) {
+		t.Error("block survived flush")
+	}
+	if c.Stats.Accesses != 1 {
+		t.Error("flush cleared stats")
+	}
+	if c.Occupancy() != 0 {
+		t.Error("occupancy nonzero after flush")
+	}
+}
+
+// TestConfigValidate exercises configuration error paths.
+func TestConfigValidate(t *testing.T) {
+	bad := []cache.Config{
+		{Name: "a", Sets: 3, Ways: 1, BlockBits: 6},
+		{Name: "b", Sets: 4, Ways: 0, BlockBits: 6},
+		{Name: "c", Sets: 4, Ways: 1, BlockBits: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+		}
+	}
+	good := cache.Config{Name: "d", Sets: 256, Ways: 2, BlockBits: 6}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected %+v: %v", good, err)
+	}
+	if good.SizeBytes() != 32*1024 {
+		t.Errorf("SizeBytes = %d, want 32768", good.SizeBytes())
+	}
+}
+
+// TestTLB checks page-granular behaviour.
+func TestTLB(t *testing.T) {
+	tlb := cache.NewTLB("T", 16, 4, 12)
+	if tlb.Access(0x1234) {
+		t.Error("cold TLB hit")
+	}
+	if !tlb.Access(0x1FFF) {
+		t.Error("same-page access missed")
+	}
+	if tlb.Access(0x2000) {
+		t.Error("next page hit while cold")
+	}
+	tlb.Flush()
+	if tlb.Probe(0x1234) {
+		t.Error("entry survived flush")
+	}
+	if tlb.Stats().Accesses != 3 {
+		t.Errorf("stats %+v", tlb.Stats())
+	}
+}
+
+// TestHierarchyLatencies checks the timed access path end to end.
+func TestHierarchyLatencies(t *testing.T) {
+	h := &cache.Hierarchy{
+		IL1:  cache.New(cache.Config{Name: "IL1", Sets: 8, Ways: 2, BlockBits: 6}),
+		DL1:  cache.New(cache.Config{Name: "DL1", Sets: 8, Ways: 2, BlockBits: 6}),
+		L2:   cache.New(cache.Config{Name: "L2", Sets: 64, Ways: 4, BlockBits: 6}),
+		ITLB: cache.NewTLB("ITLB", 8, 4, 12),
+		DTLB: cache.NewTLB("DTLB", 8, 4, 12),
+		Lat:  cache.Latencies{L1: 1, L2: 12, Mem: 100, TLB: 200},
+	}
+	// Cold data access: TLB miss + full miss to memory.
+	lat, lvl := h.DataAccess(0x10000, false)
+	if lvl != cache.LevelMem || lat != 100+200 {
+		t.Errorf("cold access: lat %d lvl %v, want 300 mem", lat, lvl)
+	}
+	// Now TLB and caches are warm.
+	lat, lvl = h.DataAccess(0x10000, false)
+	if lvl != cache.LevelL1 || lat != 1 {
+		t.Errorf("warm access: lat %d lvl %v, want 1 L1", lat, lvl)
+	}
+	// Evict from L1 (8 sets x 2 ways): two more blocks in the same set.
+	h.DataAccess(0x10000+8*64, false)
+	h.DataAccess(0x10000+16*64, false)
+	lat, lvl = h.DataAccess(0x10000, false)
+	if lvl != cache.LevelL2 || lat != 12 {
+		t.Errorf("L2 hit: lat %d lvl %v, want 12 L2", lat, lvl)
+	}
+}
+
+// TestWarmEqualsTimedStateTransitions checks that warming and timed
+// accesses leave identical cache state for the same in-order stream —
+// the property functional warming relies on.
+func TestWarmEqualsTimedStateTransitions(t *testing.T) {
+	mk := func() *cache.Hierarchy {
+		return &cache.Hierarchy{
+			IL1:  cache.New(cache.Config{Name: "IL1", Sets: 8, Ways: 2, BlockBits: 6}),
+			DL1:  cache.New(cache.Config{Name: "DL1", Sets: 8, Ways: 2, BlockBits: 6}),
+			L2:   cache.New(cache.Config{Name: "L2", Sets: 64, Ways: 4, BlockBits: 6}),
+			ITLB: cache.NewTLB("ITLB", 8, 4, 12),
+			DTLB: cache.NewTLB("DTLB", 8, 4, 12),
+			Lat:  cache.Latencies{L1: 1, L2: 12, Mem: 100, TLB: 200},
+		}
+	}
+	timed, warmed := mk(), mk()
+	rng := rand.New(rand.NewSource(5))
+	addrs := make([]uint64, 5000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 16))
+	}
+	for _, a := range addrs {
+		w := a%5 == 0
+		timed.DataAccess(a, w)
+		warmed.WarmData(a, w)
+	}
+	// Same final residency for a sample of addresses.
+	for _, a := range addrs[:500] {
+		if timed.DL1.Probe(a) != warmed.DL1.Probe(a) {
+			t.Fatalf("DL1 state diverged at %#x", a)
+		}
+		if timed.L2.Probe(a) != warmed.L2.Probe(a) {
+			t.Fatalf("L2 state diverged at %#x", a)
+		}
+	}
+}

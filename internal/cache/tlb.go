@@ -1,0 +1,45 @@
+package cache
+
+// TLB is a set-associative translation lookaside buffer. Since the
+// simulated machine has no virtual memory proper, the TLB simply caches
+// page-granularity address translations: a miss models the page-walk
+// latency the paper's Table 3 configurations charge (200 cycles).
+type TLB struct {
+	inner    *Cache
+	pageBits uint
+}
+
+// NewTLB builds a TLB with the given number of entries, associativity,
+// and page size (log2 bytes).
+func NewTLB(name string, entries, ways int, pageBits uint) *TLB {
+	sets := entries / ways
+	if sets == 0 {
+		sets = 1
+	}
+	return &TLB{
+		inner: New(Config{
+			Name:      name,
+			Sets:      sets,
+			Ways:      ways,
+			BlockBits: 1, // tags are page numbers; block size is irrelevant
+		}),
+		pageBits: pageBits,
+	}
+}
+
+// Access looks up the page containing addr, filling on miss, and reports
+// whether it hit.
+func (t *TLB) Access(addr uint64) bool {
+	return t.inner.Access(addr>>t.pageBits<<1, false).Hit
+}
+
+// Probe reports whether the page is present without updating LRU.
+func (t *TLB) Probe(addr uint64) bool {
+	return t.inner.Probe(addr >> t.pageBits << 1)
+}
+
+// Flush invalidates all translations.
+func (t *TLB) Flush() { t.inner.Flush() }
+
+// Stats returns the access statistics.
+func (t *TLB) Stats() Stats { return t.inner.Stats }

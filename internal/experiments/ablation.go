@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/smarts"
+	"repro/internal/uarch"
+)
+
+// AblationRow reports one benchmark's bias under each warming variant.
+type AblationRow struct {
+	Bench string
+	// Bias per variant, aligned with AblationResult.Variants.
+	Bias []float64
+}
+
+// AblationResult is an extension study beyond the paper's tables: which
+// warmed structure actually carries functional warming's benefit? For
+// each benchmark it measures the matched-unit CPI bias with W fixed at
+// the recommended value and functional warming restricted to subsets of
+// {I-cache, D-side hierarchy, predictor}. The expectation (implicit in
+// the paper's Section 4.5 attribution of residual bias to caches and
+// predictor) is that memory-bound workloads need the D-side warmed,
+// branchy workloads need the predictor, and the full combination
+// dominates everything.
+type AblationResult struct {
+	Config   string
+	W        uint64
+	Variants []string
+	Rows     []AblationRow
+}
+
+// ablationVariants enumerates the warming subsets in presentation order.
+var ablationVariants = []struct {
+	Name string
+	Comp smarts.WarmComponents
+}{
+	{"none", smarts.WarmComponents{}},
+	{"icache", smarts.WarmComponents{ICache: true}},
+	{"dcache", smarts.WarmComponents{DCache: true}},
+	{"bpred", smarts.WarmComponents{Predictor: true}},
+	{"all", smarts.AllComponents},
+}
+
+// AblationWarming measures the component ablation for the given
+// benchmarks (nil = a representative subset spanning memory-bound,
+// branchy, and compute-bound behaviour).
+func AblationWarming(ctx *Context, cfg uarch.Config, benches []string) (*AblationResult, error) {
+	if benches == nil {
+		benches = []string{"mcfx", "parserx", "craftyx", "gccx", "eonx", "swimx"}
+	}
+	res := &AblationResult{Config: cfg.Name, W: smarts.RecommendedW(cfg)}
+	for _, v := range ablationVariants {
+		res.Variants = append(res.Variants, v.Name)
+	}
+
+	// Wide gaps so stale state has time to rot between units, as in the
+	// Table 4 setup.
+	n := ctx.Scale.NInit / 8
+	if n < 10 {
+		n = 10
+	}
+	for _, bench := range benches {
+		row := AblationRow{Bench: bench}
+		for _, v := range ablationVariants {
+			comp := v.Comp
+			b, err := measureBiasComponents(ctx, bench, cfg, 1000, res.W, n,
+				ctx.Scale.BiasPhases, &comp)
+			if err != nil {
+				return nil, err
+			}
+			row.Bias = append(row.Bias, b)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measureBiasComponents is MeasureBias with a warming-component override
+// (always in FunctionalWarming mode).
+func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
+	u, w, n uint64, phases int, comp *smarts.WarmComponents) (float64, error) {
+
+	ref, err := ctx.Reference(bench, cfg)
+	if err != nil {
+		return 0, err
+	}
+	p, err := ctx.Program(bench)
+	if err != nil {
+		return 0, err
+	}
+	trueUnits, err := ref.UnitCPIs(u)
+	if err != nil {
+		return 0, err
+	}
+	base := smarts.PlanForN(p.Length, u, w, n, smarts.FunctionalWarming, 0)
+	base.Components = comp
+	if phases < 1 {
+		phases = 1
+	}
+	if uint64(phases) > base.K {
+		phases = int(base.K)
+	}
+	var total float64
+	for ph := 0; ph < phases; ph++ {
+		plan := base
+		plan.J = uint64(ph) * base.K / uint64(phases)
+		run, err := smarts.Run(p, cfg, plan)
+		if err != nil {
+			return 0, err
+		}
+		var measured, truth float64
+		for _, unit := range run.Units {
+			if unit.Index >= uint64(len(trueUnits)) {
+				continue
+			}
+			measured += unit.CPI
+			truth += trueUnits[unit.Index]
+		}
+		if truth == 0 {
+			return 0, fmt.Errorf("experiments: ablation %s j=%d measured nothing", bench, plan.J)
+		}
+		total += (measured - truth) / truth
+	}
+	return total / float64(phases), nil
+}
+
+// Format renders the ablation table.
+func (r *AblationResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: CPI bias by warmed component (functional warming, W=%d, %s)\n", r.W, r.Config)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bench")
+	for _, v := range r.Variants {
+		fmt.Fprintf(tw, "\t%s", v)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s", row.Bench)
+		for _, b := range row.Bias {
+			fmt.Fprintf(tw, "\t%+.2f%%", b*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/smarts"
+	"repro/internal/uarch"
+)
+
+// MeasureBias estimates the warming-induced bias of a SMARTS
+// configuration: the relative CPI error of the sampled measurement
+// against the reference truth *on the same sampling units*, averaged
+// over `phases` evenly spaced systematic phase offsets j (the paper's
+// Section 4.3 approximation of true bias with 5 of the k phases).
+//
+// Comparing matched units cancels unit-selection variance exactly, so
+// the result isolates microarchitectural-state error — the quantity
+// Tables 4 and 5 of the paper report — even at modest n. (The paper
+// achieves the same isolation with enormous n; at reduced scale the
+// matched-unit form is the statistically equivalent measurement.)
+func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
+	mode smarts.WarmingMode, n uint64, phases int) (float64, error) {
+
+	ref, err := ctx.Reference(bench, cfg)
+	if err != nil {
+		return 0, err
+	}
+	p, err := ctx.Program(bench)
+	if err != nil {
+		return 0, err
+	}
+	trueUnits, err := ref.UnitCPIs(u)
+	if err != nil {
+		return 0, err
+	}
+
+	base := smarts.PlanForN(p.Length, u, w, n, mode, 0)
+	if phases < 1 {
+		phases = 1
+	}
+	if uint64(phases) > base.K {
+		phases = int(base.K)
+	}
+	var total float64
+	for ph := 0; ph < phases; ph++ {
+		plan := base
+		plan.J = uint64(ph) * base.K / uint64(phases)
+		res, err := smarts.Run(p, cfg, plan)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: bias run %s j=%d: %w", bench, plan.J, err)
+		}
+		var measured, truth float64
+		var counted int
+		for _, unit := range res.Units {
+			if unit.Index >= uint64(len(trueUnits)) {
+				continue
+			}
+			measured += unit.CPI
+			truth += trueUnits[unit.Index]
+			counted++
+		}
+		if counted == 0 || truth == 0 {
+			return 0, fmt.Errorf("experiments: bias run %s j=%d measured no comparable units", bench, plan.J)
+		}
+		total += (measured - truth) / truth
+	}
+	return total / float64(phases), nil
+}

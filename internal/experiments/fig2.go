@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/uarch"
+)
+
+// Fig2Result reproduces Figure 2: the coefficient of variation of
+// per-unit CPI as a function of sampling-unit size U, per benchmark.
+// The paper's observations to reproduce: curves fall steeply until
+// U ≈ 1000 and level off; V is non-negligible even at very large U for
+// some benchmarks; the knee motivates U = 1000.
+type Fig2Result struct {
+	Config string
+	Us     []uint64
+	// CV[bench][i] is V_CPI at Us[i]; NaN-free (missing points omitted
+	// by using -1).
+	Benches []string
+	CV      [][]float64
+}
+
+// Fig2 computes the V_CPI(U) curves for every benchmark at the scale's
+// feasible U range (chunk … N/20).
+func Fig2(ctx *Context, cfg uarch.Config) (*Fig2Result, error) {
+	res := &Fig2Result{Config: cfg.Name}
+	// U sweep: decade steps from the chunk size up to 1/20 of the
+	// benchmark (below that there are too few units for a stable CV).
+	for u := ctx.Scale.Chunk; u <= ctx.Scale.BenchLen/20; u *= 10 {
+		res.Us = append(res.Us, u)
+	}
+	for _, bench := range ctx.Scale.BenchNames() {
+		ref, err := ctx.Reference(bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(res.Us))
+		for i, u := range res.Us {
+			cv, err := ref.CVAtU(u)
+			if err != nil {
+				row[i] = -1
+				continue
+			}
+			row[i] = cv
+		}
+		res.Benches = append(res.Benches, bench)
+		res.CV = append(res.CV, row)
+	}
+	return res, nil
+}
+
+// Format renders the curves as a table, one row per benchmark.
+func (r *Fig2Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2: coefficient of variation of CPI vs sampling unit size U (%s)\n", r.Config)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bench")
+	for _, u := range r.Us {
+		fmt.Fprintf(tw, "\tU=%d", u)
+	}
+	fmt.Fprintln(tw)
+	for i, b := range r.Benches {
+		fmt.Fprintf(tw, "%s", b)
+		for _, cv := range r.CV[i] {
+			if cv < 0 {
+				fmt.Fprintf(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%.3f", cv)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// KneeCheck reports, for each benchmark, the ratio CV(U=chunk)/CV(U=1000)
+// (steep initial drop) — used by tests asserting the Figure 2 shape.
+func (r *Fig2Result) KneeCheck(u uint64) map[string]float64 {
+	out := make(map[string]float64)
+	idxOf := func(u uint64) int {
+		for i, x := range r.Us {
+			if x == u {
+				return i
+			}
+		}
+		return -1
+	}
+	first := 0
+	knee := idxOf(u)
+	if knee < 0 {
+		return out
+	}
+	for i, b := range r.Benches {
+		if r.CV[i][first] > 0 && r.CV[i][knee] > 0 {
+			out[b] = r.CV[i][first] / r.CV[i][knee]
+		}
+	}
+	return out
+}

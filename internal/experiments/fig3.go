@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Fig3Row is one benchmark's minimum measurement requirement.
+type Fig3Row struct {
+	Bench string
+	// CV is V_CPI at the smallest unit size (the paper plots U=10).
+	CV float64
+	// MinInsts[i] is n·U for the confidence target i (see Fig3Targets).
+	MinInsts [4]uint64
+	// PctOfBench[i] is MinInsts[i] as a percentage of the benchmark.
+	PctOfBench [4]float64
+}
+
+// Fig3Targets are the paper's four confidence targets, in presentation
+// order: ±3%@99.7%, ±1%@99.7%, ±3%@95%, ±1%@95%.
+var Fig3Targets = [4]struct {
+	Alpha float64
+	Eps   float64
+	Label string
+}{
+	{stats.Alpha997, 0.03, "±3% @99.7%"},
+	{stats.Alpha997, 0.01, "±1% @99.7%"},
+	{stats.Alpha95, 0.03, "±3% @95%"},
+	{stats.Alpha95, 0.01, "±1% @95%"},
+}
+
+// Fig3Result reproduces Figure 3: minimum instructions which must be
+// measured (n·U at U = chunk size, the paper's U=10) to reach common
+// confidence targets, per benchmark. The headline number to reproduce:
+// even ±1%@99.7% needs only a tiny fraction (paper: < 0.1%) of the
+// stream measured.
+type Fig3Result struct {
+	Config string
+	U      uint64
+	Rows   []Fig3Row
+}
+
+// Fig3 computes the minimum-measurement table.
+func Fig3(ctx *Context, cfg uarch.Config) (*Fig3Result, error) {
+	u := ctx.Scale.Chunk
+	res := &Fig3Result{Config: cfg.Name, U: u}
+	for _, bench := range ctx.Scale.BenchNames() {
+		ref, err := ctx.Reference(bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := ref.CVAtU(u)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{Bench: bench, CV: cv}
+		for i, tgt := range Fig3Targets {
+			n := stats.RequiredN(cv, tgt.Alpha, tgt.Eps)
+			row.MinInsts[i] = n * u
+			row.PctOfBench[i] = 100 * float64(n*u) / float64(ref.Insts)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the table.
+func (r *Fig3Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3: minimum measured instructions (n·U at U=%d) per confidence target (%s)\n", r.U, r.Config)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bench\tV_CPI")
+	for _, tgt := range Fig3Targets {
+		fmt.Fprintf(tw, "\t%s\t(%%bench)", tgt.Label)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f", row.Bench, row.CV)
+		for i := range Fig3Targets {
+			fmt.Fprintf(tw, "\t%d\t%.4f%%", row.MinInsts[i], row.PctOfBench[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// WorstPct returns the largest percentage-of-benchmark across rows for
+// target index i — the paper's headline is that even the worst case is
+// below 0.1% at full scale.
+func (r *Fig3Result) WorstPct(i int) float64 {
+	var worst float64
+	for _, row := range r.Rows {
+		if row.PctOfBench[i] > worst {
+			worst = row.PctOfBench[i]
+		}
+	}
+	return worst
+}

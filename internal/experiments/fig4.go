@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/perfmodel"
+)
+
+// Fig4Point is the modelled relative simulation rate at one W.
+type Fig4Point struct {
+	W     uint64
+	SD60  float64 // detailed-warming only, S_D = 1/60
+	SD600 float64 // detailed-warming only, S_D = 1/600
+	FW    float64 // functional warming (S_FW = 0.55), S_D = 1/60
+}
+
+// Fig4Result reproduces Figure 4: the modelled SMARTS simulation rate as
+// a function of detailed warming W, for the paper's three parameter
+// sets. The shapes to reproduce: rate collapses from S_F toward S_D as W
+// grows (earlier and sharper for slower detailed simulators), while the
+// functional-warming curve stays flat near S_FW because W is bounded
+// small.
+type Fig4Result struct {
+	Bench  string
+	N      uint64
+	NUnits uint64
+	U      uint64
+	Points []Fig4Point
+}
+
+// Fig4 evaluates the analytic model for the gcc-archetype benchmark, as
+// the paper does for gcc-1.
+func Fig4(ctx *Context) (*Fig4Result, error) {
+	p, err := ctx.Program("gccx")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{
+		Bench:  p.Name,
+		N:      p.Length,
+		NUnits: ctx.Scale.NInit,
+		U:      1000,
+	}
+	base := perfmodel.Params{
+		N:      float64(p.Length),
+		NUnits: float64(ctx.Scale.NInit),
+		U:      1000,
+		SFW:    0.55,
+	}
+	// W sweep 0 .. 10M as in the paper's x-axis (log scale), clipped to
+	// the benchmark length (beyond that the model saturates at S_D).
+	ws := []uint64{0, 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000}
+	for _, w := range ws {
+		p60 := base
+		p60.SD = 1.0 / 60
+		p600 := base
+		p600.SD = 1.0 / 600
+		res.Points = append(res.Points, Fig4Point{
+			W:     w,
+			SD60:  p60.RateDetailedWarming(float64(w)),
+			SD600: p600.RateDetailedWarming(float64(w)),
+			FW:    p60.RateFunctionalWarming(float64(w)),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the modelled rates.
+func (r *Fig4Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: modelled SMARTS simulation rate vs W (%s, N=%d, n=%d, U=%d; S_F=1)\n",
+		r.Bench, r.N, r.NUnits, r.U)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "W\tS_D=1/60\tS_D=1/600\tS_FW=0.55,S_D=1/60")
+	for _, pt := range r.Points {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n", pt.W, pt.SD60, pt.SD600, pt.FW)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Fig5Row gives, for one benchmark and one detailed-warming length W,
+// the fraction of the stream that must be simulated in detail —
+// n(W+U)/N with n sized from the measured V_CPI(U) — across the U sweep.
+type Fig5Row struct {
+	Bench    string
+	W        uint64
+	Fraction []float64 // aligned with Fig5Result.Us
+	OptimalU uint64    // U minimizing the fraction
+}
+
+// Fig5Result reproduces Figure 5: the detail-simulated fraction as a
+// function of U for several W, locating the optimal unit size. The
+// shapes to reproduce: with W=0 the smallest U wins; with nonzero W the
+// optimum moves into the 100..10,000 range; U=1000 is a near-optimal
+// fixed choice across benchmarks and W.
+type Fig5Result struct {
+	Config string
+	Us     []uint64
+	Rows   []Fig5Row
+	Alpha  float64
+	Eps    float64
+}
+
+// Fig5 computes the detailed-fraction curves for the given benchmarks
+// (the paper plots gcc-1 on the left, and gcc-3/bzip2/mesa on the
+// right); pass nil for the scale's default subset.
+func Fig5(ctx *Context, cfg uarch.Config, benches []string, ws []uint64) (*Fig5Result, error) {
+	if benches == nil {
+		benches = []string{"gccx", "bzip2x", "mcfx", "eonx"}
+	}
+	if ws == nil {
+		// The paper plots W=1000 and W=100,000 as the magnitudes needed
+		// with and without functional warming, plus the ideal W=0.
+		ws = []uint64{0, 1000, 100_000}
+	}
+	res := &Fig5Result{Config: cfg.Name, Alpha: stats.Alpha997, Eps: ctx.Scale.Eps}
+	for u := ctx.Scale.Chunk; u <= ctx.Scale.BenchLen/20; u *= 10 {
+		res.Us = append(res.Us, u)
+	}
+	for _, bench := range benches {
+		ref, err := ctx.Reference(bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range ws {
+			row := Fig5Row{Bench: bench, W: w, Fraction: make([]float64, len(res.Us))}
+			best := -1.0
+			for i, u := range res.Us {
+				cv, err := ref.CVAtU(u)
+				if err != nil {
+					row.Fraction[i] = -1
+					continue
+				}
+				n := stats.RequiredN(cv, res.Alpha, res.Eps)
+				frac := float64(n) * float64(w+u) / float64(ref.Insts)
+				if frac > 1 {
+					frac = 1
+				}
+				row.Fraction[i] = frac
+				if best < 0 || frac < best {
+					best = frac
+					row.OptimalU = u
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the fraction table.
+func (r *Fig5Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: detail-simulated fraction n(W+U)/N vs U (%s, ±%.0f%% @%.1f%%)\n",
+		r.Config, r.Eps*100, (1-r.Alpha)*100)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bench\tW")
+	for _, u := range r.Us {
+		fmt.Fprintf(tw, "\tU=%d", u)
+	}
+	fmt.Fprintln(tw, "\toptimal U")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d", row.Bench, row.W)
+		for _, f := range row.Fraction {
+			if f < 0 {
+				fmt.Fprintf(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%.5f", f)
+			}
+		}
+		fmt.Fprintf(tw, "\t%d\n", row.OptimalU)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Fig6Row is one benchmark's estimation outcome with n_init units.
+type Fig6Row struct {
+	Bench string
+	// TrueCPI is the full-stream reference.
+	TrueCPI float64
+	// Est is the sampled estimate at 99.7% confidence.
+	Est stats.Estimate
+	// ActualErr is the signed relative error of the estimate.
+	ActualErr float64
+	// NTuned is the follow-up sample size when the CI missed the target
+	// (0 when the initial run sufficed).
+	NTuned uint64
+	// TunedErr and TunedCI report the follow-up run when it happened.
+	TunedErr float64
+	TunedCI  float64
+}
+
+// Fig6Result reproduces Figure 6: per-benchmark CPI error and 99.7%
+// confidence interval with the generic initial sample size, worst CI
+// first. The claims to reproduce: actual error is generally well inside
+// the predicted CI; benchmarks whose CI misses ±3% are fixed by
+// rerunning with n_tuned.
+type Fig6Result struct {
+	Config string
+	NInit  uint64
+	Eps    float64
+	Rows   []Fig6Row
+	// MeanAbsErr is the mean |error| across benchmarks (the paper's
+	// headline 0.64% average CPI error).
+	MeanAbsErr float64
+}
+
+// Fig6 runs the full procedure per benchmark.
+func Fig6(ctx *Context, cfg uarch.Config) (*Fig6Result, error) {
+	res := &Fig6Result{Config: cfg.Name, NInit: ctx.Scale.NInit, Eps: ctx.Scale.Eps}
+	var errSum float64
+	var nFinal int
+	for _, bench := range ctx.Scale.BenchNames() {
+		ref, err := ctx.Reference(bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ctx.Program(bench)
+		if err != nil {
+			return nil, err
+		}
+		pc := smarts.DefaultProcedure(cfg, ctx.Scale.NInit)
+		pc.Eps = ctx.Scale.Eps
+		pr, err := smarts.RunProcedure(p, cfg, pc)
+		if err != nil {
+			return nil, err
+		}
+		truth := ref.TrueCPI()
+		row := Fig6Row{
+			Bench:     bench,
+			TrueCPI:   truth,
+			Est:       pr.InitialCPI,
+			ActualErr: (pr.InitialCPI.Mean - truth) / truth,
+			NTuned:    pr.NTuned,
+		}
+		if pr.Tuned != nil {
+			row.TunedErr = (pr.TunedCPI.Mean - truth) / truth
+			row.TunedCI = pr.TunedCPI.RelCI
+		}
+		final := pr.Final()
+		errSum += abs((final.Mean - truth) / truth)
+		nFinal++
+		res.Rows = append(res.Rows, row)
+	}
+	res.MeanAbsErr = errSum / float64(nFinal)
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return res.Rows[i].Est.RelCI > res.Rows[j].Est.RelCI
+	})
+	return res, nil
+}
+
+// Format renders the figure as a table.
+func (r *Fig6Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: SMARTS CPI estimation with n_init=%d (%s), worst CI first\n", r.NInit, r.Config)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\ttrue CPI\test CPI\tactual err\tCI(99.7%)\tn_tuned\ttuned err\ttuned CI")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%+.2f%%\t±%.2f%%", row.Bench, row.TrueCPI, row.Est.Mean,
+			row.ActualErr*100, row.Est.RelCI*100)
+		if row.NTuned > 0 {
+			fmt.Fprintf(tw, "\t%d\t%+.2f%%\t±%.2f%%\n", row.NTuned, row.TunedErr*100, row.TunedCI*100)
+		} else {
+			fmt.Fprintf(tw, "\t-\t-\t-\n")
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "mean |CPI error| (final estimates): %.2f%%\n", r.MeanAbsErr*100)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/uarch"
+)
+
+// Runner executes one experiment end to end and writes its formatted
+// result.
+type Runner func(ctx *Context, cfg uarch.Config, w io.Writer) error
+
+// Registry maps experiment identifiers (the paper's figure/table
+// numbers) to runners.
+var Registry = map[string]Runner{
+	"fig2": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig2(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"fig3": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig3(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"fig4": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig4(ctx)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"fig5": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig5(ctx, cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"table4": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Table4(ctx, cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"table5": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Table5(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"fig6": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig6(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"fig7": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig7(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"table6": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Table6(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"fig8": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig8(ctx, cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+	"ablation": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := AblationWarming(ctx, cfg, nil)
+		if err != nil {
+			return err
+		}
+		r.Format(w)
+		return nil
+	},
+}
+
+// Names returns the registered experiment ids in order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, ctx *Context, cfg uarch.Config, w io.Writer) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(ctx, cfg, w)
+}

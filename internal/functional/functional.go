@@ -1,0 +1,258 @@
+// Package functional implements the architectural (functional) simulator:
+// it executes instruction semantics and maintains programmer-visible
+// state only — registers, memory, and the PC.
+//
+// Every other execution mode in this repository is driven by the dynamic
+// instruction records (DynInst) this simulator emits: the detailed
+// timing model consumes them as an oracle instruction stream, and
+// functional warming replays them into caches and branch predictors.
+// This mirrors the organization of SimpleScalar's sim-outorder, which
+// SMARTSim was built on.
+package functional
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// DynInst is one executed (committed) instruction with its dynamic
+// outcomes resolved: effective address for memory ops, direction and
+// target for control.
+type DynInst struct {
+	// Seq is the dynamic instruction number (the first executed
+	// instruction has Seq 0).
+	Seq uint64
+	// PC is the instruction index.
+	PC uint64
+	// Inst is the static instruction.
+	Inst isa.Inst
+	// EA is the effective byte address for loads and stores.
+	EA uint64
+	// Taken reports whether a control instruction redirected the PC.
+	Taken bool
+	// NextPC is the PC of the next dynamic instruction.
+	NextPC uint64
+}
+
+// Class returns the instruction's class.
+func (d *DynInst) Class() isa.Class { return d.Inst.Op.Class() }
+
+// CPU is the functional simulator state.
+type CPU struct {
+	Prog *program.Program
+	Mem  *mem.Memory
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	// Halted is set once OpHalt executes; further Steps return ErrHalted.
+	Halted bool
+	// Count is the number of instructions executed so far.
+	Count uint64
+}
+
+// ErrHalted is returned by Step after the program has halted.
+var ErrHalted = fmt.Errorf("functional: program halted")
+
+// New creates a CPU at the program entry with a fresh memory image.
+func New(p *program.Program) *CPU {
+	return &CPU{Prog: p, Mem: p.NewMemory(), PC: p.Entry}
+}
+
+// reg reads a register, honoring the hardwired zero.
+func (c *CPU) reg(r isa.Reg) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// setReg writes a register, discarding writes to the zero register.
+func (c *CPU) setReg(r isa.Reg, v uint64) {
+	if r != isa.RegZero {
+		c.Regs[r] = v
+	}
+}
+
+// Step executes one instruction. If d is non-nil it is filled with the
+// dynamic record. Step returns ErrHalted once the program has finished
+// and an error for architectural faults (PC out of range).
+func (c *CPU) Step(d *DynInst) error {
+	if c.Halted {
+		return ErrHalted
+	}
+	if c.PC >= uint64(len(c.Prog.Code)) {
+		return fmt.Errorf("functional: PC %d outside code (%d insts)", c.PC, len(c.Prog.Code))
+	}
+	in := c.Prog.Code[c.PC]
+	pc := c.PC
+	next := pc + 1
+	var ea uint64
+	taken := false
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		c.setReg(in.Dst, c.reg(in.Src1)+c.reg(in.Src2))
+	case isa.OpSub:
+		c.setReg(in.Dst, c.reg(in.Src1)-c.reg(in.Src2))
+	case isa.OpAnd:
+		c.setReg(in.Dst, c.reg(in.Src1)&c.reg(in.Src2))
+	case isa.OpOr:
+		c.setReg(in.Dst, c.reg(in.Src1)|c.reg(in.Src2))
+	case isa.OpXor:
+		c.setReg(in.Dst, c.reg(in.Src1)^c.reg(in.Src2))
+	case isa.OpShl:
+		c.setReg(in.Dst, c.reg(in.Src1)<<(c.reg(in.Src2)&63))
+	case isa.OpShr:
+		c.setReg(in.Dst, c.reg(in.Src1)>>(c.reg(in.Src2)&63))
+	case isa.OpSlt:
+		c.setReg(in.Dst, boolTo64(int64(c.reg(in.Src1)) < int64(c.reg(in.Src2))))
+	case isa.OpAddI:
+		c.setReg(in.Dst, c.reg(in.Src1)+uint64(in.Imm))
+	case isa.OpAndI:
+		c.setReg(in.Dst, c.reg(in.Src1)&uint64(in.Imm))
+	case isa.OpOrI:
+		c.setReg(in.Dst, c.reg(in.Src1)|uint64(in.Imm))
+	case isa.OpXorI:
+		c.setReg(in.Dst, c.reg(in.Src1)^uint64(in.Imm))
+	case isa.OpShlI:
+		c.setReg(in.Dst, c.reg(in.Src1)<<(uint64(in.Imm)&63))
+	case isa.OpShrI:
+		c.setReg(in.Dst, c.reg(in.Src1)>>(uint64(in.Imm)&63))
+	case isa.OpSltI:
+		c.setReg(in.Dst, boolTo64(int64(c.reg(in.Src1)) < in.Imm))
+	case isa.OpMul:
+		c.setReg(in.Dst, c.reg(in.Src1)*c.reg(in.Src2))
+	case isa.OpDiv:
+		b := int64(c.reg(in.Src2))
+		if b == 0 {
+			c.setReg(in.Dst, 0)
+		} else {
+			c.setReg(in.Dst, uint64(int64(c.reg(in.Src1))/b))
+		}
+	case isa.OpRem:
+		b := int64(c.reg(in.Src2))
+		if b == 0 {
+			c.setReg(in.Dst, 0)
+		} else {
+			c.setReg(in.Dst, uint64(int64(c.reg(in.Src1))%b))
+		}
+
+	case isa.OpFAdd:
+		c.setFP(in.Dst, c.fp(in.Src1)+c.fp(in.Src2))
+	case isa.OpFSub:
+		c.setFP(in.Dst, c.fp(in.Src1)-c.fp(in.Src2))
+	case isa.OpFMul:
+		c.setFP(in.Dst, c.fp(in.Src1)*c.fp(in.Src2))
+	case isa.OpFDiv:
+		c.setFP(in.Dst, c.fp(in.Src1)/c.fp(in.Src2))
+	case isa.OpFNeg:
+		c.setFP(in.Dst, -c.fp(in.Src1))
+	case isa.OpCvtIF:
+		c.setFP(in.Dst, float64(int64(c.reg(in.Src1))))
+	case isa.OpCvtFI:
+		c.setReg(in.Dst, uint64(int64(c.fp(in.Src1))))
+
+	case isa.OpLoad, isa.OpFLoad:
+		ea = c.reg(in.Src1) + uint64(in.Imm)
+		c.setReg(in.Dst, c.Mem.Read64(ea))
+	case isa.OpLoad32:
+		ea = c.reg(in.Src1) + uint64(in.Imm)
+		c.setReg(in.Dst, uint64(c.Mem.Read32(ea)))
+	case isa.OpStore, isa.OpFStore:
+		ea = c.reg(in.Src1) + uint64(in.Imm)
+		c.Mem.Write64(ea, c.reg(in.Src2))
+	case isa.OpStore32:
+		ea = c.reg(in.Src1) + uint64(in.Imm)
+		c.Mem.Write32(ea, uint32(c.reg(in.Src2)))
+
+	case isa.OpBeq:
+		taken = c.reg(in.Src1) == c.reg(in.Src2)
+	case isa.OpBne:
+		taken = c.reg(in.Src1) != c.reg(in.Src2)
+	case isa.OpBlt:
+		taken = int64(c.reg(in.Src1)) < int64(c.reg(in.Src2))
+	case isa.OpBge:
+		taken = int64(c.reg(in.Src1)) >= int64(c.reg(in.Src2))
+	case isa.OpJmp:
+		taken = true
+		next = uint64(in.Target)
+	case isa.OpJr:
+		taken = true
+		next = c.reg(in.Src1)
+	case isa.OpCall:
+		taken = true
+		c.setReg(isa.RegLR, pc+1)
+		next = uint64(in.Target)
+	case isa.OpRet:
+		taken = true
+		next = c.reg(isa.RegLR)
+	case isa.OpHalt:
+		c.Halted = true
+	default:
+		return fmt.Errorf("functional: invalid opcode %v at PC %d", in.Op, pc)
+	}
+
+	if in.Op.Class() == isa.ClassBranch && taken {
+		next = uint64(in.Target)
+	}
+
+	c.PC = next
+	seq := c.Count
+	c.Count++
+
+	if d != nil {
+		d.Seq = seq
+		d.PC = pc
+		d.Inst = in
+		d.EA = ea
+		d.Taken = taken
+		d.NextPC = next
+	}
+	return nil
+}
+
+// Run executes up to n instructions, returning the number executed. It
+// stops early when the program halts.
+func (c *CPU) Run(n uint64) (uint64, error) {
+	var done uint64
+	for done < n {
+		if err := c.Step(nil); err != nil {
+			if err == ErrHalted {
+				return done, nil
+			}
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// RunToCompletion executes until the program halts and returns the total
+// dynamic instruction count (including the halt).
+func (c *CPU) RunToCompletion() (uint64, error) {
+	for !c.Halted {
+		if err := c.Step(nil); err != nil && err != ErrHalted {
+			return c.Count, err
+		}
+	}
+	return c.Count, nil
+}
+
+func (c *CPU) fp(r isa.Reg) float64 { return math.Float64frombits(c.Regs[r]) }
+
+func (c *CPU) setFP(r isa.Reg, v float64) {
+	if r != isa.RegZero {
+		c.Regs[r] = math.Float64bits(v)
+	}
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+package functional_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/functional"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// mkProg wraps raw instructions into a Program.
+func mkProg(code ...isa.Inst) *program.Program {
+	return &program.Program{Name: "t", Code: code, Length: uint64(len(code))}
+}
+
+func step(t *testing.T, c *functional.CPU) functional.DynInst {
+	t.Helper()
+	var d functional.DynInst
+	if err := c.Step(&d); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	return d
+}
+
+// TestArithmetic checks representative ALU semantics.
+func TestArithmetic(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpAddI, Dst: 1, Src1: isa.RegZero, Imm: 40},
+		isa.Inst{Op: isa.OpAddI, Dst: 2, Src1: isa.RegZero, Imm: 2},
+		isa.Inst{Op: isa.OpAdd, Dst: 3, Src1: 1, Src2: 2},
+		isa.Inst{Op: isa.OpSub, Dst: 4, Src1: 1, Src2: 2},
+		isa.Inst{Op: isa.OpMul, Dst: 5, Src1: 1, Src2: 2},
+		isa.Inst{Op: isa.OpDiv, Dst: 6, Src1: 1, Src2: 2},
+		isa.Inst{Op: isa.OpDiv, Dst: 7, Src1: 1, Src2: isa.RegZero}, // div by zero -> 0
+		isa.Inst{Op: isa.OpSlt, Dst: 8, Src1: 2, Src2: 1},
+		isa.Inst{Op: isa.OpShlI, Dst: 9, Src1: 2, Imm: 4},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	c := functional.New(p)
+	if _, err := c.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[isa.Reg]uint64{3: 42, 4: 38, 5: 80, 6: 20, 7: 0, 8: 1, 9: 32}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+// TestZeroRegisterHardwired checks writes to R0 vanish.
+func TestZeroRegisterHardwired(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpAddI, Dst: isa.RegZero, Src1: isa.RegZero, Imm: 99},
+		isa.Inst{Op: isa.OpAdd, Dst: 1, Src1: isa.RegZero, Src2: isa.RegZero},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	c := functional.New(p)
+	if _, err := c.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[0] != 0 || c.Regs[1] != 0 {
+		t.Errorf("r0=%d r1=%d, want 0 0", c.Regs[0], c.Regs[1])
+	}
+}
+
+// TestLoadStore checks memory semantics and DynInst effective addresses.
+func TestLoadStore(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpAddI, Dst: 1, Src1: isa.RegZero, Imm: 0x1000},
+		isa.Inst{Op: isa.OpAddI, Dst: 2, Src1: isa.RegZero, Imm: 7},
+		isa.Inst{Op: isa.OpStore, Src1: 1, Src2: 2, Imm: 8},
+		isa.Inst{Op: isa.OpLoad, Dst: 3, Src1: 1, Imm: 8},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	c := functional.New(p)
+	step(t, c)
+	step(t, c)
+	d := step(t, c)
+	if d.EA != 0x1008 {
+		t.Errorf("store EA %#x, want 0x1008", d.EA)
+	}
+	d = step(t, c)
+	if d.EA != 0x1008 {
+		t.Errorf("load EA %#x", d.EA)
+	}
+	if c.Regs[3] != 7 {
+		t.Errorf("loaded %d, want 7", c.Regs[3])
+	}
+}
+
+// TestFloatingPoint checks FP bit-pattern register semantics.
+func TestFloatingPoint(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpAddI, Dst: 1, Src1: isa.RegZero, Imm: 3},
+		isa.Inst{Op: isa.OpCvtIF, Dst: isa.FP(0), Src1: 1},
+		isa.Inst{Op: isa.OpFMul, Dst: isa.FP(1), Src1: isa.FP(0), Src2: isa.FP(0)},
+		isa.Inst{Op: isa.OpFAdd, Dst: isa.FP(2), Src1: isa.FP(1), Src2: isa.FP(0)},
+		isa.Inst{Op: isa.OpCvtFI, Dst: 2, Src1: isa.FP(2)},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	c := functional.New(p)
+	if _, err := c.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(c.Regs[isa.FP(2)]); got != 12 {
+		t.Errorf("f2 = %v, want 12", got)
+	}
+	if c.Regs[2] != 12 {
+		t.Errorf("r2 = %d, want 12", c.Regs[2])
+	}
+}
+
+// TestControlFlow checks branches, calls, returns, and DynInst outcome
+// fields.
+func TestControlFlow(t *testing.T) {
+	p := mkProg(
+		/* 0 */ isa.Inst{Op: isa.OpAddI, Dst: 1, Src1: isa.RegZero, Imm: 1},
+		/* 1 */ isa.Inst{Op: isa.OpBeq, Src1: 1, Src2: isa.RegZero, Target: 5}, // not taken
+		/* 2 */ isa.Inst{Op: isa.OpCall, Target: 6},
+		/* 3 */ isa.Inst{Op: isa.OpJmp, Target: 5},
+		/* 4 */ isa.Inst{Op: isa.OpNop},
+		/* 5 */ isa.Inst{Op: isa.OpHalt},
+		/* 6 */ isa.Inst{Op: isa.OpAddI, Dst: 2, Src1: isa.RegZero, Imm: 9},
+		/* 7 */ isa.Inst{Op: isa.OpRet},
+	)
+	c := functional.New(p)
+	step(t, c) // addi
+	d := step(t, c)
+	if d.Taken {
+		t.Error("beq taken with unequal operands")
+	}
+	d = step(t, c) // call
+	if !d.Taken || d.NextPC != 6 {
+		t.Errorf("call: taken=%v next=%d", d.Taken, d.NextPC)
+	}
+	if c.Regs[isa.RegLR] != 3 {
+		t.Errorf("LR = %d, want 3", c.Regs[isa.RegLR])
+	}
+	step(t, c) // addi in callee
+	d = step(t, c)
+	if !d.Taken || d.NextPC != 3 {
+		t.Errorf("ret: next=%d, want 3", d.NextPC)
+	}
+	d = step(t, c) // jmp
+	if d.NextPC != 5 {
+		t.Errorf("jmp: next=%d, want 5", d.NextPC)
+	}
+	if _, err := c.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[2] != 9 {
+		t.Error("callee did not execute")
+	}
+}
+
+// TestHaltSemantics checks Step after halt and Run early stop.
+func TestHaltSemantics(t *testing.T) {
+	c := functional.New(mkProg(isa.Inst{Op: isa.OpHalt}))
+	n, err := c.Run(100)
+	if err != nil || n != 1 {
+		t.Errorf("Run = %d, %v; want 1, nil", n, err)
+	}
+	if err := c.Step(nil); err != functional.ErrHalted {
+		t.Errorf("Step after halt = %v, want ErrHalted", err)
+	}
+}
+
+// TestPCOutOfRange checks the architectural fault path.
+func TestPCOutOfRange(t *testing.T) {
+	c := functional.New(mkProg(isa.Inst{Op: isa.OpJmp, Target: 0})) // infinite loop at 0
+	c.PC = 99
+	if err := c.Step(nil); err == nil {
+		t.Error("Step accepted out-of-range PC")
+	}
+}
+
+// TestJrFault checks indirect jumps to garbage fault cleanly.
+func TestJrFault(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpAddI, Dst: 1, Src1: isa.RegZero, Imm: 1 << 40},
+		isa.Inst{Op: isa.OpJr, Src1: 1},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	c := functional.New(p)
+	step(t, c)
+	step(t, c) // the jr itself succeeds; the next fetch faults
+	if err := c.Step(nil); err == nil {
+		t.Error("fetch at garbage PC did not fault")
+	}
+}

@@ -1,0 +1,55 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedSize is the number of bytes one instruction occupies in the
+// serialized program format (not the architectural InstBytes; the
+// serialized format is wider so the full 64-bit immediate survives a
+// round-trip).
+const EncodedSize = 16
+
+// Encode serializes the instruction into buf, which must be at least
+// EncodedSize bytes long. The layout is little-endian:
+//
+//	byte 0      Op
+//	byte 1      Dst
+//	byte 2      Src1
+//	byte 3      Src2
+//	bytes 4-7   Target (uint32)
+//	bytes 8-15  Imm (int64)
+func (i Inst) Encode(buf []byte) {
+	_ = buf[EncodedSize-1]
+	buf[0] = byte(i.Op)
+	buf[1] = byte(i.Dst)
+	buf[2] = byte(i.Src1)
+	buf[3] = byte(i.Src2)
+	binary.LittleEndian.PutUint32(buf[4:8], i.Target)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(i.Imm))
+}
+
+// Decode deserializes one instruction from buf (at least EncodedSize
+// bytes). It returns an error if the opcode or register fields are out of
+// range.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < EncodedSize {
+		return Inst{}, fmt.Errorf("isa: decode: short buffer (%d bytes)", len(buf))
+	}
+	i := Inst{
+		Op:     Op(buf[0]),
+		Dst:    Reg(buf[1]),
+		Src1:   Reg(buf[2]),
+		Src2:   Reg(buf[3]),
+		Target: binary.LittleEndian.Uint32(buf[4:8]),
+		Imm:    int64(binary.LittleEndian.Uint64(buf[8:16])),
+	}
+	if !i.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d", buf[0])
+	}
+	if i.Dst >= NumRegs || i.Src1 >= NumRegs || i.Src2 >= NumRegs {
+		return Inst{}, fmt.Errorf("isa: decode: register out of range in %v", buf[:4])
+	}
+	return i, nil
+}

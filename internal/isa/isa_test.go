@@ -1,0 +1,92 @@
+package isa_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// TestEncodeDecodeRoundTrip property-checks the instruction serialization.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, dst, s1, s2 uint8, imm int64, tgt uint32) bool {
+		in := isa.Inst{
+			Op:     isa.Op(op % 45), // stay within or near the valid range
+			Dst:    isa.Reg(dst % isa.NumRegs),
+			Src1:   isa.Reg(s1 % isa.NumRegs),
+			Src2:   isa.Reg(s2 % isa.NumRegs),
+			Imm:    imm,
+			Target: tgt,
+		}
+		if !in.Op.Valid() {
+			return true // Decode rejects invalid opcodes; skip
+		}
+		var buf [isa.EncodedSize]byte
+		in.Encode(buf[:])
+		out, err := isa.Decode(buf[:])
+		if err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeRejectsInvalid checks error paths.
+func TestDecodeRejectsInvalid(t *testing.T) {
+	var buf [isa.EncodedSize]byte
+	buf[0] = 0xFF // invalid opcode
+	if _, err := isa.Decode(buf[:]); err == nil {
+		t.Error("Decode accepted invalid opcode")
+	}
+	buf[0] = byte(isa.OpAdd)
+	buf[1] = 200 // register out of range
+	if _, err := isa.Decode(buf[:]); err == nil {
+		t.Error("Decode accepted out-of-range register")
+	}
+	if _, err := isa.Decode(buf[:4]); err == nil {
+		t.Error("Decode accepted short buffer")
+	}
+}
+
+// TestOpClassTotal ensures every opcode has a class and a name.
+func TestOpClassTotal(t *testing.T) {
+	for op := isa.OpNop; op.Valid(); op++ {
+		if op != isa.OpNop && op.Class() == isa.ClassNop {
+			t.Errorf("opcode %d (%v) has no class", op, op)
+		}
+		if op.String() == "" || op.String()[0] == 'o' && op.String()[1] == 'p' {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+// TestReadsWrites spot-checks dependence metadata used by the pipeline.
+func TestReadsWrites(t *testing.T) {
+	cases := []struct {
+		in     isa.Inst
+		s1, s2 isa.Reg
+		d      isa.Reg
+	}{
+		{isa.Inst{Op: isa.OpAdd, Dst: 3, Src1: 1, Src2: 2}, 1, 2, 3},
+		{isa.Inst{Op: isa.OpAddI, Dst: 3, Src1: 1, Imm: 7}, 1, isa.RegZero, 3},
+		{isa.Inst{Op: isa.OpLoad, Dst: 4, Src1: 5, Imm: 8}, 5, isa.RegZero, 4},
+		{isa.Inst{Op: isa.OpStore, Src1: 5, Src2: 6}, 5, 6, isa.RegZero},
+		{isa.Inst{Op: isa.OpCall, Target: 9}, isa.RegZero, isa.RegZero, isa.RegLR},
+		{isa.Inst{Op: isa.OpRet}, isa.RegLR, isa.RegZero, isa.RegZero},
+		{isa.Inst{Op: isa.OpJr, Src1: 7}, 7, isa.RegZero, isa.RegZero},
+		{isa.Inst{Op: isa.OpBeq, Src1: 1, Src2: 2}, 1, 2, isa.RegZero},
+	}
+	for _, c := range cases {
+		s1, s2 := c.in.Reads()
+		if s1 != c.s1 || s2 != c.s2 {
+			t.Errorf("%v: Reads() = %v,%v want %v,%v", c.in, s1, s2, c.s1, c.s2)
+		}
+		if d := c.in.Writes(); d != c.d {
+			t.Errorf("%v: Writes() = %v want %v", c.in, d, c.d)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package mem provides the sparse, paged, little-endian byte-addressable
+// memory shared by the functional and detailed simulators.
+//
+// The address space is the full 64 bits; pages are allocated lazily on
+// first touch so multi-gigabyte working-set layouts cost only what they
+// touch. Reads of unallocated memory return zero without allocating.
+package mem
+
+import "sort"
+
+// Page geometry.
+const (
+	PageBits = 12
+	PageSize = 1 << PageBits
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse paged memory. The zero value is not usable; call New.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+
+	// lastPageNum/lastPage cache the most recently touched page, which
+	// captures nearly all locality in simulator workloads.
+	lastPageNum uint64
+	lastPage    *[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// page returns the page containing addr, allocating it if requested.
+// Returns nil when the page is absent and allocate is false.
+func (m *Memory) page(addr uint64, allocate bool) *[PageSize]byte {
+	num := addr >> PageBits
+	if m.lastPage != nil && m.lastPageNum == num {
+		return m.lastPage
+	}
+	p, ok := m.pages[num]
+	if !ok {
+		if !allocate {
+			return nil
+		}
+		p = new([PageSize]byte)
+		m.pages[num] = p
+	}
+	m.lastPageNum, m.lastPage = num, p
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint64) uint8 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint64, v uint8) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read32 returns the little-endian 32-bit value at addr. The access may
+// straddle a page boundary.
+func (m *Memory) Read32(addr uint64) uint32 {
+	off := addr & pageMask
+	if off <= PageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return uint32(p[off]) | uint32(p[off+1])<<8 |
+			uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		v |= uint32(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 stores v little-endian at addr. The access may straddle a page
+// boundary.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	off := addr & pageMask
+	if off <= PageSize-4 {
+		p := m.page(addr, true)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
+	for i := uint64(0); i < 4; i++ {
+		m.Write8(addr+i, uint8(v>>(8*i)))
+	}
+}
+
+// Read64 returns the little-endian 64-bit value at addr. The access may
+// straddle a page boundary.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & pageMask
+	if off <= PageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return uint64(p[off]) | uint64(p[off+1])<<8 |
+			uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+			uint64(p[off+4])<<32 | uint64(p[off+5])<<40 |
+			uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores v little-endian at addr. The access may straddle a page
+// boundary.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & pageMask
+	if off <= PageSize-8 {
+		p := m.page(addr, true)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		p[off+4] = byte(v >> 32)
+		p[off+5] = byte(v >> 40)
+		p[off+6] = byte(v >> 48)
+		p[off+7] = byte(v >> 56)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Write8(addr+i, uint8(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies data into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & pageMask
+		n := PageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		p := m.page(addr, false)
+		if p == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[:n], p[off:off+uint64(n)])
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// PageCount returns the number of allocated pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Footprint returns the number of bytes of allocated backing store.
+func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }
+
+// Reset discards all contents.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*[PageSize]byte)
+	m.lastPage = nil
+	m.lastPageNum = 0
+}
+
+// Clone returns a deep copy of the memory. Simulators use it to rerun a
+// workload from an identical initial image.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for num, p := range m.pages {
+		cp := new([PageSize]byte)
+		*cp = *p
+		c.pages[num] = cp
+	}
+	return c
+}
+
+// Pages returns the sorted list of allocated page numbers; used by tests
+// and tools that need a deterministic traversal order.
+func (m *Memory) Pages() []uint64 {
+	nums := make([]uint64, 0, len(m.pages))
+	for n := range m.pages {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums
+}

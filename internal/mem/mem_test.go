@@ -1,0 +1,111 @@
+package mem_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// TestReadWriteRoundTrip property-checks 64-bit accesses at arbitrary
+// addresses, including page-straddling ones.
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := mem.New()
+	f := func(addr, v uint64) bool {
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRead32Write32 checks 32-bit accesses including straddles.
+func TestRead32Write32(t *testing.T) {
+	m := mem.New()
+	for _, addr := range []uint64{0, 1, 4093, 4094, 4095, 1 << 40} {
+		m.Write32(addr, 0xDEADBEEF)
+		if got := m.Read32(addr); got != 0xDEADBEEF {
+			t.Errorf("Read32(%#x) = %#x", addr, got)
+		}
+	}
+}
+
+// TestUnwrittenReadsZero checks reads never allocate and return zero.
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := mem.New()
+	if m.Read64(12345) != 0 || m.Read8(1<<50) != 0 {
+		t.Error("unwritten memory not zero")
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("reads allocated %d pages", m.PageCount())
+	}
+}
+
+// TestPageStraddle writes across a page boundary byte by byte and reads
+// back as a word.
+func TestPageStraddle(t *testing.T) {
+	m := mem.New()
+	base := uint64(mem.PageSize - 3)
+	const word = uint64(0x0102030405060708)
+	m.Write64(base, word)
+	for i := uint64(0); i < 8; i++ {
+		want := uint8(word >> (8 * i))
+		if got := m.Read8(base + i); got != want {
+			t.Errorf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// TestWriteReadBytes checks bulk transfers across pages.
+func TestWriteReadBytes(t *testing.T) {
+	m := mem.New()
+	data := make([]byte, 3*mem.PageSize)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(data)
+	const base = 555
+	m.WriteBytes(base, data)
+	got := make([]byte, len(data))
+	m.ReadBytes(base, got)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+// TestClone checks deep copying.
+func TestClone(t *testing.T) {
+	m := mem.New()
+	m.Write64(100, 42)
+	c := m.Clone()
+	c.Write64(100, 99)
+	if m.Read64(100) != 42 {
+		t.Error("clone aliases original")
+	}
+	if c.Read64(100) != 99 {
+		t.Error("clone lost write")
+	}
+}
+
+// TestResetAndFootprint checks accounting.
+func TestResetAndFootprint(t *testing.T) {
+	m := mem.New()
+	m.Write8(0, 1)
+	m.Write8(mem.PageSize*10, 1)
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+	if m.Footprint() != 2*mem.PageSize {
+		t.Errorf("Footprint = %d", m.Footprint())
+	}
+	pages := m.Pages()
+	if len(pages) != 2 || pages[0] != 0 || pages[1] != 10 {
+		t.Errorf("Pages = %v", pages)
+	}
+	m.Reset()
+	if m.PageCount() != 0 || m.Read8(0) != 0 {
+		t.Error("Reset did not clear")
+	}
+}

@@ -1,0 +1,63 @@
+// Package perfmodel implements the analytic SMARTS simulation-rate model
+// of Section 3.4 of the paper.
+//
+// Rates are expressed relative to plain functional simulation
+// (S_F ≡ 1.0). Detailed simulation runs at S_D (the paper plots 1/60 for
+// today's fastest detailed simulators and 1/600 for projected future
+// cores); functional warming runs at S_FW (≈0.55 in SMARTSim: warming
+// adds ~75% overhead plus bookkeeping).
+package perfmodel
+
+import "time"
+
+// Params holds the model inputs.
+type Params struct {
+	// SD is the detailed simulation rate relative to functional (1/60…).
+	SD float64
+	// SFW is the functional-warming rate relative to functional (≈0.55).
+	SFW float64
+	// N is the benchmark length in instructions.
+	N float64
+	// NUnits is the number of measured sampling units n.
+	NUnits float64
+	// U is the sampling-unit size in instructions.
+	U float64
+}
+
+// RateDetailedWarming returns the relative SMARTS simulation rate when
+// fast-forwarding is plain functional simulation and each unit pays
+// U+W detailed instructions:
+//
+//	S = S_F·(N − n(U+W))/N + S_D·n(U+W)/N,  S_F ≡ 1
+func (p Params) RateDetailedWarming(w float64) float64 {
+	det := p.NUnits * (p.U + w)
+	if det > p.N {
+		det = p.N
+	}
+	return (p.N-det)/p.N + p.SD*det/p.N
+}
+
+// RateFunctionalWarming substitutes S_FW for S_F in the same expression,
+// exactly as Section 3.4 prescribes: fast-forwarded instructions proceed
+// at the functional-warming rate.
+//
+// (Both expressions are the paper's instruction-fraction-weighted
+// averages of rates, reproduced verbatim; the derived Figure 4 matches
+// the paper's by construction.)
+func (p Params) RateFunctionalWarming(w float64) float64 {
+	det := p.NUnits * (p.U + w)
+	if det > p.N {
+		det = p.N
+	}
+	return p.SFW*(p.N-det)/p.N + p.SD*det/p.N
+}
+
+// Runtime converts a relative rate into wall-clock time given the
+// functional simulator's absolute speed in instructions per second.
+func (p Params) Runtime(rate, functionalIPS float64) time.Duration {
+	if rate <= 0 || functionalIPS <= 0 {
+		return 0
+	}
+	seconds := p.N / (rate * functionalIPS)
+	return time.Duration(seconds * float64(time.Second))
+}

@@ -1,0 +1,86 @@
+package perfmodel_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/perfmodel"
+)
+
+func gccParams() perfmodel.Params {
+	// The paper's Figure 4 settings: gcc-1 at full scale with n=10,000
+	// units of U=1000.
+	return perfmodel.Params{
+		SD:     1.0 / 60,
+		SFW:    0.55,
+		N:      46.9e9,
+		NUnits: 10_000,
+		U:      1000,
+	}
+}
+
+// TestRateLimits checks the model's boundary behaviour: at W=0 with tiny
+// detailed fraction the rate is near S_F (or S_FW); as W grows to cover
+// the stream, the rate collapses to S_D.
+func TestRateLimits(t *testing.T) {
+	p := gccParams()
+	r0 := p.RateDetailedWarming(0)
+	if r0 < 0.98 {
+		t.Errorf("rate at W=0 is %v, want ~1 (detailed fraction is tiny)", r0)
+	}
+	rInf := p.RateDetailedWarming(1e12)
+	if math.Abs(rInf-p.SD) > 1e-9 {
+		t.Errorf("saturated rate %v, want S_D=%v", rInf, p.SD)
+	}
+	fw0 := p.RateFunctionalWarming(0)
+	if math.Abs(fw0-0.55) > 0.01 {
+		t.Errorf("functional warming rate at W=0 is %v, want ~0.55", fw0)
+	}
+}
+
+// TestMonotoneInW checks the rate never increases with more warming.
+func TestMonotoneInW(t *testing.T) {
+	p := gccParams()
+	prev := math.Inf(1)
+	for w := 0.0; w <= 1e7; w = w*10 + 100 {
+		r := p.RateDetailedWarming(w)
+		if r > prev+1e-12 {
+			t.Errorf("rate increased at W=%v", w)
+		}
+		prev = r
+	}
+}
+
+// TestPaperFig4Anchor checks the paper-visible anchor: with functional
+// warming and W bounded to thousands, the modelled rate stays within a
+// few percent of S_FW — the "flat curve" of Figure 4.
+func TestPaperFig4Anchor(t *testing.T) {
+	p := gccParams()
+	at2k := p.RateFunctionalWarming(2000)
+	if math.Abs(at2k-0.55) > 0.01 {
+		t.Errorf("rate at W=2000 is %v, want within 1%% of 0.55", at2k)
+	}
+	// Whereas detailed warming degrades visibly by W=1e6 (detailed
+	// fraction ~21% at these parameters) and collapses by W=1e7.
+	if r := p.RateDetailedWarming(1e6); r > 0.85 {
+		t.Errorf("rate at W=1e6 is %v, want < 0.85", r)
+	}
+	if r := p.RateDetailedWarming(1e7); r > 0.2 {
+		t.Errorf("rate at W=1e7 is %v, want < 0.2", r)
+	}
+}
+
+// TestRuntime checks wall-clock conversion.
+func TestRuntime(t *testing.T) {
+	p := gccParams()
+	// At rate 1.0 and 10 MIPS, 46.9e9 instructions take 4690 seconds.
+	d := p.Runtime(1.0, 10e6)
+	want := time.Duration(4690) * time.Second
+	if d.Round(time.Second) != want {
+		t.Errorf("Runtime = %v, want %v", d, want)
+	}
+	if p.Runtime(0, 10e6) != 0 {
+		t.Error("zero rate should yield zero duration")
+	}
+}

@@ -1,0 +1,153 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Section is a sequential region of the workload: an outer loop whose
+// body executes every kernel once per iteration. A workload with several
+// sections exhibits distinct large-scale program phases (the way gcc or
+// bzip2 change behaviour between input regions).
+type Section struct {
+	// Kernels run in order within one outer-loop iteration.
+	Kernels []Kernel
+	// Share is the fraction of the total dynamic length given to this
+	// section. Shares are normalized over the spec.
+	Share float64
+}
+
+// Spec declares a synthetic workload.
+type Spec struct {
+	// Name is the workload identifier used throughout the repo.
+	Name string
+	// Model names the SPEC CPU2000 benchmark this workload is an
+	// archetype of (documentation only).
+	Model string
+	// Seed drives all data-generation randomness.
+	Seed int64
+	// Sections list the program's large-scale phases.
+	Sections []Section
+}
+
+// Outer loop counter registers (one per section, reused sequentially).
+const regOuter = isa.Reg(20)
+
+// maxPersistent bounds the number of kernels with persistent cursors.
+const maxPersistent = 15
+
+// Generate builds the executable program for spec with a total dynamic
+// instruction count as close to targetLen as the outer-loop granularity
+// allows (always within one outer-iteration of the target, and at least
+// one iteration per section).
+func Generate(spec Spec, targetLen uint64) (*Program, error) {
+	if len(spec.Sections) == 0 {
+		return nil, fmt.Errorf("program %s: no sections", spec.Name)
+	}
+	if targetLen == 0 {
+		return nil, fmt.Errorf("program %s: zero target length", spec.Name)
+	}
+	a := newAsm(spec.Name, spec.Seed)
+
+	// Bind kernels to storage.
+	var instances [][]*instance
+	var all []*instance
+	nextPersist := isa.Reg(1)
+	for si, sec := range spec.Sections {
+		var row []*instance
+		for ki := range sec.Kernels {
+			in := &instance{k: sec.Kernels[ki]}
+			if in.k.Kind == KPChase || in.k.Persist {
+				if nextPersist > maxPersistent {
+					return nil, fmt.Errorf("program %s: too many persistent kernels", spec.Name)
+				}
+				in.pReg = nextPersist
+				nextPersist++
+			}
+			if in.k.Fn {
+				in.fnLabel = fmt.Sprintf("fn_%d_%d", si, ki)
+			}
+			if err := in.setup(a); err != nil {
+				return nil, fmt.Errorf("program %s section %d kernel %d (%v): %w",
+					spec.Name, si, ki, in.k.Kind, err)
+			}
+			row = append(row, in)
+			all = append(all, in)
+		}
+		instances = append(instances, row)
+	}
+
+	// Prologue: initialize persistent cursors.
+	var initDyn uint64
+	for _, in := range all {
+		initDyn += in.initCode(a)
+	}
+
+	// Normalize section shares.
+	var totalShare float64
+	for _, s := range spec.Sections {
+		if s.Share <= 0 {
+			totalShare += 1
+		} else {
+			totalShare += s.Share
+		}
+	}
+
+	// Emit each section; patch its outer trip count once the body's
+	// dynamic cost is known.
+	total := initDyn + 1 // +1 for the final halt
+	for si := range spec.Sections {
+		share := spec.Sections[si].Share
+		if share <= 0 {
+			share = 1
+		}
+		sectionTarget := uint64(float64(targetLen) * share / totalShare)
+
+		liPos := a.emit(isa.Inst{Op: isa.OpAddI, Dst: regOuter, Src1: isa.RegZero}) // patched below
+		loop := fmt.Sprintf("section_%d", si)
+		a.label(loop)
+		var bodyDyn uint64
+		for _, in := range instances[si] {
+			bodyDyn += in.emit(a)
+		}
+		a.opi(isa.OpAddI, regOuter, regOuter, -1)
+		a.br(isa.OpBne, regOuter, isa.RegZero, loop)
+
+		perIter := bodyDyn + 2 // body + decrement + back-branch
+		outer := sectionTarget / perIter
+		if outer == 0 {
+			outer = 1
+		}
+		a.code[liPos].Imm = int64(outer)
+		total += 1 + outer*perIter // li + iterations
+	}
+	a.halt()
+
+	// Function bodies for Fn kernels, placed after the halt.
+	for _, in := range all {
+		if !in.k.Fn {
+			continue
+		}
+		a.label(in.fnLabel)
+		got := in.emitBody(a)
+		a.ret()
+		if got != in.bodyDyn() {
+			return nil, fmt.Errorf("program %s: kernel %v dyn mismatch: emitted %d, computed %d",
+				spec.Name, in.k.Kind, got, in.bodyDyn())
+		}
+	}
+
+	a.dyn = total
+	return a.finish(0)
+}
+
+// MustGenerate is Generate but panics on error; used by the suite whose
+// specs are statically known to be valid (tests exercise this).
+func MustGenerate(spec Spec, targetLen uint64) *Program {
+	p, err := Generate(spec, targetLen)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

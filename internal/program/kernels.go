@@ -1,0 +1,614 @@
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// KernelKind enumerates the behavioural archetypes a workload is composed
+// of. Each kind stresses a different part of the microarchitecture, so
+// composing them produces the multi-scale CPI variance SMARTS samples.
+type KernelKind int
+
+// Kernel kinds.
+const (
+	// KStream scans a working set sequentially (loads, optional stores).
+	// Stresses cache bandwidth; CPI is stable within the kernel.
+	KStream KernelKind = iota
+	// KPChase walks a randomized linked cycle. Serialized cache misses;
+	// CPI tracks the miss latency of the level the working set spills to.
+	KPChase
+	// KCompInt runs independent integer dependence chains (ALU + MUL).
+	KCompInt
+	// KCompFP runs independent floating-point chains (FADD/FMUL, optional
+	// FDIV).
+	KCompFP
+	// KBranchy executes two data-dependent branches per iteration with
+	// configurable bias / pattern / noise; stresses the branch predictor.
+	KBranchy
+	// KStencil is a 3-point FP stencil: 3 loads, 3 FP ops, 1 store per
+	// element over a working set, writing a second array.
+	KStencil
+	// KReduce is a serialized FP reduction over a working set (load +
+	// dependent FADD).
+	KReduce
+	// KSwitchy dispatches through a load-then-indirect-jump to one of
+	// Handlers equal-length handlers; stresses the BTB.
+	KSwitchy
+)
+
+// String implements fmt.Stringer.
+func (k KernelKind) String() string {
+	switch k {
+	case KStream:
+		return "stream"
+	case KPChase:
+		return "pchase"
+	case KCompInt:
+		return "compint"
+	case KCompFP:
+		return "compfp"
+	case KBranchy:
+		return "branchy"
+	case KStencil:
+		return "stencil"
+	case KReduce:
+		return "reduce"
+	case KSwitchy:
+		return "switchy"
+	}
+	return "unknown"
+}
+
+// Kernel parameterizes one kernel instance inside a workload section.
+type Kernel struct {
+	Kind KernelKind
+
+	// WS is the working-set size in bytes (must be a power of two for
+	// kinds that touch memory).
+	WS uint64
+	// Stride is the access stride in bytes for KStream (default 8).
+	Stride uint64
+	// Iters is the inner iteration count per invocation.
+	Iters uint64
+	// Chains is the number of independent dependence chains for
+	// KCompInt/KCompFP (1..5 int, 1..6 fp).
+	Chains int
+	// Bias is the probability a KBranchy condition bit is set.
+	Bias float64
+	// Pattern, when nonzero, makes KBranchy condition bits follow a
+	// repeating pattern of this period instead of i.i.d. draws.
+	Pattern int
+	// Noise is the probability a pattern bit is flipped.
+	Noise float64
+	// Store makes KStream write back each element.
+	Store bool
+	// FP selects floating-point data for KStream.
+	FP bool
+	// Div adds one FDIV per iteration to KCompFP.
+	Div bool
+	// Work adds this many dependent ALU ops per KPChase hop.
+	Work int
+	// Handlers is the dispatch-table size for KSwitchy (power of two).
+	Handlers int
+	// Fn wraps the kernel in a function invoked by Call/Ret.
+	Fn bool
+	// Persist keeps the kernel's cursor (scan offset or chase pointer)
+	// live across invocations in a dedicated register instead of
+	// restarting from zero.
+	Persist bool
+}
+
+// Scratch register conventions shared by all kernel emitters. Persistent
+// cursors live in r1..r15, assigned by the generator; the outer loop
+// counters use r19/r20.
+const (
+	rA = isa.Reg(21) // address
+	rV = isa.Reg(22) // loaded value
+	rT = isa.Reg(23) // temp
+	rC = isa.Reg(24) // inner loop counter
+	rM = isa.Reg(25) // offset mask
+	rB = isa.Reg(26) // region base
+	rX = isa.Reg(27) // accumulator
+	rY = isa.Reg(28) // non-persistent cursor
+	rZ = isa.Reg(29) // second base / accumulator
+)
+
+// instance is a kernel bound to its allocated storage.
+type instance struct {
+	k       Kernel
+	base    uint64 // primary data region
+	base2   uint64 // secondary region (stencil output, dispatch table)
+	pReg    isa.Reg
+	fnLabel string // set when k.Fn
+}
+
+// setup allocates memory and builds the initial data image for the
+// instance. Must run before any code is emitted that references it.
+func (in *instance) setup(a *asm) error {
+	k := in.k
+	switch k.Kind {
+	case KStream, KReduce:
+		if err := checkWS(k.WS); err != nil {
+			return err
+		}
+		in.base = a.alloc(k.WS, 64)
+		a.seg(in.base, randomWords(a, k.WS, k.FP || k.Kind == KReduce))
+	case KBranchy:
+		if err := checkWS(k.WS); err != nil {
+			return err
+		}
+		in.base = a.alloc(k.WS, 64)
+		a.seg(in.base, branchWords(a, k))
+	case KPChase:
+		if err := checkWS(k.WS); err != nil {
+			return err
+		}
+		if k.WS < 128 {
+			return fmt.Errorf("pchase working set %d too small", k.WS)
+		}
+		in.base = a.alloc(k.WS, 64)
+		a.seg(in.base, chaseCycle(a, in.base, k.WS))
+	case KStencil:
+		if err := checkWS(k.WS); err != nil {
+			return err
+		}
+		in.base = a.alloc(k.WS+64, 64)
+		in.base2 = a.alloc(k.WS+64, 64)
+		a.seg(in.base, randomWords(a, k.WS+64, true))
+	case KSwitchy:
+		if err := checkWS(k.WS); err != nil {
+			return err
+		}
+		if k.Handlers == 0 || k.Handlers&(k.Handlers-1) != 0 {
+			return fmt.Errorf("switchy handlers %d must be a power of two", k.Handlers)
+		}
+		in.base = a.alloc(k.WS, 64)
+		a.seg(in.base, randomWords(a, k.WS, false))
+		in.base2 = a.alloc(uint64(k.Handlers)*8, 64)
+		// Table contents are filled in by the emitter once handler PCs
+		// are known.
+	case KCompInt, KCompFP:
+		// No memory.
+	default:
+		return fmt.Errorf("unknown kernel kind %d", k.Kind)
+	}
+	return nil
+}
+
+func checkWS(ws uint64) error {
+	if ws == 0 || ws&(ws-1) != 0 {
+		return fmt.Errorf("working set %d must be a nonzero power of two", ws)
+	}
+	return nil
+}
+
+// initDyn emits persistent-register initialization into the program
+// prologue and returns the instruction count emitted.
+func (in *instance) initCode(a *asm) uint64 {
+	if in.pReg == isa.RegZero {
+		return 0
+	}
+	if in.k.Kind == KPChase {
+		a.li(in.pReg, int64(in.base))
+	} else {
+		a.li(in.pReg, 0)
+	}
+	return 1
+}
+
+// emit generates one invocation of the kernel at the current position and
+// returns its exact dynamic instruction count.
+func (in *instance) emit(a *asm) uint64 {
+	if in.k.Fn {
+		// The body lives in a function; the call site costs call+ret.
+		a.call(in.fnLabel)
+		return in.bodyDyn() + 2
+	}
+	return in.emitBody(a)
+}
+
+// bodyDyn computes the dynamic cost of one body invocation analytically.
+// emitBody returns the same value; tests cross-check the two.
+func (in *instance) bodyDyn() uint64 {
+	k := in.k
+	it := k.Iters
+	switch k.Kind {
+	case KStream:
+		body := uint64(7)
+		if k.Store {
+			body++
+		}
+		return in.prologue() + it*body
+	case KPChase:
+		return in.prologue() + it*uint64(3+k.Work)
+	case KCompInt:
+		c := uint64(k.Chains)
+		return 1 + c + it*(c+2)
+	case KCompFP:
+		c := uint64(k.Chains)
+		d := uint64(0)
+		if k.Div {
+			d = 1
+		}
+		return 1 + c + it*(c+d+2)
+	case KBranchy:
+		return in.prologue() + it*15
+	case KStencil:
+		return in.prologue() + 1 + it*13
+	case KReduce:
+		return in.prologue() + 1 + it*7
+	case KSwitchy:
+		return in.prologue() + it*13
+	}
+	return 0
+}
+
+// prologue returns the per-invocation setup cost excluding kind-specific
+// extras (accounted in bodyDyn).
+func (in *instance) prologue() uint64 {
+	k := in.k
+	var n uint64
+	switch k.Kind {
+	case KStream, KBranchy, KReduce:
+		n = 3 // li base, li mask, li count
+	case KStencil:
+		n = 4 // li baseA, li baseB, li mask, li count
+	case KSwitchy:
+		n = 4 // li base, li mask, li count, li table
+	case KPChase:
+		n = 1 // li count
+	}
+	if !k.Persist && k.Kind != KPChase && k.Kind != KCompInt && k.Kind != KCompFP {
+		n++ // li cursor, 0
+	}
+	return n
+}
+
+// cursor returns the register holding the scan offset for this instance.
+func (in *instance) cursor() isa.Reg {
+	if in.k.Persist && in.pReg != isa.RegZero {
+		return in.pReg
+	}
+	return rY
+}
+
+// emitBody emits the kernel body and returns its dynamic cost. The
+// returned value must equal bodyDyn().
+func (in *instance) emitBody(a *asm) uint64 {
+	k := in.k
+	switch k.Kind {
+	case KStream:
+		return in.emitStream(a)
+	case KPChase:
+		return in.emitPChase(a)
+	case KCompInt:
+		return in.emitCompInt(a)
+	case KCompFP:
+		return in.emitCompFP(a)
+	case KBranchy:
+		return in.emitBranchy(a)
+	case KStencil:
+		return in.emitStencil(a)
+	case KReduce:
+		return in.emitReduce(a)
+	case KSwitchy:
+		return in.emitSwitchy(a)
+	}
+	panic("unreachable kernel kind")
+}
+
+func (in *instance) emitStream(a *asm) uint64 {
+	k := in.k
+	off := in.cursor()
+	stride := int64(k.Stride)
+	if stride == 0 {
+		stride = 8
+	}
+	a.li(rB, int64(in.base))
+	a.li(rM, int64(k.WS-8))
+	a.li(rC, int64(k.Iters))
+	if off == rY {
+		a.li(rY, 0)
+	}
+	loop := a.uniqueLabel("stream")
+	a.label(loop)
+	a.op3(isa.OpAdd, rA, rB, off)
+	if k.FP {
+		a.fld(isa.FP(0), rA, 0)
+		a.op3(isa.OpFAdd, isa.FP(1), isa.FP(1), isa.FP(0))
+		if k.Store {
+			a.fst(isa.FP(1), rA, 0)
+		}
+	} else {
+		a.ld(rV, rA, 0)
+		a.op3(isa.OpAdd, rX, rX, rV)
+		if k.Store {
+			a.st(rX, rA, 0)
+		}
+	}
+	a.opi(isa.OpAddI, off, off, stride)
+	a.op3(isa.OpAnd, off, off, rM)
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitPChase(a *asm) uint64 {
+	k := in.k
+	p := in.pReg
+	a.li(rC, int64(k.Iters))
+	loop := a.uniqueLabel("pchase")
+	a.label(loop)
+	a.ld(p, p, 0)
+	for w := 0; w < k.Work; w++ {
+		a.op3(isa.OpAdd, rX, rX, p)
+	}
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitCompInt(a *asm) uint64 {
+	k := in.k
+	c := k.Chains
+	a.li(rC, int64(k.Iters))
+	for j := 0; j < c; j++ {
+		a.li(isa.Reg(25+j), int64(j)*1103515245+12345)
+	}
+	loop := a.uniqueLabel("compint")
+	a.label(loop)
+	for j := 0; j < c; j++ {
+		r := isa.Reg(25 + j)
+		switch j % 3 {
+		case 0:
+			a.op3(isa.OpAdd, r, r, r)
+		case 1:
+			a.op3(isa.OpXor, r, r, rC)
+		case 2:
+			a.op3(isa.OpMul, r, r, r)
+		}
+	}
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitCompFP(a *asm) uint64 {
+	k := in.k
+	c := k.Chains
+	a.li(rC, int64(k.Iters))
+	for j := 0; j < c; j++ {
+		a.op3(isa.OpCvtIF, isa.FP(1+j), rC, isa.RegZero)
+	}
+	loop := a.uniqueLabel("compfp")
+	a.label(loop)
+	for j := 0; j < c; j++ {
+		f := isa.FP(1 + j)
+		if j%2 == 0 {
+			a.op3(isa.OpFAdd, f, f, f)
+		} else {
+			a.op3(isa.OpFMul, f, f, f)
+		}
+	}
+	if k.Div {
+		a.op3(isa.OpFDiv, isa.FP(1), isa.FP(1), isa.FP(2))
+	}
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitBranchy(a *asm) uint64 {
+	k := in.k
+	off := in.cursor()
+	a.li(rB, int64(in.base))
+	a.li(rM, int64(k.WS-8))
+	a.li(rC, int64(k.Iters))
+	if off == rY {
+		a.li(rY, 0)
+	}
+	loop := a.uniqueLabel("branchy")
+	else1 := loop + "_e1"
+	join1 := loop + "_j1"
+	else2 := loop + "_e2"
+	join2 := loop + "_j2"
+	a.label(loop)
+	a.op3(isa.OpAdd, rA, rB, off)
+	a.ld(rV, rA, 0)
+	// Branch 1: on bit 0.
+	a.opi(isa.OpAndI, rT, rV, 1)
+	a.br(isa.OpBeq, rT, isa.RegZero, else1)
+	a.op3(isa.OpAdd, rX, rX, rV)
+	a.jmp(join1)
+	a.label(else1)
+	a.op3(isa.OpSub, rX, rX, rV)
+	a.opi(isa.OpAddI, rX, rX, 1) // pad: both arms cost 2 dynamic insts
+	a.label(join1)
+	a.opi(isa.OpShrI, rV, rV, 1)
+	// Branch 2: on bit 1.
+	a.opi(isa.OpAndI, rT, rV, 1)
+	a.br(isa.OpBeq, rT, isa.RegZero, else2)
+	a.op3(isa.OpXor, rZ, rZ, rV)
+	a.jmp(join2)
+	a.label(else2)
+	a.op3(isa.OpOr, rZ, rZ, rV)
+	a.opi(isa.OpAddI, rZ, rZ, 0)
+	a.label(join2)
+	a.opi(isa.OpAddI, off, off, 8)
+	a.op3(isa.OpAnd, off, off, rM)
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitStencil(a *asm) uint64 {
+	k := in.k
+	off := in.cursor()
+	a.li(rB, int64(in.base))
+	a.li(rZ, int64(in.base2))
+	a.li(rM, int64(k.WS-8))
+	a.li(rC, int64(k.Iters))
+	if off == rY {
+		a.li(rY, 0)
+	}
+	a.op3(isa.OpCvtIF, isa.FP(4), rC, isa.RegZero)
+	loop := a.uniqueLabel("stencil")
+	a.label(loop)
+	a.op3(isa.OpAdd, rA, rB, off)
+	a.fld(isa.FP(0), rA, 0)
+	a.fld(isa.FP(1), rA, 8)
+	a.fld(isa.FP(2), rA, 16)
+	a.op3(isa.OpFAdd, isa.FP(3), isa.FP(0), isa.FP(2))
+	a.op3(isa.OpFMul, isa.FP(3), isa.FP(3), isa.FP(1))
+	a.op3(isa.OpFAdd, isa.FP(5), isa.FP(3), isa.FP(4))
+	a.op3(isa.OpAdd, rA, rZ, off)
+	a.fst(isa.FP(5), rA, 0)
+	a.opi(isa.OpAddI, off, off, 8)
+	a.op3(isa.OpAnd, off, off, rM)
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitReduce(a *asm) uint64 {
+	k := in.k
+	off := in.cursor()
+	a.li(rB, int64(in.base))
+	a.li(rM, int64(k.WS-8))
+	a.li(rC, int64(k.Iters))
+	if off == rY {
+		a.li(rY, 0)
+	}
+	a.op3(isa.OpCvtIF, isa.FP(0), isa.RegZero, isa.RegZero)
+	loop := a.uniqueLabel("reduce")
+	a.label(loop)
+	a.op3(isa.OpAdd, rA, rB, off)
+	a.fld(isa.FP(1), rA, 0)
+	a.op3(isa.OpFAdd, isa.FP(0), isa.FP(0), isa.FP(1))
+	a.opi(isa.OpAddI, off, off, 8)
+	a.op3(isa.OpAnd, off, off, rM)
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	return in.bodyDyn()
+}
+
+func (in *instance) emitSwitchy(a *asm) uint64 {
+	k := in.k
+	off := in.cursor()
+	a.li(rB, int64(in.base))
+	a.li(rM, int64(k.WS-8))
+	a.li(rC, int64(k.Iters))
+	a.li(rZ, int64(in.base2))
+	if off == rY {
+		a.li(rY, 0)
+	}
+	loop := a.uniqueLabel("switchy")
+	hjoin := loop + "_join"
+	a.label(loop)
+	a.op3(isa.OpAdd, rA, rB, off)
+	a.ld(rV, rA, 0)
+	a.opi(isa.OpAndI, rT, rV, int64(k.Handlers-1))
+	a.opi(isa.OpShlI, rT, rT, 3)
+	a.op3(isa.OpAdd, rT, rZ, rT)
+	a.ld(rT, rT, 0)
+	a.jr(rT)
+	// Handlers: each exactly 2 dynamic instructions.
+	handlers := make([]uint64, k.Handlers)
+	for h := 0; h < k.Handlers; h++ {
+		handlers[h] = uint64(a.pc())
+		a.opi(isa.OpAddI, rX, rX, int64(h+1))
+		a.jmp(hjoin)
+	}
+	a.label(hjoin)
+	a.opi(isa.OpAddI, off, off, 8)
+	a.op3(isa.OpAnd, off, off, rM)
+	a.opi(isa.OpAddI, rC, rC, -1)
+	a.br(isa.OpBne, rC, isa.RegZero, loop)
+	// Now that handler PCs are known, attach the dispatch table.
+	tbl := make([]byte, k.Handlers*8)
+	for h, pc := range handlers {
+		binary.LittleEndian.PutUint64(tbl[h*8:], pc)
+	}
+	a.seg(in.base2, tbl)
+	return in.bodyDyn()
+}
+
+// ---- Data builders.
+
+// randomWords fills size bytes with random 64-bit data; fp selects finite
+// float64 payloads in (0,1) so FP arithmetic stays finite.
+func randomWords(a *asm, size uint64, fp bool) []byte {
+	data := make([]byte, size)
+	for i := uint64(0); i+8 <= size; i += 8 {
+		var v uint64
+		if fp {
+			v = math.Float64bits(a.rng.Float64()*0.5 + 0.25)
+		} else {
+			v = a.rng.Uint64()
+		}
+		binary.LittleEndian.PutUint64(data[i:], v)
+	}
+	return data
+}
+
+// branchWords builds KBranchy condition data: bits 0 and 1 of each word
+// drive the two branches. With Pattern>0 bits follow a repeating pattern
+// of that period with Noise flips; otherwise bits are i.i.d. with
+// probability Bias.
+func branchWords(a *asm, k Kernel) []byte {
+	data := make([]byte, k.WS)
+	var pattern []bool
+	if k.Pattern > 0 {
+		pattern = make([]bool, k.Pattern)
+		for i := range pattern {
+			pattern[i] = a.rng.Float64() < 0.5
+		}
+	}
+	bit := func(idx uint64) uint64 {
+		var b bool
+		if pattern != nil {
+			b = pattern[idx%uint64(len(pattern))]
+			if a.rng.Float64() < k.Noise {
+				b = !b
+			}
+		} else {
+			b = a.rng.Float64() < k.Bias
+		}
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for i := uint64(0); i+8 <= k.WS; i += 8 {
+		w := a.rng.Uint64() &^ 3
+		w |= bit(i/8*2) | bit(i/8*2+1)<<1
+		binary.LittleEndian.PutUint64(data[i:], w)
+	}
+	return data
+}
+
+// chaseCycle lays a Sattolo cycle of absolute pointers over the region:
+// one node per 64-byte block, each holding the address of the next node,
+// forming a single cycle that visits every node.
+func chaseCycle(a *asm, base, ws uint64) []byte {
+	n := ws / 64
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	// Sattolo's algorithm: a uniform random cyclic permutation.
+	for i := len(perm) - 1; i > 0; i-- {
+		j := a.rng.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	data := make([]byte, ws)
+	for i := uint64(0); i < n; i++ {
+		next := perm[i]
+		binary.LittleEndian.PutUint64(data[i*64:], base+next*64)
+	}
+	return data
+}

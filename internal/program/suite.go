@@ -1,0 +1,177 @@
+package program
+
+import "fmt"
+
+// The synthetic benchmark suite. Each entry is an archetype of a SPEC
+// CPU2000 benchmark's dominant behaviour (the Model field); together they
+// span the CPI-variance space the SMARTS paper samples: memory-bound
+// pointer chasing, cache-resident integer code, FP streaming, hard
+// branches, phased mixtures, and indirect dispatch.
+//
+// Working-set sizes are chosen against the paper's Table 3 hierarchies
+// (L1D 32-64 KB, L2 1-2 MB): kernels sit below L1, between L1 and L2, or
+// beyond L2 so that warming state matters to differing degrees — the
+// property Table 4 of the paper buckets benchmarks by.
+
+// Suite returns the specs of all workloads in deterministic order.
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name: "swimx", Model: "swim", Seed: 101,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KStream, WS: 4 << 20, Iters: 8000, FP: true, Store: true, Persist: true},
+			}}},
+		},
+		{
+			Name: "mcfx", Model: "mcf", Seed: 102,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KPChase, WS: 4 << 20, Iters: 4000, Work: 1},
+				{Kind: KBranchy, WS: 64 << 10, Iters: 1000, Bias: 0.55, Persist: true},
+			}}},
+		},
+		{
+			Name: "twolfx", Model: "twolf", Seed: 103,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KPChase, WS: 256 << 10, Iters: 3000, Work: 2},
+				{Kind: KBranchy, WS: 32 << 10, Iters: 800, Bias: 0.7, Persist: true},
+				{Kind: KCompInt, Chains: 3, Iters: 1000},
+			}}},
+		},
+		{
+			Name: "gccx", Model: "gcc-2", Seed: 104,
+			Sections: []Section{
+				{Share: 0.5, Kernels: []Kernel{
+					{Kind: KCompInt, Chains: 4, Iters: 2000},
+					{Kind: KBranchy, WS: 128 << 10, Iters: 1500, Pattern: 12, Noise: 0.05, Persist: true},
+					{Kind: KSwitchy, WS: 64 << 10, Iters: 1000, Handlers: 8, Persist: true},
+				}},
+				{Share: 0.5, Kernels: []Kernel{
+					{Kind: KPChase, WS: 1 << 20, Iters: 2500, Work: 1},
+					{Kind: KStream, WS: 512 << 10, Iters: 3000, Persist: true},
+					{Kind: KBranchy, WS: 64 << 10, Iters: 1200, Bias: 0.5, Persist: true},
+				}},
+			},
+		},
+		{
+			Name: "craftyx", Model: "crafty", Seed: 105,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KBranchy, WS: 64 << 10, Iters: 2500, Pattern: 16, Noise: 0.1, Persist: true},
+				{Kind: KCompInt, Chains: 4, Iters: 2000},
+				{Kind: KStream, WS: 16 << 10, Iters: 1500},
+			}}},
+		},
+		{
+			Name: "eonx", Model: "eon-1", Seed: 106,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KCompInt, Chains: 5, Iters: 3000},
+				{Kind: KCompFP, Chains: 4, Iters: 2500},
+				{Kind: KStream, WS: 8 << 10, Iters: 1000, Fn: true},
+			}}},
+		},
+		{
+			Name: "applux", Model: "applu", Seed: 107,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KStencil, WS: 2 << 20, Iters: 3000, Persist: true},
+				{Kind: KReduce, WS: 1 << 20, Iters: 2000, Persist: true},
+			}}},
+		},
+		{
+			Name: "mgridx", Model: "mgrid", Seed: 108,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KStencil, WS: 8 << 20, Iters: 6000, Persist: true},
+			}}},
+		},
+		{
+			Name: "ammpx", Model: "ammp", Seed: 109,
+			Sections: []Section{
+				{Share: 0.4, Kernels: []Kernel{
+					{Kind: KCompFP, Chains: 5, Iters: 3000, Div: true},
+				}},
+				{Share: 0.3, Kernels: []Kernel{
+					{Kind: KPChase, WS: 2 << 20, Iters: 3500},
+				}},
+				{Share: 0.3, Kernels: []Kernel{
+					{Kind: KStencil, WS: 512 << 10, Iters: 2500, Persist: true},
+				}},
+			},
+		},
+		{
+			Name: "vprx", Model: "vpr-route", Seed: 110,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KBranchy, WS: 128 << 10, Iters: 2000, Bias: 0.6, Persist: true},
+				{Kind: KPChase, WS: 512 << 10, Iters: 2000, Work: 1},
+				{Kind: KCompInt, Chains: 3, Iters: 1500},
+			}}},
+		},
+		{
+			Name: "parserx", Model: "parser", Seed: 111,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KPChase, WS: 128 << 10, Iters: 2500, Work: 1},
+				{Kind: KBranchy, WS: 256 << 10, Iters: 2000, Bias: 0.5, Persist: true},
+				{Kind: KSwitchy, WS: 32 << 10, Iters: 800, Handlers: 16, Persist: true},
+			}}},
+		},
+		{
+			Name: "bzip2x", Model: "bzip2-1", Seed: 112,
+			Sections: []Section{
+				{Share: 0.6, Kernels: []Kernel{
+					{Kind: KStream, WS: 256 << 10, Iters: 2500, Store: true, Persist: true},
+					{Kind: KBranchy, WS: 128 << 10, Iters: 1800, Bias: 0.5, Persist: true},
+				}},
+				{Share: 0.4, Kernels: []Kernel{
+					{Kind: KStream, WS: 256 << 10, Iters: 2000, Store: true, Persist: true},
+					{Kind: KBranchy, WS: 64 << 10, Iters: 1500, Bias: 0.85, Persist: true},
+				}},
+			},
+		},
+		{
+			Name: "gzipx", Model: "gzip-1", Seed: 113,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KStream, WS: 128 << 10, Iters: 2000, Store: true, Persist: true},
+				{Kind: KBranchy, WS: 64 << 10, Iters: 1500, Bias: 0.65, Persist: true},
+				{Kind: KCompInt, Chains: 3, Iters: 1200},
+			}}},
+		},
+		{
+			Name: "lucasx", Model: "lucas", Seed: 114,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KReduce, WS: 4 << 20, Iters: 8000, Persist: true},
+			}}},
+		},
+		{
+			Name: "facerecx", Model: "facerec", Seed: 115,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KStencil, WS: 1 << 20, Iters: 2500, Persist: true},
+				{Kind: KSwitchy, WS: 16 << 10, Iters: 700, Handlers: 8, Fn: true, Persist: true},
+			}}},
+		},
+		{
+			Name: "gapx", Model: "gap", Seed: 116,
+			Sections: []Section{{Kernels: []Kernel{
+				{Kind: KCompInt, Chains: 4, Iters: 2200},
+				{Kind: KStream, WS: 2 << 20, Iters: 2600, Persist: true},
+				{Kind: KBranchy, WS: 32 << 10, Iters: 1400, Bias: 0.75, Persist: true},
+			}}},
+		},
+	}
+}
+
+// Names returns the suite workload names in order.
+func Names() []string {
+	specs := Suite()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("program: unknown workload %q", name)
+}

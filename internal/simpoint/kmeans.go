@@ -1,0 +1,195 @@
+package simpoint
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Clustering is the result of one k-means run.
+type Clustering struct {
+	K         int
+	Assign    []int       // vector index -> cluster
+	Centroids [][]float64 // K x dim
+	Sizes     []int
+	// SSE is the total within-cluster squared error.
+	SSE float64
+	// BIC is the Bayesian information criterion score (higher is better),
+	// computed as in Pelleg & Moore's X-means, which SimPoint uses for
+	// model selection.
+	BIC float64
+}
+
+// KMeans clusters vectors into k groups with Lloyd's algorithm and
+// k-means++ style seeding, deterministic under seed.
+func KMeans(vectors [][]float64, k int, seed int64, maxIters int) *Clustering {
+	n := len(vectors)
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	dim := len(vectors[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float64, k)
+	centroids[0] = append([]float64(nil), vectors[rng.Intn(n)]...)
+	dists := make([]float64, n)
+	for c := 1; c < k; c++ {
+		var total float64
+		for i, v := range vectors {
+			d := math.Inf(1)
+			for _, ct := range centroids[:c] {
+				if e := sqDist(v, ct); e < d {
+					d = e
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range dists {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids[c] = append([]float64(nil), vectors[pick]...)
+	}
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centroids {
+				if d := sqDist(v, ct); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			sizes[c]++
+			for j, x := range v {
+				centroids[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i, v := range vectors {
+					if d := sqDist(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], vectors[far])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	cl := &Clustering{K: k, Assign: assign, Centroids: centroids, Sizes: sizes}
+	for i, v := range vectors {
+		cl.SSE += sqDist(v, centroids[assign[i]])
+	}
+	cl.BIC = bic(n, dim, k, sizes, cl.SSE)
+	return cl
+}
+
+// ChooseK runs k-means for k = 1..maxK and applies SimPoint's selection
+// rule: the smallest k whose BIC reaches at least frac (SimPoint uses
+// 0.9) of the observed BIC range.
+func ChooseK(vectors [][]float64, maxK int, seed int64, frac float64) *Clustering {
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > len(vectors) {
+		maxK = len(vectors)
+	}
+	runs := make([]*Clustering, 0, maxK)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		cl := KMeans(vectors, k, seed+int64(k)*7919, 50)
+		runs = append(runs, cl)
+		if cl.BIC < lo {
+			lo = cl.BIC
+		}
+		if cl.BIC > hi {
+			hi = cl.BIC
+		}
+	}
+	if hi == lo {
+		return runs[0]
+	}
+	threshold := lo + frac*(hi-lo)
+	for _, cl := range runs {
+		if cl.BIC >= threshold {
+			return cl
+		}
+	}
+	return runs[len(runs)-1]
+}
+
+// bic scores a clustering under the spherical-Gaussian likelihood used
+// by X-means: log-likelihood minus (params/2)·log n.
+func bic(n, dim, k int, sizes []int, sse float64) float64 {
+	if n <= k {
+		return math.Inf(-1)
+	}
+	variance := sse / float64(n-k)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	var ll float64
+	fn := float64(n)
+	for _, sz := range sizes {
+		if sz == 0 {
+			continue
+		}
+		fsz := float64(sz)
+		ll += fsz*math.Log(fsz/fn) -
+			fsz*float64(dim)/2*math.Log(2*math.Pi*variance) -
+			(fsz-1)/2
+	}
+	params := float64(k) * (float64(dim) + 1)
+	return ll - params/2*math.Log(fn)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+// Package simpoint reimplements the SimPoint methodology (Sherwood,
+// Perelman, Hamerly, Calder — ASPLOS 2002), the offline-profiling
+// baseline the SMARTS paper compares against in its Figure 8.
+//
+// Pipeline: the benchmark is divided into fixed-length intervals; a
+// functional profiling pass collects a basic-block vector (BBV) per
+// interval — how many instructions each static basic block contributed;
+// vectors are randomly projected to low dimension and clustered with
+// k-means, with the number of clusters chosen by a BIC score; the
+// interval nearest each cluster centroid becomes a simulation point,
+// weighted by its cluster's share of the stream. The CPI estimate is the
+// weighted mean of detailed simulations of the chosen intervals, each
+// started cold after pure functional fast-forwarding (no warming), which
+// is the configuration whose failure modes Figure 8 exhibits.
+package simpoint
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/functional"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Profile holds the projected BBVs of one benchmark.
+type Profile struct {
+	// IntervalLen is the profiling granularity in instructions.
+	IntervalLen uint64
+	// Dim is the projected dimensionality.
+	Dim int
+	// Vectors[i] is the projected, L1-normalized BBV of interval i.
+	Vectors [][]float64
+	// StaticBlocks is the number of distinct basic blocks seen.
+	StaticBlocks int
+}
+
+// ProfileProgram runs the functional profiling pass over the whole
+// program. Projection rows are derived per block from (seed, blockPC) so
+// the projection is deterministic without materializing the full
+// block-count matrix.
+func ProfileProgram(p *program.Program, intervalLen uint64, dim int, seed int64) (*Profile, error) {
+	if intervalLen == 0 || dim <= 0 {
+		return nil, fmt.Errorf("simpoint: bad profile parameters")
+	}
+	cpu := functional.New(p)
+	prof := &Profile{IntervalLen: intervalLen, Dim: dim}
+
+	rows := make(map[uint64][]float64) // blockPC -> projection row
+	row := func(block uint64) []float64 {
+		if r, ok := rows[block]; ok {
+			return r
+		}
+		rng := rand.New(rand.NewSource(seed ^ int64(block*0x9E3779B97F4A7C15)))
+		r := make([]float64, dim)
+		for i := range r {
+			r[i] = rng.Float64()*2 - 1
+		}
+		rows[block] = r
+		return r
+	}
+
+	var d functional.DynInst
+	vec := make([]float64, dim)
+	curBlock := p.Entry
+	blockInsts := uint64(0)
+	intervalInsts := uint64(0)
+
+	flushBlock := func() {
+		if blockInsts == 0 {
+			return
+		}
+		r := row(curBlock)
+		w := float64(blockInsts)
+		for i := range vec {
+			vec[i] += w * r[i]
+		}
+		blockInsts = 0
+	}
+	flushInterval := func() {
+		flushBlock()
+		out := make([]float64, dim)
+		// L1-style normalization by interval length keeps intervals
+		// comparable even when the last one is short.
+		n := float64(intervalInsts)
+		for i := range out {
+			out[i] = vec[i] / n
+			vec[i] = 0
+		}
+		prof.Vectors = append(prof.Vectors, out)
+		intervalInsts = 0
+	}
+
+	for {
+		if err := cpu.Step(&d); err != nil {
+			if err == functional.ErrHalted {
+				break
+			}
+			return nil, err
+		}
+		blockInsts++
+		intervalInsts++
+		if d.Inst.Op.IsControl() || d.Inst.Op == isa.OpHalt {
+			flushBlock()
+			curBlock = d.NextPC
+		}
+		if intervalInsts == intervalLen {
+			flushInterval()
+		}
+		if cpu.Halted {
+			break
+		}
+	}
+	// Drop the ragged tail interval to match SimPoint practice (whole
+	// intervals only); keep it when it is the only interval.
+	if intervalInsts > 0 && len(prof.Vectors) == 0 {
+		flushInterval()
+	}
+	prof.StaticBlocks = len(rows)
+	if len(prof.Vectors) == 0 {
+		return nil, fmt.Errorf("simpoint: program shorter than one interval")
+	}
+	return prof, nil
+}

@@ -1,0 +1,179 @@
+package simpoint_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/simpoint"
+	"repro/internal/smarts"
+	"repro/internal/uarch"
+)
+
+// TestKMeansBasic clusters three well-separated blobs.
+func TestKMeansBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var vecs [][]float64
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 5}}
+	for i := 0; i < 300; i++ {
+		c := centers[i%3]
+		vecs = append(vecs, []float64{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5})
+	}
+	cl := simpoint.KMeans(vecs, 3, 1, 100)
+	if cl.K != 3 {
+		t.Fatalf("K = %d", cl.K)
+	}
+	for c := 0; c < 3; c++ {
+		if cl.Sizes[c] != 100 {
+			t.Errorf("cluster %d size %d, want 100", c, cl.Sizes[c])
+		}
+	}
+	// All members of one blob must share a cluster.
+	for i := 3; i < len(vecs); i++ {
+		if cl.Assign[i] != cl.Assign[i%3] {
+			t.Errorf("vector %d assigned %d, blob root assigned %d", i, cl.Assign[i], cl.Assign[i%3])
+		}
+	}
+}
+
+// TestChooseKPicksSeparatedBlobs checks BIC model selection finds the
+// true cluster count for clearly separated data.
+func TestChooseKPicksSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var vecs [][]float64
+	centers := [][]float64{{0, 0}, {50, 0}, {0, 50}, {50, 50}}
+	for i := 0; i < 400; i++ {
+		c := centers[i%4]
+		vecs = append(vecs, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+	}
+	cl := simpoint.ChooseK(vecs, 8, 3, 0.9)
+	if cl.K < 4 {
+		t.Errorf("ChooseK found K=%d, want >= 4", cl.K)
+	}
+}
+
+// TestKMeansDeterministic checks reproducibility.
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var vecs [][]float64
+	for i := 0; i < 100; i++ {
+		vecs = append(vecs, []float64{rng.Float64(), rng.Float64()})
+	}
+	a := simpoint.KMeans(vecs, 5, 9, 50)
+	b := simpoint.KMeans(vecs, 5, 9, 50)
+	if a.SSE != b.SSE {
+		t.Errorf("SSE differs across identical runs: %v vs %v", a.SSE, b.SSE)
+	}
+}
+
+// TestProfileProgram checks BBV profiling covers the stream.
+func TestProfileProgram(t *testing.T) {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.MustGenerate(spec, 400_000)
+	prof, err := simpoint.ProfileProgram(p, 20_000, 15, 42)
+	if err != nil {
+		t.Fatalf("ProfileProgram: %v", err)
+	}
+	want := int(p.Length / 20_000)
+	if len(prof.Vectors) != want {
+		t.Errorf("%d intervals, want %d", len(prof.Vectors), want)
+	}
+	if prof.StaticBlocks < 10 {
+		t.Errorf("only %d static blocks discovered", prof.StaticBlocks)
+	}
+	for i, v := range prof.Vectors {
+		if len(v) != 15 {
+			t.Fatalf("interval %d has dim %d", i, len(v))
+		}
+	}
+}
+
+// TestSimPointEndToEnd runs the full pipeline and checks the estimate is
+// in a plausible range; it also demonstrates the Figure 8 relationship:
+// on a phased benchmark SimPoint's error is typically larger than
+// SMARTS's.
+func TestSimPointEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed runs are slow")
+	}
+	cfg := uarch.Config8Way()
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.MustGenerate(spec, 600_000)
+	ref, err := smarts.FullRun(p, cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ref.TrueCPI()
+
+	res, sel, err := simpoint.Run(p, cfg, 30_000, 10, 42)
+	if err != nil {
+		t.Fatalf("simpoint.Run: %v", err)
+	}
+	if len(sel.Points) == 0 {
+		t.Fatal("no simulation points selected")
+	}
+	spErr := math.Abs(res.CPI-truth) / truth
+	t.Logf("gccx: truth %.4f, SimPoint %.4f (err %.1f%%, K=%d)", truth, res.CPI, spErr*100, sel.K)
+	if spErr > 0.60 {
+		t.Errorf("SimPoint error %.1f%% implausibly large", spErr*100)
+	}
+
+	// Weights sum to 1.
+	var w float64
+	for _, pt := range sel.Points {
+		w += pt.Weight
+	}
+	if math.Abs(w-1) > 1e-9 {
+		t.Errorf("weights sum to %v", w)
+	}
+}
+
+// TestEstimateWarmedBeatsCold checks the warmed-fast-forward variant
+// removes the cold-start component of SimPoint error (the property the
+// Figure 8 experiment's "warmed" column relies on).
+func TestEstimateWarmedBeatsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed runs are slow")
+	}
+	cfg := uarch.Config8Way()
+	spec, err := program.ByName("parserx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.MustGenerate(spec, 500_000)
+	ref, err := smarts.FullRun(p, cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ref.TrueCPI()
+
+	prof, err := simpoint.ProfileProgram(p, 25_000, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := simpoint.ChooseK(prof.Vectors, 8, 42, 0.9)
+	sel := simpoint.Select(prof, cl)
+
+	cold, err := simpoint.Estimate(p, cfg, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := simpoint.EstimateWarmed(p, cfg, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldErr := math.Abs(cold.CPI-truth) / truth
+	warmErr := math.Abs(warm.CPI-truth) / truth
+	t.Logf("parserx: cold err %.1f%%, warmed err %.1f%%", coldErr*100, warmErr*100)
+	if warmErr >= coldErr {
+		t.Errorf("warmed SimPoint (%.1f%%) not better than cold (%.1f%%) on a cache-sensitive workload",
+			warmErr*100, coldErr*100)
+	}
+}

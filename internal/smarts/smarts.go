@@ -1,0 +1,355 @@
+// Package smarts implements the paper's primary contribution: the
+// Sampling Microarchitecture Simulation (SMARTS) framework.
+//
+// A SMARTS run systematically samples a benchmark's dynamic instruction
+// stream: it divides the stream into N/U sampling units of U consecutive
+// instructions, selects every k'th unit starting at phase offset j, and
+// for each selected unit fast-forwards to W instructions before the
+// unit, simulates those W instructions in detail without measuring
+// (detailed warming), then simulates and measures the U unit
+// instructions in detail. Between units the stream is fast-forwarded
+// either purely functionally or with functional warming — replaying
+// loads, stores, fetch blocks, and control outcomes into the caches,
+// TLBs, and branch predictor so that large microarchitectural state is
+// always current (paper Sections 3.1 and 4).
+//
+// The two-step sizing procedure of Section 5.1 (n_init = 10,000, then
+// n_tuned from the measured coefficient of variation) is implemented by
+// RunProcedure.
+package smarts
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bpred"
+	"repro/internal/functional"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// WarmingMode selects how microarchitectural state is treated between
+// sampling units.
+type WarmingMode int
+
+// Warming modes.
+const (
+	// NoWarming leaves all microarchitectural state stale across
+	// fast-forward gaps (maximum bias; the paper's motivating problem).
+	NoWarming WarmingMode = iota
+	// DetailedWarming relies only on the W detailed-warming instructions
+	// before each unit to rebuild state (paper Section 4.3).
+	DetailedWarming
+	// FunctionalWarming keeps caches, TLBs, and the branch predictor
+	// continuously warm during fast-forwarding, bounding the required W
+	// to pipeline-lifetime effects only (paper Sections 3.1, 4.4, 4.5).
+	FunctionalWarming
+)
+
+// String implements fmt.Stringer.
+func (w WarmingMode) String() string {
+	switch w {
+	case NoWarming:
+		return "none"
+	case DetailedWarming:
+		return "detailed"
+	case FunctionalWarming:
+		return "functional"
+	}
+	return "unknown"
+}
+
+// Plan configures one sampling simulation run.
+type Plan struct {
+	// U is the sampling unit size in instructions (paper recommends 1000).
+	U uint64
+	// W is the detailed-warming length in instructions.
+	W uint64
+	// K is the systematic sampling interval in units.
+	K uint64
+	// J is the systematic sample phase offset in units (0 ≤ J < K).
+	J uint64
+	// Warming selects the fast-forward warming mode.
+	Warming WarmingMode
+	// Components restricts which structures functional warming maintains
+	// (nil = all). Used by the warming-component ablation.
+	Components *WarmComponents
+	// MaxUnits, when nonzero, caps the number of measured units.
+	MaxUnits int
+}
+
+// Validate reports plan errors.
+func (pl Plan) Validate() error {
+	if pl.U == 0 {
+		return fmt.Errorf("smarts: zero sampling unit size")
+	}
+	if pl.K == 0 {
+		return fmt.Errorf("smarts: zero sampling interval")
+	}
+	if pl.J >= pl.K {
+		return fmt.Errorf("smarts: phase offset %d must be below interval %d", pl.J, pl.K)
+	}
+	return nil
+}
+
+// PlanForN builds a systematic plan measuring approximately n units of a
+// benchmark with the given dynamic length: k = floor(N_units/n), clamped
+// to at least 1 (every unit measured).
+func PlanForN(benchLength, u, w, n uint64, mode WarmingMode, j uint64) Plan {
+	units := benchLength / u
+	k := uint64(1)
+	if n > 0 && units > n {
+		k = units / n
+	}
+	if j >= k {
+		j = j % k
+	}
+	return Plan{U: u, W: w, K: k, J: j, Warming: mode}
+}
+
+// UnitResult is the measurement of one sampling unit.
+type UnitResult struct {
+	// Index is the unit's position in the population (unit number).
+	Index uint64
+	// Cycles is the number of cycles the unit's U instructions took to
+	// commit.
+	Cycles uint64
+	// EnergyNJ is the energy accumulated while the unit committed.
+	EnergyNJ float64
+	// CPI and EPI are the unit's per-instruction metrics.
+	CPI, EPI float64
+}
+
+// Result collects a full sampling run.
+type Result struct {
+	// Plan echoes the run configuration.
+	Plan Plan
+	// Units holds the per-unit measurements in stream order.
+	Units []UnitResult
+	// PopulationUnits is the benchmark length in units (the paper's N).
+	PopulationUnits uint64
+
+	// Instruction accounting across modes.
+	MeasuredInsts uint64 // detailed, measured (n·U)
+	WarmingInsts  uint64 // detailed, unmeasured (n·W)
+	FastFwdInsts  uint64 // functionally simulated
+
+	// Wall-clock accounting for the speedup experiments.
+	FastFwdTime  time.Duration
+	DetailedTime time.Duration
+}
+
+// CPISample returns the per-unit CPI observations as a stats.Sample.
+func (r *Result) CPISample() *stats.Sample {
+	var s stats.Sample
+	for _, u := range r.Units {
+		s.Add(u.CPI)
+	}
+	return &s
+}
+
+// EPISample returns the per-unit EPI observations as a stats.Sample.
+func (r *Result) EPISample() *stats.Sample {
+	var s stats.Sample
+	for _, u := range r.Units {
+		s.Add(u.EPI)
+	}
+	return &s
+}
+
+// CPIEstimate returns the CPI estimate at confidence 1-alpha.
+func (r *Result) CPIEstimate(alpha float64) stats.Estimate {
+	return r.CPISample().Estimate(alpha)
+}
+
+// EPIEstimate returns the EPI estimate at confidence 1-alpha.
+func (r *Result) EPIEstimate(alpha float64) stats.Estimate {
+	return r.EPISample().Estimate(alpha)
+}
+
+// Run executes one sampling simulation of prog on the machine described
+// by cfg.
+func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	cpu := functional.New(prog)
+	machine := uarch.NewMachine(cfg)
+	core := uarch.NewCore(machine)
+	src := &uarch.Source{CPU: cpu}
+	warmer := NewWarmer(machine, cfg)
+	if plan.Components != nil {
+		warmer.Components = *plan.Components
+	}
+
+	res := &Result{
+		Plan:            plan,
+		PopulationUnits: prog.Length / plan.U,
+	}
+
+	var pos uint64 // instructions consumed from the stream so far
+	marks := make([]uarch.Mark, 2)
+
+	for unit := plan.J; unit < res.PopulationUnits; unit += plan.K {
+		if plan.MaxUnits > 0 && len(res.Units) >= plan.MaxUnits {
+			break
+		}
+		unitStart := unit * plan.U
+		warmStart := unitStart
+		if plan.Warming != NoWarming && plan.W > 0 {
+			if plan.W > unitStart {
+				warmStart = 0
+			} else {
+				warmStart = unitStart - plan.W
+			}
+		}
+		if warmStart < pos {
+			warmStart = pos // overlapping with previous unit's tail
+		}
+
+		// Fast-forward to the warming start.
+		ffStart := time.Now()
+		ff := warmStart - pos
+		if ff > 0 {
+			var err error
+			if plan.Warming == FunctionalWarming {
+				err = warmer.Forward(cpu, ff)
+			} else {
+				_, err = cpu.Run(ff)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("smarts: fast-forward at unit %d: %w", unit, err)
+			}
+			pos = warmStart
+			res.FastFwdInsts += ff
+		}
+		res.FastFwdTime += time.Since(ffStart)
+
+		// Detailed warming + measured unit in one pipeline-continuous run.
+		w := unitStart - pos
+		detStart := time.Now()
+		core.ResetPipeline()
+		marks[0] = uarch.Mark{At: w}
+		marks[1] = uarch.Mark{At: w + plan.U}
+		runStats, err := core.Run(src, w+plan.U, marks)
+		if err != nil {
+			return nil, fmt.Errorf("smarts: detailed run at unit %d: %w", unit, err)
+		}
+		res.DetailedTime += time.Since(detStart)
+		pos += runStats.Insts
+		if runStats.Insts < w+plan.U {
+			// The program ended inside this unit; drop the partial unit.
+			break
+		}
+		res.WarmingInsts += w
+		res.MeasuredInsts += plan.U
+
+		cycles := marks[1].Cycle - marks[0].Cycle
+		energy := marks[1].EnergyNJ - marks[0].EnergyNJ
+		res.Units = append(res.Units, UnitResult{
+			Index:    unit,
+			Cycles:   cycles,
+			EnergyNJ: energy,
+			CPI:      float64(cycles) / float64(plan.U),
+			EPI:      energy / float64(plan.U),
+		})
+	}
+	return res, nil
+}
+
+// WarmComponents selects which microarchitectural structures functional
+// warming maintains. The paper's functional warming maintains all of
+// them (its sim-cache + sim-bpred analogue); partial selections support
+// the ablation experiment asking which state actually carries the bias.
+type WarmComponents struct {
+	ICache    bool
+	DCache    bool // includes the L2 and TLBs on the data path
+	Predictor bool
+}
+
+// AllComponents is the paper's full functional warming.
+var AllComponents = WarmComponents{ICache: true, DCache: true, Predictor: true}
+
+// Warmer replays the committed instruction stream into a machine's
+// warmable structures (caches, TLBs, branch predictor) — the functional
+// warming mode. It is exported so other estimators (e.g. the SimPoint
+// baseline's warmed variant) can reuse the exact warming semantics.
+type Warmer struct {
+	machine    *uarch.Machine
+	blockBits  uint
+	lastIBlock uint64
+	haveIBlock bool
+	rec        functional.DynInst
+
+	// Components selects the warmed structures; zero value warms nothing,
+	// NewWarmer initializes it to AllComponents.
+	Components WarmComponents
+}
+
+// NewWarmer builds a full warmer bound to m's structures.
+func NewWarmer(m *uarch.Machine, cfg uarch.Config) *Warmer {
+	return &Warmer{machine: m, blockBits: cfg.IL1.BlockBits, Components: AllComponents}
+}
+
+// Forward advances the CPU by n instructions with functional warming.
+func (w *Warmer) Forward(cpu *functional.CPU, n uint64) error {
+	h := w.machine.Hier
+	p := w.machine.Pred
+	for i := uint64(0); i < n; i++ {
+		if err := cpu.Step(&w.rec); err != nil {
+			if err == functional.ErrHalted {
+				return nil
+			}
+			return err
+		}
+		d := &w.rec
+		if w.Components.ICache {
+			iblock := d.PC * isa.InstBytes >> w.blockBits
+			if !w.haveIBlock || iblock != w.lastIBlock {
+				h.WarmFetch(d.PC * isa.InstBytes)
+				w.haveIBlock, w.lastIBlock = true, iblock
+			}
+		}
+		switch d.Inst.Op.Class() {
+		case isa.ClassLoad:
+			if w.Components.DCache {
+				h.WarmData(d.EA, false)
+			}
+		case isa.ClassStore:
+			if w.Components.DCache {
+				h.WarmData(d.EA, true)
+			}
+		case isa.ClassBranch, isa.ClassJump, isa.ClassRet:
+			if w.Components.Predictor {
+				p.Warm(bpred.Outcome{
+					Op: d.Inst.Op, PC: d.PC, Taken: d.Taken,
+					Target: d.NextPC, NextPC: d.PC + 1,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// RecommendedW returns the detailed-warming length the paper uses with
+// functional warming: a safe bound on pipeline-lifetime state, derived
+// in Section 4.4 from store-buffer depth × memory latency × peak IPC and
+// empirically validated as 2000 (8-way) and 4000 (16-way).
+func RecommendedW(cfg uarch.Config) uint64 {
+	if cfg.FetchWidth >= 16 {
+		return 4000
+	}
+	return 2000
+}
+
+// WorstCaseW returns the analytical upper bound on W of Section 4.4:
+// store-buffer depth × memory latency × maximum IPC.
+func WorstCaseW(cfg uarch.Config) uint64 {
+	return uint64(cfg.StoreBufEntries) * uint64(cfg.Lat.Mem) * uint64(cfg.CommitWidth)
+}

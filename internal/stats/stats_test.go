@@ -1,0 +1,181 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// TestZValues checks the paper's critical values.
+func TestZValues(t *testing.T) {
+	if z := stats.Z(stats.Alpha997); math.Abs(z-2.97) > 0.02 {
+		t.Errorf("Z(0.003) = %.4f, want ~2.97 (the paper rounds to 3)", z)
+	}
+	if z := stats.Z(stats.Alpha95); math.Abs(z-1.96) > 0.01 {
+		t.Errorf("Z(0.05) = %.4f, want ~1.96", z)
+	}
+	if z := stats.Z(0.5); math.Abs(z-0.6745) > 0.001 {
+		t.Errorf("Z(0.5) = %.4f, want 0.6745", z)
+	}
+}
+
+// TestWelfordAgainstDirect property-checks the online moments against a
+// two-pass computation.
+func TestWelfordAgainstDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(500)
+		xs := make([]float64, n)
+		var s stats.Sample
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*5 + 10
+			s.Add(xs[i])
+		}
+		mean := stats.Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		direct := ss / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 &&
+			math.Abs(s.Variance()-direct) < 1e-6*math.Max(1, direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRequiredN checks the paper's sizing identity: with CV ~1.0, ±3% at
+// 99.7% needs n ≈ 10,000 (the paper's n_init conjecture, Section 5.1).
+func TestRequiredN(t *testing.T) {
+	n := stats.RequiredN(1.0, stats.Alpha997, 0.03)
+	if n < 9000 || n > 11000 {
+		t.Errorf("RequiredN(1.0, 99.7%%, 3%%) = %d, want ~10,000", n)
+	}
+	// n scales with CV².
+	n2 := stats.RequiredN(2.0, stats.Alpha997, 0.03)
+	if ratio := float64(n2) / float64(n); ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("n(2·CV)/n(CV) = %.2f, want 4", ratio)
+	}
+	// Degenerate inputs clamp to the minimum meaningful sample.
+	if n := stats.RequiredN(0, stats.Alpha997, 0.03); n != 2 {
+		t.Errorf("RequiredN(0) = %d, want 2", n)
+	}
+}
+
+// TestEstimateCoverage is the statistical soundness check: across many
+// trials of sampling a synthetic population, the (1-alpha) confidence
+// interval contains the true mean at least roughly (1-alpha) of the time.
+func TestEstimateCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Population: lognormal-ish CPI-like values.
+	pop := make([]float64, 100_000)
+	for i := range pop {
+		pop[i] = math.Exp(rng.NormFloat64()*0.5) + 0.3
+	}
+	truth := stats.Mean(pop)
+
+	const trials = 400
+	const n = 200
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var s stats.Sample
+		for i := 0; i < n; i++ {
+			s.Add(pop[rng.Intn(len(pop))])
+		}
+		e := s.Estimate(stats.Alpha95)
+		if math.Abs(e.Mean-truth) <= e.AbsCI() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 {
+		t.Errorf("95%% CI covered truth in %.1f%% of trials, want >= 90%%", rate*100)
+	}
+}
+
+// TestSystematicIndices checks phase arithmetic.
+func TestSystematicIndices(t *testing.T) {
+	idx := stats.SystematicIndices(10, 3, 1)
+	want := []uint64{1, 4, 7}
+	if len(idx) != len(want) {
+		t.Fatalf("got %v", idx)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("got %v, want %v", idx, want)
+		}
+	}
+}
+
+// TestSystematicBiasZeroForFullCoverage: with k=1 every phase measures
+// everything, so bias is zero.
+func TestSystematicBiasZeroForFullCoverage(t *testing.T) {
+	pop := []float64{1, 2, 3, 4, 5, 6}
+	if b := stats.SystematicBias(pop, 1, 0); b != 0 {
+		t.Errorf("bias = %v, want 0", b)
+	}
+}
+
+// TestSystematicBiasExactAveragesToZero: the average of *all* k phase
+// means equals the population mean when k divides N, so the exact bias
+// is zero — a textbook identity the implementation must satisfy.
+func TestSystematicBiasExactAveragesToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pop := make([]float64, 120)
+	for i := range pop {
+		pop[i] = rng.Float64() * 10
+	}
+	if b := stats.SystematicBias(pop, 4, 4); math.Abs(b) > 1e-9 {
+		t.Errorf("exact systematic bias = %v, want 0", b)
+	}
+}
+
+// TestIntraclassCorrelation: i.i.d. populations have δ ≈ 0; a cyclic
+// population at the sampling period has strong positive δ.
+func TestIntraclassCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	iid := make([]float64, 10_000)
+	for i := range iid {
+		iid[i] = rng.NormFloat64()
+	}
+	if d := stats.IntraclassCorrelation(iid, 10); math.Abs(d) > 0.05 {
+		t.Errorf("i.i.d. δ = %v, want ~0", d)
+	}
+	// Perfectly cyclic with period 10: systematic sampling at k=10 sees
+	// constant values per phase -> δ near 1.
+	cyc := make([]float64, 10_000)
+	for i := range cyc {
+		cyc[i] = float64(i % 10)
+	}
+	if d := stats.IntraclassCorrelation(cyc, 10); d < 0.9 {
+		t.Errorf("cyclic δ = %v, want ~1", d)
+	}
+}
+
+// TestEstimateString smoke-tests formatting.
+func TestEstimateString(t *testing.T) {
+	var s stats.Sample
+	s.AddAll([]float64{1, 2, 3, 4})
+	e := s.Estimate(stats.Alpha95)
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+	if e.Mean != 2.5 {
+		t.Errorf("mean %v", e.Mean)
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+// TestMeets checks the CI target predicate.
+func TestMeets(t *testing.T) {
+	e := stats.Estimate{RelCI: 0.02}
+	if !e.Meets(0.03) || e.Meets(0.01) {
+		t.Error("Meets misbehaves")
+	}
+}

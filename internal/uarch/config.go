@@ -1,0 +1,238 @@
+// Package uarch implements the detailed cycle-driven out-of-order
+// superscalar timing model — the substrate the SMARTS paper's SMARTSim
+// wraps with sampling. The organization follows SimpleScalar's
+// sim-outorder (the paper's base simulator): an oracle functional core
+// (internal/functional) resolves instruction semantics, and this package
+// models timing around the resulting dynamic instruction stream with a
+// register update unit (RUU), a load/store queue, per-class functional
+// unit pools, a combining branch predictor, a multi-level cache
+// hierarchy with MSHRs, and a committed-store buffer.
+//
+// Wrong-path instructions are not executed; a mispredicted control
+// instruction stalls fetch until it resolves and then charges the
+// configured redirect penalty. This is the one organizational deviation
+// from sim-outorder and is a documented source of the (measured,
+// bounded) residual warming bias in the Table 5 experiment.
+package uarch
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/isa"
+)
+
+// Config describes one simulated machine (paper Table 3).
+type Config struct {
+	Name string
+
+	// Pipeline widths.
+	FetchWidth, DecodeWidth, IssueWidth, CommitWidth int
+	// DecodeDepth is the front-end depth in cycles between fetch and
+	// earliest dispatch.
+	DecodeDepth int
+
+	// Window sizes.
+	RUUSize, LSQSize int
+
+	// Memory system.
+	StoreBufEntries int
+	MSHRs           int
+	DL1Ports        int
+	IL1, DL1, L2    cache.Config
+	ITLBEntries     int
+	DTLBEntries     int
+	TLBWays         int
+	Lat             cache.Latencies
+
+	// Functional units.
+	IntALU, IntMulDiv, FPALU, FPMulDiv int
+
+	// Branch prediction.
+	BPred             bpred.Config
+	MispredictPenalty int
+	PredsPerCycle     int
+
+	// Execution latencies by instruction class (loads use the hierarchy).
+	OpLat [isa.NumClasses]int
+
+	// EnergyScale scales the Wattch-like event energies for this width.
+	EnergyScale float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+		return fmt.Errorf("uarch %s: pipeline widths must be positive", c.Name)
+	}
+	if c.RUUSize <= 0 || c.LSQSize <= 0 {
+		return fmt.Errorf("uarch %s: window sizes must be positive", c.Name)
+	}
+	if c.StoreBufEntries <= 0 || c.MSHRs <= 0 || c.DL1Ports <= 0 {
+		return fmt.Errorf("uarch %s: memory resources must be positive", c.Name)
+	}
+	if c.IntALU <= 0 || c.IntMulDiv <= 0 || c.FPALU <= 0 || c.FPMulDiv <= 0 {
+		return fmt.Errorf("uarch %s: functional unit counts must be positive", c.Name)
+	}
+	for _, cc := range []cache.Config{c.IL1, c.DL1, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("uarch %s: %w", c.Name, err)
+		}
+	}
+	return c.BPred.Validate()
+}
+
+// defaultOpLat returns the per-class execution latencies shared by both
+// configurations (SimpleScalar defaults).
+func defaultOpLat() [isa.NumClasses]int {
+	var l [isa.NumClasses]int
+	l[isa.ClassNop] = 1
+	l[isa.ClassIntALU] = 1
+	l[isa.ClassIntMul] = 3
+	l[isa.ClassIntDiv] = 20
+	l[isa.ClassFPALU] = 2
+	l[isa.ClassFPMul] = 4
+	l[isa.ClassFPDiv] = 12
+	l[isa.ClassLoad] = 1 // address generation; memory latency added by the hierarchy
+	l[isa.ClassStore] = 1
+	l[isa.ClassBranch] = 1
+	l[isa.ClassJump] = 1
+	l[isa.ClassRet] = 1
+	l[isa.ClassHalt] = 1
+	return l
+}
+
+// Config8Way returns the paper's baseline 8-way machine (Table 3, left
+// column): 128-entry RUU, 64-entry LSQ, 32KB 2-way L1s, 1MB 4-way L2,
+// 16-entry store buffer, 8 MSHRs, 2 D-cache ports, combined predictor
+// with 2K tables and a 7-cycle mispredict penalty.
+func Config8Way() Config {
+	return Config{
+		Name:            "8-way",
+		FetchWidth:      8,
+		DecodeWidth:     8,
+		IssueWidth:      8,
+		CommitWidth:     8,
+		DecodeDepth:     2,
+		RUUSize:         128,
+		LSQSize:         64,
+		StoreBufEntries: 16,
+		MSHRs:           8,
+		DL1Ports:        2,
+		IL1:             cache.Config{Name: "IL1", Sets: 256, Ways: 2, BlockBits: 6}, // 32KB
+		DL1:             cache.Config{Name: "DL1", Sets: 256, Ways: 2, BlockBits: 6}, // 32KB
+		L2:              cache.Config{Name: "L2", Sets: 4096, Ways: 4, BlockBits: 6}, // 1MB
+		ITLBEntries:     128,
+		DTLBEntries:     256,
+		TLBWays:         4,
+		Lat:             cache.Latencies{L1: 1, L2: 12, Mem: 100, TLB: 200},
+		IntALU:          4,
+		IntMulDiv:       2,
+		FPALU:           2,
+		FPMulDiv:        1,
+		BPred: bpred.Config{
+			TableEntries: 2048,
+			HistoryBits:  11,
+			BTBSets:      512,
+			BTBWays:      4,
+			RASEntries:   8,
+		},
+		MispredictPenalty: 7,
+		PredsPerCycle:     1,
+		OpLat:             defaultOpLat(),
+		EnergyScale:       1.0,
+	}
+}
+
+// Config16Way returns the paper's aggressive 16-way machine (Table 3,
+// right column): 256-entry RUU, 128-entry LSQ, 64KB 2-way L1s, 2MB 8-way
+// L2, 32-entry store buffer, 16 MSHRs, 4 D-cache ports, 8K predictor
+// tables, 10-cycle mispredict penalty, 2 predictions per cycle.
+func Config16Way() Config {
+	return Config{
+		Name:            "16-way",
+		FetchWidth:      16,
+		DecodeWidth:     16,
+		IssueWidth:      16,
+		CommitWidth:     16,
+		DecodeDepth:     2,
+		RUUSize:         256,
+		LSQSize:         128,
+		StoreBufEntries: 32,
+		MSHRs:           16,
+		DL1Ports:        4,
+		IL1:             cache.Config{Name: "IL1", Sets: 512, Ways: 2, BlockBits: 6}, // 64KB
+		DL1:             cache.Config{Name: "DL1", Sets: 512, Ways: 2, BlockBits: 6}, // 64KB
+		L2:              cache.Config{Name: "L2", Sets: 4096, Ways: 8, BlockBits: 6}, // 2MB
+		ITLBEntries:     128,
+		DTLBEntries:     256,
+		TLBWays:         4,
+		Lat:             cache.Latencies{L1: 2, L2: 16, Mem: 100, TLB: 200},
+		IntALU:          16,
+		IntMulDiv:       8,
+		FPALU:           8,
+		FPMulDiv:        4,
+		BPred: bpred.Config{
+			TableEntries: 8192,
+			HistoryBits:  13,
+			BTBSets:      1024,
+			BTBWays:      4,
+			RASEntries:   16,
+		},
+		MispredictPenalty: 10,
+		PredsPerCycle:     2,
+		OpLat:             defaultOpLat(),
+		EnergyScale:       1.6,
+	}
+}
+
+// ConfigByName returns the named standard configuration.
+func ConfigByName(name string) (Config, error) {
+	switch name {
+	case "8-way", "8way", "8":
+		return Config8Way(), nil
+	case "16-way", "16way", "16":
+		return Config16Way(), nil
+	}
+	return Config{}, fmt.Errorf("uarch: unknown config %q", name)
+}
+
+// Machine bundles the warmable structures of one simulated processor:
+// the cache hierarchy, the branch prediction unit, and the energy meter.
+// These persist across simulation-mode switches; the pipeline (inside
+// Core) is the only state that detailed warming has to rebuild.
+type Machine struct {
+	Cfg   Config
+	Hier  *cache.Hierarchy
+	Pred  *bpred.Unit
+	Meter *energy.Meter
+}
+
+// NewMachine builds the warmable state for cfg.
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	hier := &cache.Hierarchy{
+		IL1:  cache.New(cfg.IL1),
+		DL1:  cache.New(cfg.DL1),
+		L2:   cache.New(cfg.L2),
+		ITLB: cache.NewTLB("ITLB", cfg.ITLBEntries, cfg.TLBWays, 12),
+		DTLB: cache.NewTLB("DTLB", cfg.DTLBEntries, cfg.TLBWays, 12),
+		Lat:  cfg.Lat,
+	}
+	return &Machine{
+		Cfg:   cfg,
+		Hier:  hier,
+		Pred:  bpred.New(cfg.BPred),
+		Meter: energy.NewMeter(energy.DefaultModel(cfg.EnergyScale)),
+	}
+}
+
+// FlushWarmState resets caches, TLBs, and predictor to cold.
+func (m *Machine) FlushWarmState() {
+	m.Hier.FlushAll()
+	m.Pred.Flush()
+}

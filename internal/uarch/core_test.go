@@ -1,0 +1,155 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"repro/internal/functional"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// runWorkload simulates n instructions of the named workload in detail
+// from a cold machine and returns the stats.
+func runWorkload(t *testing.T, name string, cfg uarch.Config, length, n uint64) uarch.RunStats {
+	t.Helper()
+	spec, err := program.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.MustGenerate(spec, length)
+	m := uarch.NewMachine(cfg)
+	core := uarch.NewCore(m)
+	src := &uarch.Source{CPU: functional.New(p)}
+	stats, err := core.Run(src, n, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats
+}
+
+// TestCoreRunsAllWorkloads checks the detailed model completes every
+// suite workload end to end with a sane CPI.
+func TestCoreRunsAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed full runs are slow")
+	}
+	for _, spec := range program.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := program.MustGenerate(spec, 150_000)
+			m := uarch.NewMachine(uarch.Config8Way())
+			core := uarch.NewCore(m)
+			src := &uarch.Source{CPU: functional.New(p)}
+			stats, err := core.Run(src, p.Length, nil)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if stats.Insts != p.Length {
+				t.Errorf("committed %d of %d instructions", stats.Insts, p.Length)
+			}
+			if !stats.HaltSeen {
+				t.Error("halt did not commit")
+			}
+			cpi := float64(stats.Cycles) / float64(stats.Insts)
+			if cpi < 0.1 || cpi > 50 {
+				t.Errorf("implausible CPI %.3f", cpi)
+			}
+			if stats.EnergyNJ <= 0 {
+				t.Errorf("no energy accumulated")
+			}
+			t.Logf("%s: CPI %.3f, EPI %.2f nJ", spec.Name, cpi, stats.EnergyNJ/float64(stats.Insts))
+		})
+	}
+}
+
+// TestCPIOrdering checks the model produces the CPI relationships the
+// workloads are designed for: pointer chasing beyond L2 is much slower
+// than cache-resident compute.
+func TestCPIOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed runs are slow")
+	}
+	cfg := uarch.Config8Way()
+	mcf := runWorkload(t, "mcfx", cfg, 150_000, 100_000)
+	eon := runWorkload(t, "eonx", cfg, 150_000, 100_000)
+	mcfCPI := float64(mcf.Cycles) / float64(mcf.Insts)
+	eonCPI := float64(eon.Cycles) / float64(eon.Insts)
+	if mcfCPI < 2*eonCPI {
+		t.Errorf("expected memory-bound mcfx CPI (%.2f) >> compute-bound eonx CPI (%.2f)", mcfCPI, eonCPI)
+	}
+}
+
+// TestSixteenWayFaster checks the wider machine is at least as fast on
+// compute-bound code.
+func TestSixteenWayFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed runs are slow")
+	}
+	e8 := runWorkload(t, "eonx", uarch.Config8Way(), 150_000, 100_000)
+	e16 := runWorkload(t, "eonx", uarch.Config16Way(), 150_000, 100_000)
+	cpi8 := float64(e8.Cycles) / float64(e8.Insts)
+	cpi16 := float64(e16.Cycles) / float64(e16.Insts)
+	if cpi16 > cpi8*1.1 {
+		t.Errorf("16-way CPI %.3f worse than 8-way %.3f on compute-bound code", cpi16, cpi8)
+	}
+}
+
+// TestMarks checks commit-boundary marks are filled monotonically.
+func TestMarks(t *testing.T) {
+	spec, err := program.ByName("gzipx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.MustGenerate(spec, 100_000)
+	m := uarch.NewMachine(uarch.Config8Way())
+	core := uarch.NewCore(m)
+	src := &uarch.Source{CPU: functional.New(p)}
+	marks := []uarch.Mark{{At: 0}, {At: 1000}, {At: 2000}, {At: 5000}}
+	if _, err := core.Run(src, 5000, marks); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < len(marks); i++ {
+		if marks[i].Cycle <= marks[i-1].Cycle {
+			t.Errorf("mark %d cycle %d not after mark %d cycle %d",
+				i, marks[i].Cycle, i-1, marks[i-1].Cycle)
+		}
+		if marks[i].EnergyNJ <= marks[i-1].EnergyNJ {
+			t.Errorf("mark %d energy not increasing", i)
+		}
+	}
+}
+
+// TestRunBudgetExact checks Run consumes exactly n instructions from the
+// source, the invariant the sampling controller depends on.
+func TestRunBudgetExact(t *testing.T) {
+	spec, err := program.ByName("craftyx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.MustGenerate(spec, 100_000)
+	cpu := functional.New(p)
+	m := uarch.NewMachine(uarch.Config8Way())
+	core := uarch.NewCore(m)
+	src := &uarch.Source{CPU: cpu}
+	const n = 7777
+	stats, err := core.Run(src, n, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Insts != n {
+		t.Errorf("committed %d, want %d", stats.Insts, n)
+	}
+	if cpu.Count != n {
+		t.Errorf("functional stream advanced to %d, want exactly %d", cpu.Count, n)
+	}
+	// A second run must resume seamlessly.
+	core.ResetPipeline()
+	stats2, err := core.Run(src, n, nil)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if stats2.Insts != n || cpu.Count != 2*n {
+		t.Errorf("second run: committed %d, stream at %d", stats2.Insts, cpu.Count)
+	}
+}
