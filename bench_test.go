@@ -15,8 +15,12 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
 	"repro/internal/uarch"
 )
 
@@ -219,6 +223,55 @@ func BenchmarkAblationWarming(b *testing.B) {
 		}
 		if i == 0 {
 			r.Format(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkEngineSerialVsParallel tracks the checkpointed parallel
+// engine's scaling: the same ≥1M-instruction sampling plan runs once on
+// one worker and once on four, reporting wall-clock speedup and
+// sampled units per second. The two runs must agree bit-for-bit — the
+// engine's determinism guarantee — so the benchmark doubles as a
+// cross-worker-count consistency check. Note the speedup metric is
+// bounded by the machine's core count (1.0x on a single-core runner).
+func BenchmarkEngineSerialVsParallel(b *testing.B) {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := program.Generate(spec, 2_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), 400,
+		smarts.FunctionalWarming, 0)
+	for i := 0; i < b.N; i++ {
+		plan.Parallelism = 1
+		start := time.Now()
+		serial, err := smarts.Run(p, cfg, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialTime := time.Since(start)
+
+		plan.Parallelism = 4
+		start = time.Now()
+		par, err := smarts.Run(p, cfg, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parTime := time.Since(start)
+
+		if i == 0 {
+			sCPI := serial.CPIEstimate(stats.Alpha997)
+			pCPI := par.CPIEstimate(stats.Alpha997)
+			if sCPI != pCPI {
+				b.Fatalf("worker counts disagree: %v vs %v", sCPI, pCPI)
+			}
+			b.ReportMetric(float64(serialTime)/float64(parTime), "speedupX@4workers")
+			b.ReportMetric(float64(len(par.Units))/parTime.Seconds(), "units/s")
+			b.ReportMetric(float64(len(serial.Units))/serialTime.Seconds(), "serialUnits/s")
 		}
 	}
 }

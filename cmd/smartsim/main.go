@@ -9,6 +9,7 @@
 //	smartsim -bench gccx -config 8-way -n 400
 //	smartsim -bench mcfx -u 1000 -w 2000 -warming functional -n 1000
 //	smartsim -bench ammpx -procedure -eps 0.03
+//	smartsim -bench gccx -n 2000 -parallel -1   # engine across all cores
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		warming   = flag.String("warming", "functional", "warming mode: none, detailed, functional")
 		procedure = flag.Bool("procedure", false, "run the full two-step procedure")
 		eps       = flag.Float64("eps", 0.03, "target relative confidence interval")
+		parallel  = flag.Int("parallel", 0, "checkpointed parallel engine workers (0 = classic serial path, -1 = all cores)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *u == 0 {
+		fatal(fmt.Errorf("unit size -u must be positive"))
+	}
 	if *w == 0 {
 		*w = smarts.RecommendedW(cfg)
 	}
@@ -70,6 +75,7 @@ func main() {
 	if *procedure {
 		pc := smarts.DefaultProcedure(cfg, *n)
 		pc.U, pc.W, pc.Warming, pc.Eps, pc.J = *u, *w, mode, *eps, *j
+		pc.Parallelism = *parallel
 		pr, err := smarts.RunProcedure(p, cfg, pc)
 		if err != nil {
 			fatal(err)
@@ -85,11 +91,13 @@ func main() {
 	}
 
 	plan := smarts.PlanForN(p.Length, *u, *w, *n, mode, *j)
+	plan.Parallelism = *parallel
 	res, err := smarts.Run(p, cfg, plan)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("plan: U=%d W=%d k=%d j=%d warming=%v\n", plan.U, plan.W, plan.K, plan.J, plan.Warming)
+	fmt.Printf("plan: U=%d W=%d k=%d j=%d warming=%v parallel=%d\n",
+		plan.U, plan.W, plan.K, plan.J, plan.Warming, plan.Parallelism)
 	report(res)
 }
 

@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "experiment id (fig2..fig8, table4..table6, or 'all')")
-		cfgName = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
-		scale   = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
+		exp      = flag.String("experiment", "all", "experiment id (fig2..fig8, table4..table6, or 'all')")
+		cfgName  = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
+		scale    = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
+		parallel = flag.Int("parallel", 0, "checkpointed parallel engine workers for sampling runs (0 = classic serial path, -1 = all cores)")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 		fatal(err)
 	}
 	ctx := experiments.NewContext(sc)
+	ctx.Parallelism = *parallel
 
 	names := []string{*exp}
 	if *exp == "all" {

@@ -8,6 +8,16 @@
 // the functional simulator and synthetic SPEC2K-archetype workload suite
 // (internal/functional, internal/program), the statistics machinery
 // (internal/stats), and the SimPoint baseline (internal/simpoint).
+//
+// Sampling runs execute either on the classic in-place serial loop or
+// on the checkpointed parallel engine: internal/checkpoint captures a
+// launch snapshot per sampling unit (architectural state, copy-on-write
+// memory image, functionally warmed cache/TLB/predictor tables) in one
+// functional sweep, and internal/engine replays the units across a
+// worker pool with deterministic stream-order aggregation — the same
+// estimate, bit for bit, at any worker count (Plan.Parallelism,
+// smartsim/smartsweep -parallel).
+//
 // Executables are under cmd/, runnable examples under examples/, and the
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.

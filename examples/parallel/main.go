@@ -1,0 +1,84 @@
+// Parallel: run the same SMARTS sampling plan on the classic serial
+// loop and on the checkpointed parallel engine, and compare estimates
+// and wall-clock time.
+//
+// The engine runs one functional-warming sweep that snapshots each
+// selected unit's launch state (registers, a copy-on-write memory
+// image, cache/TLB/predictor tables), then replays the units across a
+// worker pool. Because each unit is a pure function of its snapshot,
+// the estimate is bit-identical for every worker count.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func main() {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := program.Generate(spec, 4_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	plan := smarts.PlanForN(prog.Length, 1000, smarts.RecommendedW(cfg), 500,
+		smarts.FunctionalWarming, 0)
+	fmt.Printf("workload %s: %d instructions, measuring %d of %d units\n",
+		prog.Name, prog.Length, prog.Length/plan.U/plan.K, prog.Length/plan.U)
+
+	// Serial engine run (workers=1): the baseline the parallel run must
+	// reproduce byte-for-byte.
+	plan.Parallelism = 1
+	start := time.Now()
+	serial, err := smarts.Run(prog, cfg, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialTime := time.Since(start)
+
+	// Parallel run across all cores.
+	workers := runtime.GOMAXPROCS(0)
+	plan.Parallelism = workers
+	start = time.Now()
+	parallel, err := smarts.Run(prog, cfg, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallelTime := time.Since(start)
+
+	sCPI := serial.CPIEstimate(stats.Alpha997)
+	pCPI := parallel.CPIEstimate(stats.Alpha997)
+	fmt.Printf("serial   (1 worker):   CPI %v   in %v\n", sCPI, serialTime.Round(time.Millisecond))
+	fmt.Printf("parallel (%d workers): CPI %v   in %v\n", workers, pCPI, parallelTime.Round(time.Millisecond))
+	fmt.Printf("identical estimates: %v\n", sCPI == pCPI)
+	if parallelTime > 0 {
+		fmt.Printf("speedup: %.2fx on the end-to-end run\n",
+			float64(serialTime)/float64(parallelTime))
+	}
+
+	// With a target confidence interval the engine stops measuring units
+	// as soon as the stream-order prefix is confident enough — also
+	// deterministically.
+	early, err := smarts.RunSampled(prog, cfg, plan, smarts.EngineOptions{
+		Workers:   workers,
+		TargetEps: 0.20,
+		MinUnits:  30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("early termination at ±20%%: kept %d of %d planned units → CPI %v\n",
+		len(early.Units), len(parallel.Units), early.CPIEstimate(stats.Alpha997))
+}

@@ -1,0 +1,59 @@
+package bpred
+
+import "fmt"
+
+// State is a serializable snapshot of the prediction unit's trained
+// state: direction counters, global history, BTB contents, and the
+// return address stack. Statistics are excluded, matching the cache
+// snapshot convention.
+type State struct {
+	Bimodal, Gshare, Chooser []uint8
+	History                  uint64
+
+	BTBTags, BTBTgts []uint64
+	BTBValid         []bool
+	BTBLRU           []uint64
+	BTBStamp         uint64
+
+	RAS    []uint64
+	RASTop int
+}
+
+// Snapshot captures the unit's trained state.
+func (u *Unit) Snapshot() *State {
+	s := &State{
+		Bimodal:  append([]uint8(nil), u.bimodal...),
+		Gshare:   append([]uint8(nil), u.gshare...),
+		Chooser:  append([]uint8(nil), u.chooser...),
+		History:  u.history,
+		BTBTags:  append([]uint64(nil), u.btbTags...),
+		BTBTgts:  append([]uint64(nil), u.btbTgts...),
+		BTBValid: append([]bool(nil), u.btbValid...),
+		BTBLRU:   append([]uint64(nil), u.btbLRU...),
+		BTBStamp: u.btbStamp,
+		RAS:      append([]uint64(nil), u.ras...),
+		RASTop:   u.rasTop,
+	}
+	return s
+}
+
+// Restore overwrites the unit's trained state with a snapshot taken from
+// a unit of identical configuration. Stats are left untouched.
+func (u *Unit) Restore(s *State) error {
+	if len(s.Bimodal) != len(u.bimodal) || len(s.BTBTags) != len(u.btbTags) || len(s.RAS) != len(u.ras) {
+		return fmt.Errorf("bpred: snapshot geometry mismatch (tables %d/%d, BTB %d/%d, RAS %d/%d)",
+			len(s.Bimodal), len(u.bimodal), len(s.BTBTags), len(u.btbTags), len(s.RAS), len(u.ras))
+	}
+	copy(u.bimodal, s.Bimodal)
+	copy(u.gshare, s.Gshare)
+	copy(u.chooser, s.Chooser)
+	u.history = s.History
+	copy(u.btbTags, s.BTBTags)
+	copy(u.btbTgts, s.BTBTgts)
+	copy(u.btbValid, s.BTBValid)
+	copy(u.btbLRU, s.BTBLRU)
+	u.btbStamp = s.BTBStamp
+	copy(u.ras, s.RAS)
+	u.rasTop = s.RASTop
+	return nil
+}

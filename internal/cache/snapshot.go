@@ -1,0 +1,89 @@
+package cache
+
+import "fmt"
+
+// State is a serializable snapshot of one cache's content-bearing state:
+// the tag arrays, valid/dirty bits, and LRU stamps. Statistics are
+// deliberately excluded — a restored cache starts its own counts — so a
+// snapshot captures exactly what functional warming accumulates and a
+// sampling unit's detailed simulation observes.
+type State struct {
+	Tags     []uint64
+	Valid    []bool
+	Dirty    []bool
+	LastUsed []uint64
+	Stamp    uint64
+}
+
+// Snapshot captures the cache's current contents.
+func (c *Cache) Snapshot() *State {
+	s := &State{
+		Tags:     make([]uint64, len(c.tags)),
+		Valid:    make([]bool, len(c.valid)),
+		Dirty:    make([]bool, len(c.dirty)),
+		LastUsed: make([]uint64, len(c.lastUsed)),
+		Stamp:    c.stamp,
+	}
+	copy(s.Tags, c.tags)
+	copy(s.Valid, c.valid)
+	copy(s.Dirty, c.dirty)
+	copy(s.LastUsed, c.lastUsed)
+	return s
+}
+
+// Restore overwrites the cache's contents with a snapshot taken from a
+// cache of identical geometry. Stats are left untouched.
+func (c *Cache) Restore(s *State) error {
+	if len(s.Tags) != len(c.tags) {
+		return fmt.Errorf("cache %s: snapshot geometry %d blocks, cache has %d",
+			c.cfg.Name, len(s.Tags), len(c.tags))
+	}
+	copy(c.tags, s.Tags)
+	copy(c.valid, s.Valid)
+	copy(c.dirty, s.Dirty)
+	copy(c.lastUsed, s.LastUsed)
+	c.stamp = s.Stamp
+	return nil
+}
+
+// Snapshot captures the TLB's translations.
+func (t *TLB) Snapshot() *State { return t.inner.Snapshot() }
+
+// Restore overwrites the TLB's translations from a snapshot.
+func (t *TLB) Restore(s *State) error { return t.inner.Restore(s) }
+
+// HierarchyState bundles the snapshots of every structure in a
+// Hierarchy — the cache and TLB tag arrays a SMARTS checkpoint carries.
+type HierarchyState struct {
+	IL1, DL1, L2 *State
+	ITLB, DTLB   *State
+}
+
+// Snapshot captures all caches and TLBs of the hierarchy.
+func (h *Hierarchy) Snapshot() *HierarchyState {
+	return &HierarchyState{
+		IL1:  h.IL1.Snapshot(),
+		DL1:  h.DL1.Snapshot(),
+		L2:   h.L2.Snapshot(),
+		ITLB: h.ITLB.Snapshot(),
+		DTLB: h.DTLB.Snapshot(),
+	}
+}
+
+// Restore overwrites all caches and TLBs from a snapshot taken on a
+// hierarchy of identical geometry.
+func (h *Hierarchy) Restore(s *HierarchyState) error {
+	if err := h.IL1.Restore(s.IL1); err != nil {
+		return err
+	}
+	if err := h.DL1.Restore(s.DL1); err != nil {
+		return err
+	}
+	if err := h.L2.Restore(s.L2); err != nil {
+		return err
+	}
+	if err := h.ITLB.Restore(s.ITLB); err != nil {
+		return err
+	}
+	return h.DTLB.Restore(s.DTLB)
+}

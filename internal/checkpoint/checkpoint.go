@@ -1,0 +1,187 @@
+// Package checkpoint turns a SMARTS sampling plan into a set of
+// independently replayable per-unit launch states.
+//
+// A single functional sweep walks the benchmark's dynamic instruction
+// stream once, in order. At each selected sampling unit's launch
+// boundary (W instructions before the unit for warmed plans, the unit
+// start otherwise) it captures a Unit snapshot: the architectural
+// registers and PC, a copy-on-write image of memory, and — when the
+// sweep runs with functional warming — the cache, TLB, and
+// branch-predictor tag state accumulated by replaying the in-order
+// stream (paper Section 3.1's "functional warming" made restorable, the
+// organization the paper's checkpointed descendants such as TurboSMARTS
+// adopt). Because each snapshot fully determines the subsequent
+// detailed simulation of its unit, the units become independent jobs
+// the parallel engine can run in any order on any number of workers
+// with bit-identical results.
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/functional"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// Params selects the units to checkpoint. It mirrors the SMARTS plan
+// fields (U, W, K, J) without importing the smarts package.
+type Params struct {
+	// U is the sampling unit size in instructions.
+	U uint64
+	// W is the detailed-warming length in instructions; each snapshot is
+	// taken W instructions before its unit (clamped at stream start).
+	W uint64
+	// K is the systematic sampling interval in units, J the phase offset.
+	K, J uint64
+	// FunctionalWarm selects whether the sweep maintains cache/TLB/
+	// predictor state and stores it in each snapshot. When false,
+	// snapshots carry architectural state only and units launch with
+	// cold microarchitectural state (plus their W detailed-warming
+	// instructions).
+	FunctionalWarm bool
+	// Components restricts which structures functional warming maintains
+	// (nil = all).
+	Components *uarch.WarmComponents
+	// MaxUnits, when nonzero, caps the number of captured units.
+	MaxUnits int
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.U == 0 {
+		return fmt.Errorf("checkpoint: zero sampling unit size")
+	}
+	if p.K == 0 {
+		return fmt.Errorf("checkpoint: zero sampling interval")
+	}
+	if p.J >= p.K {
+		return fmt.Errorf("checkpoint: phase offset %d must be below interval %d", p.J, p.K)
+	}
+	return nil
+}
+
+// WarmState is the microarchitectural half of a snapshot: everything
+// functional warming maintains.
+type WarmState struct {
+	Hier *cache.HierarchyState
+	Pred *bpred.State
+}
+
+// Unit is the launch state of one sampling unit: everything needed to
+// simulate its W+U instructions in detail, independent of every other
+// unit.
+type Unit struct {
+	// Index is the unit's position in the population (unit number).
+	Index uint64
+	// Start is the stream position of the unit's first instruction.
+	Start uint64
+	// LaunchAt is the stream position of the snapshot: Start-W clamped
+	// to zero for warmed plans, Start otherwise. The detailed replay
+	// runs Start-LaunchAt warming instructions, then U measured ones.
+	LaunchAt uint64
+	// Arch is the architectural register state at LaunchAt.
+	Arch functional.ArchState
+	// Mem is the memory image at LaunchAt (copy-on-write, shared with
+	// neighbouring checkpoints).
+	Mem *mem.Image
+	// Warm is the functionally warmed cache/TLB/predictor state at
+	// LaunchAt; nil when the sweep ran without functional warming.
+	Warm *WarmState
+}
+
+// WarmLen returns the number of detailed-warming instructions the
+// unit's replay executes before measurement begins.
+func (u *Unit) WarmLen() uint64 { return u.Start - u.LaunchAt }
+
+// Set is the result of one capture sweep.
+type Set struct {
+	// Units holds the captured launch states in stream order.
+	Units []*Unit
+	// PopulationUnits is the benchmark length in units (the paper's N).
+	PopulationUnits uint64
+	// SweepInsts is the number of instructions the sweep executed
+	// functionally (the engine's fast-forward cost).
+	SweepInsts uint64
+	// SweepTime is the wall-clock cost of the sweep.
+	SweepTime time.Duration
+}
+
+// Capture runs the functional sweep over prog and snapshots every
+// selected unit's launch state. cfg sizes the warmed structures; it is
+// only consulted when p.FunctionalWarm is set.
+func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cpu := functional.New(prog)
+	var warmer *uarch.Warmer
+	var machine *uarch.Machine
+	if p.FunctionalWarm {
+		machine = uarch.NewMachine(cfg)
+		warmer = uarch.NewWarmer(machine, cfg)
+		if p.Components != nil {
+			warmer.Components = *p.Components
+		}
+	}
+
+	set := &Set{PopulationUnits: prog.Length / p.U}
+	start := time.Now()
+	var pos uint64 // instructions consumed from the stream so far
+
+	for unit := p.J; unit < set.PopulationUnits; unit += p.K {
+		if p.MaxUnits > 0 && len(set.Units) >= p.MaxUnits {
+			break
+		}
+		unitStart := unit * p.U
+		launchAt := unitStart
+		if p.W > 0 {
+			if p.W > unitStart {
+				launchAt = 0
+			} else {
+				launchAt = unitStart - p.W
+			}
+		}
+		if launchAt < pos {
+			launchAt = pos // units closer together than W: shorten warming
+		}
+
+		if ff := launchAt - pos; ff > 0 {
+			var err error
+			if warmer != nil {
+				err = warmer.Forward(cpu, ff)
+			} else {
+				_, err = cpu.Run(ff)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: sweep to unit %d: %w", unit, err)
+			}
+			pos = cpu.Count
+		}
+		if cpu.Halted || cpu.Count < launchAt {
+			break // program ended before this unit's launch point
+		}
+
+		u := &Unit{
+			Index:    unit,
+			Start:    unitStart,
+			LaunchAt: launchAt,
+			Arch:     cpu.Arch(),
+			Mem:      cpu.Mem.Snapshot(),
+		}
+		if machine != nil {
+			u.Warm = &WarmState{
+				Hier: machine.Hier.Snapshot(),
+				Pred: machine.Pred.Snapshot(),
+			}
+		}
+		set.Units = append(set.Units, u)
+	}
+	set.SweepInsts = cpu.Count
+	set.SweepTime = time.Since(start)
+	return set, nil
+}

@@ -1,0 +1,265 @@
+// Package engine runs a checkpointed SMARTS sampling plan as a parallel
+// pipeline: one functional sweep captures per-unit launch checkpoints
+// (internal/checkpoint), a worker pool replays detailed warming plus
+// measurement for each unit from its snapshot, and a deterministic
+// streaming aggregator (internal/stats) folds per-unit CPI/EPI in
+// stream order, optionally terminating early once a target confidence
+// interval is reached.
+//
+// Because every unit's detailed simulation is fully determined by its
+// checkpoint, results are bit-identical for any worker count — the
+// engine with one worker IS the serial path. This is the property the
+// SMARTS paper's ~10,000-unit samples make available: units are
+// statistically and, once checkpointed, computationally independent.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/functional"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Options configures engine execution beyond the sampling parameters.
+type Options struct {
+	// Workers is the worker-pool size; values <= 0 select GOMAXPROCS.
+	Workers int
+	// Alpha is the confidence parameter used by early termination (and
+	// the reported estimate); zero selects stats.Alpha997.
+	Alpha float64
+	// TargetEps, when positive, stops measuring once the CPI estimate's
+	// relative confidence interval is within ±TargetEps. The cutoff is
+	// decided on stream-order prefixes, so it is deterministic for any
+	// worker count.
+	TargetEps float64
+	// MinUnits is the minimum number of units measured before early
+	// termination may trigger (default 2).
+	MinUnits uint64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// UnitResult is the measurement of one sampling unit.
+type UnitResult struct {
+	Index    uint64
+	Cycles   uint64
+	EnergyNJ float64
+	CPI, EPI float64
+}
+
+// Result collects a parallel sampling run.
+type Result struct {
+	// Units holds the per-unit measurements in stream order, truncated
+	// at the early-termination cutoff when one triggered.
+	Units []UnitResult
+	// PopulationUnits is the benchmark length in units.
+	PopulationUnits uint64
+
+	// Instruction accounting.
+	MeasuredInsts uint64 // detailed, measured
+	WarmingInsts  uint64 // detailed, unmeasured
+	SweepInsts    uint64 // functionally simulated by the capture sweep
+
+	// SweepTime is the wall-clock cost of the serial capture sweep;
+	// DetailedTime is the CPU time summed over per-unit detailed
+	// replays (wall-clock detailed cost is roughly DetailedTime divided
+	// by the worker count); WallTime is the end-to-end elapsed time.
+	SweepTime    time.Duration
+	DetailedTime time.Duration
+	WallTime     time.Duration
+
+	// EarlyStopped reports that the confidence target cut the run short.
+	EarlyStopped bool
+}
+
+type unitJob struct {
+	seq  int // position in the captured sequence
+	unit *checkpoint.Unit
+}
+
+type unitDone struct {
+	seq     int
+	res     UnitResult
+	warming uint64
+	elapsed time.Duration
+	partial bool // program ended inside the unit; measurement dropped
+	err     error
+}
+
+// Run captures checkpoints for the plan described by p and replays the
+// units across the worker pool.
+func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	set, err := checkpoint.Capture(prog, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PopulationUnits: set.PopulationUnits,
+		SweepInsts:      set.SweepInsts,
+		SweepTime:       set.SweepTime,
+	}
+	if len(set.Units) == 0 {
+		res.WallTime = time.Since(start)
+		return res, nil
+	}
+
+	alpha := opt.Alpha
+	if alpha == 0 {
+		alpha = stats.Alpha997
+	}
+	agg := stats.NewStreamAggregator(alpha, opt.TargetEps, opt.MinUnits)
+
+	nw := opt.workers()
+	if nw > len(set.Units) {
+		nw = len(set.Units)
+	}
+	jobs := make(chan unitJob)
+	done := make(chan unitDone, nw)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	signalQuit := func() { quitOnce.Do(func() { close(quit) }) }
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(prog, cfg, p.U, jobs, done)
+		}()
+	}
+
+	// Dispatch in stream order; stop once the aggregator's in-order
+	// prefix meets the confidence target (or on error / program end).
+	go func() {
+		defer close(jobs)
+		for seq, u := range set.Units {
+			select {
+			case jobs <- unitJob{seq: seq, unit: u}:
+				// Drop the set's reference so a unit's snapshot (cache/TLB
+				// tag arrays, predictor tables, memory-image map) becomes
+				// collectable as soon as its replay finishes, instead of
+				// pinning every checkpoint until the whole run completes.
+				set.Units[seq] = nil
+			case <-quit:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	collected := make([]unitDone, 0, len(set.Units))
+	var firstErr error
+	stopAt := len(set.Units) // in-order cutoff: units with seq >= stopAt are dropped
+	for d := range done {
+		switch {
+		case d.err != nil:
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			signalQuit()
+		case d.partial:
+			// The program ended inside this unit: keep everything before
+			// it, drop it and everything after (matches the serial path).
+			if d.seq < stopAt {
+				stopAt = d.seq
+			}
+		default:
+			collected = append(collected, d)
+			if agg.Offer(uint64(d.seq), stats.Obs{CPI: d.res.CPI, EPI: d.res.EPI}) {
+				if cut := int(agg.DoneAt()); cut < stopAt {
+					stopAt = cut
+					res.EarlyStopped = true
+					signalQuit()
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sort.Slice(collected, func(i, j int) bool { return collected[i].seq < collected[j].seq })
+	for _, d := range collected {
+		if d.seq >= stopAt {
+			continue
+		}
+		res.Units = append(res.Units, d.res)
+		res.MeasuredInsts += p.U
+		res.WarmingInsts += d.warming
+		res.DetailedTime += d.elapsed
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// worker replays units from its job channel.
+func worker(prog *program.Program, cfg uarch.Config, u uint64, jobs <-chan unitJob, done chan<- unitDone) {
+	for job := range jobs {
+		d := replay(prog, cfg, job.unit, u)
+		d.seq = job.seq
+		done <- d
+	}
+}
+
+// replay runs one unit's detailed warming + measurement from its
+// checkpoint. The machine and core are built fresh per unit: a unit's
+// measurement must be a pure function of its checkpoint, and reusing a
+// core would thread worker-local accumulation (notably the energy
+// meter's floating-point total) into the per-unit readings.
+func replay(prog *program.Program, cfg uarch.Config, cu *checkpoint.Unit, u uint64) unitDone {
+	machine := uarch.NewMachine(cfg)
+	if cu.Warm != nil {
+		if err := machine.Hier.Restore(cu.Warm.Hier); err != nil {
+			return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
+		}
+		if err := machine.Pred.Restore(cu.Warm.Pred); err != nil {
+			return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
+		}
+	}
+	cpu := functional.NewAt(prog, cu.Arch, cu.Mem.NewMemory())
+	src := &uarch.Source{CPU: cpu}
+	core := uarch.NewCore(machine)
+
+	w := cu.WarmLen()
+	start := time.Now()
+	marks := []uarch.Mark{{At: w}, {At: w + u}}
+	runStats, err := core.Run(src, w+u, marks)
+	if err != nil {
+		return unitDone{err: fmt.Errorf("engine: detailed run at unit %d: %w", cu.Index, err)}
+	}
+	elapsed := time.Since(start)
+	if runStats.Insts < w+u {
+		return unitDone{partial: true, elapsed: elapsed}
+	}
+	cycles := marks[1].Cycle - marks[0].Cycle
+	energy := marks[1].EnergyNJ - marks[0].EnergyNJ
+	return unitDone{
+		res: UnitResult{
+			Index:    cu.Index,
+			Cycles:   cycles,
+			EnergyNJ: energy,
+			CPI:      float64(cycles) / float64(u),
+			EPI:      energy / float64(u),
+		},
+		warming: w,
+		elapsed: elapsed,
+	}
+}

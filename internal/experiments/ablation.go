@@ -96,6 +96,7 @@ func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
 		return 0, err
 	}
 	base := smarts.PlanForN(p.Length, u, w, n, smarts.FunctionalWarming, 0)
+	base.Parallelism = ctx.Parallelism
 	base.Components = comp
 	if phases < 1 {
 		phases = 1

@@ -35,6 +35,7 @@ func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
 	}
 
 	base := smarts.PlanForN(p.Length, u, w, n, mode, 0)
+	base.Parallelism = ctx.Parallelism
 	if phases < 1 {
 		phases = 1
 	}

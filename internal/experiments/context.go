@@ -112,6 +112,13 @@ func (s Scale) BenchNames() []string {
 type Context struct {
 	Scale Scale
 
+	// Parallelism is copied into every sampling plan the experiments
+	// build: 0 keeps the classic serial loop (and the historical
+	// figures/tables exactly), n >= 1 runs sampling on the checkpointed
+	// parallel engine with n workers, negative uses one worker per core
+	// (see smarts.Plan.Parallelism for the semantic difference).
+	Parallelism int
+
 	mu    sync.Mutex
 	progs map[string]*program.Program
 	refs  map[string]*smarts.Reference

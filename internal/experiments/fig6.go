@@ -59,6 +59,7 @@ func Fig6(ctx *Context, cfg uarch.Config) (*Fig6Result, error) {
 		}
 		pc := smarts.DefaultProcedure(cfg, ctx.Scale.NInit)
 		pc.Eps = ctx.Scale.Eps
+		pc.Parallelism = ctx.Parallelism
 		pr, err := smarts.RunProcedure(p, cfg, pc)
 		if err != nil {
 			return nil, err

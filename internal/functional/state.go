@@ -1,0 +1,30 @@
+package functional
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// ArchState is the architectural register state of a CPU at one stream
+// position: everything besides memory needed to resume execution. It is
+// the per-unit launch state a SMARTS checkpoint carries.
+type ArchState struct {
+	Regs   [isa.NumRegs]uint64
+	PC     uint64
+	Count  uint64
+	Halted bool
+}
+
+// Arch captures the CPU's current architectural state.
+func (c *CPU) Arch() ArchState {
+	return ArchState{Regs: c.Regs, PC: c.PC, Count: c.Count, Halted: c.Halted}
+}
+
+// NewAt builds a CPU resumed mid-stream from a captured architectural
+// state and a memory (typically materialized from a checkpoint's
+// mem.Image). Stepping it produces the same dynamic instruction stream
+// the snapshotted CPU would have produced from that point.
+func NewAt(p *program.Program, st ArchState, m *mem.Memory) *CPU {
+	return &CPU{Prog: p, Mem: m, Regs: st.Regs, PC: st.PC, Count: st.Count, Halted: st.Halted}
+}

@@ -1,0 +1,79 @@
+package mem
+
+import "testing"
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 111)
+	m.Write64(0x200000, 222)
+
+	img := m.Snapshot()
+
+	// Writes after the snapshot must not leak into the image.
+	m.Write64(0x1000, 999)
+	m.Write64(0x300000, 333)
+	if got := img.Read64(0x1000); got != 111 {
+		t.Fatalf("image sees post-snapshot write: got %d, want 111", got)
+	}
+	if got := img.Read64(0x300000); got != 0 {
+		t.Fatalf("image sees post-snapshot page: got %d, want 0", got)
+	}
+	if got := m.Read64(0x1000); got != 999 {
+		t.Fatalf("original lost its own write: got %d, want 999", got)
+	}
+
+	// Memories restored from the image see snapshot-time contents and are
+	// isolated from each other and from the original.
+	r1 := img.NewMemory()
+	r2 := img.NewMemory()
+	if got := r1.Read64(0x1000); got != 111 {
+		t.Fatalf("restored memory: got %d, want 111", got)
+	}
+	r1.Write64(0x200000, 777)
+	if got := r2.Read64(0x200000); got != 222 {
+		t.Fatalf("restored memories not isolated: got %d, want 222", got)
+	}
+	if got := img.Read64(0x200000); got != 222 {
+		t.Fatalf("image corrupted by restored write: got %d, want 222", got)
+	}
+	if got := m.Read64(0x200000); got != 222 {
+		t.Fatalf("original corrupted by restored write: got %d, want 222", got)
+	}
+}
+
+func TestSnapshotReadCacheInvalidation(t *testing.T) {
+	m := New()
+	m.Write64(0x40, 1)
+	// Prime the read cache on the page, snapshot, then write through the
+	// same cached page: the write must trigger copy-on-write despite the
+	// cache, and the read cache must follow the private copy.
+	_ = m.Read64(0x40)
+	img := m.Snapshot()
+	m.Write64(0x48, 2)
+	if got := img.Read64(0x48); got != 0 {
+		t.Fatalf("cached write leaked into image: got %d, want 0", got)
+	}
+	if got := m.Read64(0x48); got != 2 {
+		t.Fatalf("write lost after COW: got %d, want 2", got)
+	}
+}
+
+func TestRepeatedSnapshots(t *testing.T) {
+	m := New()
+	var imgs []*Image
+	for i := uint64(0); i < 8; i++ {
+		m.Write64(0x1000+8*i, i+1)
+		imgs = append(imgs, m.Snapshot())
+	}
+	for i, img := range imgs {
+		for j := uint64(0); j < 8; j++ {
+			want := uint64(0)
+			if j <= uint64(i) {
+				want = j + 1
+			}
+			if got := img.Read64(0x1000 + 8*j); got != want {
+				t.Fatalf("snapshot %d slot %d: got %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}

@@ -19,10 +19,18 @@ const (
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
 
+	// shared holds page numbers whose backing arrays are aliased by a
+	// Snapshot Image (or by the Image this memory was built from); they
+	// are copied on first write. Nil when no snapshot is outstanding.
+	shared map[uint64]struct{}
+
 	// lastPageNum/lastPage cache the most recently touched page, which
-	// captures nearly all locality in simulator workloads.
-	lastPageNum uint64
-	lastPage    *[PageSize]byte
+	// captures nearly all locality in simulator workloads. lastWritable
+	// records whether the cached page is known private (safe to write
+	// without a copy-on-write check).
+	lastPageNum  uint64
+	lastPage     *[PageSize]byte
+	lastWritable bool
 }
 
 // New returns an empty memory.
@@ -30,23 +38,53 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
 }
 
-// page returns the page containing addr, allocating it if requested.
-// Returns nil when the page is absent and allocate is false.
+// page returns the page containing addr for reading, or nil when absent.
 func (m *Memory) page(addr uint64, allocate bool) *[PageSize]byte {
+	if allocate {
+		return m.wpage(addr)
+	}
 	num := addr >> PageBits
 	if m.lastPage != nil && m.lastPageNum == num {
 		return m.lastPage
 	}
 	p, ok := m.pages[num]
 	if !ok {
-		if !allocate {
-			return nil
-		}
-		p = new([PageSize]byte)
-		m.pages[num] = p
+		return nil
 	}
 	m.lastPageNum, m.lastPage = num, p
+	m.lastWritable = !m.isShared(num)
 	return p
+}
+
+// wpage returns a writable page containing addr, allocating or
+// copy-on-writing it as needed.
+func (m *Memory) wpage(addr uint64) *[PageSize]byte {
+	num := addr >> PageBits
+	if m.lastPage != nil && m.lastPageNum == num && m.lastWritable {
+		return m.lastPage
+	}
+	p, ok := m.pages[num]
+	switch {
+	case !ok:
+		p = new([PageSize]byte)
+		m.pages[num] = p
+	case m.isShared(num):
+		cp := new([PageSize]byte)
+		*cp = *p
+		m.pages[num] = cp
+		delete(m.shared, num)
+		p = cp
+	}
+	m.lastPageNum, m.lastPage, m.lastWritable = num, p, true
+	return p
+}
+
+func (m *Memory) isShared(num uint64) bool {
+	if m.shared == nil {
+		return false
+	}
+	_, ok := m.shared[num]
+	return ok
 }
 
 // Read8 returns the byte at addr.
@@ -182,8 +220,10 @@ func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }
 // Reset discards all contents.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*[PageSize]byte)
+	m.shared = nil
 	m.lastPage = nil
 	m.lastPageNum = 0
+	m.lastWritable = false
 }
 
 // Clone returns a deep copy of the memory. Simulators use it to rerun a

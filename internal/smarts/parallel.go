@@ -1,0 +1,101 @@
+package smarts
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// EngineOptions configures the checkpointed parallel engine behind
+// RunSampled.
+type EngineOptions struct {
+	// Workers is the worker-pool size; values <= 0 select GOMAXPROCS.
+	Workers int
+	// Alpha is the confidence parameter for early termination (zero
+	// selects stats.Alpha997).
+	Alpha float64
+	// TargetEps, when positive, stops measuring units once the CPI
+	// estimate's relative confidence interval is within ±TargetEps. The
+	// cutoff is decided on stream-order prefixes, so enabling it keeps
+	// results deterministic across worker counts.
+	TargetEps float64
+	// MinUnits is the minimum measured-unit count before early
+	// termination may trigger.
+	MinUnits uint64
+}
+
+// RunSampled executes the plan on the checkpointed parallel engine: one
+// functional sweep captures a launch snapshot per selected unit
+// (architectural registers and PC, a copy-on-write memory image, and —
+// under functional warming — the cache/TLB/predictor state), then a
+// worker pool replays detailed warming plus measurement for every unit
+// from its snapshot and a deterministic stream-order aggregator merges
+// the results.
+//
+// Semantics versus the in-place serial loop of Run: each unit launches
+// from sweep state rather than from state carried out of the previous
+// unit's detailed simulation. Under functional warming the difference
+// is the in-order-versus-out-of-order update gap the paper already
+// treats as residual bias (Section 4.5); under detailed or no warming,
+// units launch microarchitecturally cold instead of stale. In exchange,
+// units become fully independent: results are bit-identical for every
+// worker count, and the detailed phase scales with cores.
+func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOptions) (*Result, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := checkpoint.Params{
+		U:              plan.U,
+		K:              plan.K,
+		J:              plan.J,
+		FunctionalWarm: plan.Warming == FunctionalWarming,
+		Components:     plan.Components,
+		MaxUnits:       plan.MaxUnits,
+	}
+	if plan.Warming != NoWarming {
+		params.W = plan.W
+	}
+	er, err := engine.Run(prog, cfg, params, engine.Options{
+		Workers:   opt.Workers,
+		Alpha:     opt.Alpha,
+		TargetEps: opt.TargetEps,
+		MinUnits:  opt.MinUnits,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Wall-clock accounting: FastFwdTime is the serial capture sweep and
+	// DetailedTime the elapsed parallel replay phase, so the two sum to
+	// the run's elapsed time just as on the serial path. (The engine's
+	// per-worker CPU total, er.DetailedTime, would overstate elapsed
+	// time by up to the worker count.)
+	detailedWall := er.WallTime - er.SweepTime
+	if detailedWall < 0 {
+		detailedWall = 0
+	}
+	res := &Result{
+		Plan:            plan,
+		PopulationUnits: er.PopulationUnits,
+		MeasuredInsts:   er.MeasuredInsts,
+		WarmingInsts:    er.WarmingInsts,
+		FastFwdInsts:    er.SweepInsts,
+		FastFwdTime:     er.SweepTime,
+		DetailedTime:    detailedWall,
+		Units:           make([]UnitResult, len(er.Units)),
+	}
+	for i, u := range er.Units {
+		res.Units[i] = UnitResult{
+			Index:    u.Index,
+			Cycles:   u.Cycles,
+			EnergyNJ: u.EnergyNJ,
+			CPI:      u.CPI,
+			EPI:      u.EPI,
+		}
+	}
+	return res, nil
+}

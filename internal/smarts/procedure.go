@@ -32,6 +32,11 @@ type ProcedureConfig struct {
 	Overshoot float64
 	// J is the systematic phase offset in units.
 	J uint64
+	// Parallelism is forwarded to both sampling runs' plans: 0 keeps the
+	// classic serial loop, n >= 1 uses the checkpointed parallel engine
+	// with n workers, negative uses one worker per core (see
+	// Plan.Parallelism).
+	Parallelism int
 }
 
 // DefaultProcedure returns the paper's recommended settings, with n_init
@@ -97,6 +102,7 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 	}
 
 	plan := PlanForN(prog.Length, pc.U, pc.W, pc.NInit, pc.Warming, pc.J)
+	plan.Parallelism = pc.Parallelism
 	initial, err := Run(prog, cfg, plan)
 	if err != nil {
 		return nil, fmt.Errorf("smarts: initial run: %w", err)
@@ -116,6 +122,7 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 		pr.NTuned = units // cannot sample more units than exist
 	}
 	plan2 := PlanForN(prog.Length, pc.U, pc.W, pr.NTuned, pc.Warming, pc.J)
+	plan2.Parallelism = pc.Parallelism
 	tuned, err := Run(prog, cfg, plan2)
 	if err != nil {
 		return nil, fmt.Errorf("smarts: tuned run: %w", err)

@@ -16,15 +16,30 @@
 // The two-step sizing procedure of Section 5.1 (n_init = 10,000, then
 // n_tuned from the measured coefficient of variation) is implemented by
 // RunProcedure.
+//
+// # Execution engines
+//
+// Two executions of a Plan are available. The classic serial loop
+// (Run with Plan.Parallelism == 0) interleaves fast-forwarding and
+// per-unit detailed simulation on one goroutine, each unit observing
+// whatever state the previous unit's detailed run left behind. The
+// checkpointed parallel engine (Plan.Parallelism >= 1, or RunSampled
+// directly) exploits the statistical independence of sampling units:
+// one functional sweep captures a per-unit launch snapshot —
+// architectural registers, a copy-on-write memory image, and, under
+// functional warming, the cache/TLB/branch-predictor state — and a
+// worker pool replays detailed warming plus measurement for every unit
+// from its snapshot, merging CPI/EPI through a deterministic
+// stream-order aggregator (optionally terminating early at a target
+// confidence interval). Engine results are bit-identical for every
+// worker count; see RunSampled for how they relate to the serial loop.
 package smarts
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/bpred"
 	"repro/internal/functional"
-	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/uarch"
@@ -78,6 +93,16 @@ type Plan struct {
 	Components *WarmComponents
 	// MaxUnits, when nonzero, caps the number of measured units.
 	MaxUnits int
+	// Parallelism selects the execution engine: 0 runs the classic
+	// in-place serial loop; n >= 1 runs the checkpointed parallel engine
+	// (internal/engine) with n workers; negative values run the engine
+	// with one worker per core (GOMAXPROCS). Engine results are
+	// bit-identical for every worker count — the units are replayed from
+	// per-unit snapshots, so scheduling cannot affect the estimate — but
+	// differ slightly from the in-place serial loop, whose units observe
+	// state carried out of earlier units' detailed simulation instead of
+	// snapshot state (see RunSampled).
+	Parallelism int
 }
 
 // Validate reports plan errors.
@@ -170,13 +195,18 @@ func (r *Result) EPIEstimate(alpha float64) stats.Estimate {
 }
 
 // Run executes one sampling simulation of prog on the machine described
-// by cfg.
+// by cfg. With plan.Parallelism != 0 the run is delegated to the
+// checkpointed parallel engine (see RunSampled); otherwise the classic
+// in-place serial loop below executes.
 func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if plan.Parallelism != 0 {
+		return RunSampled(prog, cfg, plan, EngineOptions{Workers: plan.Parallelism})
 	}
 
 	cpu := functional.New(prog)
@@ -264,77 +294,23 @@ func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
 }
 
 // WarmComponents selects which microarchitectural structures functional
-// warming maintains. The paper's functional warming maintains all of
-// them (its sim-cache + sim-bpred analogue); partial selections support
-// the ablation experiment asking which state actually carries the bias.
-type WarmComponents struct {
-	ICache    bool
-	DCache    bool // includes the L2 and TLBs on the data path
-	Predictor bool
-}
+// warming maintains. It is an alias for uarch.WarmComponents, which
+// lives beside the Machine so the checkpoint capture sweep can share the
+// exact warming semantics without importing this package.
+type WarmComponents = uarch.WarmComponents
 
 // AllComponents is the paper's full functional warming.
-var AllComponents = WarmComponents{ICache: true, DCache: true, Predictor: true}
+var AllComponents = uarch.AllComponents
 
 // Warmer replays the committed instruction stream into a machine's
 // warmable structures (caches, TLBs, branch predictor) — the functional
-// warming mode. It is exported so other estimators (e.g. the SimPoint
-// baseline's warmed variant) can reuse the exact warming semantics.
-type Warmer struct {
-	machine    *uarch.Machine
-	blockBits  uint
-	lastIBlock uint64
-	haveIBlock bool
-	rec        functional.DynInst
-
-	// Components selects the warmed structures; zero value warms nothing,
-	// NewWarmer initializes it to AllComponents.
-	Components WarmComponents
-}
+// warming mode. It is an alias for uarch.Warmer; other estimators (e.g.
+// the SimPoint baseline's warmed variant) reuse it through either name.
+type Warmer = uarch.Warmer
 
 // NewWarmer builds a full warmer bound to m's structures.
 func NewWarmer(m *uarch.Machine, cfg uarch.Config) *Warmer {
-	return &Warmer{machine: m, blockBits: cfg.IL1.BlockBits, Components: AllComponents}
-}
-
-// Forward advances the CPU by n instructions with functional warming.
-func (w *Warmer) Forward(cpu *functional.CPU, n uint64) error {
-	h := w.machine.Hier
-	p := w.machine.Pred
-	for i := uint64(0); i < n; i++ {
-		if err := cpu.Step(&w.rec); err != nil {
-			if err == functional.ErrHalted {
-				return nil
-			}
-			return err
-		}
-		d := &w.rec
-		if w.Components.ICache {
-			iblock := d.PC * isa.InstBytes >> w.blockBits
-			if !w.haveIBlock || iblock != w.lastIBlock {
-				h.WarmFetch(d.PC * isa.InstBytes)
-				w.haveIBlock, w.lastIBlock = true, iblock
-			}
-		}
-		switch d.Inst.Op.Class() {
-		case isa.ClassLoad:
-			if w.Components.DCache {
-				h.WarmData(d.EA, false)
-			}
-		case isa.ClassStore:
-			if w.Components.DCache {
-				h.WarmData(d.EA, true)
-			}
-		case isa.ClassBranch, isa.ClassJump, isa.ClassRet:
-			if w.Components.Predictor {
-				p.Warm(bpred.Outcome{
-					Op: d.Inst.Op, PC: d.PC, Taken: d.Taken,
-					Target: d.NextPC, NextPC: d.PC + 1,
-				})
-			}
-		}
-	}
-	return nil
+	return uarch.NewWarmer(m, cfg)
 }
 
 // RecommendedW returns the detailed-warming length the paper uses with

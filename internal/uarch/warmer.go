@@ -1,0 +1,82 @@
+package uarch
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/functional"
+	"repro/internal/isa"
+)
+
+// WarmComponents selects which microarchitectural structures functional
+// warming maintains. The paper's functional warming maintains all of
+// them (its sim-cache + sim-bpred analogue); partial selections support
+// the ablation experiment asking which state actually carries the bias.
+type WarmComponents struct {
+	ICache    bool
+	DCache    bool // includes the L2 and TLBs on the data path
+	Predictor bool
+}
+
+// AllComponents is the paper's full functional warming.
+var AllComponents = WarmComponents{ICache: true, DCache: true, Predictor: true}
+
+// Warmer replays the committed instruction stream into a machine's
+// warmable structures (caches, TLBs, branch predictor) — the functional
+// warming mode. It lives here, beside the Machine whose structures it
+// drives, so both the SMARTS controller and the checkpoint capture
+// sweep share the exact warming semantics.
+type Warmer struct {
+	machine    *Machine
+	blockBits  uint
+	lastIBlock uint64
+	haveIBlock bool
+	rec        functional.DynInst
+
+	// Components selects the warmed structures; zero value warms nothing,
+	// NewWarmer initializes it to AllComponents.
+	Components WarmComponents
+}
+
+// NewWarmer builds a full warmer bound to m's structures.
+func NewWarmer(m *Machine, cfg Config) *Warmer {
+	return &Warmer{machine: m, blockBits: cfg.IL1.BlockBits, Components: AllComponents}
+}
+
+// Forward advances the CPU by n instructions with functional warming.
+func (w *Warmer) Forward(cpu *functional.CPU, n uint64) error {
+	h := w.machine.Hier
+	p := w.machine.Pred
+	for i := uint64(0); i < n; i++ {
+		if err := cpu.Step(&w.rec); err != nil {
+			if err == functional.ErrHalted {
+				return nil
+			}
+			return err
+		}
+		d := &w.rec
+		if w.Components.ICache {
+			iblock := d.PC * isa.InstBytes >> w.blockBits
+			if !w.haveIBlock || iblock != w.lastIBlock {
+				h.WarmFetch(d.PC * isa.InstBytes)
+				w.haveIBlock, w.lastIBlock = true, iblock
+			}
+		}
+		switch d.Inst.Op.Class() {
+		case isa.ClassLoad:
+			if w.Components.DCache {
+				h.WarmData(d.EA, false)
+			}
+		case isa.ClassStore:
+			if w.Components.DCache {
+				h.WarmData(d.EA, true)
+			}
+		case isa.ClassBranch, isa.ClassJump, isa.ClassRet:
+			if w.Components.Predictor {
+				p.Warm(bpred.Outcome{
+					Op: d.Inst.Op, PC: d.PC, Taken: d.Taken,
+					Target: d.NextPC, NextPC: d.PC + 1,
+				})
+			}
+		}
+	}
+	return nil
+}
