@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/program"
 	"repro/internal/smarts"
@@ -272,6 +273,89 @@ func BenchmarkEngineSerialVsParallel(b *testing.B) {
 			b.ReportMetric(float64(serialTime)/float64(parTime), "speedupX@4workers")
 			b.ReportMetric(float64(len(par.Units))/parTime.Seconds(), "units/s")
 			b.ReportMetric(float64(len(serial.Units))/serialTime.Seconds(), "serialUnits/s")
+		}
+	}
+}
+
+// BenchmarkEnginePipelined tracks the streaming capture→replay
+// pipeline against PR 1's capture-then-replay schedule on the same
+// ≥1M-instruction sampling plan at 4 workers: pipelineSpeedupX is
+// two-phase wall clock over streamed wall clock (≥1 on multi-core —
+// replay overlaps the sweep — and ~1 on a single-core runner), and
+// storeSpeedupX is the cold (sweep + save) wall clock over a
+// warm-checkpoint-store run that skips the sweep entirely. The store
+// comparison runs at a sparser sampling interval (k≈40, still ~100×
+// denser than the paper's k≈5000): the store's advantage is the ratio
+// of swept instructions to snapshot bytes, so it grows linearly with k
+// and the dense pipeline plan would understate it. All runs of each
+// plan must agree bit for bit.
+func BenchmarkEnginePipelined(b *testing.B) {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := program.Generate(spec, 2_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), 400,
+		smarts.FunctionalWarming, 0)
+	opt := func() smarts.EngineOptions { return smarts.EngineOptions{Workers: 4} }
+	for i := 0; i < b.N; i++ {
+		o := opt()
+		o.TwoPhase = true
+		start := time.Now()
+		twoPhase, err := smarts.RunSampled(p, cfg, plan, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		twoPhaseTime := time.Since(start)
+
+		start = time.Now()
+		streamed, err := smarts.RunSampled(p, cfg, plan, opt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamedTime := time.Since(start)
+
+		// Store cycle on the sparse plan: one cold run (sweep + save),
+		// one warm run (load, no sweep).
+		sparse := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), 50,
+			smarts.FunctionalWarming, 0)
+		store, err := checkpoint.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		o = opt()
+		o.Store = store
+		start = time.Now()
+		cold, err := smarts.RunSampled(p, cfg, sparse, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldTime := time.Since(start)
+		start = time.Now()
+		cached, err := smarts.RunSampled(p, cfg, sparse, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cachedTime := time.Since(start)
+		if !cached.SweepCached {
+			b.Fatal("warm store run did not skip the sweep")
+		}
+
+		if i == 0 {
+			tCPI := twoPhase.CPIEstimate(stats.Alpha997)
+			if got := streamed.CPIEstimate(stats.Alpha997); got != tCPI {
+				b.Fatalf("streamed schedule disagrees: %v vs %v", got, tCPI)
+			}
+			if cc, wc := cold.CPIEstimate(stats.Alpha997), cached.CPIEstimate(stats.Alpha997); cc != wc {
+				b.Fatalf("store cycle disagrees: %v vs %v", wc, cc)
+			}
+			b.ReportMetric(float64(twoPhaseTime)/float64(streamedTime), "pipelineSpeedupX")
+			b.ReportMetric(float64(coldTime)/float64(cachedTime), "storeSpeedupX")
+			b.ReportMetric(float64(len(streamed.Units))/streamedTime.Seconds(), "units/s")
 		}
 	}
 }

@@ -1,0 +1,164 @@
+// Command benchjson runs the repository's Go benchmarks and writes the
+// results as machine-readable JSON, so CI can archive the performance
+// trajectory (units/s, engine speedups, allocs/op) next to the human-
+// readable bench log.
+//
+// Usage:
+//
+//	benchjson                                  # full suite -> BENCH_pipeline.json
+//	benchjson -bench 'EnginePipelined' -out BENCH_engine.json
+//	benchjson -pkgs ./internal/cache,./internal/mem -benchtime 100x
+//
+// The output schema is one object with a `benchmarks` array; each entry
+// carries the parsed standard columns (iterations, ns/op, B/op,
+// allocs/op) plus every custom metric the benchmark reported via
+// b.ReportMetric (speedupX@4workers, units/s, ...), keyed exactly as
+// printed.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	BenchRegexp string      `json:"bench_regexp"`
+	BenchTime   string      `json:"benchtime"`
+	Packages    []string    `json:"packages"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_pipeline.json", "output JSON path")
+		benchRe   = flag.String("bench", ".", "benchmark name regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+		timeout   = flag.String("timeout", "30m", "go test timeout")
+		echo      = flag.Bool("echo", true, "mirror the raw go test output to stderr")
+	)
+	flag.Parse()
+
+	patterns := strings.Split(*pkgs, ",")
+	args := []string{"test", "-run", "^$", "-bench", *benchRe,
+		"-benchtime", *benchtime, "-benchmem", "-timeout", *timeout}
+	args = append(args, patterns...)
+
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	if *echo {
+		cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	}
+	cmd.Stderr = os.Stderr
+	runErr := cmd.Run()
+
+	benches := parse(&buf)
+	if runErr != nil && len(benches) == 0 {
+		fatal(fmt.Errorf("go test failed with no parsable output: %w", runErr))
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchRegexp: *benchRe,
+		BenchTime:   *benchtime,
+		Packages:    patterns,
+		Benchmarks:  benches,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(benches), *out)
+	if runErr != nil {
+		fatal(fmt.Errorf("go test reported failure: %w", runErr))
+	}
+}
+
+// parse extracts benchmark lines from go test output. A result line has
+// the shape:
+//
+//	BenchmarkName-8   123456   42.0 ns/op   0 B/op   0 allocs/op   3.14 units/s
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Package
+// attribution comes from the "pkg: ..." header go test prints before
+// each package's benchmarks.
+func parse(buf *bytes.Buffer) []Benchmark {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -9,7 +9,8 @@
 //	smartsim -bench gccx -config 8-way -n 400
 //	smartsim -bench mcfx -u 1000 -w 2000 -warming functional -n 1000
 //	smartsim -bench ammpx -procedure -eps 0.03
-//	smartsim -bench gccx -n 2000 -parallel -1   # engine across all cores
+//	smartsim -bench gccx -n 2000 -parallel -1                      # engine across all cores
+//	smartsim -bench gccx -n 2000 -parallel -1 -ckpt-dir ~/.smarts  # sweep saved; reruns skip it
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/program"
 	"repro/internal/smarts"
 	"repro/internal/stats"
@@ -37,6 +39,7 @@ func main() {
 		procedure = flag.Bool("procedure", false, "run the full two-step procedure")
 		eps       = flag.Float64("eps", 0.03, "target relative confidence interval")
 		parallel  = flag.Int("parallel", 0, "checkpointed parallel engine workers (0 = classic serial path, -1 = all cores)")
+		ckptDir   = flag.String("ckpt-dir", "", "on-disk checkpoint store directory; sweeps are saved and reused across runs (empty = in-memory only; requires -parallel)")
 	)
 	flag.Parse()
 
@@ -72,10 +75,26 @@ func main() {
 	fmt.Printf("workload %s: %d instructions, %d sampling units of %d\n",
 		p.Name, p.Length, p.Length / *u, *u)
 
+	var store *checkpoint.Store
+	if *ckptDir != "" {
+		if *parallel == 0 {
+			fmt.Fprintln(os.Stderr, "smartsim: -ckpt-dir requires the checkpointed engine; ignoring it on the classic serial path (set -parallel)")
+		} else {
+			if store, err = checkpoint.OpenStore(*ckptDir); err != nil {
+				fatal(err)
+			}
+			store.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+			defer reportStore(store)
+		}
+	}
+
 	if *procedure {
 		pc := smarts.DefaultProcedure(cfg, *n)
 		pc.U, pc.W, pc.Warming, pc.Eps, pc.J = *u, *w, mode, *eps, *j
 		pc.Parallelism = *parallel
+		pc.Store = store
 		pr, err := smarts.RunProcedure(p, cfg, pc)
 		if err != nil {
 			fatal(err)
@@ -92,6 +111,7 @@ func main() {
 
 	plan := smarts.PlanForN(p.Length, *u, *w, *n, mode, *j)
 	plan.Parallelism = *parallel
+	plan.Store = store
 	res, err := smarts.Run(p, cfg, plan)
 	if err != nil {
 		fatal(err)
@@ -108,8 +128,18 @@ func report(res *smarts.Result) {
 	fmt.Printf("EPI estimate: %v nJ\n", epi)
 	fmt.Printf("instructions: %d measured, %d detailed warming, %d fast-forwarded\n",
 		res.MeasuredInsts, res.WarmingInsts, res.FastFwdInsts)
+	if res.SweepCached {
+		fmt.Printf("time: %v detailed (functional sweep skipped: launch states loaded from the checkpoint store)\n",
+			res.DetailedTime.Round(1e6))
+		return
+	}
 	fmt.Printf("time: %v fast-forward, %v detailed\n",
 		res.FastFwdTime.Round(1e6), res.DetailedTime.Round(1e6))
+}
+
+func reportStore(store *checkpoint.Store) {
+	hits, misses := store.Stats()
+	fmt.Fprintf(os.Stderr, "checkpoint store %s: %d hits, %d misses\n", store.Dir(), hits, misses)
 }
 
 func parseWarming(s string) (smarts.WarmingMode, error) {

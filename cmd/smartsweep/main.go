@@ -5,6 +5,7 @@
 //
 //	smartsweep -experiment fig6 -config 8-way -scale small
 //	smartsweep -experiment all -scale tiny
+//	smartsweep -experiment table5 -parallel -1 -ckpt-dir /tmp/ckpt   # sweeps persisted & reused
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/uarch"
 )
@@ -23,6 +25,7 @@ func main() {
 		cfgName  = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
 		scale    = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
 		parallel = flag.Int("parallel", 0, "checkpointed parallel engine workers for sampling runs (0 = classic serial path, -1 = all cores)")
+		ckptDir  = flag.String("ckpt-dir", "", "on-disk checkpoint store directory; functional sweeps are saved and reused across experiments and invocations (empty = in-memory only; requires -parallel)")
 	)
 	flag.Parse()
 
@@ -36,6 +39,24 @@ func main() {
 	}
 	ctx := experiments.NewContext(sc)
 	ctx.Parallelism = *parallel
+	if *ckptDir != "" {
+		if *parallel == 0 {
+			fmt.Fprintln(os.Stderr, "smartsweep: -ckpt-dir requires the checkpointed engine; ignoring it on the classic serial path (set -parallel)")
+		} else {
+			store, err := checkpoint.OpenStore(*ckptDir)
+			if err != nil {
+				fatal(err)
+			}
+			store.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+			ctx.Ckpt = store
+			defer func() {
+				hits, misses := store.Stats()
+				fmt.Fprintf(os.Stderr, "checkpoint store %s: %d hits, %d misses\n", store.Dir(), hits, misses)
+			}()
+		}
+	}
 
 	names := []string{*exp}
 	if *exp == "all" {

@@ -18,6 +18,19 @@
 // estimate, bit for bit, at any worker count (Plan.Parallelism,
 // smartsim/smartsweep -parallel).
 //
+// The engine is a streaming pipeline: the sweep hands each snapshot to
+// the workers the moment it is captured, so wall clock approaches
+// max(sweep, replay/workers) rather than their sum. Sweeps can be
+// persisted to an on-disk checkpoint store (checkpoint.Store,
+// Plan.Store, the CLIs' -ckpt-dir) keyed by workload, plan, and
+// warm-relevant machine geometry, so one functional sweep is shared
+// across runs and across machine configs that differ only in timing,
+// width, or energy parameters; one sweep can also capture several
+// systematic phase offsets at once (smarts.RunSampledPhases), which the
+// bias experiments use to pay one sweep for all phases. Every variant —
+// streamed, two-phase, store-loaded, multi-offset — produces
+// bit-identical estimates.
+//
 // Executables are under cmd/, runnable examples under examples/, and the
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.

@@ -73,6 +73,13 @@ type Cache struct {
 	lastUsed []uint64 // LRU stamps
 	stamp    uint64
 
+	// lastIdx is the way index of the most recently hit or filled block —
+	// a hint for Touch's warm-hit fast path. It is revalidated against
+	// the live tag/valid arrays on every use, so it never needs
+	// invalidation (Flush, Restore, and evictions simply make the
+	// revalidation fail) and is deliberately excluded from snapshots.
+	lastIdx int
+
 	// Stats accumulates over the cache's lifetime. Callers snapshot and
 	// diff it for per-unit measurements.
 	Stats Stats
@@ -131,6 +138,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 			if write {
 				c.dirty[i] = true
 			}
+			c.lastIdx = i
 			return AccessResult{Hit: true}
 		}
 	}
@@ -164,7 +172,35 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	c.tags[victim] = tag
 	c.dirty[victim] = write
 	c.lastUsed[victim] = c.stamp
+	c.lastIdx = victim
 	return res
+}
+
+// Touch attempts the warm-hit fast path used by functional warming: when
+// the most recently used block (the lastIdx hint) is still resident and
+// matches addr, it applies exactly the state updates a hitting Access
+// would (access count, LRU stamp, dirty bit) and returns true. When the
+// hint does not match it does nothing and returns false; the caller
+// falls back to the full Access. Because the hint is revalidated against
+// the live arrays, Touch-then-Access is state- and stats-identical to a
+// plain Access for every access sequence.
+//
+// Touch is small enough for the compiler to inline into the warming
+// loop, which is what makes the in-order sweep's dominant case — a
+// repeated hit on the same hot block — cheap.
+func (c *Cache) Touch(addr uint64, write bool) bool {
+	block := addr >> c.cfg.BlockBits
+	i := c.lastIdx
+	if c.valid[i] && c.tags[i] == block {
+		c.Stats.Accesses++
+		c.stamp++
+		c.lastUsed[i] = c.stamp
+		if write {
+			c.dirty[i] = true
+		}
+		return true
+	}
+	return false
 }
 
 // Probe reports whether addr currently hits, without updating any state.

@@ -94,9 +94,14 @@ func (h *Hierarchy) DataAccess(addr uint64, write bool) (int, Level) {
 }
 
 // WarmFetch updates I-side state for one fetched instruction address
-// without computing timing. Used by functional warming.
+// without computing timing. Used by functional warming. The Touch calls
+// are hint-validated fast paths that are state-identical to the full
+// Access they shortcut (see Cache.Touch).
 func (h *Hierarchy) WarmFetch(addr uint64) {
-	h.ITLB.Access(addr)
+	h.ITLB.Touch(addr)
+	if h.IL1.Touch(addr, false) {
+		return
+	}
 	if !h.IL1.Access(addr, false).Hit {
 		h.L2.Access(addr, false)
 	}
@@ -110,7 +115,10 @@ func (h *Hierarchy) WarmFetch(addr uint64) {
 // loads out of order and drains stores after commit. That ordering gap is
 // the residual bias Table 5 of the paper measures.
 func (h *Hierarchy) WarmData(addr uint64, write bool) {
-	h.DTLB.Access(addr)
+	h.DTLB.Touch(addr)
+	if h.DL1.Touch(addr, write) {
+		return
+	}
 	res := h.DL1.Access(addr, write)
 	if res.Hit {
 		return

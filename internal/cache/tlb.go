@@ -33,6 +33,18 @@ func (t *TLB) Access(addr uint64) bool {
 	return t.inner.Access(addr>>t.pageBits<<1, false).Hit
 }
 
+// Touch performs one warm (untimed) lookup of the page containing addr.
+// It is state-identical to Access but takes the inlinable last-entry
+// fast path when the translation matches the most recently used one —
+// the overwhelmingly common case in the functional-warming sweep, where
+// consecutive accesses stay on the same page.
+func (t *TLB) Touch(addr uint64) {
+	key := addr >> t.pageBits << 1
+	if !t.inner.Touch(key, false) {
+		t.inner.Access(key, false)
+	}
+}
+
 // Probe reports whether the page is present without updating LRU.
 func (t *TLB) Probe(addr uint64) bool {
 	return t.inner.Probe(addr >> t.pageBits << 1)

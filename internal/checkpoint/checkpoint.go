@@ -14,10 +14,39 @@
 // detailed simulation of its unit, the units become independent jobs
 // the parallel engine can run in any order on any number of workers
 // with bit-identical results.
+//
+// # Streaming capture
+//
+// The sweep is a producer, not a pre-pass: CaptureStream hands each
+// Unit to its caller the moment the unit's launch state is captured, so
+// the parallel engine's workers begin detailed replay while the sweep
+// is still walking the rest of the stream. Capture is the buffered
+// convenience wrapper that collects the stream into a Set.
+//
+// # Multi-offset capture
+//
+// Because a snapshot's contents depend only on the stream position —
+// functional warming replays every instruction from the start
+// regardless of which units are selected — one sweep can capture the
+// launch boundaries of several systematic phase offsets j at once
+// (Params.Offsets). Each offset's launch positions are computed exactly
+// as its own single-offset sweep would compute them, so the units of
+// Set.Offset(j) are bit-identical to a dedicated sweep at phase j. The
+// bias experiments, which average over several phases, pay one sweep
+// instead of one per phase.
+//
+// # On-disk store
+//
+// Store persists captured Sets, content-addressed by a key derived from
+// the workload, the sampling geometry, and the warm-relevant machine
+// configuration; see store.go. A functional sweep is then paid once per
+// (workload, plan, hierarchy shape) and shared across machine configs
+// that differ only in timing, width, or energy parameters.
 package checkpoint
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bpred"
@@ -38,6 +67,11 @@ type Params struct {
 	W uint64
 	// K is the systematic sampling interval in units, J the phase offset.
 	K, J uint64
+	// Offsets, when non-empty, selects several phase offsets captured in
+	// the same sweep (J is then ignored). Every offset must be below K
+	// and distinct. Set.Offset extracts one offset's units afterwards;
+	// each is bit-identical to a dedicated single-offset sweep.
+	Offsets []uint64
 	// FunctionalWarm selects whether the sweep maintains cache/TLB/
 	// predictor state and stores it in each snapshot. When false,
 	// snapshots carry architectural state only and units launch with
@@ -47,7 +81,8 @@ type Params struct {
 	// Components restricts which structures functional warming maintains
 	// (nil = all).
 	Components *uarch.WarmComponents
-	// MaxUnits, when nonzero, caps the number of captured units.
+	// MaxUnits, when nonzero, caps the number of captured units per
+	// offset.
 	MaxUnits int
 }
 
@@ -62,7 +97,27 @@ func (p Params) Validate() error {
 	if p.J >= p.K {
 		return fmt.Errorf("checkpoint: phase offset %d must be below interval %d", p.J, p.K)
 	}
+	seen := make(map[uint64]bool, len(p.Offsets))
+	for _, j := range p.Offsets {
+		if j >= p.K {
+			return fmt.Errorf("checkpoint: phase offset %d must be below interval %d", j, p.K)
+		}
+		if seen[j] {
+			return fmt.Errorf("checkpoint: duplicate phase offset %d", j)
+		}
+		seen[j] = true
+	}
 	return nil
+}
+
+// offsets returns the effective phase offsets, sorted ascending.
+func (p Params) offsets() []uint64 {
+	if len(p.Offsets) == 0 {
+		return []uint64{p.J}
+	}
+	js := append([]uint64(nil), p.Offsets...)
+	sort.Slice(js, func(i, k int) bool { return js[i] < js[k] })
+	return js
 }
 
 // WarmState is the microarchitectural half of a snapshot: everything
@@ -98,10 +153,31 @@ type Unit struct {
 // unit's replay executes before measurement begins.
 func (u *Unit) WarmLen() uint64 { return u.Start - u.LaunchAt }
 
-// Set is the result of one capture sweep.
+// Summary describes one capture sweep's cost and extent.
+type Summary struct {
+	// PopulationUnits is the benchmark length in units (the paper's N).
+	PopulationUnits uint64
+	// SweepInsts is the number of instructions the sweep executed
+	// functionally (the engine's fast-forward cost).
+	SweepInsts uint64
+	// SweepTime is the wall-clock cost of the sweep.
+	SweepTime time.Duration
+	// Captured is the number of units emitted.
+	Captured int
+	// Complete reports that the sweep visited every selected boundary:
+	// it was not cut short by the consumer (a false return from emit).
+	// Reaching program end before the last boundary still counts as
+	// complete — rerunning the sweep could not produce more units.
+	Complete bool
+}
+
+// Set is the result of one capture sweep, collected in launch order.
 type Set struct {
 	// Units holds the captured launch states in stream order.
 	Units []*Unit
+	// K is the sampling interval the set was captured with; a unit's
+	// phase offset is Index mod K.
+	K uint64
 	// PopulationUnits is the benchmark length in units (the paper's N).
 	PopulationUnits uint64
 	// SweepInsts is the number of instructions the sweep executed
@@ -111,10 +187,117 @@ type Set struct {
 	SweepTime time.Duration
 }
 
-// Capture runs the functional sweep over prog and snapshots every
-// selected unit's launch state. cfg sizes the warmed structures; it is
+// Offset returns the sub-set holding only phase offset j's units (in
+// stream order, sharing the snapshots). The sweep accounting is carried
+// over unchanged: the sweep was paid once for all offsets.
+func (s *Set) Offset(j uint64) *Set {
+	sub := &Set{
+		K:               s.K,
+		PopulationUnits: s.PopulationUnits,
+		SweepInsts:      s.SweepInsts,
+		SweepTime:       s.SweepTime,
+	}
+	for _, u := range s.Units {
+		if s.K != 0 && u.Index%s.K == j {
+			sub.Units = append(sub.Units, u)
+		}
+	}
+	return sub
+}
+
+// boundary is one selected launch point of the sweep.
+type boundary struct {
+	unit   uint64 // unit index in the population
+	start  uint64 // stream position of the unit's first instruction
+	launch uint64 // stream position of the snapshot
+}
+
+// boundaryGen merges the per-offset launch sequences into one
+// nondecreasing stream of boundaries. Each offset's launches are
+// computed exactly as its own single-offset sweep would: launch_i =
+// max(start_i - W, launch_{i-1}) with launch_{-1} = 0, so overlapping
+// warming windows shorten within an offset but never across offsets —
+// the property that makes multi-offset capture bit-identical to
+// separate sweeps.
+type boundaryGen struct {
+	p       Params
+	pop     uint64
+	offsets []uint64
+	nextIdx []uint64 // next unit index per offset
+	prev    []uint64 // previous launch per offset
+	emitted []int    // units emitted per offset (for MaxUnits)
+}
+
+func newBoundaryGen(p Params, pop uint64) *boundaryGen {
+	offs := p.offsets()
+	g := &boundaryGen{
+		p:       p,
+		pop:     pop,
+		offsets: offs,
+		nextIdx: append([]uint64(nil), offs...),
+		prev:    make([]uint64, len(offs)),
+		emitted: make([]int, len(offs)),
+	}
+	return g
+}
+
+// peek computes offset o's next boundary without committing it.
+func (g *boundaryGen) peek(o int) (boundary, bool) {
+	if g.nextIdx[o] >= g.pop {
+		return boundary{}, false
+	}
+	if g.p.MaxUnits > 0 && g.emitted[o] >= g.p.MaxUnits {
+		return boundary{}, false
+	}
+	start := g.nextIdx[o] * g.p.U
+	launch := start
+	if g.p.W > 0 {
+		if g.p.W > start {
+			launch = 0
+		} else {
+			launch = start - g.p.W
+		}
+	}
+	if launch < g.prev[o] {
+		launch = g.prev[o] // units closer together than W: shorten warming
+	}
+	return boundary{unit: g.nextIdx[o], start: start, launch: launch}, true
+}
+
+// next returns the globally earliest pending boundary (ties broken by
+// unit index) and advances past it.
+func (g *boundaryGen) next() (boundary, bool) {
+	best := -1
+	var bb boundary
+	for o := range g.offsets {
+		b, ok := g.peek(o)
+		if !ok {
+			continue
+		}
+		if best < 0 || b.launch < bb.launch || (b.launch == bb.launch && b.unit < bb.unit) {
+			best, bb = o, b
+		}
+	}
+	if best < 0 {
+		return boundary{}, false
+	}
+	g.prev[best] = bb.launch
+	g.nextIdx[best] += g.p.K
+	g.emitted[best]++
+	return bb, true
+}
+
+// CaptureStream runs the functional sweep over prog, calling emit for
+// each selected unit's launch state the moment it is captured, in
+// nondecreasing launch order. emit returning false stops the sweep
+// early (Summary.Complete will be false); the returned Summary always
+// describes what actually ran. cfg sizes the warmed structures; it is
 // only consulted when p.FunctionalWarm is set.
-func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
+//
+// The consumer owns each emitted Unit. Snapshots share memory pages
+// copy-on-write with their neighbours, so holding one unit alive does
+// not pin the whole stream's footprint.
+func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(*Unit) bool) (*Summary, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,28 +312,18 @@ func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
 		}
 	}
 
-	set := &Set{PopulationUnits: prog.Length / p.U}
+	sum := &Summary{PopulationUnits: prog.Length / p.U}
 	start := time.Now()
+	gen := newBoundaryGen(p, sum.PopulationUnits)
 	var pos uint64 // instructions consumed from the stream so far
 
-	for unit := p.J; unit < set.PopulationUnits; unit += p.K {
-		if p.MaxUnits > 0 && len(set.Units) >= p.MaxUnits {
+	sum.Complete = true
+	for {
+		b, ok := gen.next()
+		if !ok {
 			break
 		}
-		unitStart := unit * p.U
-		launchAt := unitStart
-		if p.W > 0 {
-			if p.W > unitStart {
-				launchAt = 0
-			} else {
-				launchAt = unitStart - p.W
-			}
-		}
-		if launchAt < pos {
-			launchAt = pos // units closer together than W: shorten warming
-		}
-
-		if ff := launchAt - pos; ff > 0 {
+		if ff := b.launch - pos; ff > 0 {
 			var err error
 			if warmer != nil {
 				err = warmer.Forward(cpu, ff)
@@ -158,18 +331,20 @@ func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
 				_, err = cpu.Run(ff)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("checkpoint: sweep to unit %d: %w", unit, err)
+				sum.SweepInsts = cpu.Count
+				sum.SweepTime = time.Since(start)
+				return sum, fmt.Errorf("checkpoint: sweep to unit %d: %w", b.unit, err)
 			}
 			pos = cpu.Count
 		}
-		if cpu.Halted || cpu.Count < launchAt {
+		if cpu.Halted || cpu.Count < b.launch {
 			break // program ended before this unit's launch point
 		}
 
 		u := &Unit{
-			Index:    unit,
-			Start:    unitStart,
-			LaunchAt: launchAt,
+			Index:    b.unit,
+			Start:    b.start,
+			LaunchAt: b.launch,
 			Arch:     cpu.Arch(),
 			Mem:      cpu.Mem.Snapshot(),
 		}
@@ -179,9 +354,31 @@ func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
 				Pred: machine.Pred.Snapshot(),
 			}
 		}
-		set.Units = append(set.Units, u)
+		sum.Captured++
+		if !emit(u) {
+			sum.Complete = false
+			break
+		}
 	}
-	set.SweepInsts = cpu.Count
-	set.SweepTime = time.Since(start)
+	sum.SweepInsts = cpu.Count
+	sum.SweepTime = time.Since(start)
+	return sum, nil
+}
+
+// Capture runs the functional sweep over prog and collects every
+// selected unit's launch state into a Set. It is CaptureStream with a
+// buffering consumer.
+func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
+	set := &Set{K: p.K}
+	sum, err := CaptureStream(prog, cfg, p, func(u *Unit) bool {
+		set.Units = append(set.Units, u)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	set.PopulationUnits = sum.PopulationUnits
+	set.SweepInsts = sum.SweepInsts
+	set.SweepTime = sum.SweepTime
 	return set, nil
 }

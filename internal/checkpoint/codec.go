@@ -1,0 +1,407 @@
+package checkpoint
+
+// Raw little-endian record codec for the checkpoint store. Snapshots
+// are dominated by fixed-width arrays (cache tag/LRU arrays, predictor
+// tables, 4KiB memory pages), so the store writes them as raw
+// little-endian runs instead of a reflective encoding: loading a warm
+// set must beat re-running the functional sweep even at small workload
+// scales, and generic codecs (gob, even with fast compression) lose
+// that race by an order of magnitude on these shapes.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/functional"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Record tags.
+const (
+	recPage = 1 // one 4KiB page, referenced by arrival order
+	recUnit = 2 // one captured unit
+	recEnd  = 3 // terminator carrying the sweep totals
+)
+
+// codecWriter wraps the output stream with the scratch buffer the
+// fixed-width runs are staged through.
+type codecWriter struct {
+	w       *bufio.Writer
+	scratch []byte
+}
+
+func newCodecWriter(w io.Writer) *codecWriter {
+	return &codecWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (c *codecWriter) u64(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := c.w.Write(b[:])
+	return err
+}
+
+func (c *codecWriter) u64s(v []uint64) error {
+	if err := c.u64(uint64(len(v))); err != nil {
+		return err
+	}
+	need := len(v) * 8
+	if cap(c.scratch) < need {
+		c.scratch = make([]byte, need)
+	}
+	buf := c.scratch[:need]
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[i*8:], x)
+	}
+	_, err := c.w.Write(buf)
+	return err
+}
+
+func (c *codecWriter) bytes(v []byte) error {
+	if err := c.u64(uint64(len(v))); err != nil {
+		return err
+	}
+	_, err := c.w.Write(v)
+	return err
+}
+
+func (c *codecWriter) bools(v []bool) error {
+	if err := c.u64(uint64(len(v))); err != nil {
+		return err
+	}
+	need := len(v)
+	if cap(c.scratch) < need {
+		c.scratch = make([]byte, need)
+	}
+	buf := c.scratch[:need]
+	for i, x := range v {
+		if x {
+			buf[i] = 1
+		} else {
+			buf[i] = 0
+		}
+	}
+	_, err := c.w.Write(buf)
+	return err
+}
+
+// codecReader mirrors codecWriter. maxLen bounds every length prefix
+// in BYTES of decoded payload so corrupt files fail fast instead of
+// attempting huge allocations.
+type codecReader struct {
+	r       *bufio.Reader
+	scratch []byte
+}
+
+const maxLen = 1 << 28
+
+func newCodecReader(r io.Reader) *codecReader {
+	return &codecReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (c *codecReader) u64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// length reads a count prefix whose elements are elemBytes wide each,
+// rejecting counts whose decoded payload would exceed maxLen bytes.
+func (c *codecReader) length(elemBytes int) (int, error) {
+	n, err := c.u64()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxLen/uint64(elemBytes) {
+		return 0, fmt.Errorf("unreasonable length %d", n)
+	}
+	return int(n), nil
+}
+
+func (c *codecReader) u64s() ([]uint64, error) {
+	n, err := c.length(8)
+	if err != nil {
+		return nil, err
+	}
+	need := n * 8
+	if cap(c.scratch) < need {
+		c.scratch = make([]byte, need)
+	}
+	buf := c.scratch[:need]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return v, nil
+}
+
+func (c *codecReader) bytes() ([]byte, error) {
+	n, err := c.length(1)
+	if err != nil {
+		return nil, err
+	}
+	v := make([]byte, n)
+	if _, err := io.ReadFull(c.r, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (c *codecReader) bools() ([]bool, error) {
+	n, err := c.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if cap(c.scratch) < n {
+		c.scratch = make([]byte, n)
+	}
+	buf := c.scratch[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = buf[i] != 0
+	}
+	return v, nil
+}
+
+// writeCacheState emits one cache/TLB snapshot.
+func (c *codecWriter) cacheState(s *cache.State) error {
+	if err := c.u64(s.Stamp); err != nil {
+		return err
+	}
+	if err := c.u64s(s.Tags); err != nil {
+		return err
+	}
+	if err := c.bools(s.Valid); err != nil {
+		return err
+	}
+	if err := c.bools(s.Dirty); err != nil {
+		return err
+	}
+	return c.u64s(s.LastUsed)
+}
+
+func (c *codecReader) cacheState() (*cache.State, error) {
+	s := &cache.State{}
+	var err error
+	if s.Stamp, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if s.Tags, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if s.Valid, err = c.bools(); err != nil {
+		return nil, err
+	}
+	if s.Dirty, err = c.bools(); err != nil {
+		return nil, err
+	}
+	if s.LastUsed, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (c *codecWriter) predState(s *bpred.State) error {
+	for _, b := range [][]uint8{s.Bimodal, s.Gshare, s.Chooser} {
+		if err := c.bytes(b); err != nil {
+			return err
+		}
+	}
+	if err := c.u64(s.History); err != nil {
+		return err
+	}
+	for _, u := range [][]uint64{s.BTBTags, s.BTBTgts, s.BTBLRU, s.RAS} {
+		if err := c.u64s(u); err != nil {
+			return err
+		}
+	}
+	if err := c.bools(s.BTBValid); err != nil {
+		return err
+	}
+	if err := c.u64(s.BTBStamp); err != nil {
+		return err
+	}
+	return c.u64(uint64(int64(s.RASTop)))
+}
+
+func (c *codecReader) predState() (*bpred.State, error) {
+	s := &bpred.State{}
+	var err error
+	if s.Bimodal, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	if s.Gshare, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	if s.Chooser, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	if s.History, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if s.BTBTags, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if s.BTBTgts, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if s.BTBLRU, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if s.RAS, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if s.BTBValid, err = c.bools(); err != nil {
+		return nil, err
+	}
+	if s.BTBStamp, err = c.u64(); err != nil {
+		return nil, err
+	}
+	top, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	s.RASTop = int(int64(top))
+	return s, nil
+}
+
+// unit emits one captured unit record (tag already written by the
+// caller alongside any new page records).
+func (c *codecWriter) unit(u *Unit, nums []uint64, refs []uint64) error {
+	for _, v := range []uint64{u.Index, u.Start, u.LaunchAt} {
+		if err := c.u64(v); err != nil {
+			return err
+		}
+	}
+	arch := u.Arch
+	if err := c.u64s(arch.Regs[:]); err != nil {
+		return err
+	}
+	if err := c.u64(u.Arch.PC); err != nil {
+		return err
+	}
+	if err := c.u64(u.Arch.Count); err != nil {
+		return err
+	}
+	halted := uint64(0)
+	if u.Arch.Halted {
+		halted = 1
+	}
+	if err := c.u64(halted); err != nil {
+		return err
+	}
+	if err := c.u64s(nums); err != nil {
+		return err
+	}
+	if err := c.u64s(refs); err != nil {
+		return err
+	}
+	warm := uint64(0)
+	if u.Warm != nil {
+		warm = 1
+	}
+	if err := c.u64(warm); err != nil {
+		return err
+	}
+	if u.Warm == nil {
+		return nil
+	}
+	for _, s := range []*cache.State{
+		u.Warm.Hier.IL1, u.Warm.Hier.DL1, u.Warm.Hier.L2,
+		u.Warm.Hier.ITLB, u.Warm.Hier.DTLB,
+	} {
+		if err := c.cacheState(s); err != nil {
+			return err
+		}
+	}
+	return c.predState(u.Warm.Pred)
+}
+
+func (c *codecReader) unit(pages []*[mem.PageSize]byte) (*Unit, error) {
+	u := &Unit{}
+	var err error
+	if u.Index, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if u.Start, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if u.LaunchAt, err = c.u64(); err != nil {
+		return nil, err
+	}
+	var arch functional.ArchState
+	regs, err := c.u64s()
+	if err != nil {
+		return nil, err
+	}
+	if len(regs) != isa.NumRegs {
+		return nil, fmt.Errorf("unit %d: %d registers, want %d", u.Index, len(regs), isa.NumRegs)
+	}
+	copy(arch.Regs[:], regs)
+	if arch.PC, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if arch.Count, err = c.u64(); err != nil {
+		return nil, err
+	}
+	halted, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	arch.Halted = halted != 0
+	u.Arch = arch
+
+	nums, err := c.u64s()
+	if err != nil {
+		return nil, err
+	}
+	refs, err := c.u64s()
+	if err != nil {
+		return nil, err
+	}
+	if len(nums) != len(refs) {
+		return nil, fmt.Errorf("unit %d: page table mismatch", u.Index)
+	}
+	pm := make(map[uint64]*[mem.PageSize]byte, len(nums))
+	for i, num := range nums {
+		ref := refs[i]
+		if ref >= uint64(len(pages)) {
+			return nil, fmt.Errorf("unit %d: page ref %d out of range", u.Index, ref)
+		}
+		pm[num] = pages[ref]
+	}
+	u.Mem = mem.ImageFromPages(pm)
+
+	warm, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if warm == 0 {
+		return u, nil
+	}
+	hier := &cache.HierarchyState{}
+	for _, dst := range []**cache.State{&hier.IL1, &hier.DL1, &hier.L2, &hier.ITLB, &hier.DTLB} {
+		if *dst, err = c.cacheState(); err != nil {
+			return nil, err
+		}
+	}
+	pred, err := c.predState()
+	if err != nil {
+		return nil, err
+	}
+	u.Warm = &WarmState{Hier: hier, Pred: pred}
+	return u, nil
+}

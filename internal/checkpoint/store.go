@@ -1,0 +1,453 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// Store file format: an 8-byte magic, a little-endian uint32 format
+// version, a length-prefixed gob-encoded storeManifest, then a sequence
+// of raw little-endian records (see codec.go) terminated by an End
+// record carrying the sweep totals. Files whose magic, version, or
+// manifest key do not match the request are treated as misses (never as
+// errors), so bumping storeVersion — or any change to the key
+// derivation — safely invalidates every existing checkpoint file.
+// Entries are uncompressed by design: loading must beat re-sweeping,
+// and the dominant payloads (tag arrays, LRU stamps, memory pages) are
+// cheap to rewrite but expensive to push through a codec.
+const (
+	storeVersion = 1
+	storeExt     = ".ckpt"
+)
+
+var storeMagic = [8]byte{'S', 'M', 'R', 'T', 'C', 'K', 'P', 'T'}
+
+// Key identifies one captured Set on disk. Two runs share a key — and
+// therefore a functional sweep — exactly when they execute the same
+// workload under the same sampling geometry and the same warm-relevant
+// machine shape. Timing, pipeline-width, and energy parameters are
+// deliberately excluded: they change what the detailed replay measures,
+// not what the sweep captures, so machine configs differing only in
+// those reuse one sweep.
+type Key struct {
+	// Workload is the program name; ProgramHash fingerprints its exact
+	// code, initial image, entry, and length, so regenerating a workload
+	// differently invalidates its checkpoints.
+	Workload    string
+	ProgramHash string
+	// U, W, K, Offsets, and MaxUnits fix the launch boundaries.
+	U, W, K  uint64
+	Offsets  []uint64
+	MaxUnits int
+	// FunctionalWarm, Components, and WarmSig fix what the sweep warms
+	// and the geometry of the warmed structures. WarmSig is empty for
+	// cold captures, which therefore reuse across every machine config.
+	FunctionalWarm bool
+	Components     uarch.WarmComponents
+	WarmSig        string
+}
+
+// KeyFor derives the store key for capturing prog with p on cfg.
+func KeyFor(prog *program.Program, cfg uarch.Config, p Params) Key {
+	k := Key{
+		Workload:       prog.Name,
+		ProgramHash:    programHash(prog),
+		U:              p.U,
+		W:              p.W,
+		K:              p.K,
+		Offsets:        p.offsets(),
+		MaxUnits:       p.MaxUnits,
+		FunctionalWarm: p.FunctionalWarm,
+	}
+	if p.FunctionalWarm {
+		k.Components = uarch.AllComponents
+		if p.Components != nil {
+			k.Components = *p.Components
+		}
+		k.WarmSig = WarmSignature(cfg)
+	}
+	return k
+}
+
+// WarmSignature summarizes the machine-config fields a functional sweep
+// depends on: cache, TLB, and predictor geometry. Configs with equal
+// signatures observe identical warm state from one stream, so their
+// checkpoints are interchangeable.
+func WarmSignature(cfg uarch.Config) string {
+	return fmt.Sprintf("il1=%dx%db%d dl1=%dx%db%d l2=%dx%db%d itlb=%d dtlb=%d tlbw=%d bp=%d/%d/%dx%d/%d",
+		cfg.IL1.Sets, cfg.IL1.Ways, cfg.IL1.BlockBits,
+		cfg.DL1.Sets, cfg.DL1.Ways, cfg.DL1.BlockBits,
+		cfg.L2.Sets, cfg.L2.Ways, cfg.L2.BlockBits,
+		cfg.ITLBEntries, cfg.DTLBEntries, cfg.TLBWays,
+		cfg.BPred.TableEntries, cfg.BPred.HistoryBits,
+		cfg.BPred.BTBSets, cfg.BPred.BTBWays, cfg.BPred.RASEntries)
+}
+
+// programHash fingerprints the program via its canonical serialization.
+func programHash(prog *program.Program) string {
+	h := sha256.New()
+	if err := prog.Save(h); err != nil {
+		// Save into a hash cannot fail for a valid program; fall back to
+		// a name-only fingerprint that still keys distinct workloads.
+		return "unsaved:" + prog.Name
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// String renders the canonical key text the content address is derived
+// from.
+func (k Key) String() string {
+	return fmt.Sprintf("%s@%s u=%d w=%d k=%d j=%v max=%d warm=%v comp=%+v sig=%q",
+		k.Workload, k.ProgramHash, k.U, k.W, k.K, k.Offsets, k.MaxUnits,
+		k.FunctionalWarm, k.Components, k.WarmSig)
+}
+
+// Hash returns the content address: the hex SHA-256 of the canonical
+// key text, truncated to 32 characters for filename friendliness.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(sum[:])[:32]
+}
+
+// Store is an on-disk checkpoint cache: captured Sets keyed by Key,
+// one file per key under dir. All methods are safe for concurrent use;
+// writers stage into a temp file and commit with an atomic rename.
+type Store struct {
+	dir string
+
+	// Logf, when set, receives one line per store event (hit, miss,
+	// save, discard) so sweep reuse is observable from the CLIs.
+	Logf func(format string, args ...any)
+
+	mu           sync.Mutex
+	hits, misses uint64
+}
+
+// OpenStore opens (creating if needed) a checkpoint store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the lifetime hit/miss counts.
+func (s *Store) Stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Log emits one line through Logf when set, so logging stays optional.
+func (s *Store) Log(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.Hash()+storeExt)
+}
+
+func (s *Store) countHit(hit bool) {
+	s.mu.Lock()
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+}
+
+// storeManifest opens a checkpoint file; the embedded key guards
+// against hash collisions and stale derivations.
+type storeManifest struct {
+	Key             Key
+	PopulationUnits uint64
+}
+
+// Load returns the Set stored under k, or nil when the store has no
+// usable entry (absent, format-version mismatch, key mismatch, or
+// corruption — all count as misses; corruption is logged). The returned
+// Set's SweepInsts/SweepTime echo the original sweep's cost; the caller
+// decides how to account for having skipped it.
+func (s *Store) Load(k Key) (*Set, error) {
+	path := s.path(k)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.countHit(false)
+			s.Log("checkpoint store: miss %s (%s)", k.Hash(), k.Workload)
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: store load: %w", err)
+	}
+	defer f.Close()
+
+	set, err := readSet(f, k)
+	if err != nil {
+		s.countHit(false)
+		s.Log("checkpoint store: discarding unusable entry %s: %v", filepath.Base(path), err)
+		return nil, nil
+	}
+	s.countHit(true)
+	s.Log("checkpoint store: hit %s (%s: %d units, %d sweep insts reused)",
+		k.Hash(), k.Workload, len(set.Units), set.SweepInsts)
+	return set, nil
+}
+
+func readSet(r io.Reader, k Key) (*Set, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("short header: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("bad magic %q", magic[:])
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != storeVersion {
+		return nil, fmt.Errorf("format version %d, want %d", version, storeVersion)
+	}
+	cr := newCodecReader(r)
+	blob, err := cr.bytes()
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	var man storeManifest
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&man); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if man.Key.String() != k.String() {
+		return nil, fmt.Errorf("key mismatch: stored %s", man.Key)
+	}
+
+	set := &Set{K: k.K, PopulationUnits: man.PopulationUnits}
+	var pages []*[mem.PageSize]byte
+	for {
+		tag, err := cr.u64()
+		if err != nil {
+			return nil, fmt.Errorf("record: %w", err)
+		}
+		switch tag {
+		case recPage:
+			page, err := cr.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if len(page) != mem.PageSize {
+				return nil, fmt.Errorf("page record of %d bytes", len(page))
+			}
+			pages = append(pages, (*[mem.PageSize]byte)(page))
+		case recUnit:
+			u, err := cr.unit(pages)
+			if err != nil {
+				return nil, err
+			}
+			set.Units = append(set.Units, u)
+		case recEnd:
+			units, err := cr.u64()
+			if err != nil {
+				return nil, err
+			}
+			if units != uint64(len(set.Units)) {
+				return nil, fmt.Errorf("truncated: %d of %d units", len(set.Units), units)
+			}
+			if set.SweepInsts, err = cr.u64(); err != nil {
+				return nil, err
+			}
+			nanos, err := cr.u64()
+			if err != nil {
+				return nil, err
+			}
+			set.SweepTime = time.Duration(int64(nanos))
+			return set, nil
+		default:
+			return nil, fmt.Errorf("unknown record tag %d", tag)
+		}
+	}
+}
+
+// SetWriter streams a capture into the store as units are emitted, so
+// saving adds no memory footprint to the pipelined engine. Commit
+// finalizes the entry atomically; Abort discards it. Exactly one of the
+// two must be called.
+type SetWriter struct {
+	store *Store
+	key   Key
+	tmp   *os.File
+	cw    *codecWriter
+	// prevPages maps the previous unit's page arrays to their record
+	// ids. Copy-on-write sharing is contiguous in stream time (a page
+	// shared by snapshots i and j > i is shared by every snapshot in
+	// between), so a one-unit window deduplicates exactly while letting
+	// pages the sweep has moved past become collectable — the writer
+	// must not pin the whole stream's footprint in the pipelined
+	// engine.
+	prevPages map[*[mem.PageSize]byte]uint64
+	nextPage  uint64
+	units     int
+	err       error
+}
+
+// Writer stages a new store entry for k. pop is the workload's
+// population size in units (Summary.PopulationUnits).
+func (s *Store) Writer(k Key, pop uint64) (*SetWriter, error) {
+	tmp, err := os.CreateTemp(s.dir, k.Hash()+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: store writer: %w", err)
+	}
+	w := &SetWriter{store: s, key: k, tmp: tmp, prevPages: make(map[*[mem.PageSize]byte]uint64)}
+	if _, err := tmp.Write(storeMagic[:]); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	if err := binary.Write(tmp, binary.LittleEndian, uint32(storeVersion)); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	w.cw = newCodecWriter(tmp)
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(storeManifest{Key: k, PopulationUnits: pop}); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	if err := w.cw.bytes(blob.Bytes()); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	return w, nil
+}
+
+func (w *SetWriter) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+	w.cleanup()
+}
+
+func (w *SetWriter) cleanup() {
+	if w.tmp != nil {
+		name := w.tmp.Name()
+		w.tmp.Close()
+		os.Remove(name)
+		w.tmp = nil
+	}
+}
+
+// Add appends one unit. Errors are sticky; after the first, Add becomes
+// a no-op returning the same error, and Commit will refuse.
+func (w *SetWriter) Add(u *Unit) error {
+	if w.err != nil {
+		return w.err
+	}
+	var nums, refs []uint64
+	var encErr error
+	cur := make(map[*[mem.PageSize]byte]uint64, u.Mem.PageCount())
+	u.Mem.VisitPages(func(num uint64, data *[mem.PageSize]byte) {
+		if encErr != nil {
+			return
+		}
+		id, ok := w.prevPages[data]
+		if !ok {
+			id = w.nextPage
+			w.nextPage++
+			if encErr = w.cw.u64(recPage); encErr == nil {
+				encErr = w.cw.bytes(data[:])
+			}
+		}
+		cur[data] = id
+		nums = append(nums, num)
+		refs = append(refs, id)
+	})
+	if encErr != nil {
+		w.fail(encErr)
+		return w.err
+	}
+	w.prevPages = cur
+	if err := w.cw.u64(recUnit); err != nil {
+		w.fail(err)
+		return w.err
+	}
+	if err := w.cw.unit(u, nums, refs); err != nil {
+		w.fail(err)
+		return w.err
+	}
+	w.units++
+	return nil
+}
+
+// Commit seals the entry with the sweep totals and atomically installs
+// it under the key's content address.
+func (w *SetWriter) Commit(sweepInsts uint64, sweepTime time.Duration) error {
+	if w.err != nil {
+		return w.err
+	}
+	for _, v := range []uint64{recEnd, uint64(w.units), sweepInsts, uint64(int64(sweepTime))} {
+		if err := w.cw.u64(v); err != nil {
+			w.fail(err)
+			return w.err
+		}
+	}
+	if err := w.cw.w.Flush(); err != nil {
+		w.fail(err)
+		return w.err
+	}
+	name := w.tmp.Name()
+	if err := w.tmp.Close(); err != nil {
+		w.tmp = nil
+		os.Remove(name)
+		w.err = err
+		return err
+	}
+	w.tmp = nil
+	final := w.store.path(w.key)
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		w.err = err
+		return err
+	}
+	w.store.Log("checkpoint store: saved %s (%s: %d units)", w.key.Hash(), w.key.Workload, w.units)
+	return nil
+}
+
+// Abort discards the staged entry.
+func (w *SetWriter) Abort() {
+	w.cleanup()
+	if w.err == nil {
+		w.err = fmt.Errorf("checkpoint: store write aborted")
+	}
+}
+
+// Save writes an already-collected Set under k (the streaming path uses
+// Writer directly).
+func (s *Store) Save(k Key, set *Set) error {
+	w, err := s.Writer(k, set.PopulationUnits)
+	if err != nil {
+		return err
+	}
+	for _, u := range set.Units {
+		if err := w.Add(u); err != nil {
+			return err
+		}
+	}
+	return w.Commit(set.SweepInsts, set.SweepTime)
+}

@@ -1,0 +1,213 @@
+package checkpoint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/uarch"
+)
+
+// TestStoreRoundTrip saves a captured set and reloads it, requiring the
+// reloaded units to be indistinguishable from the originals (geometry,
+// arch state, memory contents, warm state).
+func TestStoreRoundTrip(t *testing.T) {
+	p := genProg(t, "gccx", 300_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{U: 1000, W: 2000, K: 40, J: 0, FunctionalWarm: true}
+	set := capture(t, p, cfg, params)
+
+	store, err := checkpoint.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := checkpoint.KeyFor(p, cfg, params)
+	if err := store.Save(key, set); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("saved set not found")
+	}
+	if len(loaded.Units) != len(set.Units) {
+		t.Fatalf("loaded %d units, saved %d", len(loaded.Units), len(set.Units))
+	}
+	if loaded.PopulationUnits != set.PopulationUnits || loaded.SweepInsts != set.SweepInsts {
+		t.Fatalf("sweep accounting lost: %+v vs %+v", loaded.PopulationUnits, set.PopulationUnits)
+	}
+	for i := range set.Units {
+		unitsEqual(t, "roundtrip", loaded.Units[i], set.Units[i])
+	}
+	if hits, misses := store.Stats(); hits != 1 || misses != 0 {
+		t.Fatalf("stats: %d hits %d misses, want 1/0", hits, misses)
+	}
+}
+
+// TestStoreKeyDiscrimination verifies that every key ingredient
+// invalidates: a different plan geometry, warming mode, or hierarchy
+// shape misses, while a machine config differing only in timing/width
+// hits the same entry.
+func TestStoreKeyDiscrimination(t *testing.T) {
+	p := genProg(t, "gzipx", 100_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{U: 1000, W: 1000, K: 20, J: 0, FunctionalWarm: true}
+	key := checkpoint.KeyFor(p, cfg, params)
+
+	// Same plan on a timing-only variant of the machine: same key.
+	timingOnly := cfg
+	timingOnly.Lat.Mem = 300
+	timingOnly.FetchWidth = 4
+	timingOnly.MispredictPenalty = 20
+	if got := checkpoint.KeyFor(p, timingOnly, params); got.Hash() != key.Hash() {
+		t.Fatal("timing-only config change must not invalidate checkpoints")
+	}
+
+	// Different hierarchy geometry: different key.
+	if got := checkpoint.KeyFor(p, uarch.Config16Way(), params); got.Hash() == key.Hash() {
+		t.Fatal("hierarchy geometry change must invalidate checkpoints")
+	}
+
+	// Plan variations: different keys.
+	for _, vary := range []func(*checkpoint.Params){
+		func(q *checkpoint.Params) { q.U = 500 },
+		func(q *checkpoint.Params) { q.W = 2000 },
+		func(q *checkpoint.Params) { q.K = 10 },
+		func(q *checkpoint.Params) { q.J = 1 },
+		func(q *checkpoint.Params) { q.Offsets = []uint64{0, 1} },
+		func(q *checkpoint.Params) { q.FunctionalWarm = false },
+		func(q *checkpoint.Params) { q.MaxUnits = 5 },
+	} {
+		q := params
+		vary(&q)
+		if checkpoint.KeyFor(p, cfg, q).Hash() == key.Hash() {
+			t.Fatalf("plan variation %+v did not change the key", q)
+		}
+	}
+
+	// Cold captures carry no warm signature: any two configs share.
+	cold := params
+	cold.FunctionalWarm = false
+	a := checkpoint.KeyFor(p, uarch.Config8Way(), cold)
+	b := checkpoint.KeyFor(p, uarch.Config16Way(), cold)
+	if a.Hash() != b.Hash() {
+		t.Fatal("cold captures must reuse across all machine configs")
+	}
+
+	// Different workload content: different key.
+	p2 := genProg(t, "gzipx", 200_000)
+	if checkpoint.KeyFor(p2, cfg, params).Hash() == key.Hash() {
+		t.Fatal("program content change must invalidate checkpoints")
+	}
+}
+
+// TestStoreVersionAndCorruption verifies unusable files degrade to
+// misses, never errors.
+func TestStoreVersionAndCorruption(t *testing.T) {
+	p := genProg(t, "gzipx", 100_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{U: 1000, K: 20, J: 0}
+	set := capture(t, p, cfg, params)
+
+	dir := t.TempDir()
+	store, err := checkpoint.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := checkpoint.KeyFor(p, cfg, params)
+	if err := store.Save(key, set); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want 1 store file, got %v (%v)", entries, err)
+	}
+
+	// Truncate the file: load must report a miss.
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load(key)
+	if err != nil {
+		t.Fatalf("corrupt entry must be a miss, got error %v", err)
+	}
+	if got != nil {
+		t.Fatal("corrupt entry must be a miss, got a set")
+	}
+
+	// Bad magic: also a miss.
+	bad := append([]byte("XXXXXXXX"), data[8:]...)
+	if err := os.WriteFile(entries[0], bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Load(key); err != nil || got != nil {
+		t.Fatalf("bad-magic entry must be a miss (got set=%v err=%v)", got != nil, err)
+	}
+}
+
+// TestStoreStreamingWriter exercises the SetWriter path the pipelined
+// engine uses: units are added one at a time during the sweep and the
+// entry becomes visible only after Commit.
+func TestStoreStreamingWriter(t *testing.T) {
+	p := genProg(t, "mcfx", 200_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{U: 1000, W: 1000, K: 25, J: 2, FunctionalWarm: true}
+	store, err := checkpoint.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := checkpoint.KeyFor(p, cfg, params)
+
+	var w *checkpoint.SetWriter
+	sum, err := checkpoint.CaptureStream(p, cfg, params, func(u *checkpoint.Unit) bool {
+		if w == nil {
+			var werr error
+			w, werr = store.Writer(key, p.Length/params.U)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			// Entry must not be visible while staged.
+			if got, _ := store.Load(key); got != nil {
+				t.Fatal("staged entry visible before Commit")
+			}
+		}
+		if err := w.Add(u); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Complete || w == nil {
+		t.Fatalf("sweep incomplete (%+v)", sum)
+	}
+	if err := w.Commit(sum.SweepInsts, sum.SweepTime); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil || len(loaded.Units) != sum.Captured {
+		t.Fatalf("reload after streamed save failed (%v)", loaded)
+	}
+
+	// Aborted writers leave nothing behind.
+	w2, err := store.Writer(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Abort()
+	leftovers, _ := filepath.Glob(filepath.Join(store.Dir(), "*.tmp-*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("aborted writer left temp files: %v", leftovers)
+	}
+}

@@ -1,16 +1,26 @@
 // Package engine runs a checkpointed SMARTS sampling plan as a parallel
-// pipeline: one functional sweep captures per-unit launch checkpoints
-// (internal/checkpoint), a worker pool replays detailed warming plus
-// measurement for each unit from its snapshot, and a deterministic
-// streaming aggregator (internal/stats) folds per-unit CPI/EPI in
-// stream order, optionally terminating early once a target confidence
-// interval is reached.
+// pipeline: a functional sweep captures per-unit launch checkpoints
+// (internal/checkpoint) and streams each one to a worker pool the
+// moment it is taken, workers replay detailed warming plus measurement
+// for each unit from its snapshot, and a deterministic streaming
+// aggregator (internal/stats) folds per-unit CPI/EPI in stream order,
+// optionally terminating early once a target confidence interval is
+// reached.
+//
+// Because capture and replay overlap, end-to-end wall clock approaches
+// max(sweep, replay/workers) instead of their sum — the sweep stops
+// being an Amdahl pre-pass. With a checkpoint store attached
+// (Options.Store), a workload's sweep is paid once and later runs skip
+// it entirely, loading launch states from disk. Options.TwoPhase
+// restores the capture-then-replay schedule for comparison benchmarks.
 //
 // Because every unit's detailed simulation is fully determined by its
-// checkpoint, results are bit-identical for any worker count — the
-// engine with one worker IS the serial path. This is the property the
-// SMARTS paper's ~10,000-unit samples make available: units are
-// statistically and, once checkpointed, computationally independent.
+// checkpoint, results are bit-identical for any worker count, any
+// schedule (streamed, two-phase, or store-loaded), and any
+// early-termination setting — the engine with one worker IS the serial
+// path. This is the property the SMARTS paper's ~10,000-unit samples
+// make available: units are statistically and, once checkpointed,
+// computationally independent.
 package engine
 
 import (
@@ -42,6 +52,17 @@ type Options struct {
 	// MinUnits is the minimum number of units measured before early
 	// termination may trigger (default 2).
 	MinUnits uint64
+	// Store, when non-nil, is consulted before sweeping: a usable entry
+	// for this (workload, plan, warm geometry) skips the functional
+	// sweep entirely, and a completed fresh sweep is persisted for
+	// later runs. Early-terminated sweeps are not persisted (they are
+	// incomplete).
+	Store *checkpoint.Store
+	// TwoPhase disables capture/replay overlap: the full sweep runs
+	// before the first worker starts, as the engine behaved before the
+	// streaming pipeline. Results are bit-identical either way; the
+	// flag exists for scheduling benchmarks and pipeline validation.
+	TwoPhase bool
 }
 
 func (o Options) workers() int {
@@ -72,16 +93,21 @@ type Result struct {
 	WarmingInsts  uint64 // detailed, unmeasured
 	SweepInsts    uint64 // functionally simulated by the capture sweep
 
-	// SweepTime is the wall-clock cost of the serial capture sweep;
-	// DetailedTime is the CPU time summed over per-unit detailed
-	// replays (wall-clock detailed cost is roughly DetailedTime divided
-	// by the worker count); WallTime is the end-to-end elapsed time.
+	// SweepTime is the wall-clock cost of the capture sweep (overlapped
+	// with replay in the streaming schedule; the original sweep's cost
+	// when launch states came from the store); DetailedTime is the CPU
+	// time summed over per-unit detailed replays (wall-clock detailed
+	// cost is roughly DetailedTime divided by the worker count);
+	// WallTime is the end-to-end elapsed time.
 	SweepTime    time.Duration
 	DetailedTime time.Duration
 	WallTime     time.Duration
 
 	// EarlyStopped reports that the confidence target cut the run short.
 	EarlyStopped bool
+	// SweepCached reports that launch states were loaded from the
+	// checkpoint store instead of sweeping.
+	SweepCached bool
 }
 
 type unitJob struct {
@@ -98,17 +124,82 @@ type unitDone struct {
 	err     error
 }
 
-// Run captures checkpoints for the plan described by p and replays the
-// units across the worker pool.
+// streamBuffer bounds how far capture may run ahead of replay dispatch.
+// Snapshots are sizeable (cache tag arrays, predictor tables), so the
+// pipeline holds only a few in flight; the sweep blocks when replay is
+// the bottleneck and the snapshots' memory stays bounded.
+const streamBuffer = 4
+
+// Run executes the plan described by p: launch states are loaded from
+// the store when possible, captured by a streaming (or two-phase) sweep
+// otherwise, and replayed across the worker pool.
 func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	set, err := checkpoint.Capture(prog, cfg, p)
-	if err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+
+	var key checkpoint.Key
+	if opt.Store != nil {
+		key = checkpoint.KeyFor(prog, cfg, p)
+		set, err := opt.Store.Load(key)
+		if err != nil {
+			return nil, err
+		}
+		if set != nil {
+			res, err := replaySet(prog, cfg, p.U, set, opt, start)
+			if err != nil {
+				return nil, err
+			}
+			res.SweepCached = true
+			return res, nil
+		}
+	}
+
+	if opt.TwoPhase {
+		set, err := checkpoint.Capture(prog, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Store != nil {
+			if err := opt.Store.Save(key, set); err != nil {
+				opt.Store.Log("checkpoint store: save failed: %v", err)
+			}
+		}
+		return replaySet(prog, cfg, p.U, set, opt, start)
+	}
+	return replayStreaming(prog, cfg, p, key, opt, start)
+}
+
+// RunSet replays an already-captured set of launch states across the
+// worker pool — the entry point for callers that captured several phase
+// offsets in one sweep (checkpoint.Set.Offset) or otherwise manage
+// capture themselves. The caller keeps ownership of set; its Units
+// slice is not modified.
+func RunSet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if u == 0 {
+		return nil, fmt.Errorf("engine: zero sampling unit size")
+	}
+	copied := &checkpoint.Set{
+		Units:           append([]*checkpoint.Unit(nil), set.Units...),
+		K:               set.K,
+		PopulationUnits: set.PopulationUnits,
+		SweepInsts:      set.SweepInsts,
+		SweepTime:       set.SweepTime,
+	}
+	return replaySet(prog, cfg, u, copied, opt, time.Now())
+}
+
+// replaySet feeds an in-memory set through the replay pool. It owns
+// set.Units (entries are nilled as they are dispatched so snapshots
+// become collectable).
+func replaySet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, opt Options, start time.Time) (*Result, error) {
 	res := &Result{
 		PopulationUnits: set.PopulationUnits,
 		SweepInsts:      set.SweepInsts,
@@ -118,28 +209,154 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 		res.WallTime = time.Since(start)
 		return res, nil
 	}
-
-	alpha := opt.Alpha
-	if alpha == 0 {
-		alpha = stats.Alpha997
-	}
-	agg := stats.NewStreamAggregator(alpha, opt.TargetEps, opt.MinUnits)
-
 	nw := opt.workers()
 	if nw > len(set.Units) {
 		nw = len(set.Units)
 	}
+
+	col := newCollector(prog, cfg, u, nw, opt, len(set.Units))
+	go func() {
+		defer close(col.feed)
+		for seq, cu := range set.Units {
+			select {
+			case col.feed <- cu:
+				// Drop the set's reference so a unit's snapshot (cache/TLB
+				// tag arrays, predictor tables, memory-image map) becomes
+				// collectable as soon as its replay finishes, instead of
+				// pinning every checkpoint until the whole run completes.
+				set.Units[seq] = nil
+			case <-col.quit:
+				return
+			}
+		}
+	}()
+	if err := col.collect(res); err != nil {
+		return nil, err
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// replayStreaming overlaps the capture sweep with replay: the sweep
+// goroutine emits each unit into the pipeline the moment its snapshot
+// is taken, and persists the stream to the store when one is attached.
+func replayStreaming(prog *program.Program, cfg uarch.Config, p checkpoint.Params, key checkpoint.Key, opt Options, start time.Time) (*Result, error) {
+	col := newCollector(prog, cfg, p.U, opt.workers(), opt, 0)
+
+	type sweepOut struct {
+		sum *checkpoint.Summary
+		err error
+	}
+	sweepc := make(chan sweepOut, 1)
+	go func() {
+		var sw *checkpoint.SetWriter
+		if opt.Store != nil {
+			var err error
+			sw, err = opt.Store.Writer(key, prog.Length/p.U)
+			if err != nil {
+				opt.Store.Log("checkpoint store: not saving: %v", err)
+				sw = nil
+			}
+		}
+		sum, err := checkpoint.CaptureStream(prog, cfg, p, func(cu *checkpoint.Unit) bool {
+			if sw != nil {
+				if werr := sw.Add(cu); werr != nil {
+					opt.Store.Log("checkpoint store: save failed mid-sweep: %v", werr)
+					sw = nil
+				}
+			}
+			select {
+			case col.feed <- cu:
+				return true
+			case <-col.quit:
+				return false
+			}
+		})
+		close(col.feed)
+		if sw != nil {
+			if err == nil && sum.Complete {
+				if werr := sw.Commit(sum.SweepInsts, sum.SweepTime); werr != nil {
+					opt.Store.Log("checkpoint store: save failed: %v", werr)
+				}
+			} else {
+				sw.Abort()
+			}
+		}
+		sweepc <- sweepOut{sum, err}
+	}()
+
+	res := &Result{}
+	collectErr := col.collect(res)
+	sweep := <-sweepc
+	if collectErr != nil {
+		return nil, collectErr
+	}
+	// A sweep error matters only if it prevented units the run still
+	// wanted: when early termination already cut the stream, the sweep
+	// was cancelled on purpose and its state is irrelevant.
+	if sweep.err != nil && !res.EarlyStopped {
+		return nil, sweep.err
+	}
+	res.PopulationUnits = sweep.sum.PopulationUnits
+	res.SweepInsts = sweep.sum.SweepInsts
+	res.SweepTime = sweep.sum.SweepTime
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// collector owns the worker pool and the deterministic stream-order
+// aggregation shared by every schedule. Units are read from feed in
+// stream order (the dispatcher assigns ascending seq numbers), fan out
+// to workers, and fold back through the aggregator; quit fires once the
+// outcome can no longer change (early termination or error).
+type collector struct {
+	feed chan *checkpoint.Unit
+	quit chan struct{}
+
+	prog *program.Program
+	cfg  uarch.Config
+	u    uint64
+	nw   int
+	opt  Options
+	hint int
+}
+
+func newCollector(prog *program.Program, cfg uarch.Config, u uint64, nw int, opt Options, hint int) *collector {
+	if nw < 1 {
+		nw = 1
+	}
+	return &collector{
+		feed: make(chan *checkpoint.Unit, streamBuffer),
+		quit: make(chan struct{}),
+		prog: prog,
+		cfg:  cfg,
+		u:    u,
+		nw:   nw,
+		opt:  opt,
+		hint: hint,
+	}
+}
+
+// collect runs the pool until the unit stream ends (or the run is cut
+// short) and fills the measurement half of res.
+func (c *collector) collect(res *Result) error {
+	alpha := c.opt.Alpha
+	if alpha == 0 {
+		alpha = stats.Alpha997
+	}
+	agg := stats.NewStreamAggregator(alpha, c.opt.TargetEps, c.opt.MinUnits)
+
 	jobs := make(chan unitJob)
-	done := make(chan unitDone, nw)
-	quit := make(chan struct{})
+	done := make(chan unitDone, c.nw)
 	var quitOnce sync.Once
-	signalQuit := func() { quitOnce.Do(func() { close(quit) }) }
+	signalQuit := func() { quitOnce.Do(func() { close(c.quit) }) }
+
 	var wg sync.WaitGroup
-	for i := 0; i < nw; i++ {
+	for i := 0; i < c.nw; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker(prog, cfg, p.U, jobs, done)
+			worker(c.prog, c.cfg, c.u, jobs, done)
 		}()
 	}
 
@@ -147,15 +364,16 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 	// prefix meets the confidence target (or on error / program end).
 	go func() {
 		defer close(jobs)
-		for seq, u := range set.Units {
+		seq := 0
+		for cu := range c.feed {
 			select {
-			case jobs <- unitJob{seq: seq, unit: u}:
-				// Drop the set's reference so a unit's snapshot (cache/TLB
-				// tag arrays, predictor tables, memory-image map) becomes
-				// collectable as soon as its replay finishes, instead of
-				// pinning every checkpoint until the whole run completes.
-				set.Units[seq] = nil
-			case <-quit:
+			case jobs <- unitJob{seq: seq, unit: cu}:
+				seq++
+			case <-c.quit:
+				// Keep draining feed so a blocked producer can always
+				// make progress to its own quit check.
+				for range c.feed {
+				}
 				return
 			}
 		}
@@ -165,9 +383,9 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 		close(done)
 	}()
 
-	collected := make([]unitDone, 0, len(set.Units))
+	collected := make([]unitDone, 0, c.hint)
 	var firstErr error
-	stopAt := len(set.Units) // in-order cutoff: units with seq >= stopAt are dropped
+	stopAt := int(^uint(0) >> 1) // in-order cutoff: units with seq >= stopAt are dropped
 	for d := range done {
 		switch {
 		case d.err != nil:
@@ -192,8 +410,9 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 			}
 		}
 	}
+	signalQuit() // release the producer if the stream ended naturally
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 
 	sort.Slice(collected, func(i, j int) bool { return collected[i].seq < collected[j].seq })
@@ -202,12 +421,11 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 			continue
 		}
 		res.Units = append(res.Units, d.res)
-		res.MeasuredInsts += p.U
+		res.MeasuredInsts += c.u
 		res.WarmingInsts += d.warming
 		res.DetailedTime += d.elapsed
 	}
-	res.WallTime = time.Since(start)
-	return res, nil
+	return nil
 }
 
 // worker replays units from its job channel.

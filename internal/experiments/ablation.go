@@ -97,6 +97,7 @@ func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
 	}
 	base := smarts.PlanForN(p.Length, u, w, n, smarts.FunctionalWarming, 0)
 	base.Parallelism = ctx.Parallelism
+	base.Store = ctx.Ckpt
 	base.Components = comp
 	if phases < 1 {
 		phases = 1
@@ -104,14 +105,12 @@ func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
 	if uint64(phases) > base.K {
 		phases = int(base.K)
 	}
+	runs, err := runPhases(p, cfg, base, phases)
+	if err != nil {
+		return 0, err
+	}
 	var total float64
-	for ph := 0; ph < phases; ph++ {
-		plan := base
-		plan.J = uint64(ph) * base.K / uint64(phases)
-		run, err := smarts.Run(p, cfg, plan)
-		if err != nil {
-			return 0, err
-		}
+	for _, run := range runs {
 		var measured, truth float64
 		for _, unit := range run.Units {
 			if unit.Index >= uint64(len(trueUnits)) {
@@ -121,7 +120,7 @@ func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
 			truth += trueUnits[unit.Index]
 		}
 		if truth == 0 {
-			return 0, fmt.Errorf("experiments: ablation %s j=%d measured nothing", bench, plan.J)
+			return 0, fmt.Errorf("experiments: ablation %s j=%d measured nothing", bench, run.Plan.J)
 		}
 		total += (measured - truth) / truth
 	}

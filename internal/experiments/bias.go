@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/program"
 	"repro/internal/smarts"
 	"repro/internal/uarch"
 )
@@ -36,20 +37,19 @@ func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
 
 	base := smarts.PlanForN(p.Length, u, w, n, mode, 0)
 	base.Parallelism = ctx.Parallelism
+	base.Store = ctx.Ckpt
 	if phases < 1 {
 		phases = 1
 	}
 	if uint64(phases) > base.K {
 		phases = int(base.K)
 	}
+	runs, err := runPhases(p, cfg, base, phases)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: bias runs %s: %w", bench, err)
+	}
 	var total float64
-	for ph := 0; ph < phases; ph++ {
-		plan := base
-		plan.J = uint64(ph) * base.K / uint64(phases)
-		res, err := smarts.Run(p, cfg, plan)
-		if err != nil {
-			return 0, fmt.Errorf("experiments: bias run %s j=%d: %w", bench, plan.J, err)
-		}
+	for _, res := range runs {
 		var measured, truth float64
 		var counted int
 		for _, unit := range res.Units {
@@ -61,9 +61,39 @@ func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
 			counted++
 		}
 		if counted == 0 || truth == 0 {
-			return 0, fmt.Errorf("experiments: bias run %s j=%d measured no comparable units", bench, plan.J)
+			return 0, fmt.Errorf("experiments: bias run %s j=%d measured no comparable units", bench, res.Plan.J)
 		}
 		total += (measured - truth) / truth
 	}
 	return total / float64(phases), nil
+}
+
+// runPhases executes plan at `phases` evenly spaced offsets. On the
+// classic serial path each phase runs its own sweep (preserving the
+// historical execution exactly); on the engine path every phase's
+// launch boundaries are captured in one multi-offset sweep and replayed
+// from shared snapshots — bit-identical per phase to dedicated runs,
+// at one sweep's cost instead of `phases`.
+func runPhases(p *program.Program, cfg uarch.Config, plan smarts.Plan, phases int) ([]*smarts.Result, error) {
+	js := make([]uint64, phases)
+	for ph := range js {
+		js[ph] = uint64(ph) * plan.K / uint64(phases)
+	}
+	if plan.Parallelism != 0 {
+		return smarts.RunSampledPhases(p, cfg, plan, js, smarts.EngineOptions{
+			Workers: plan.Parallelism,
+			Store:   plan.Store,
+		})
+	}
+	runs := make([]*smarts.Result, len(js))
+	for i, j := range js {
+		pj := plan
+		pj.J = j
+		res, err := smarts.Run(p, cfg, pj)
+		if err != nil {
+			return nil, fmt.Errorf("j=%d: %w", j, err)
+		}
+		runs[i] = res
+	}
+	return runs, nil
 }

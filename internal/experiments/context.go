@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/program"
 	"repro/internal/smarts"
 	"repro/internal/uarch"
@@ -118,6 +119,12 @@ type Context struct {
 	// parallel engine with n workers, negative uses one worker per core
 	// (see smarts.Plan.Parallelism for the semantic difference).
 	Parallelism int
+
+	// Ckpt, when non-nil and the engine is selected, is copied into
+	// every sampling plan so functional sweeps are persisted to disk and
+	// reused across experiments, phases, and smartsweep invocations (see
+	// smarts.Plan.Store). Results are bit-identical with or without it.
+	Ckpt *checkpoint.Store
 
 	mu    sync.Mutex
 	progs map[string]*program.Program

@@ -60,6 +60,7 @@ func Fig6(ctx *Context, cfg uarch.Config) (*Fig6Result, error) {
 		pc := smarts.DefaultProcedure(cfg, ctx.Scale.NInit)
 		pc.Eps = ctx.Scale.Eps
 		pc.Parallelism = ctx.Parallelism
+		pc.Store = ctx.Ckpt
 		pr, err := smarts.RunProcedure(p, cfg, pc)
 		if err != nil {
 			return nil, err

@@ -49,6 +49,7 @@ func Fig7(ctx *Context, cfg uarch.Config) (*Fig7Result, error) {
 		plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), ctx.Scale.NInit,
 			smarts.FunctionalWarming, 0)
 		plan.Parallelism = ctx.Parallelism
+		plan.Store = ctx.Ckpt
 		run, err := smarts.Run(p, cfg, plan)
 		if err != nil {
 			return nil, err

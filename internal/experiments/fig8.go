@@ -69,6 +69,7 @@ func Fig8(ctx *Context, cfg uarch.Config, benches []string) (*Fig8Result, error)
 		plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), ctx.Scale.NInit,
 			smarts.FunctionalWarming, 0)
 		plan.Parallelism = ctx.Parallelism
+		plan.Store = ctx.Ckpt
 		smRun, err := smarts.Run(p, cfg, plan)
 		if err != nil {
 			return nil, err

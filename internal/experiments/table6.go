@@ -69,6 +69,7 @@ func Table6(ctx *Context, cfg uarch.Config) (*Table6Result, error) {
 		}
 		plan := smarts.PlanForN(p.Length, 1000, w, n, smarts.FunctionalWarming, 0)
 		plan.Parallelism = ctx.Parallelism
+		plan.Store = ctx.Ckpt
 		start := time.Now()
 		if _, err := smarts.Run(p, cfg, plan); err != nil {
 			return nil, err

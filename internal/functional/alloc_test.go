@@ -1,0 +1,66 @@
+package functional_test
+
+import (
+	"testing"
+
+	"repro/internal/functional"
+	"repro/internal/program"
+)
+
+// loopProg returns a generated suite workload: the realistic instruction
+// mix (ALU, loads/stores, branches) the sweep hot loop actually sees.
+func loopProg(tb testing.TB, length uint64) *program.Program {
+	tb.Helper()
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := program.Generate(spec, length)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// TestStepZeroAllocs pins functional.Step to zero heap allocations per
+// instruction in steady state (all touched pages allocated). This is the
+// allocation-regression guard for the capture sweep's innermost loop.
+func TestStepZeroAllocs(t *testing.T) {
+	p := loopProg(t, 200_000)
+	cpu := functional.New(p)
+	// Reach steady state: execute enough of the stream that the working
+	// set's pages exist, then measure.
+	if _, err := cpu.Run(50_000); err != nil {
+		t.Fatal(err)
+	}
+	var d functional.DynInst
+	allocs := testing.AllocsPerRun(20_000, func() {
+		if err := cpu.Step(&d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("functional.Step allocates %.4f objects/instruction; want 0", allocs)
+	}
+}
+
+// BenchmarkStep measures the functional simulator's per-instruction cost
+// on a realistic workload mix — the unit of work every fast-forward and
+// sweep instruction pays.
+func BenchmarkStep(b *testing.B) {
+	p := loopProg(b, 2_000_000)
+	cpu := functional.New(p)
+	var d functional.DynInst
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cpu.Halted {
+			b.StopTimer()
+			cpu = functional.New(p)
+			b.StartTimer()
+		}
+		if err := cpu.Step(&d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,5 +26,5 @@ func (c *CPU) Arch() ArchState {
 // mem.Image). Stepping it produces the same dynamic instruction stream
 // the snapshotted CPU would have produced from that point.
 func NewAt(p *program.Program, st ArchState, m *mem.Memory) *CPU {
-	return &CPU{Prog: p, Mem: m, Regs: st.Regs, PC: st.PC, Count: st.Count, Halted: st.Halted}
+	return &CPU{Prog: p, Mem: m, Regs: st.Regs, PC: st.PC, Count: st.Count, Halted: st.Halted, code: p.Code}
 }

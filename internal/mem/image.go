@@ -1,5 +1,7 @@
 package mem
 
+import "sort"
+
 // Image is an immutable point-in-time snapshot of a Memory, produced by
 // Memory.Snapshot. Pages are shared by reference between the image, the
 // snapshotted memory, and every Memory materialized from the image;
@@ -46,6 +48,35 @@ func (img *Image) NewMemory() *Memory {
 
 // PageCount returns the number of pages the image holds.
 func (img *Image) PageCount() int { return len(img.pages) }
+
+// VisitPages calls f for every page in ascending page-number order. The
+// page arrays are the image's own shared storage: callers must treat
+// them as read-only. Serializers (the checkpoint store) use the pointer
+// identity to deduplicate pages shared copy-on-write between
+// neighbouring snapshots.
+func (img *Image) VisitPages(f func(num uint64, data *[PageSize]byte)) {
+	nums := make([]uint64, 0, len(img.pages))
+	for n := range img.pages {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, n := range nums {
+		f(n, img.pages[n])
+	}
+}
+
+// ImageFromPages builds an image over the given page arrays without
+// copying them. The caller must not mutate the arrays afterwards; every
+// Memory materialized from the image copies shared pages on write, so
+// handing the same arrays to several images (deserialized checkpoint
+// sets do this) is safe.
+func ImageFromPages(pages map[uint64]*[PageSize]byte) *Image {
+	img := &Image{pages: make(map[uint64]*[PageSize]byte, len(pages))}
+	for n, p := range pages {
+		img.pages[n] = p
+	}
+	return img
+}
 
 // Read64 returns the little-endian 64-bit value at addr in the image
 // (zero for unallocated addresses). It exists for tests and checkpoint

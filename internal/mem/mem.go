@@ -6,7 +6,10 @@
 // touch. Reads of unallocated memory return zero without allocating.
 package mem
 
-import "sort"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 // Page geometry.
 const (
@@ -103,15 +106,29 @@ func (m *Memory) Write8(addr uint64, v uint8) {
 
 // Read32 returns the little-endian 32-bit value at addr. The access may
 // straddle a page boundary.
+//
+// The fast path exploits one identity: when addr lies on the cached
+// page, addr XOR (lastPageNum << PageBits) equals the in-page offset;
+// when it does not, the XOR has bits set above the page mask and the
+// single unsigned comparison against PageSize-width rejects it. That
+// folds the page-match and bounds checks into one branch, so the
+// overwhelmingly common same-page access costs one compare and one
+// fixed-width load/store — no page-map lookup, no inner call.
 func (m *Memory) Read32(addr uint64) uint32 {
+	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); p != nil && off <= PageSize-4 {
+		return binary.LittleEndian.Uint32(p[off:])
+	}
+	return m.read32Slow(addr)
+}
+
+func (m *Memory) read32Slow(addr uint64) uint32 {
 	off := addr & pageMask
 	if off <= PageSize-4 {
 		p := m.page(addr, false)
 		if p == nil {
 			return 0
 		}
-		return uint32(p[off]) | uint32(p[off+1])<<8 |
-			uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+		return binary.LittleEndian.Uint32(p[off:])
 	}
 	var v uint32
 	for i := uint64(0); i < 4; i++ {
@@ -123,13 +140,18 @@ func (m *Memory) Read32(addr uint64) uint32 {
 // Write32 stores v little-endian at addr. The access may straddle a page
 // boundary.
 func (m *Memory) Write32(addr uint64, v uint32) {
+	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); m.lastWritable && p != nil && off <= PageSize-4 {
+		binary.LittleEndian.PutUint32(p[off:], v)
+		return
+	}
+	m.write32Slow(addr, v)
+}
+
+func (m *Memory) write32Slow(addr uint64, v uint32) {
 	off := addr & pageMask
 	if off <= PageSize-4 {
 		p := m.page(addr, true)
-		p[off] = byte(v)
-		p[off+1] = byte(v >> 8)
-		p[off+2] = byte(v >> 16)
-		p[off+3] = byte(v >> 24)
+		binary.LittleEndian.PutUint32(p[off:], v)
 		return
 	}
 	for i := uint64(0); i < 4; i++ {
@@ -138,18 +160,22 @@ func (m *Memory) Write32(addr uint64, v uint32) {
 }
 
 // Read64 returns the little-endian 64-bit value at addr. The access may
-// straddle a page boundary.
+// straddle a page boundary. See Read32 for the fast-path shape.
 func (m *Memory) Read64(addr uint64) uint64 {
+	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); p != nil && off <= PageSize-8 {
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	return m.read64Slow(addr)
+}
+
+func (m *Memory) read64Slow(addr uint64) uint64 {
 	off := addr & pageMask
 	if off <= PageSize-8 {
 		p := m.page(addr, false)
 		if p == nil {
 			return 0
 		}
-		return uint64(p[off]) | uint64(p[off+1])<<8 |
-			uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
-			uint64(p[off+4])<<32 | uint64(p[off+5])<<40 |
-			uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+		return binary.LittleEndian.Uint64(p[off:])
 	}
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
@@ -161,17 +187,18 @@ func (m *Memory) Read64(addr uint64) uint64 {
 // Write64 stores v little-endian at addr. The access may straddle a page
 // boundary.
 func (m *Memory) Write64(addr uint64, v uint64) {
+	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); m.lastWritable && p != nil && off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	}
+	m.write64Slow(addr, v)
+}
+
+func (m *Memory) write64Slow(addr uint64, v uint64) {
 	off := addr & pageMask
 	if off <= PageSize-8 {
 		p := m.page(addr, true)
-		p[off] = byte(v)
-		p[off+1] = byte(v >> 8)
-		p[off+2] = byte(v >> 16)
-		p[off+3] = byte(v >> 24)
-		p[off+4] = byte(v >> 32)
-		p[off+5] = byte(v >> 40)
-		p[off+6] = byte(v >> 48)
-		p[off+7] = byte(v >> 56)
+		binary.LittleEndian.PutUint64(p[off:], v)
 		return
 	}
 	for i := uint64(0); i < 8; i++ {

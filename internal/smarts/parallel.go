@@ -23,15 +23,40 @@ type EngineOptions struct {
 	// MinUnits is the minimum measured-unit count before early
 	// termination may trigger.
 	MinUnits uint64
+	// Store, when non-nil, persists and reuses capture sweeps on disk
+	// (see checkpoint.Store). Plan.Store is used when this is nil.
+	Store *checkpoint.Store
+	// TwoPhase runs the engine's capture-then-replay schedule instead of
+	// the streaming pipeline; results are bit-identical either way.
+	TwoPhase bool
 }
 
-// RunSampled executes the plan on the checkpointed parallel engine: one
+// params translates a validated Plan into checkpoint capture parameters.
+func (pl Plan) params() checkpoint.Params {
+	p := checkpoint.Params{
+		U:              pl.U,
+		K:              pl.K,
+		J:              pl.J,
+		FunctionalWarm: pl.Warming == FunctionalWarming,
+		Components:     pl.Components,
+		MaxUnits:       pl.MaxUnits,
+	}
+	if pl.Warming != NoWarming {
+		p.W = pl.W
+	}
+	return p
+}
+
+// RunSampled executes the plan on the checkpointed parallel engine: a
 // functional sweep captures a launch snapshot per selected unit
 // (architectural registers and PC, a copy-on-write memory image, and —
-// under functional warming — the cache/TLB/predictor state), then a
-// worker pool replays detailed warming plus measurement for every unit
-// from its snapshot and a deterministic stream-order aggregator merges
-// the results.
+// under functional warming — the cache/TLB/predictor state) and streams
+// each snapshot straight into a worker pool that replays detailed
+// warming plus measurement, while a deterministic stream-order
+// aggregator merges the results. Capture and replay overlap, so wall
+// clock approaches max(sweep, replay/workers); with a checkpoint store
+// attached, a previously swept (workload, plan, warm geometry) skips
+// the sweep entirely.
 //
 // Semantics versus the in-place serial loop of Run: each unit launches
 // from sweep state rather than from state carried out of the previous
@@ -40,7 +65,8 @@ type EngineOptions struct {
 // treats as residual bias (Section 4.5); under detailed or no warming,
 // units launch microarchitecturally cold instead of stale. In exchange,
 // units become fully independent: results are bit-identical for every
-// worker count, and the detailed phase scales with cores.
+// worker count, every schedule, and every sweep source (fresh or
+// stored), and the detailed phase scales with cores.
 func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOptions) (*Result, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
@@ -48,35 +74,122 @@ func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOp
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	params := checkpoint.Params{
-		U:              plan.U,
-		K:              plan.K,
-		J:              plan.J,
-		FunctionalWarm: plan.Warming == FunctionalWarming,
-		Components:     plan.Components,
-		MaxUnits:       plan.MaxUnits,
+	if opt.Store == nil {
+		opt.Store = plan.Store
 	}
-	if plan.Warming != NoWarming {
-		params.W = plan.W
-	}
-	er, err := engine.Run(prog, cfg, params, engine.Options{
+	er, err := engine.Run(prog, cfg, plan.params(), engine.Options{
 		Workers:   opt.Workers,
 		Alpha:     opt.Alpha,
 		TargetEps: opt.TargetEps,
 		MinUnits:  opt.MinUnits,
+		Store:     opt.Store,
+		TwoPhase:  opt.TwoPhase,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return engineResult(plan, er, !er.SweepCached), nil
+}
 
-	// Wall-clock accounting: FastFwdTime is the serial capture sweep and
-	// DetailedTime the elapsed parallel replay phase, so the two sum to
-	// the run's elapsed time just as on the serial path. (The engine's
+// RunSampledPhases executes the same plan at several systematic phase
+// offsets, paying one functional sweep for all of them: a multi-offset
+// capture records every offset's launch boundaries in a single pass
+// (checkpoint.Params.Offsets), and the engine replays each offset's
+// units from the shared snapshots. Each returned Result is bit-identical
+// to a dedicated RunSampled at that offset; results[i] corresponds to
+// js[i]. With a store attached the combined multi-offset set is
+// persisted and reused as one entry.
+//
+// The sweep accounting (FastFwdInsts/FastFwdTime) on every result
+// echoes the one shared sweep; callers summing costs across phases
+// should count it once.
+func RunSampledPhases(prog *program.Program, cfg uarch.Config, plan Plan, js []uint64, opt EngineOptions) ([]*Result, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Store == nil {
+		opt.Store = plan.Store
+	}
+	params := plan.params()
+	params.J = 0
+	params.Offsets = js
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	var set *checkpoint.Set
+	sweepCached := false
+	if opt.Store != nil {
+		key := checkpoint.KeyFor(prog, cfg, params)
+		cached, err := opt.Store.Load(key)
+		if err != nil {
+			return nil, err
+		}
+		if cached != nil {
+			set = cached
+			sweepCached = true
+		} else {
+			set, err = checkpoint.Capture(prog, cfg, params)
+			if err != nil {
+				return nil, err
+			}
+			if serr := opt.Store.Save(key, set); serr != nil {
+				opt.Store.Log("checkpoint store: save failed: %v", serr)
+			}
+		}
+	} else {
+		var err error
+		set, err = checkpoint.Capture(prog, cfg, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]*Result, len(js))
+	for i, j := range js {
+		er, err := engine.RunSet(prog, cfg, plan.U, set.Offset(j), engine.Options{
+			Workers:   opt.Workers,
+			Alpha:     opt.Alpha,
+			TargetEps: opt.TargetEps,
+			MinUnits:  opt.MinUnits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		phasePlan := plan
+		phasePlan.J = j
+		r := engineResult(phasePlan, er, false)
+		r.FastFwdInsts = set.SweepInsts
+		r.FastFwdTime = set.SweepTime
+		r.SweepCached = sweepCached
+		results[i] = r
+	}
+	return results, nil
+}
+
+// engineResult converts an engine result into the smarts Result shape.
+// sweepInRun says the sweep's wall clock was part of this run's
+// WallTime (a fresh streamed or two-phase sweep); when false (store
+// hit, or replaying a shared pre-captured set) er.SweepTime merely
+// echoes a sweep paid elsewhere and the whole elapsed time is detailed
+// work.
+func engineResult(plan Plan, er *engine.Result, sweepInRun bool) *Result {
+	// Wall-clock accounting: FastFwdTime is the capture sweep and
+	// DetailedTime the remaining elapsed time, so the two sum to the
+	// run's elapsed time just as on the serial path. (The engine's
 	// per-worker CPU total, er.DetailedTime, would overstate elapsed
-	// time by up to the worker count.)
-	detailedWall := er.WallTime - er.SweepTime
-	if detailedWall < 0 {
-		detailedWall = 0
+	// time by up to the worker count; under the streaming schedule the
+	// sweep overlaps replay, so the split is attribution, not a
+	// timeline.)
+	detailedWall := er.WallTime
+	if sweepInRun {
+		detailedWall -= er.SweepTime
+		if detailedWall < 0 {
+			detailedWall = 0
+		}
 	}
 	res := &Result{
 		Plan:            plan,
@@ -86,6 +199,7 @@ func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOp
 		FastFwdInsts:    er.SweepInsts,
 		FastFwdTime:     er.SweepTime,
 		DetailedTime:    detailedWall,
+		SweepCached:     er.SweepCached,
 		Units:           make([]UnitResult, len(er.Units)),
 	}
 	for i, u := range er.Units {
@@ -97,5 +211,5 @@ func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOp
 			EPI:      u.EPI,
 		}
 	}
-	return res, nil
+	return res
 }

@@ -3,6 +3,7 @@ package smarts
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/uarch"
@@ -37,6 +38,10 @@ type ProcedureConfig struct {
 	// with n workers, negative uses one worker per core (see
 	// Plan.Parallelism).
 	Parallelism int
+	// Store is forwarded to both sampling runs' plans (see Plan.Store).
+	// The two steps usually sample at different intervals k and so key
+	// separate sweeps; the payoff is across repeated procedures.
+	Store *checkpoint.Store
 }
 
 // DefaultProcedure returns the paper's recommended settings, with n_init
@@ -103,6 +108,7 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 
 	plan := PlanForN(prog.Length, pc.U, pc.W, pc.NInit, pc.Warming, pc.J)
 	plan.Parallelism = pc.Parallelism
+	plan.Store = pc.Store
 	initial, err := Run(prog, cfg, plan)
 	if err != nil {
 		return nil, fmt.Errorf("smarts: initial run: %w", err)
@@ -123,6 +129,7 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 	}
 	plan2 := PlanForN(prog.Length, pc.U, pc.W, pr.NTuned, pc.Warming, pc.J)
 	plan2.Parallelism = pc.Parallelism
+	plan2.Store = pc.Store
 	tuned, err := Run(prog, cfg, plan2)
 	if err != nil {
 		return nil, fmt.Errorf("smarts: tuned run: %w", err)

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/functional"
 	"repro/internal/program"
 	"repro/internal/stats"
@@ -103,6 +104,13 @@ type Plan struct {
 	// state carried out of earlier units' detailed simulation instead of
 	// snapshot state (see RunSampled).
 	Parallelism int
+	// Store, when non-nil and the engine is selected, reuses functional
+	// sweeps across runs through the on-disk checkpoint store: a run
+	// whose (workload, plan, warm geometry) was swept before loads the
+	// launch states from disk and skips fast-forwarding entirely.
+	// Results are bit-identical with or without the store. Ignored by
+	// the classic serial loop.
+	Store *checkpoint.Store
 }
 
 // Validate reports plan errors.
@@ -164,6 +172,12 @@ type Result struct {
 	// Wall-clock accounting for the speedup experiments.
 	FastFwdTime  time.Duration
 	DetailedTime time.Duration
+
+	// SweepCached reports that the engine loaded this run's launch
+	// states from the on-disk checkpoint store instead of sweeping; the
+	// FastFwd accounting then echoes the original (reused) sweep's cost
+	// rather than time spent in this run.
+	SweepCached bool
 }
 
 // CPISample returns the per-unit CPI observations as a stats.Sample.
@@ -206,7 +220,7 @@ func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
 		return nil, err
 	}
 	if plan.Parallelism != 0 {
-		return RunSampled(prog, cfg, plan, EngineOptions{Workers: plan.Parallelism})
+		return RunSampled(prog, cfg, plan, EngineOptions{Workers: plan.Parallelism, Store: plan.Store})
 	}
 
 	cpu := functional.New(prog)
