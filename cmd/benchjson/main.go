@@ -61,8 +61,16 @@ func main() {
 		pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
 		timeout   = flag.String("timeout", "30m", "go test timeout")
 		echo      = flag.Bool("echo", true, "mirror the raw go test output to stderr")
+		baseline  = flag.String("baseline", "", "baseline report to compare against (a previous output of this tool)")
+		regress   = flag.String("regress", "", "comma-separated lower-is-better regression gates as metric:maxPct (e.g. 'snapshotBytes/unit:10'); checked against -baseline after the run")
+		warnOnly  = flag.Bool("regress-warn", false, "report tripped regression gates as warnings instead of failing")
 	)
 	flag.Parse()
+
+	gates, err := parseGates(*regress)
+	if err != nil {
+		fatal(err)
+	}
 
 	patterns := strings.Split(*pkgs, ",")
 	args := []string{"test", "-run", "^$", "-bench", *benchRe,
@@ -104,6 +112,87 @@ func main() {
 	if runErr != nil {
 		fatal(fmt.Errorf("go test reported failure: %w", runErr))
 	}
+
+	if *baseline != "" && len(gates) > 0 {
+		violations, err := checkRegressions(*baseline, benches, gates)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", v)
+		}
+		if len(violations) > 0 && !*warnOnly {
+			os.Exit(1)
+		}
+	}
+}
+
+// gate is one lower-is-better regression bound: metric may grow at most
+// maxPct percent over the baseline.
+type gate struct {
+	metric string
+	maxPct float64
+}
+
+func parseGates(spec string) ([]gate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var gates []gate
+	for _, part := range strings.Split(spec, ",") {
+		metric, pct, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -regress entry %q: want metric:maxPct", part)
+		}
+		p, err := strconv.ParseFloat(pct, 64)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("bad -regress bound %q", pct)
+		}
+		gates = append(gates, gate{metric: metric, maxPct: p})
+	}
+	return gates, nil
+}
+
+// checkRegressions compares the fresh results against the baseline
+// report, benchmark by benchmark, for each gated metric. Benchmarks or
+// metrics absent from either side are skipped — a gate only fires on a
+// genuine same-benchmark, same-metric increase beyond its bound. All
+// gates are lower-is-better; byte-count metrics are deterministic, so
+// they are the ones worth gating in CI.
+func checkRegressions(baselinePath string, benches []Benchmark, gates []gate) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseMetric := make(map[string]float64)
+	for _, b := range base.Benchmarks {
+		for name, val := range b.Metrics {
+			baseMetric[b.Package+"\x00"+b.Name+"\x00"+name] = val
+		}
+	}
+	var violations []string
+	for _, b := range benches {
+		for _, g := range gates {
+			got, ok := b.Metrics[g.metric]
+			if !ok {
+				continue
+			}
+			want, ok := baseMetric[b.Package+"\x00"+b.Name+"\x00"+g.metric]
+			if !ok || want <= 0 {
+				continue
+			}
+			if got > want*(1+g.maxPct/100) {
+				violations = append(violations, fmt.Sprintf(
+					"%s %s: %.4g vs baseline %.4g (+%.1f%%, allowed +%.0f%%)",
+					b.Name, g.metric, got, want, (got/want-1)*100, g.maxPct))
+			}
+		}
+	}
+	return violations, nil
 }
 
 // parse extracts benchmark lines from go test output. A result line has

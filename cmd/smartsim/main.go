@@ -40,6 +40,7 @@ func main() {
 		eps       = flag.Float64("eps", 0.03, "target relative confidence interval")
 		parallel  = flag.Int("parallel", 0, "checkpointed parallel engine workers (0 = classic serial path, -1 = all cores)")
 		ckptDir   = flag.String("ckpt-dir", "", "on-disk checkpoint store directory; sweeps are saved and reused across runs (empty = in-memory only; requires -parallel)")
+		ckptMax   = flag.Int64("ckpt-max-bytes", 0, "LRU size cap for the checkpoint store in bytes; each save evicts the least recently used entries over the cap (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 			if store, err = checkpoint.OpenStore(*ckptDir); err != nil {
 				fatal(err)
 			}
+			store.MaxBytes = *ckptMax
 			store.Logf = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}

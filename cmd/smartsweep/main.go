@@ -26,6 +26,7 @@ func main() {
 		scale    = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
 		parallel = flag.Int("parallel", 0, "checkpointed parallel engine workers for sampling runs (0 = classic serial path, -1 = all cores)")
 		ckptDir  = flag.String("ckpt-dir", "", "on-disk checkpoint store directory; functional sweeps are saved and reused across experiments and invocations (empty = in-memory only; requires -parallel)")
+		ckptMax  = flag.Int64("ckpt-max-bytes", 0, "LRU size cap for the checkpoint store in bytes; each save evicts the least recently used entries over the cap (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			store.MaxBytes = *ckptMax
 			store.Logf = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}

@@ -31,6 +31,20 @@
 // streamed, two-phase, store-loaded, multi-offset — produces
 // bit-identical estimates.
 //
+// Warm snapshots are delta-encoded: the warmed structures maintain
+// dirty-block bitmaps inside their zero-allocation update fast paths,
+// so each checkpoint copies only the cache/TLB/predictor blocks touched
+// since the previous one, with a periodic full keyframe
+// (checkpoint.Params.Keyframe) bounding every unit's reconstruction
+// chain. Workers materialize launch states on demand
+// (checkpoint.Unit.MaterializeWarm), and the store's v2 format persists
+// the same keyframe+delta structure (read-compatible with v1 full
+// snapshots), shrinking both the in-memory footprint and the on-disk
+// bytes of dense plans several-fold while every schedule stays
+// bit-identical. The store also keeps an index.json of its entries and
+// can enforce an LRU size cap (checkpoint.Store.MaxBytes, the CLIs'
+// -ckpt-max-bytes).
+//
 // Executables are under cmd/, runnable examples under examples/, and the
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.

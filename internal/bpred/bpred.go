@@ -80,6 +80,14 @@ type Unit struct {
 	ras    []uint64
 	rasTop int
 
+	// tblDirty and btbDirty are snapshot dirty-tracking bitmaps (see
+	// delta.go): one bit per block of direction-table entries (bimodal,
+	// gshare, and chooser share indices and one bitmap) and per block of
+	// BTB entries. Update and the BTB paths mark them; SnapshotDelta
+	// consumes and clears them.
+	tblDirty []uint64
+	btbDirty []uint64
+
 	// Stats accumulate over the unit's lifetime; callers snapshot/diff.
 	Stats Stats
 }
@@ -100,6 +108,8 @@ func New(cfg Config) *Unit {
 		btbValid: make([]bool, cfg.BTBSets*cfg.BTBWays),
 		btbLRU:   make([]uint64, cfg.BTBSets*cfg.BTBWays),
 		ras:      make([]uint64, cfg.RASEntries),
+		tblDirty: newDirtyBitmap(n, tblGrainShift),
+		btbDirty: newDirtyBitmap(cfg.BTBSets*cfg.BTBWays, btbGrainShift),
 	}
 	// Weakly taken initial counters, the SimpleScalar default.
 	for i := range u.bimodal {
@@ -182,6 +192,8 @@ func (u *Unit) Update(o Outcome) {
 	case isa.ClassBranch:
 		u.Stats.Branches++
 		gi, bi := u.gidx(o.PC), u.idx(o.PC)
+		u.markTbl(gi) // covers gshare and the chooser (ci == gi)
+		u.markTbl(bi)
 		gPred := u.gshare[gi] >= 2
 		bPred := u.bimodal[bi] >= 2
 		// Chooser trains toward the component that was right.
@@ -275,6 +287,7 @@ func (u *Unit) Flush() {
 		u.btbValid[i] = false
 	}
 	u.rasTop = 0
+	u.markAllDirty()
 }
 
 func (u *Unit) btbLookup(pc uint64) (uint64, bool) {
@@ -285,6 +298,7 @@ func (u *Unit) btbLookup(pc uint64) (uint64, bool) {
 		if u.btbValid[i] && u.btbTags[i] == pc {
 			u.btbStamp++
 			u.btbLRU[i] = u.btbStamp
+			u.markBTB(i)
 			return u.btbTgts[i], true
 		}
 	}
@@ -300,6 +314,7 @@ func (u *Unit) btbInsert(pc, target uint64) {
 		i := base + w
 		if u.btbValid[i] && u.btbTags[i] == pc {
 			u.btbTgts[i] = target
+			u.markBTB(i)
 			return
 		}
 		if !u.btbValid[i] {
@@ -315,6 +330,7 @@ func (u *Unit) btbInsert(pc, target uint64) {
 	u.btbTags[victim] = pc
 	u.btbTgts[victim] = target
 	u.btbLRU[victim] = u.btbStamp
+	u.markBTB(victim)
 }
 
 func (u *Unit) rasPush(ret uint64) {

@@ -1,0 +1,279 @@
+package bpred
+
+// Delta snapshots: dirty-block encoding of predictor state, the bpred
+// counterpart of the cache package's delta machinery. The direction
+// tables (bimodal/gshare/chooser share indices) and the BTB arrays are
+// covered by fixed-granularity dirty bitmaps maintained inside Update
+// and the BTB lookup/insert paths; the return address stack, history
+// register, and stamps are small enough to carry in full in every
+// delta. SnapshotDelta + State.Apply reproduce a full Snapshot exactly
+// (property-tested in delta_test.go).
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// tblGrainShift: 64 direction-table entries (64 bytes per table,
+	// three tables) share one dirty bit.
+	tblGrainShift = 6
+	// btbGrainShift: 32 BTB entries (~800 bytes of tag/target/LRU/valid
+	// state) share one dirty bit.
+	btbGrainShift = 5
+)
+
+// newDirtyBitmap allocates an all-dirty bitmap covering n entries at
+// the given block granularity (log2 entries per bit).
+func newDirtyBitmap(n int, grainShift uint) []uint64 {
+	blocks := (n + (1 << grainShift) - 1) >> grainShift
+	bm := make([]uint64, (blocks+63)/64)
+	for i := range bm {
+		bm[i] = ^uint64(0)
+	}
+	return bm
+}
+
+// markTbl records direction-table index i as modified.
+func (u *Unit) markTbl(i int) {
+	u.tblDirty[uint(i)>>(tblGrainShift+6)] |= 1 << ((uint(i) >> tblGrainShift) & 63)
+}
+
+// markBTB records BTB entry i as modified.
+func (u *Unit) markBTB(i int) {
+	u.btbDirty[uint(i)>>(btbGrainShift+6)] |= 1 << ((uint(i) >> btbGrainShift) & 63)
+}
+
+// markAllDirty forces the next delta to carry the full arrays.
+func (u *Unit) markAllDirty() {
+	for i := range u.tblDirty {
+		u.tblDirty[i] = ^uint64(0)
+	}
+	for i := range u.btbDirty {
+		u.btbDirty[i] = ^uint64(0)
+	}
+}
+
+// ResetDirty clears the dirty tracking, establishing the current state
+// as the baseline the next SnapshotDelta is measured against.
+func (u *Unit) ResetDirty() {
+	for i := range u.tblDirty {
+		u.tblDirty[i] = 0
+	}
+	for i := range u.btbDirty {
+		u.btbDirty[i] = 0
+	}
+}
+
+// Delta is a dirty-block delta between two predictor snapshots. Table
+// block b covers indices [b*64, (b+1)*64); BTB block b covers entries
+// [b*32, min((b+1)*32, BTBN)). The RAS and the scalars are always
+// carried in full (a few hundred bytes at most).
+type Delta struct {
+	// N is the direction-table entry count, BTBN the BTB entry count
+	// (geometry checks).
+	N, BTBN int
+
+	// TblBlocks holds dirty direction-table block indices, strictly
+	// ascending; Bimodal/Gshare/Chooser hold those blocks' segments.
+	TblBlocks                []uint32
+	Bimodal, Gshare, Chooser []uint8
+	History                  uint64
+
+	// BTBBlocks holds dirty BTB block indices, strictly ascending, with
+	// the corresponding array segments.
+	BTBBlocks        []uint32
+	BTBTags, BTBTgts []uint64
+	BTBLRU           []uint64
+	BTBValid         []bool
+	BTBStamp         uint64
+
+	RAS    []uint64
+	RASTop int
+}
+
+// dirtyBlocks appends the set block indices of bm (ascending) to dst
+// and clears bm, skipping padding bits beyond nBlocks.
+func dirtyBlocks(dst []uint32, bm []uint64, nBlocks int) []uint32 {
+	for w, word := range bm {
+		for word != 0 {
+			b := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			if b >= nBlocks {
+				continue
+			}
+			dst = append(dst, uint32(b))
+		}
+		bm[w] = 0
+	}
+	return dst
+}
+
+// SnapshotDelta captures the table and BTB blocks touched since the
+// previous Snapshot+ResetDirty or SnapshotDelta and clears the dirty
+// tracking. Applying it to a copy of the previous snapshot reproduces
+// Snapshot exactly.
+func (u *Unit) SnapshotDelta() *Delta {
+	n, btbn := len(u.bimodal), len(u.btbTags)
+	d := &Delta{
+		N:        n,
+		BTBN:     btbn,
+		History:  u.history,
+		BTBStamp: u.btbStamp,
+		RAS:      append([]uint64(nil), u.ras...),
+		RASTop:   u.rasTop,
+	}
+	d.TblBlocks = dirtyBlocks(nil, u.tblDirty, (n+63)>>tblGrainShift)
+	for _, b := range d.TblBlocks {
+		lo := int(b) << tblGrainShift
+		hi := lo + 1<<tblGrainShift
+		if hi > n {
+			hi = n
+		}
+		d.Bimodal = append(d.Bimodal, u.bimodal[lo:hi]...)
+		d.Gshare = append(d.Gshare, u.gshare[lo:hi]...)
+		d.Chooser = append(d.Chooser, u.chooser[lo:hi]...)
+	}
+	d.BTBBlocks = dirtyBlocks(nil, u.btbDirty, (btbn+31)>>btbGrainShift)
+	for _, b := range d.BTBBlocks {
+		lo := int(b) << btbGrainShift
+		hi := lo + 1<<btbGrainShift
+		if hi > btbn {
+			hi = btbn
+		}
+		d.BTBTags = append(d.BTBTags, u.btbTags[lo:hi]...)
+		d.BTBTgts = append(d.BTBTgts, u.btbTgts[lo:hi]...)
+		d.BTBLRU = append(d.BTBLRU, u.btbLRU[lo:hi]...)
+		d.BTBValid = append(d.BTBValid, u.btbValid[lo:hi]...)
+	}
+	return d
+}
+
+// validateBlocks checks one ascending block list against n entries at
+// the given granularity and returns the total covered entry count.
+func validateBlocks(blocks []uint32, n int, grainShift uint, what string) (int, error) {
+	total, prev := 0, -1
+	for _, b := range blocks {
+		if int(b) <= prev {
+			return 0, fmt.Errorf("bpred delta: %s blocks not ascending at %d", what, b)
+		}
+		prev = int(b)
+		lo := int(b) << grainShift
+		if lo >= n {
+			return 0, fmt.Errorf("bpred delta: %s block %d out of range (%d entries)", what, b, n)
+		}
+		hi := lo + 1<<grainShift
+		if hi > n {
+			hi = n
+		}
+		total += hi - lo
+	}
+	return total, nil
+}
+
+// Validate checks the delta's internal consistency against a predictor
+// with n direction-table entries, btbn BTB entries, and rasn RAS slots.
+func (d *Delta) Validate(n, btbn, rasn int) error {
+	if d.N != n || d.BTBN != btbn {
+		return fmt.Errorf("bpred delta: geometry %d/%d, state has %d/%d", d.N, d.BTBN, n, btbn)
+	}
+	if len(d.RAS) != rasn {
+		return fmt.Errorf("bpred delta: RAS %d entries, state has %d", len(d.RAS), rasn)
+	}
+	if d.RASTop < 0 || d.RASTop > rasn {
+		return fmt.Errorf("bpred delta: RAS top %d out of range (%d entries)", d.RASTop, rasn)
+	}
+	total, err := validateBlocks(d.TblBlocks, n, tblGrainShift, "table")
+	if err != nil {
+		return err
+	}
+	if len(d.Bimodal) != total || len(d.Gshare) != total || len(d.Chooser) != total {
+		return fmt.Errorf("bpred delta: table segments %d/%d/%d, want %d",
+			len(d.Bimodal), len(d.Gshare), len(d.Chooser), total)
+	}
+	total, err = validateBlocks(d.BTBBlocks, btbn, btbGrainShift, "BTB")
+	if err != nil {
+		return err
+	}
+	if len(d.BTBTags) != total || len(d.BTBTgts) != total || len(d.BTBLRU) != total || len(d.BTBValid) != total {
+		return fmt.Errorf("bpred delta: BTB segments %d/%d/%d/%d, want %d",
+			len(d.BTBTags), len(d.BTBTgts), len(d.BTBLRU), len(d.BTBValid), total)
+	}
+	return nil
+}
+
+// Bytes returns the approximate in-memory payload size of the delta.
+func (d *Delta) Bytes() int {
+	return 8 + 8 + 8 + // history, stamp, rasTop
+		4*len(d.TblBlocks) + len(d.Bimodal) + len(d.Gshare) + len(d.Chooser) +
+		4*len(d.BTBBlocks) + 8*len(d.BTBTags) + 8*len(d.BTBTgts) + 8*len(d.BTBLRU) + len(d.BTBValid) +
+		8*len(d.RAS)
+}
+
+// Bytes returns the approximate in-memory payload size of a full
+// snapshot.
+func (s *State) Bytes() int {
+	return 8 + 8 + 8 +
+		len(s.Bimodal) + len(s.Gshare) + len(s.Chooser) +
+		8*len(s.BTBTags) + 8*len(s.BTBTgts) + 8*len(s.BTBLRU) + len(s.BTBValid) +
+		8*len(s.RAS)
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *State) Clone() *State {
+	return &State{
+		Bimodal:  append([]uint8(nil), s.Bimodal...),
+		Gshare:   append([]uint8(nil), s.Gshare...),
+		Chooser:  append([]uint8(nil), s.Chooser...),
+		History:  s.History,
+		BTBTags:  append([]uint64(nil), s.BTBTags...),
+		BTBTgts:  append([]uint64(nil), s.BTBTgts...),
+		BTBValid: append([]bool(nil), s.BTBValid...),
+		BTBLRU:   append([]uint64(nil), s.BTBLRU...),
+		BTBStamp: s.BTBStamp,
+		RAS:      append([]uint64(nil), s.RAS...),
+		RASTop:   s.RASTop,
+	}
+}
+
+// Apply patches the snapshot forward by one delta: after Apply, the
+// state equals the full Snapshot taken at the point the delta was
+// captured. The receiver must be (a copy of) the snapshot the delta
+// was taken against.
+func (s *State) Apply(d *Delta) error {
+	if err := d.Validate(len(s.Bimodal), len(s.BTBTags), len(s.RAS)); err != nil {
+		return err
+	}
+	off := 0
+	for _, b := range d.TblBlocks {
+		lo := int(b) << tblGrainShift
+		hi := lo + 1<<tblGrainShift
+		if hi > d.N {
+			hi = d.N
+		}
+		w := hi - lo
+		copy(s.Bimodal[lo:hi], d.Bimodal[off:off+w])
+		copy(s.Gshare[lo:hi], d.Gshare[off:off+w])
+		copy(s.Chooser[lo:hi], d.Chooser[off:off+w])
+		off += w
+	}
+	off = 0
+	for _, b := range d.BTBBlocks {
+		lo := int(b) << btbGrainShift
+		hi := lo + 1<<btbGrainShift
+		if hi > d.BTBN {
+			hi = d.BTBN
+		}
+		w := hi - lo
+		copy(s.BTBTags[lo:hi], d.BTBTags[off:off+w])
+		copy(s.BTBTgts[lo:hi], d.BTBTgts[off:off+w])
+		copy(s.BTBLRU[lo:hi], d.BTBLRU[off:off+w])
+		copy(s.BTBValid[lo:hi], d.BTBValid[off:off+w])
+		off += w
+	}
+	s.History = d.History
+	s.BTBStamp = d.BTBStamp
+	copy(s.RAS, d.RAS)
+	s.RASTop = d.RASTop
+	return nil
+}

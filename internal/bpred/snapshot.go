@@ -44,6 +44,11 @@ func (u *Unit) Restore(s *State) error {
 		return fmt.Errorf("bpred: snapshot geometry mismatch (tables %d/%d, BTB %d/%d, RAS %d/%d)",
 			len(s.Bimodal), len(u.bimodal), len(s.BTBTags), len(u.btbTags), len(s.RAS), len(u.ras))
 	}
+	// Bound the stack pointer: restoring an out-of-range top (a corrupt
+	// deserialized snapshot) would make the next RAS access panic.
+	if s.RASTop < 0 || s.RASTop > len(u.ras) {
+		return fmt.Errorf("bpred: snapshot RAS top %d out of range (%d entries)", s.RASTop, len(u.ras))
+	}
 	copy(u.bimodal, s.Bimodal)
 	copy(u.gshare, s.Gshare)
 	copy(u.chooser, s.Chooser)
@@ -55,5 +60,6 @@ func (u *Unit) Restore(s *State) error {
 	u.btbStamp = s.BTBStamp
 	copy(u.ras, s.RAS)
 	u.rasTop = s.RASTop
+	u.markAllDirty() // every entry may differ from the last delta baseline
 	return nil
 }

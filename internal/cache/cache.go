@@ -73,6 +73,14 @@ type Cache struct {
 	lastUsed []uint64 // LRU stamps
 	stamp    uint64
 
+	// snapDirty is the snapshot dirty-tracking bitmap: one bit per
+	// dirtyGrain-entry block of the tag/valid/dirty/lastUsed arrays, set
+	// whenever any entry in the block may have changed and cleared by
+	// SnapshotDelta/ResetDirty. It enables delta snapshots (copy only
+	// blocks touched since the previous snapshot); marking is two shifts
+	// and an OR, cheap enough for the warm fast paths.
+	snapDirty []uint64
+
 	// lastIdx is the way index of the most recently hit or filled block —
 	// a hint for Touch's warm-hit fast path. It is revalidated against
 	// the live tag/valid arrays on every use, so it never needs
@@ -98,6 +106,9 @@ func New(cfg Config) *Cache {
 		valid:    make([]bool, n),
 		dirty:    make([]bool, n),
 		lastUsed: make([]uint64, n),
+		// Start all-dirty: the first snapshot after construction must be
+		// a full one (delta consumers always key off a prior snapshot).
+		snapDirty: newDirtyBitmap(n),
 	}
 }
 
@@ -139,6 +150,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 				c.dirty[i] = true
 			}
 			c.lastIdx = i
+			c.markDirty(i)
 			return AccessResult{Hit: true}
 		}
 	}
@@ -173,6 +185,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	c.dirty[victim] = write
 	c.lastUsed[victim] = c.stamp
 	c.lastIdx = victim
+	c.markDirty(victim)
 	return res
 }
 
@@ -198,6 +211,7 @@ func (c *Cache) Touch(addr uint64, write bool) bool {
 		if write {
 			c.dirty[i] = true
 		}
+		c.markDirty(i)
 		return true
 	}
 	return false
@@ -222,6 +236,7 @@ func (c *Cache) Flush() {
 		c.dirty[i] = false
 		c.lastUsed[i] = 0
 	}
+	c.markAllDirty()
 }
 
 // Occupancy returns the number of valid blocks.

@@ -1,0 +1,270 @@
+package cache
+
+// Delta snapshots: dirty-block encoding of cache state.
+//
+// Every content-bearing array of a Cache (tags, valid/dirty bits, LRU
+// stamps) is covered by a dirty bitmap at a fixed granularity of
+// dirtyGrain entries per block. The state-update fast paths (Touch,
+// Access) mark the block containing each touched entry; SnapshotDelta
+// then copies only the marked blocks — the state that can have changed
+// since the previous snapshot — and State.Apply patches them back over
+// a full snapshot. Marking over-approximates freely (Flush and Restore
+// mark everything) but must never under-approximate: the delta/full
+// equivalence is property-tested in delta_test.go and is what keeps
+// delta-encoded checkpoints bit-identical to full ones.
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// dirtyGrainShift is log2 of the dirty-tracking granularity: 32
+	// entries (~580 bytes of tag+LRU+flag state) share one dirty bit. A
+	// finer grain shrinks deltas for scattered traffic; a coarser one
+	// shrinks the bitmap. 32 keeps per-unit deltas a few hundred bytes
+	// per touched region while the largest array (a 1MB L2's 16K
+	// entries) needs only an 8-word bitmap.
+	dirtyGrainShift = 5
+	dirtyGrain      = 1 << dirtyGrainShift
+	// dirtyWordShift converts an entry index straight to its bitmap word
+	// index (64 blocks per word).
+	dirtyWordShift = dirtyGrainShift + 6
+)
+
+// newDirtyBitmap allocates an all-dirty bitmap covering n entries, so
+// the first delta taken without a prior full snapshot conservatively
+// carries everything.
+func newDirtyBitmap(n int) []uint64 {
+	blocks := (n + dirtyGrain - 1) / dirtyGrain
+	bm := make([]uint64, (blocks+63)/64)
+	for i := range bm {
+		bm[i] = ^uint64(0)
+	}
+	return bm
+}
+
+// markDirty records that entry i may have changed since the last
+// snapshot. Two shifts and an OR — cheap enough for the Touch/Access
+// fast paths the functional-warming sweep lives in.
+func (c *Cache) markDirty(i int) {
+	c.snapDirty[uint(i)>>dirtyWordShift] |= 1 << ((uint(i) >> dirtyGrainShift) & 63)
+}
+
+// markAllDirty forces the next delta to carry the full arrays.
+func (c *Cache) markAllDirty() {
+	for i := range c.snapDirty {
+		c.snapDirty[i] = ^uint64(0)
+	}
+}
+
+// ResetDirty clears the dirty tracking, establishing the current
+// contents as the baseline the next SnapshotDelta is measured against.
+// Callers pair it with a full Snapshot (see uarch.Warmer.Snapshot).
+func (c *Cache) ResetDirty() {
+	for i := range c.snapDirty {
+		c.snapDirty[i] = 0
+	}
+}
+
+// Delta is a dirty-block delta between two snapshots of one cache: the
+// scalar stamp plus, for each dirty block, that block's segment of every
+// content array, concatenated in ascending block order. Block b covers
+// entries [b*dirtyGrain, min((b+1)*dirtyGrain, N)).
+type Delta struct {
+	// N is the entry count of the full arrays (geometry check).
+	N     int
+	Stamp uint64
+	// Blocks holds the dirty block indices, strictly ascending.
+	Blocks []uint32
+	// Tags, Valid, Dirty, and LastUsed hold the dirty blocks' segments
+	// of the corresponding State arrays, concatenated in Blocks order.
+	Tags     []uint64
+	Valid    []bool
+	Dirty    []bool
+	LastUsed []uint64
+}
+
+// blockSpan returns the entry range covered by block b in arrays of n
+// entries.
+func blockSpan(b uint32, n int) (lo, hi int) {
+	lo = int(b) << dirtyGrainShift
+	hi = lo + dirtyGrain
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// SnapshotDelta captures the blocks touched since the previous
+// Snapshot+ResetDirty or SnapshotDelta and clears the dirty tracking, so
+// consecutive calls form a chain of deltas. Applying the delta to a copy
+// of the previous snapshot (State.Apply) reproduces Snapshot exactly.
+func (c *Cache) SnapshotDelta() *Delta {
+	n := len(c.tags)
+	d := &Delta{N: n, Stamp: c.stamp}
+	for w, word := range c.snapDirty {
+		for word != 0 {
+			b := uint32(w<<6 | bits.TrailingZeros64(word))
+			word &= word - 1
+			lo, hi := blockSpan(b, n)
+			if lo >= n {
+				continue // padding bits beyond the last block
+			}
+			d.Blocks = append(d.Blocks, b)
+			d.Tags = append(d.Tags, c.tags[lo:hi]...)
+			d.Valid = append(d.Valid, c.valid[lo:hi]...)
+			d.Dirty = append(d.Dirty, c.dirty[lo:hi]...)
+			d.LastUsed = append(d.LastUsed, c.lastUsed[lo:hi]...)
+		}
+		c.snapDirty[w] = 0
+	}
+	return d
+}
+
+// Validate checks the delta's internal consistency against a full-array
+// length of n entries: ascending in-range blocks and matching segment
+// totals. Deserialized deltas are validated before use so corrupt store
+// entries can never index out of range.
+func (d *Delta) Validate(n int) error {
+	if d.N != n {
+		return fmt.Errorf("cache delta: geometry %d entries, state has %d", d.N, n)
+	}
+	total, prev := 0, -1
+	for _, b := range d.Blocks {
+		if int(b) <= prev {
+			return fmt.Errorf("cache delta: blocks not ascending at %d", b)
+		}
+		prev = int(b)
+		lo, hi := blockSpan(b, n)
+		if lo >= n {
+			return fmt.Errorf("cache delta: block %d out of range (%d entries)", b, n)
+		}
+		total += hi - lo
+	}
+	if len(d.Tags) != total || len(d.Valid) != total || len(d.Dirty) != total || len(d.LastUsed) != total {
+		return fmt.Errorf("cache delta: segment lengths %d/%d/%d/%d, want %d",
+			len(d.Tags), len(d.Valid), len(d.Dirty), len(d.LastUsed), total)
+	}
+	return nil
+}
+
+// Bytes returns the approximate in-memory payload size of the delta,
+// the quantity the snapshotBytes/unit metric tracks.
+func (d *Delta) Bytes() int {
+	return 8 + 4*len(d.Blocks) + 8*len(d.Tags) + len(d.Valid) + len(d.Dirty) + 8*len(d.LastUsed)
+}
+
+// Bytes returns the approximate in-memory payload size of a full
+// snapshot.
+func (s *State) Bytes() int {
+	return 8 + 8*len(s.Tags) + len(s.Valid) + len(s.Dirty) + 8*len(s.LastUsed)
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *State) Clone() *State {
+	return &State{
+		Tags:     append([]uint64(nil), s.Tags...),
+		Valid:    append([]bool(nil), s.Valid...),
+		Dirty:    append([]bool(nil), s.Dirty...),
+		LastUsed: append([]uint64(nil), s.LastUsed...),
+		Stamp:    s.Stamp,
+	}
+}
+
+// Apply patches the snapshot forward by one delta: after Apply, the
+// state equals the full Snapshot taken at the point the delta was
+// captured. The receiver must be (a copy of) the snapshot the delta was
+// taken against.
+func (s *State) Apply(d *Delta) error {
+	if err := d.Validate(len(s.Tags)); err != nil {
+		return err
+	}
+	off := 0
+	for _, b := range d.Blocks {
+		lo, hi := blockSpan(b, d.N)
+		w := hi - lo
+		copy(s.Tags[lo:hi], d.Tags[off:off+w])
+		copy(s.Valid[lo:hi], d.Valid[off:off+w])
+		copy(s.Dirty[lo:hi], d.Dirty[off:off+w])
+		copy(s.LastUsed[lo:hi], d.LastUsed[off:off+w])
+		off += w
+	}
+	s.Stamp = d.Stamp
+	return nil
+}
+
+// SnapshotDelta captures the TLB translations touched since the last
+// snapshot (see Cache.SnapshotDelta).
+func (t *TLB) SnapshotDelta() *Delta { return t.inner.SnapshotDelta() }
+
+// ResetDirty clears the TLB's dirty tracking.
+func (t *TLB) ResetDirty() { t.inner.ResetDirty() }
+
+// HierarchyDelta bundles the deltas of every structure in a Hierarchy —
+// the dirty-block counterpart of HierarchyState.
+type HierarchyDelta struct {
+	IL1, DL1, L2 *Delta
+	ITLB, DTLB   *Delta
+}
+
+// SnapshotDelta captures all caches' and TLBs' dirty blocks and clears
+// their tracking.
+func (h *Hierarchy) SnapshotDelta() *HierarchyDelta {
+	return &HierarchyDelta{
+		IL1:  h.IL1.SnapshotDelta(),
+		DL1:  h.DL1.SnapshotDelta(),
+		L2:   h.L2.SnapshotDelta(),
+		ITLB: h.ITLB.SnapshotDelta(),
+		DTLB: h.DTLB.SnapshotDelta(),
+	}
+}
+
+// ResetDirty clears dirty tracking across the hierarchy, making the
+// current contents the baseline for the next SnapshotDelta.
+func (h *Hierarchy) ResetDirty() {
+	h.IL1.ResetDirty()
+	h.DL1.ResetDirty()
+	h.L2.ResetDirty()
+	h.ITLB.ResetDirty()
+	h.DTLB.ResetDirty()
+}
+
+// Bytes sums the payload sizes of the bundled deltas.
+func (d *HierarchyDelta) Bytes() int {
+	return d.IL1.Bytes() + d.DL1.Bytes() + d.L2.Bytes() + d.ITLB.Bytes() + d.DTLB.Bytes()
+}
+
+// Bytes sums the payload sizes of the bundled snapshots.
+func (s *HierarchyState) Bytes() int {
+	return s.IL1.Bytes() + s.DL1.Bytes() + s.L2.Bytes() + s.ITLB.Bytes() + s.DTLB.Bytes()
+}
+
+// Clone returns a deep copy of the hierarchy snapshot.
+func (s *HierarchyState) Clone() *HierarchyState {
+	return &HierarchyState{
+		IL1:  s.IL1.Clone(),
+		DL1:  s.DL1.Clone(),
+		L2:   s.L2.Clone(),
+		ITLB: s.ITLB.Clone(),
+		DTLB: s.DTLB.Clone(),
+	}
+}
+
+// Apply patches every structure's snapshot forward by one hierarchy
+// delta.
+func (s *HierarchyState) Apply(d *HierarchyDelta) error {
+	if err := s.IL1.Apply(d.IL1); err != nil {
+		return err
+	}
+	if err := s.DL1.Apply(d.DL1); err != nil {
+		return err
+	}
+	if err := s.L2.Apply(d.L2); err != nil {
+		return err
+	}
+	if err := s.ITLB.Apply(d.ITLB); err != nil {
+		return err
+	}
+	return s.DTLB.Apply(d.DTLB)
+}

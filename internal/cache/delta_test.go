@@ -1,0 +1,121 @@
+package cache_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestDeltaMatchesSnapshot is the delta-snapshot correctness property:
+// under randomized warm traffic (Touch fast paths, full Accesses,
+// occasional Flushes), a chain of SnapshotDelta applications over the
+// previous full snapshot reproduces the exact bytes of a fresh full
+// Snapshot at every step. Under-marking a dirty block would fail this
+// immediately; the test also exercises the truncated last block of a
+// non-multiple-of-grain geometry (the 3-set TLB-like config).
+func TestDeltaMatchesSnapshot(t *testing.T) {
+	for _, cfg := range []cache.Config{
+		{Name: "D", Sets: 64, Ways: 2, BlockBits: 6},
+		{Name: "W", Sets: 1, Ways: 5, BlockBits: 1}, // 5 entries: truncated dirty block
+	} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			c := cache.New(cfg)
+			rng := rand.New(rand.NewSource(11))
+			// Establish the baseline: full snapshot + reset.
+			c.SnapshotDelta() // drain the initial all-dirty state
+			tracked := c.Snapshot()
+			for round := 0; round < 60; round++ {
+				n := rng.Intn(500)
+				for i := 0; i < n; i++ {
+					addr := uint64(rng.Intn(1 << 13))
+					write := rng.Intn(3) == 0
+					if rng.Intn(2) == 0 {
+						if !c.Touch(addr, write) {
+							c.Access(addr, write)
+						}
+					} else {
+						c.Access(addr, write)
+					}
+				}
+				if round == 30 {
+					c.Flush() // must mark everything
+				}
+				d := c.SnapshotDelta()
+				if err := tracked.Apply(d); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if full := c.Snapshot(); !reflect.DeepEqual(tracked, full) {
+					t.Fatalf("round %d: delta-tracked state diverged from full snapshot", round)
+				}
+			}
+		})
+	}
+}
+
+// TestTLBDeltaMatchesSnapshot runs the same property through the TLB
+// wrapper (page-granularity keys, Touch fast path).
+func TestTLBDeltaMatchesSnapshot(t *testing.T) {
+	tlb := cache.NewTLB("T", 16, 4, 12)
+	rng := rand.New(rand.NewSource(5))
+	tlb.SnapshotDelta()
+	tracked := tlb.Snapshot()
+	for round := 0; round < 40; round++ {
+		for i := 0; i < rng.Intn(800); i++ {
+			tlb.Touch(uint64(rng.Intn(1 << 20)))
+		}
+		if err := tracked.Apply(tlb.SnapshotDelta()); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if full := tlb.Snapshot(); !reflect.DeepEqual(tracked, full) {
+			t.Fatalf("round %d: TLB delta-tracked state diverged", round)
+		}
+	}
+}
+
+// TestDeltaApplyRejectsCorrupt verifies Apply validates geometry and
+// segment consistency instead of panicking or silently misapplying —
+// the guard that turns corrupt store chains into load misses.
+func TestDeltaApplyRejectsCorrupt(t *testing.T) {
+	c := cache.New(cache.Config{Name: "V", Sets: 8, Ways: 2, BlockBits: 6})
+	c.Access(0x40, true)
+	s := c.Snapshot()
+	base := func() *cache.Delta {
+		cc := cache.New(cache.Config{Name: "V", Sets: 8, Ways: 2, BlockBits: 6})
+		cc.Access(0x40, true)
+		return cc.SnapshotDelta()
+	}
+	for name, corrupt := range map[string]func(*cache.Delta){
+		"geometry":       func(d *cache.Delta) { d.N = 1 << 20 },
+		"out-of-range":   func(d *cache.Delta) { d.Blocks[0] = 1 << 30 },
+		"not-ascending":  func(d *cache.Delta) { d.Blocks = append(d.Blocks, d.Blocks[len(d.Blocks)-1]) },
+		"short-segment":  func(d *cache.Delta) { d.Tags = d.Tags[:0] },
+		"short-lastused": func(d *cache.Delta) { d.LastUsed = d.LastUsed[:1] },
+	} {
+		d := base()
+		corrupt(d)
+		if err := s.Clone().Apply(d); err == nil {
+			t.Errorf("%s: corrupt delta applied without error", name)
+		}
+	}
+}
+
+// TestDirtyTrackingZeroAllocs pins the marking added to the warm fast
+// paths: Touch and a hitting Access must still not allocate.
+func TestDirtyTrackingZeroAllocs(t *testing.T) {
+	c := cache.New(cache.Config{Name: "A", Sets: 8, Ways: 2, BlockBits: 6})
+	c.Access(0x40, false)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if !c.Touch(0x40, true) {
+			t.Fatal("warm hit expected")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Touch with dirty tracking allocates %.1f objects/op; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Access(0x80, true)
+	}); allocs != 0 {
+		t.Fatalf("Access with dirty tracking allocates %.1f objects/op; want 0", allocs)
+	}
+}

@@ -43,6 +43,7 @@ func (c *Cache) Restore(s *State) error {
 	copy(c.dirty, s.Dirty)
 	copy(c.lastUsed, s.LastUsed)
 	c.stamp = s.Stamp
+	c.markAllDirty() // every entry may differ from the last delta baseline
 	return nil
 }
 

@@ -1,0 +1,92 @@
+package checkpoint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// BenchmarkCaptureDense tracks the delta-snapshot win on the workload
+// it exists for: a dense sampling plan (every second unit checkpointed)
+// where snapshot capture, not functional execution, dominates the
+// sweep. The timed loop runs the delta-encoded capture (the default);
+// the reported metrics compare its in-memory warm payload and on-disk
+// entry size against a full-snapshot capture (Keyframe=1, the pre-delta
+// encoding) of the same plan:
+//
+//	snapshotBytes/unit      in-memory warm payload, delta encoding
+//	fullSnapshotBytes/unit  same plan, full snapshots
+//	snapshotShrinkX         fullSnapshotBytes / snapshotBytes
+//	storeBytes/unit         on-disk entry bytes per unit, delta encoding
+//	fullStoreBytes/unit     on-disk entry bytes per unit, full snapshots
+//	units/s                 delta-encoded capture throughput
+//
+// CI gates snapshotBytes/unit and storeBytes/unit against the committed
+// BENCH_pipeline.json baseline (see cmd/benchjson -regress): both are
+// deterministic byte counts, so any >10% regression is a real encoding
+// change, not runner noise.
+func BenchmarkCaptureDense(b *testing.B) {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := program.Generate(spec, 400_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	dense := checkpoint.Params{U: 1000, W: 2000, K: 2, J: 0, FunctionalWarm: true}
+
+	var set *checkpoint.Set
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set, err = checkpoint.Capture(p, cfg, dense); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(set.Units) == 0 {
+		b.Fatal("no units captured")
+	}
+	b.ReportMetric(float64(len(set.Units))/b.Elapsed().Seconds()*float64(b.N), "units/s")
+
+	units := float64(len(set.Units))
+	deltaBytes := float64(set.WarmBytes())
+
+	fullParams := dense
+	fullParams.Keyframe = 1
+	full, err := checkpoint.Capture(p, cfg, fullParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullBytes := float64(full.WarmBytes())
+
+	entrySize := func(set *checkpoint.Set, params checkpoint.Params) float64 {
+		store, err := checkpoint.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := checkpoint.KeyFor(p, cfg, params)
+		if err := store.Save(key, set); err != nil {
+			b.Fatal(err)
+		}
+		st, err := os.Stat(filepath.Join(store.Dir(), key.Hash()+".ckpt"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(st.Size())
+	}
+	deltaStore := entrySize(set, dense)
+	fullStore := entrySize(full, fullParams)
+
+	b.ReportMetric(deltaBytes/units, "snapshotBytes/unit")
+	b.ReportMetric(fullBytes/units, "fullSnapshotBytes/unit")
+	b.ReportMetric(fullBytes/deltaBytes, "snapshotShrinkX")
+	b.ReportMetric(deltaStore/units, "storeBytes/unit")
+	b.ReportMetric(fullStore/units, "fullStoreBytes/unit")
+}

@@ -35,13 +35,36 @@
 // bias experiments, which average over several phases, pay one sweep
 // instead of one per phase.
 //
+// # Delta-encoded warm snapshots
+//
+// Neighbouring checkpoints along one sweep differ only in the cache
+// lines, TLB entries, and predictor counters touched between them, so
+// copying ~370KB of warm state per unit makes snapshot capture the
+// dominant cost of dense plans. The warmed structures therefore
+// maintain dirty-block bitmaps inside their update fast paths (still
+// zero allocations per instruction), and the sweep snapshots
+// incrementally: every Params.Keyframe-th captured unit carries a full
+// snapshot, the units between carry dirty-block deltas against their
+// predecessor (uarch.Warmer.SnapshotDelta), and consumers reconstruct
+// any unit's full launch state on demand with Unit.MaterializeWarm /
+// Set.Materialize — a clone of the nearest keyframe plus at most
+// Keyframe-1 delta applications, read-only on shared state and so safe
+// from any number of replay workers at once. Materialized states are
+// bit-identical to full snapshots; the encoding is invisible to every
+// schedule.
+//
 // # On-disk store
 //
 // Store persists captured Sets, content-addressed by a key derived from
 // the workload, the sampling geometry, and the warm-relevant machine
 // configuration; see store.go. A functional sweep is then paid once per
 // (workload, plan, hierarchy shape) and shared across machine configs
-// that differ only in timing, width, or energy parameters.
+// that differ only in timing, width, or energy parameters. The file
+// format (v2) persists the keyframe+delta structure directly, so dense
+// entries shrink with the in-memory encoding; v1 entries (full
+// snapshots only) remain loadable. The store keeps an index.json of its
+// entries and, with MaxBytes set, evicts least-recently-used entries on
+// commit.
 package checkpoint
 
 import (
@@ -84,6 +107,31 @@ type Params struct {
 	// MaxUnits, when nonzero, caps the number of captured units per
 	// offset.
 	MaxUnits int
+	// Keyframe is the keyframe interval of delta-encoded warm snapshots:
+	// every Keyframe-th captured unit (in capture order, across offsets)
+	// carries a full warm snapshot and the units between carry
+	// dirty-block deltas against their predecessor, shrinking both the
+	// in-memory footprint of a dense sweep and the store entries. 0
+	// selects DefaultKeyframe; 1 disables deltas (every unit a full
+	// snapshot). The encoding never changes the materialized launch
+	// states — Materialize reproduces the full snapshot bit for bit — so
+	// Keyframe is deliberately excluded from the store Key. Ignored for
+	// cold captures.
+	Keyframe int
+}
+
+// DefaultKeyframe is the keyframe interval used when Params.Keyframe is
+// zero: one full snapshot per 16 captured units bounds any unit's
+// materialization walk at 15 delta applications while keeping the full
+// copies a ~6% minority of a dense sweep's snapshot volume.
+const DefaultKeyframe = 16
+
+// keyframe returns the effective keyframe interval.
+func (p Params) keyframe() int {
+	if p.Keyframe <= 0 {
+		return DefaultKeyframe
+	}
+	return p.Keyframe
 }
 
 // Validate reports parameter errors.
@@ -96,6 +144,9 @@ func (p Params) Validate() error {
 	}
 	if p.J >= p.K {
 		return fmt.Errorf("checkpoint: phase offset %d must be below interval %d", p.J, p.K)
+	}
+	if p.Keyframe < 0 {
+		return fmt.Errorf("checkpoint: negative keyframe interval %d", p.Keyframe)
 	}
 	seen := make(map[uint64]bool, len(p.Offsets))
 	for _, j := range p.Offsets {
@@ -127,6 +178,24 @@ type WarmState struct {
 	Pred *bpred.State
 }
 
+// Clone returns a deep copy — the scratch state delta chains are
+// materialized into.
+func (w *WarmState) Clone() *WarmState {
+	return &WarmState{Hier: w.Hier.Clone(), Pred: w.Pred.Clone()}
+}
+
+// Apply patches the state forward by one warm delta.
+func (w *WarmState) Apply(d *uarch.WarmDelta) error {
+	if err := w.Hier.Apply(d.Hier); err != nil {
+		return err
+	}
+	return w.Pred.Apply(d.Pred)
+}
+
+// Bytes returns the approximate in-memory payload size of the full
+// snapshot.
+func (w *WarmState) Bytes() int { return w.Hier.Bytes() + w.Pred.Bytes() }
+
 // Unit is the launch state of one sampling unit: everything needed to
 // simulate its W+U instructions in detail, independent of every other
 // unit.
@@ -145,13 +214,73 @@ type Unit struct {
 	// neighbouring checkpoints).
 	Mem *mem.Image
 	// Warm is the functionally warmed cache/TLB/predictor state at
-	// LaunchAt; nil when the sweep ran without functional warming.
+	// LaunchAt. It is populated only on keyframe units (and on every
+	// unit when deltas are disabled); nil when the sweep ran without
+	// functional warming or when this unit is delta-encoded. Consumers
+	// that need the launch state call MaterializeWarm, which handles
+	// every encoding.
 	Warm *WarmState
+	// Delta, on delta-encoded units, is the dirty-block change from
+	// Prev's warm state to this unit's; Warm is then nil.
+	Delta *uarch.WarmDelta
+	// Prev links a delta-encoded unit to its predecessor in capture
+	// order — the chain MaterializeWarm walks back to the nearest
+	// keyframe. The links keep at most one keyframe interval of deltas
+	// (plus the keyframe) alive per retained unit.
+	Prev *Unit
 }
 
 // WarmLen returns the number of detailed-warming instructions the
 // unit's replay executes before measurement begins.
 func (u *Unit) WarmLen() uint64 { return u.Start - u.LaunchAt }
+
+// MaterializeWarm reconstructs the unit's full warm launch state: a
+// keyframe returns its snapshot directly (shared — treat as read-only;
+// Restore only reads it), a delta unit clones the nearest keyframe and
+// applies the chain of deltas up to itself, and a cold unit returns
+// nil. Materialization never mutates shared state, so any number of
+// goroutines may materialize units of the same chain concurrently —
+// this is how the engine's workers reconstruct launch states on
+// demand.
+func (u *Unit) MaterializeWarm() (*WarmState, error) {
+	if u.Warm != nil {
+		return u.Warm, nil
+	}
+	if u.Delta == nil {
+		return nil, nil // cold capture
+	}
+	// Walk back to the keyframe, collecting the delta chain.
+	var chain []*Unit
+	cur := u
+	for cur.Warm == nil {
+		if cur.Delta == nil || cur.Prev == nil {
+			return nil, fmt.Errorf("checkpoint: unit %d: broken delta chain at unit %d", u.Index, cur.Index)
+		}
+		chain = append(chain, cur)
+		cur = cur.Prev
+	}
+	w := cur.Warm.Clone()
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := w.Apply(chain[i].Delta); err != nil {
+			return nil, fmt.Errorf("checkpoint: unit %d: materialize at unit %d: %w", u.Index, chain[i].Index, err)
+		}
+	}
+	return w, nil
+}
+
+// WarmBytes returns the approximate in-memory warm payload the unit
+// itself carries: the full snapshot for keyframes, the delta for
+// delta-encoded units, zero for cold captures. Summed over a set it is
+// the snapshotBytes the delta encoding exists to shrink.
+func (u *Unit) WarmBytes() int {
+	switch {
+	case u.Warm != nil:
+		return u.Warm.Bytes()
+	case u.Delta != nil:
+		return u.Delta.Bytes()
+	}
+	return 0
+}
 
 // Summary describes one capture sweep's cost and extent.
 type Summary struct {
@@ -185,6 +314,26 @@ type Set struct {
 	SweepInsts uint64
 	// SweepTime is the wall-clock cost of the sweep.
 	SweepTime time.Duration
+}
+
+// Materialize reconstructs the full warm launch state of the i-th unit
+// in the set (in stream order), resolving delta chains through their
+// keyframes; see Unit.MaterializeWarm.
+func (s *Set) Materialize(i int) (*WarmState, error) {
+	if i < 0 || i >= len(s.Units) {
+		return nil, fmt.Errorf("checkpoint: materialize unit %d of %d", i, len(s.Units))
+	}
+	return s.Units[i].MaterializeWarm()
+}
+
+// WarmBytes sums the warm payload carried by the set's units — full
+// snapshots on keyframes plus deltas elsewhere.
+func (s *Set) WarmBytes() int {
+	total := 0
+	for _, u := range s.Units {
+		total += u.WarmBytes()
+	}
+	return total
 }
 
 // Offset returns the sub-set holding only phase offset j's units (in
@@ -317,6 +466,13 @@ func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(
 	gen := newBoundaryGen(p, sum.PopulationUnits)
 	var pos uint64 // instructions consumed from the stream so far
 
+	// Delta-encoded warm snapshots: every kf-th captured unit is a full
+	// keyframe, the units between carry dirty-block deltas chained off
+	// it (see Params.Keyframe).
+	kf := p.keyframe()
+	var prevWarm *Unit // last unit that carried warm state
+	var lastSeq uint64 // its warmer snapshot sequence number
+
 	sum.Complete = true
 	for {
 		b, ok := gen.next()
@@ -349,10 +505,22 @@ func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(
 			Mem:      cpu.Mem.Snapshot(),
 		}
 		if machine != nil {
-			u.Warm = &WarmState{
-				Hier: machine.Hier.Snapshot(),
-				Pred: machine.Pred.Snapshot(),
+			if prevWarm == nil || sum.Captured%kf == 0 {
+				snap := warmer.Snapshot()
+				u.Warm = &WarmState{Hier: snap.Hier, Pred: snap.Pred}
+				lastSeq = snap.Seq
+			} else {
+				d, derr := warmer.SnapshotDelta(lastSeq)
+				if derr != nil {
+					sum.SweepInsts = cpu.Count
+					sum.SweepTime = time.Since(start)
+					return sum, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
+				}
+				u.Delta = d
+				u.Prev = prevWarm
+				lastSeq = d.Seq
 			}
+			prevWarm = u
 		}
 		sum.Captured++
 		if !emit(u) {

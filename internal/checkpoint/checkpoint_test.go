@@ -102,10 +102,14 @@ func TestRoundTripIsolation(t *testing.T) {
 
 	run := func() (functional.ArchState, uint64) {
 		machine := uarch.NewMachine(cfg)
-		if err := machine.Hier.Restore(cu.Warm.Hier); err != nil {
+		warm, err := cu.MaterializeWarm()
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := machine.Pred.Restore(cu.Warm.Pred); err != nil {
+		if err := machine.Hier.Restore(warm.Hier); err != nil {
+			t.Fatal(err)
+		}
+		if err := machine.Pred.Restore(warm.Pred); err != nil {
 			t.Fatal(err)
 		}
 		cpu := functional.NewAt(p, cu.Arch, cu.Mem.NewMemory())
@@ -144,10 +148,14 @@ func TestWarmStateMatchesContinuousSweep(t *testing.T) {
 	cur, next := set.Units[0], set.Units[1]
 
 	machine := uarch.NewMachine(cfg)
-	if err := machine.Hier.Restore(cur.Warm.Hier); err != nil {
+	curWarm, err := cur.MaterializeWarm()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := machine.Pred.Restore(cur.Warm.Pred); err != nil {
+	if err := machine.Hier.Restore(curWarm.Hier); err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.Pred.Restore(curWarm.Pred); err != nil {
 		t.Fatal(err)
 	}
 	warmer := uarch.NewWarmer(machine, cfg)
@@ -159,8 +167,12 @@ func TestWarmStateMatchesContinuousSweep(t *testing.T) {
 	// Compare by probing: every DL1 block valid in the continuation must
 	// match the sweep snapshot and vice versa. A direct struct compare
 	// of the snapshots is the simplest faithful check.
+	nextWarm, err := next.MaterializeWarm()
+	if err != nil {
+		t.Fatal(err)
+	}
 	gotH := machine.Hier.Snapshot()
-	wantH := next.Warm.Hier
+	wantH := nextWarm.Hier
 	for name, pair := range map[string][2][]uint64{
 		"IL1": {gotH.IL1.Tags, wantH.IL1.Tags},
 		"DL1": {gotH.DL1.Tags, wantH.DL1.Tags},
@@ -173,7 +185,7 @@ func TestWarmStateMatchesContinuousSweep(t *testing.T) {
 			}
 		}
 	}
-	gotP, wantP := machine.Pred.Snapshot(), next.Warm.Pred
+	gotP, wantP := machine.Pred.Snapshot(), nextWarm.Pred
 	if gotP.History != wantP.History || gotP.RASTop != wantP.RASTop {
 		t.Fatalf("predictor state differs after resumed warming")
 	}

@@ -19,13 +19,23 @@ import (
 	"repro/internal/functional"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/uarch"
 )
 
 // Record tags.
 const (
-	recPage = 1 // one 4KiB page, referenced by arrival order
-	recUnit = 2 // one captured unit
-	recEnd  = 3 // terminator carrying the sweep totals
+	recPage   = 1 // one 4KiB page, referenced by arrival order
+	recUnit   = 2 // one captured unit
+	recEnd    = 3 // terminator carrying the sweep totals
+	recKeyIdx = 4 // keyframe index (v2): ordinals of full-snapshot units
+)
+
+// Warm-state encodings inside a v2 unit record. Version-1 files carry
+// only a 0/1 presence flag, which maps onto warmNone/warmFull.
+const (
+	warmNone  = 0 // cold capture: no warm state
+	warmFull  = 1 // full snapshot (keyframe)
+	warmDelta = 2 // dirty-block delta against the previous warm unit
 )
 
 // codecWriter wraps the output stream with the scratch buffer the
@@ -57,6 +67,22 @@ func (c *codecWriter) u64s(v []uint64) error {
 	buf := c.scratch[:need]
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(buf[i*8:], x)
+	}
+	_, err := c.w.Write(buf)
+	return err
+}
+
+func (c *codecWriter) u32s(v []uint32) error {
+	if err := c.u64(uint64(len(v))); err != nil {
+		return err
+	}
+	need := len(v) * 4
+	if cap(c.scratch) < need {
+		c.scratch = make([]byte, need)
+	}
+	buf := c.scratch[:need]
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[i*4:], x)
 	}
 	_, err := c.w.Write(buf)
 	return err
@@ -141,6 +167,26 @@ func (c *codecReader) u64s() ([]uint64, error) {
 	v := make([]uint64, n)
 	for i := range v {
 		v[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return v, nil
+}
+
+func (c *codecReader) u32s() ([]uint32, error) {
+	n, err := c.length(4)
+	if err != nil {
+		return nil, err
+	}
+	need := n * 4
+	if cap(c.scratch) < need {
+		c.scratch = make([]byte, need)
+	}
+	buf := c.scratch[:need]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	v := make([]uint32, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint32(buf[i*4:])
 	}
 	return v, nil
 }
@@ -275,12 +321,20 @@ func (c *codecReader) predState() (*bpred.State, error) {
 		return nil, err
 	}
 	s.RASTop = int(int64(top))
+	// Bound the stack pointer here so a corrupt entry degrades to a
+	// load-time decode error (a store miss), not a replay-time failure.
+	if s.RASTop < 0 || s.RASTop > len(s.RAS) {
+		return nil, fmt.Errorf("RAS top %d out of range (%d entries)", s.RASTop, len(s.RAS))
+	}
 	return s, nil
 }
 
 // unit emits one captured unit record (tag already written by the
-// caller alongside any new page records).
-func (c *codecWriter) unit(u *Unit, nums []uint64, refs []uint64) error {
+// caller alongside any new page records). forceFull, when non-nil,
+// overrides the unit's own warm encoding with a full snapshot — the
+// writer uses it to re-keyframe a delta unit whose predecessor is not
+// the previously written unit (a chain the reader could not rebuild).
+func (c *codecWriter) unit(u *Unit, nums []uint64, refs []uint64, forceFull *WarmState) error {
 	for _, v := range []uint64{u.Index, u.Start, u.LaunchAt} {
 		if err := c.u64(v); err != nil {
 			return err
@@ -309,28 +363,260 @@ func (c *codecWriter) unit(u *Unit, nums []uint64, refs []uint64) error {
 	if err := c.u64s(refs); err != nil {
 		return err
 	}
-	warm := uint64(0)
-	if u.Warm != nil {
-		warm = 1
+	full := u.Warm
+	if forceFull != nil {
+		full = forceFull
 	}
-	if err := c.u64(warm); err != nil {
-		return err
+	switch {
+	case full != nil:
+		if err := c.u64(warmFull); err != nil {
+			return err
+		}
+		return c.warmState(full)
+	case u.Delta != nil:
+		if err := c.u64(warmDelta); err != nil {
+			return err
+		}
+		return c.warmDelta(u.Delta)
 	}
-	if u.Warm == nil {
-		return nil
-	}
+	return c.u64(warmNone)
+}
+
+// warmState emits one full warm snapshot.
+func (c *codecWriter) warmState(w *WarmState) error {
 	for _, s := range []*cache.State{
-		u.Warm.Hier.IL1, u.Warm.Hier.DL1, u.Warm.Hier.L2,
-		u.Warm.Hier.ITLB, u.Warm.Hier.DTLB,
+		w.Hier.IL1, w.Hier.DL1, w.Hier.L2,
+		w.Hier.ITLB, w.Hier.DTLB,
 	} {
 		if err := c.cacheState(s); err != nil {
 			return err
 		}
 	}
-	return c.predState(u.Warm.Pred)
+	return c.predState(w.Pred)
 }
 
-func (c *codecReader) unit(pages []*[mem.PageSize]byte) (*Unit, error) {
+// cacheDelta emits one dirty-block cache/TLB delta.
+func (c *codecWriter) cacheDelta(d *cache.Delta) error {
+	if err := c.u64(uint64(d.N)); err != nil {
+		return err
+	}
+	if err := c.u64(d.Stamp); err != nil {
+		return err
+	}
+	if err := c.u32s(d.Blocks); err != nil {
+		return err
+	}
+	if err := c.u64s(d.Tags); err != nil {
+		return err
+	}
+	if err := c.bools(d.Valid); err != nil {
+		return err
+	}
+	if err := c.bools(d.Dirty); err != nil {
+		return err
+	}
+	return c.u64s(d.LastUsed)
+}
+
+func (c *codecReader) cacheDelta() (*cache.Delta, error) {
+	d := &cache.Delta{}
+	n, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("unreasonable delta geometry %d", n)
+	}
+	d.N = int(n)
+	if d.Stamp, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if d.Blocks, err = c.u32s(); err != nil {
+		return nil, err
+	}
+	if d.Tags, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if d.Valid, err = c.bools(); err != nil {
+		return nil, err
+	}
+	if d.Dirty, err = c.bools(); err != nil {
+		return nil, err
+	}
+	if d.LastUsed, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// predDelta emits one dirty-block predictor delta.
+func (c *codecWriter) predDelta(d *bpred.Delta) error {
+	if err := c.u64(uint64(d.N)); err != nil {
+		return err
+	}
+	if err := c.u64(uint64(d.BTBN)); err != nil {
+		return err
+	}
+	if err := c.u32s(d.TblBlocks); err != nil {
+		return err
+	}
+	for _, b := range [][]uint8{d.Bimodal, d.Gshare, d.Chooser} {
+		if err := c.bytes(b); err != nil {
+			return err
+		}
+	}
+	if err := c.u64(d.History); err != nil {
+		return err
+	}
+	if err := c.u32s(d.BTBBlocks); err != nil {
+		return err
+	}
+	for _, u := range [][]uint64{d.BTBTags, d.BTBTgts, d.BTBLRU} {
+		if err := c.u64s(u); err != nil {
+			return err
+		}
+	}
+	if err := c.bools(d.BTBValid); err != nil {
+		return err
+	}
+	if err := c.u64(d.BTBStamp); err != nil {
+		return err
+	}
+	if err := c.u64s(d.RAS); err != nil {
+		return err
+	}
+	return c.u64(uint64(int64(d.RASTop)))
+}
+
+func (c *codecReader) predDelta() (*bpred.Delta, error) {
+	d := &bpred.Delta{}
+	n, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	btbn, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen || btbn > maxLen {
+		return nil, fmt.Errorf("unreasonable delta geometry %d/%d", n, btbn)
+	}
+	d.N, d.BTBN = int(n), int(btbn)
+	if d.TblBlocks, err = c.u32s(); err != nil {
+		return nil, err
+	}
+	if d.Bimodal, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	if d.Gshare, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	if d.Chooser, err = c.bytes(); err != nil {
+		return nil, err
+	}
+	if d.History, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if d.BTBBlocks, err = c.u32s(); err != nil {
+		return nil, err
+	}
+	if d.BTBTags, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if d.BTBTgts, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if d.BTBLRU, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	if d.BTBValid, err = c.bools(); err != nil {
+		return nil, err
+	}
+	if d.BTBStamp, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if d.RAS, err = c.u64s(); err != nil {
+		return nil, err
+	}
+	top, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	d.RASTop = int(int64(top))
+	return d, nil
+}
+
+// warmDelta emits one dirty-block warm delta (hierarchy + predictor).
+// The chain linkage (Since/Seq) is implicit in record order and not
+// serialized: the reader rebuilds Prev links as it goes.
+func (c *codecWriter) warmDelta(d *uarch.WarmDelta) error {
+	for _, cd := range []*cache.Delta{d.Hier.IL1, d.Hier.DL1, d.Hier.L2, d.Hier.ITLB, d.Hier.DTLB} {
+		if err := c.cacheDelta(cd); err != nil {
+			return err
+		}
+	}
+	return c.predDelta(d.Pred)
+}
+
+func (c *codecReader) warmDelta() (*uarch.WarmDelta, error) {
+	hier := &cache.HierarchyDelta{}
+	var err error
+	for _, dst := range []**cache.Delta{&hier.IL1, &hier.DL1, &hier.L2, &hier.ITLB, &hier.DTLB} {
+		if *dst, err = c.cacheDelta(); err != nil {
+			return nil, err
+		}
+	}
+	pred, err := c.predDelta()
+	if err != nil {
+		return nil, err
+	}
+	return &uarch.WarmDelta{Hier: hier, Pred: pred}, nil
+}
+
+// warmGeom records the structure geometry of the last full snapshot so
+// subsequent delta records can be validated at load time: a corrupt
+// delta must surface as a decode error (and therefore a store miss),
+// never as an out-of-range panic or silently wrong state at replay.
+type warmGeom struct {
+	il1, dl1, l2, itlb, dtlb int
+	tbl, btb, ras            int
+}
+
+func geomOf(w *WarmState) warmGeom {
+	return warmGeom{
+		il1:  len(w.Hier.IL1.Tags),
+		dl1:  len(w.Hier.DL1.Tags),
+		l2:   len(w.Hier.L2.Tags),
+		itlb: len(w.Hier.ITLB.Tags),
+		dtlb: len(w.Hier.DTLB.Tags),
+		tbl:  len(w.Pred.Bimodal),
+		btb:  len(w.Pred.BTBTags),
+		ras:  len(w.Pred.RAS),
+	}
+}
+
+// validate checks a decoded warm delta against the chain's geometry.
+func (g warmGeom) validate(d *uarch.WarmDelta) error {
+	for _, pair := range []struct {
+		d *cache.Delta
+		n int
+	}{
+		{d.Hier.IL1, g.il1}, {d.Hier.DL1, g.dl1}, {d.Hier.L2, g.l2},
+		{d.Hier.ITLB, g.itlb}, {d.Hier.DTLB, g.dtlb},
+	} {
+		if err := pair.d.Validate(pair.n); err != nil {
+			return err
+		}
+	}
+	return d.Pred.Validate(g.tbl, g.btb, g.ras)
+}
+
+// unit decodes one unit record. version selects the warm encoding (v1:
+// presence flag + full snapshot; v2: kind byte with delta support).
+// prevWarm is the last warm-carrying unit decoded so far (the delta
+// chain predecessor) and geom the geometry established by the chain's
+// keyframe; geom is updated when this record carries a full snapshot.
+func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm *Unit, geom *warmGeom) (*Unit, error) {
 	u := &Unit{}
 	var err error
 	if u.Index, err = c.u64(); err != nil {
@@ -385,23 +671,44 @@ func (c *codecReader) unit(pages []*[mem.PageSize]byte) (*Unit, error) {
 	}
 	u.Mem = mem.ImageFromPages(pm)
 
-	warm, err := c.u64()
+	kind, err := c.u64()
 	if err != nil {
 		return nil, err
 	}
-	if warm == 0 {
+	switch kind {
+	case warmNone:
 		return u, nil
-	}
-	hier := &cache.HierarchyState{}
-	for _, dst := range []**cache.State{&hier.IL1, &hier.DL1, &hier.L2, &hier.ITLB, &hier.DTLB} {
-		if *dst, err = c.cacheState(); err != nil {
+	case warmFull:
+		hier := &cache.HierarchyState{}
+		for _, dst := range []**cache.State{&hier.IL1, &hier.DL1, &hier.L2, &hier.ITLB, &hier.DTLB} {
+			if *dst, err = c.cacheState(); err != nil {
+				return nil, err
+			}
+		}
+		pred, err := c.predState()
+		if err != nil {
 			return nil, err
 		}
+		u.Warm = &WarmState{Hier: hier, Pred: pred}
+		*geom = geomOf(u.Warm)
+		return u, nil
+	case warmDelta:
+		if version < 2 {
+			return nil, fmt.Errorf("unit %d: delta record in version-%d file", u.Index, version)
+		}
+		if prevWarm == nil {
+			return nil, fmt.Errorf("unit %d: delta with no preceding keyframe", u.Index)
+		}
+		d, err := c.warmDelta()
+		if err != nil {
+			return nil, err
+		}
+		if err := geom.validate(d); err != nil {
+			return nil, fmt.Errorf("unit %d: %w", u.Index, err)
+		}
+		u.Delta = d
+		u.Prev = prevWarm
+		return u, nil
 	}
-	pred, err := c.predState()
-	if err != nil {
-		return nil, err
-	}
-	u.Warm = &WarmState{Hier: hier, Pred: pred}
-	return u, nil
+	return nil, fmt.Errorf("unit %d: unknown warm encoding %d", u.Index, kind)
 }

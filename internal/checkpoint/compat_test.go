@@ -1,0 +1,136 @@
+package checkpoint
+
+// In-package test of version-1 read compatibility. A v1 entry has the
+// same byte layout as a v2 entry whose units are all full snapshots —
+// the v1 warm presence flag coincides with warmFull/warmNone — except
+// for the version field and the absence of the keyframe index record,
+// so the old writer can be reproduced exactly with the current codec.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// writeV1 serializes set exactly as the version-1 writer did. Every
+// unit must carry a full snapshot (or none): v1 had no delta encoding.
+func writeV1(t *testing.T, path string, k Key, set *Set) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(storeMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(f, binary.LittleEndian, uint32(storeVersionV1)); err != nil {
+		t.Fatal(err)
+	}
+	cw := newCodecWriter(f)
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(storeManifest{Key: k, PopulationUnits: set.PopulationUnits}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.bytes(blob.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	prevPages := make(map[*[mem.PageSize]byte]uint64)
+	var nextPage uint64
+	for _, u := range set.Units {
+		if u.Delta != nil {
+			t.Fatal("writeV1 given a delta-encoded unit")
+		}
+		var nums, refs []uint64
+		cur := make(map[*[mem.PageSize]byte]uint64)
+		u.Mem.VisitPages(func(num uint64, data *[mem.PageSize]byte) {
+			id, ok := prevPages[data]
+			if !ok {
+				id = nextPage
+				nextPage++
+				if err := cw.u64(recPage); err != nil {
+					t.Fatal(err)
+				}
+				if err := cw.bytes(data[:]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cur[data] = id
+			nums = append(nums, num)
+			refs = append(refs, id)
+		})
+		prevPages = cur
+		if err := cw.u64(recUnit); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.unit(u, nums, refs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []uint64{recEnd, uint64(len(set.Units)), set.SweepInsts, uint64(int64(set.SweepTime))} {
+		if err := cw.u64(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreReadsV1Entries verifies the current reader loads entries the
+// version-1 writer produced (all units full snapshots, no keyframe
+// index) and that the loaded units match the captured ones exactly.
+func TestStoreReadsV1Entries(t *testing.T) {
+	spec, err := program.ByName("gzipx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := program.Generate(spec, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	// Keyframe=1 captures full snapshots only — the v1 shape.
+	params := Params{U: 1000, W: 1000, K: 20, FunctionalWarm: true, Keyframe: 1}
+	set, err := Capture(p, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Units) == 0 {
+		t.Fatal("no units captured")
+	}
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFor(p, cfg, params)
+	writeV1(t, store.path(key), key, set)
+
+	loaded, err := store.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("v1 entry not loaded")
+	}
+	if len(loaded.Units) != len(set.Units) {
+		t.Fatalf("loaded %d units, saved %d", len(loaded.Units), len(set.Units))
+	}
+	for i, u := range loaded.Units {
+		want := set.Units[i]
+		if u.Index != want.Index || u.Arch != want.Arch {
+			t.Fatalf("unit %d differs after v1 load", i)
+		}
+		if u.Warm == nil || !reflect.DeepEqual(u.Warm, want.Warm) {
+			t.Fatalf("unit %d warm state differs after v1 load", i)
+		}
+	}
+}

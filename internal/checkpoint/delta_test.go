@@ -1,0 +1,119 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/uarch"
+)
+
+// TestDeltaCaptureMatchesFull is the tentpole's bit-identity bar at the
+// capture layer: a delta-encoded sweep (default keyframe interval) must
+// materialize every unit to exactly the launch state a full-snapshot
+// sweep (Keyframe=1) captures, while actually carrying less snapshot
+// payload and a mix of keyframe and delta units.
+func TestDeltaCaptureMatchesFull(t *testing.T) {
+	p := genProg(t, "gccx", 400_000)
+	cfg := uarch.Config8Way()
+	base := checkpoint.Params{U: 1000, W: 2000, K: 8, J: 0, FunctionalWarm: true}
+
+	fullParams := base
+	fullParams.Keyframe = 1
+	full := capture(t, p, cfg, fullParams)
+
+	delta := capture(t, p, cfg, base)
+
+	if len(full.Units) != len(delta.Units) {
+		t.Fatalf("unit counts differ: %d full, %d delta", len(full.Units), len(delta.Units))
+	}
+	keyframes, deltas := 0, 0
+	for _, u := range delta.Units {
+		switch {
+		case u.Warm != nil:
+			keyframes++
+		case u.Delta != nil:
+			deltas++
+		}
+	}
+	if keyframes == 0 || deltas == 0 {
+		t.Fatalf("delta capture carried %d keyframes and %d deltas; want both > 0", keyframes, deltas)
+	}
+	for _, u := range full.Units {
+		if u.Warm == nil {
+			t.Fatalf("unit %d of Keyframe=1 capture is not a full snapshot", u.Index)
+		}
+	}
+	for i := range full.Units {
+		unitsEqual(t, "delta-vs-full", delta.Units[i], full.Units[i])
+	}
+	if db, fb := delta.WarmBytes(), full.WarmBytes(); db >= fb {
+		t.Fatalf("delta capture carries %d warm bytes, full %d; want a reduction", db, fb)
+	} else {
+		t.Logf("warm payload: full %d bytes/unit, delta %d bytes/unit (%.1fx)",
+			fb/len(full.Units), db/len(delta.Units), float64(fb)/float64(db))
+	}
+}
+
+// TestSetMaterialize exercises the Set-level accessor, including the
+// out-of-range error path.
+func TestSetMaterialize(t *testing.T) {
+	p := genProg(t, "gzipx", 200_000)
+	cfg := uarch.Config8Way()
+	set := capture(t, p, cfg, checkpoint.Params{U: 1000, W: 1000, K: 5, FunctionalWarm: true})
+	for i := range set.Units {
+		w, err := set.Materialize(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == nil {
+			t.Fatalf("unit %d materialized to nil warm state", i)
+		}
+	}
+	if _, err := set.Materialize(len(set.Units)); err == nil {
+		t.Fatal("out-of-range Materialize did not error")
+	}
+	// Cold captures materialize to nil without error.
+	cold := capture(t, p, cfg, checkpoint.Params{U: 1000, K: 5})
+	if w, err := cold.Materialize(0); err != nil || w != nil {
+		t.Fatalf("cold unit materialized to (%v, %v); want (nil, nil)", w, err)
+	}
+}
+
+// TestKeyframeExcludedFromKey pins the store-key property the delta
+// encoding relies on: Keyframe changes the entry's layout, never its
+// materialized content, so it must not invalidate existing entries.
+func TestKeyframeExcludedFromKey(t *testing.T) {
+	p := genProg(t, "gzipx", 100_000)
+	cfg := uarch.Config8Way()
+	base := checkpoint.Params{U: 1000, W: 1000, K: 20, FunctionalWarm: true}
+	k0 := checkpoint.KeyFor(p, cfg, base)
+	for _, kf := range []int{1, 4, 64} {
+		q := base
+		q.Keyframe = kf
+		if got := checkpoint.KeyFor(p, cfg, q); got.Hash() != k0.Hash() {
+			t.Fatalf("Keyframe=%d changed the store key", kf)
+		}
+	}
+}
+
+// TestBrokenChainMaterializeErrors verifies a unit whose chain was
+// severed reports an error instead of panicking or fabricating state.
+func TestBrokenChainMaterializeErrors(t *testing.T) {
+	p := genProg(t, "mcfx", 200_000)
+	cfg := uarch.Config8Way()
+	set := capture(t, p, cfg, checkpoint.Params{U: 1000, W: 1000, K: 5, FunctionalWarm: true})
+	var du *checkpoint.Unit
+	for _, u := range set.Units {
+		if u.Delta != nil {
+			du = u
+			break
+		}
+	}
+	if du == nil {
+		t.Fatal("no delta unit captured")
+	}
+	du.Prev = nil
+	if _, err := du.MaterializeWarm(); err == nil {
+		t.Fatal("severed chain materialized without error")
+	}
+}

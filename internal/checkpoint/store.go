@@ -28,9 +28,18 @@ import (
 // Entries are uncompressed by design: loading must beat re-sweeping,
 // and the dominant payloads (tag arrays, LRU stamps, memory pages) are
 // cheap to rewrite but expensive to push through a codec.
+//
+// Version 2 adds delta-encoded warm snapshots: unit records carry a
+// warm-encoding kind (none/full/delta), delta units hold dirty-block
+// deltas chained off the preceding full "keyframe" unit, and a keyframe
+// index record before the End record enumerates the keyframe ordinals
+// so truncated or spliced chains are detected at load. Version-1 files
+// (every unit a full snapshot) still load; writers always emit v2.
+// Corruption anywhere — including mid-chain — degrades to a miss.
 const (
-	storeVersion = 1
-	storeExt     = ".ckpt"
+	storeVersion   = 2
+	storeVersionV1 = 1
+	storeExt       = ".ckpt"
 )
 
 var storeMagic = [8]byte{'S', 'M', 'R', 'T', 'C', 'K', 'P', 'T'}
@@ -132,6 +141,12 @@ type Store struct {
 	// save, discard) so sweep reuse is observable from the CLIs.
 	Logf func(format string, args ...any)
 
+	// MaxBytes, when positive, caps the total size of committed entries:
+	// each commit evicts least-recently-used entries (per the index's
+	// LastUsed, refreshed on hits) until the store fits. Set it before
+	// sharing the store across goroutines. See index.go.
+	MaxBytes int64
+
 	mu           sync.Mutex
 	hits, misses uint64
 }
@@ -182,6 +197,20 @@ type storeManifest struct {
 	PopulationUnits uint64
 }
 
+// readManifest decodes the length-prefixed gob manifest that follows
+// the file header.
+func readManifest(cr *codecReader) (*storeManifest, error) {
+	blob, err := cr.bytes()
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	var man storeManifest
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&man); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	return &man, nil
+}
+
 // Load returns the Set stored under k, or nil when the store has no
 // usable entry (absent, format-version mismatch, key mismatch, or
 // corruption — all count as misses; corruption is logged). The returned
@@ -207,6 +236,7 @@ func (s *Store) Load(k Key) (*Set, error) {
 		return nil, nil
 	}
 	s.countHit(true)
+	s.noteUse(k.Hash())
 	s.Log("checkpoint store: hit %s (%s: %d units, %d sweep insts reused)",
 		k.Hash(), k.Workload, len(set.Units), set.SweepInsts)
 	return set, nil
@@ -224,17 +254,13 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != storeVersion {
-		return nil, fmt.Errorf("format version %d, want %d", version, storeVersion)
+	if version != storeVersion && version != storeVersionV1 {
+		return nil, fmt.Errorf("format version %d, want %d or %d", version, storeVersion, storeVersionV1)
 	}
 	cr := newCodecReader(r)
-	blob, err := cr.bytes()
+	man, err := readManifest(cr)
 	if err != nil {
-		return nil, fmt.Errorf("manifest: %w", err)
-	}
-	var man storeManifest
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&man); err != nil {
-		return nil, fmt.Errorf("manifest: %w", err)
+		return nil, err
 	}
 	if man.Key.String() != k.String() {
 		return nil, fmt.Errorf("key mismatch: stored %s", man.Key)
@@ -242,6 +268,11 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 
 	set := &Set{K: k.K, PopulationUnits: man.PopulationUnits}
 	var pages []*[mem.PageSize]byte
+	var prevWarm *Unit    // delta chain predecessor
+	var geom warmGeom     // geometry established by the last keyframe
+	var keyframes []int64 // ordinals of full-snapshot units, for index validation
+	var keyIdx []uint64   // the file's keyframe index record, when present
+	sawKeyIdx := false
 	for {
 		tag, err := cr.u64()
 		if err != nil {
@@ -258,11 +289,25 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 			}
 			pages = append(pages, (*[mem.PageSize]byte)(page))
 		case recUnit:
-			u, err := cr.unit(pages)
+			u, err := cr.unit(version, pages, prevWarm, &geom)
 			if err != nil {
 				return nil, err
 			}
+			if u.Warm != nil {
+				keyframes = append(keyframes, int64(len(set.Units)))
+			}
+			if u.Warm != nil || u.Delta != nil {
+				prevWarm = u
+			}
 			set.Units = append(set.Units, u)
+		case recKeyIdx:
+			if version < 2 || sawKeyIdx {
+				return nil, fmt.Errorf("unexpected keyframe index record")
+			}
+			if keyIdx, err = cr.u64s(); err != nil {
+				return nil, err
+			}
+			sawKeyIdx = true
 		case recEnd:
 			units, err := cr.u64()
 			if err != nil {
@@ -270,6 +315,21 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 			}
 			if units != uint64(len(set.Units)) {
 				return nil, fmt.Errorf("truncated: %d of %d units", len(set.Units), units)
+			}
+			if version >= 2 {
+				// The keyframe index must agree with the units actually
+				// decoded; a mismatch means records were lost or spliced.
+				if !sawKeyIdx {
+					return nil, fmt.Errorf("missing keyframe index")
+				}
+				if len(keyIdx) != len(keyframes) {
+					return nil, fmt.Errorf("keyframe index lists %d keyframes, decoded %d", len(keyIdx), len(keyframes))
+				}
+				for i, ord := range keyIdx {
+					if ord != uint64(keyframes[i]) {
+						return nil, fmt.Errorf("keyframe index mismatch at %d: %d vs %d", i, ord, keyframes[i])
+					}
+				}
 			}
 			if set.SweepInsts, err = cr.u64(); err != nil {
 				return nil, err
@@ -305,6 +365,16 @@ type SetWriter struct {
 	prevPages map[*[mem.PageSize]byte]uint64
 	nextPage  uint64
 	units     int
+	// prevWarm is the last warm-carrying unit written: a delta unit is
+	// only encodable as a delta when its chain predecessor is exactly
+	// this unit (the reader rebuilds chains from record order). Units
+	// arriving out of chain order — e.g. an offset sub-set whose deltas
+	// point at units of other offsets — are materialized and written as
+	// full keyframes instead.
+	prevWarm *Unit
+	// keyframes holds the ordinals of full-snapshot units for the
+	// keyframe index record Commit emits.
+	keyframes []uint64
 	err       error
 }
 
@@ -383,13 +453,30 @@ func (w *SetWriter) Add(u *Unit) error {
 		return w.err
 	}
 	w.prevPages = cur
+	// Delta units must extend the chain exactly where the reader will
+	// look: the previously written warm unit. Re-keyframe otherwise.
+	var forceFull *WarmState
+	if u.Delta != nil && u.Prev != w.prevWarm {
+		full, err := u.MaterializeWarm()
+		if err != nil {
+			w.fail(err)
+			return w.err
+		}
+		forceFull = full
+	}
 	if err := w.cw.u64(recUnit); err != nil {
 		w.fail(err)
 		return w.err
 	}
-	if err := w.cw.unit(u, nums, refs); err != nil {
+	if err := w.cw.unit(u, nums, refs, forceFull); err != nil {
 		w.fail(err)
 		return w.err
+	}
+	if u.Warm != nil || forceFull != nil {
+		w.keyframes = append(w.keyframes, uint64(w.units))
+	}
+	if u.Warm != nil || u.Delta != nil {
+		w.prevWarm = u
 	}
 	w.units++
 	return nil
@@ -399,6 +486,14 @@ func (w *SetWriter) Add(u *Unit) error {
 // it under the key's content address.
 func (w *SetWriter) Commit(sweepInsts uint64, sweepTime time.Duration) error {
 	if w.err != nil {
+		return w.err
+	}
+	if err := w.cw.u64(recKeyIdx); err != nil {
+		w.fail(err)
+		return w.err
+	}
+	if err := w.cw.u64s(w.keyframes); err != nil {
+		w.fail(err)
 		return w.err
 	}
 	for _, v := range []uint64{recEnd, uint64(w.units), sweepInsts, uint64(int64(sweepTime))} {
@@ -426,6 +521,7 @@ func (w *SetWriter) Commit(sweepInsts uint64, sweepTime time.Duration) error {
 		return err
 	}
 	w.store.Log("checkpoint store: saved %s (%s: %d units)", w.key.Hash(), w.key.Workload, w.units)
+	w.store.noteCommit(w.key.Hash(), w.key.String(), w.units)
 	return nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/program"
 	"repro/internal/uarch"
 )
 
@@ -149,6 +151,205 @@ func TestStoreVersionAndCorruption(t *testing.T) {
 	}
 	if got, err := store.Load(key); err != nil || got != nil {
 		t.Fatalf("bad-magic entry must be a miss (got set=%v err=%v)", got != nil, err)
+	}
+}
+
+// TestStoreCorruptDeltaChains sweeps truncation points and single-byte
+// flips across a delta-encoded entry — including points inside delta
+// records and the keyframe index. Truncations and splices must degrade
+// to a store miss (no error, no panic, never a silently short set);
+// byte flips must either miss or load into a set whose every unit
+// still materializes without panicking (content flips are undetectable
+// without checksums, but structural corruption must never escape the
+// decoder).
+func TestStoreCorruptDeltaChains(t *testing.T) {
+	p := genProg(t, "gccx", 400_000)
+	cfg := uarch.Config8Way()
+	// Small keyframe interval so the file interleaves keyframes and
+	// delta chains; K=8 gives ~50 units.
+	params := checkpoint.Params{U: 1000, W: 1000, K: 8, FunctionalWarm: true, Keyframe: 4}
+	set := capture(t, p, cfg, params)
+	if len(set.Units) < 10 {
+		t.Fatalf("want >= 10 units, got %d", len(set.Units))
+	}
+
+	dir := t.TempDir()
+	store, err := checkpoint.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := checkpoint.KeyFor(p, cfg, params)
+	if err := store.Save(key, set); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.Hash()+".ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations at 40 points through the file (mid-chain truncation
+	// lands inside delta records for most of them).
+	for i := 1; i < 40; i++ {
+		cut := len(data) * i / 40
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := store.Load(key)
+		if err != nil {
+			t.Fatalf("truncation at %d bytes: got error %v, want miss", cut, err)
+		}
+		if got != nil {
+			t.Fatalf("truncation at %d bytes: got a set, want miss", cut)
+		}
+	}
+
+	// Deleting a span from the middle (splicing records) must miss too —
+	// the unit count or keyframe index will disagree.
+	spliced := append(append([]byte(nil), data[:len(data)/3]...), data[len(data)/3+1024:]...)
+	if err := os.WriteFile(path, spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Load(key); err != nil || got != nil {
+		t.Fatalf("spliced entry: (set=%v err=%v), want miss", got != nil, err)
+	}
+
+	// Byte flips at 60 points through the file, including inside intact
+	// delta records. A flip in structural fields (lengths, block
+	// indices, RAS top) must be rejected at load; a flip in content
+	// bytes (tags, counters, page data) is undetectable without
+	// checksums and may load — but whatever Load returns, materializing
+	// every unit must never panic or index out of range.
+	for i := 0; i < 60; i++ {
+		off := 12 + (len(data)-13)*i/60 // past magic+version: header flips are covered above
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5a
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := store.Load(key)
+		if err != nil {
+			t.Fatalf("flip at %d: got error %v, want miss or load", off, err)
+		}
+		if got == nil {
+			continue
+		}
+		for u := range got.Units {
+			if _, err := got.Materialize(u); err != nil {
+				t.Fatalf("flip at %d: loaded set failed to materialize unit %d: %v", off, u, err)
+			}
+		}
+	}
+
+	// Restore the intact file: it must load again (the sweep above must
+	// not have poisoned anything).
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(key)
+	if err != nil || loaded == nil {
+		t.Fatalf("intact entry failed to load after corruption sweep: %v", err)
+	}
+	for i := range set.Units {
+		unitsEqual(t, "post-sweep", loaded.Units[i], set.Units[i])
+	}
+}
+
+// TestStoreIndexAndEviction covers the store lifecycle satellite: the
+// index enumerates committed entries with sizes and keys, Load hits
+// refresh recency, and an LRU byte cap evicts the oldest entries on
+// commit — never the entry just committed.
+func TestStoreIndexAndEviction(t *testing.T) {
+	cfg := uarch.Config8Way()
+	dir := t.TempDir()
+	store, err := checkpoint.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	progs := []*program.Program{
+		genProg(t, "gzipx", 100_000),
+		genProg(t, "mcfx", 100_000),
+		genProg(t, "gccx", 100_000),
+	}
+	params := checkpoint.Params{U: 1000, K: 50, FunctionalWarm: true}
+	keys := make([]checkpoint.Key, len(progs))
+	var entrySize int64
+	for i, p := range progs {
+		set := capture(t, p, cfg, params)
+		keys[i] = checkpoint.KeyFor(p, cfg, params)
+		if err := store.Save(keys[i], set); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond) // order LastUsed stamps
+	}
+	idx, err := store.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 {
+		t.Fatalf("index lists %d entries, want 3", len(idx))
+	}
+	for _, e := range idx {
+		if e.Bytes <= 0 || e.Key == "" || e.Units == 0 {
+			t.Fatalf("incomplete index entry: %+v", e)
+		}
+		entrySize = e.Bytes
+	}
+
+	// Touch the oldest entry so it becomes the most recently used.
+	if set, err := store.Load(keys[0]); err != nil || set == nil {
+		t.Fatalf("reload failed: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	// Cap the store at roughly two entries and commit a fourth: the two
+	// least recently used (keys[1], keys[2]) must be evicted.
+	store.MaxBytes = 2*entrySize + entrySize/2
+	p4 := genProg(t, "ammpx", 100_000)
+	set4 := capture(t, p4, cfg, params)
+	key4 := checkpoint.KeyFor(p4, cfg, params)
+	if err := store.Save(key4, set4); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err = store.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("index lists %d entries after eviction, want 2", len(idx))
+	}
+	for _, want := range []struct {
+		key checkpoint.Key
+		hit bool
+	}{
+		{keys[0], true}, {keys[1], false}, {keys[2], false}, {key4, true},
+	} {
+		set, err := store.Load(want.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := set != nil; got != want.hit {
+			t.Fatalf("entry %s: hit=%v, want %v", want.key.Hash(), got, want.hit)
+		}
+	}
+
+	// A rebuilt index (file deleted) still sees the surviving entries.
+	if err := os.Remove(filepath.Join(dir, checkpoint.IndexName)); err != nil {
+		t.Fatal(err)
+	}
+	idx, err = store.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("rebuilt index lists %d entries, want 2", len(idx))
+	}
+	for _, e := range idx {
+		if e.Key == "" {
+			t.Fatalf("rebuilt index entry lost its key: %+v", e)
+		}
 	}
 }
 

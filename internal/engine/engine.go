@@ -444,11 +444,19 @@ func worker(prog *program.Program, cfg uarch.Config, u uint64, jobs <-chan unitJ
 // meter's floating-point total) into the per-unit readings.
 func replay(prog *program.Program, cfg uarch.Config, cu *checkpoint.Unit, u uint64) unitDone {
 	machine := uarch.NewMachine(cfg)
-	if cu.Warm != nil {
-		if err := machine.Hier.Restore(cu.Warm.Hier); err != nil {
+	// Delta-encoded snapshots are materialized here, on the worker, so
+	// the capture sweep's critical path copies only dirty blocks; the
+	// reconstruction (clone keyframe, apply the delta chain) is read-only
+	// on the shared snapshots and therefore safe at any worker count.
+	warm, err := cu.MaterializeWarm()
+	if err != nil {
+		return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
+	}
+	if warm != nil {
+		if err := machine.Hier.Restore(warm.Hier); err != nil {
 			return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
 		}
-		if err := machine.Pred.Restore(cu.Warm.Pred); err != nil {
+		if err := machine.Pred.Restore(warm.Pred); err != nil {
 			return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
 		}
 	}

@@ -1,7 +1,10 @@
 package uarch
 
 import (
+	"fmt"
+
 	"repro/internal/bpred"
+	"repro/internal/cache"
 	"repro/internal/functional"
 	"repro/internal/isa"
 )
@@ -31,6 +34,10 @@ type Warmer struct {
 	haveIBlock bool
 	rec        functional.DynInst
 
+	// snapSeq numbers the snapshots taken through Snapshot/SnapshotDelta
+	// so delta chains can assert they extend the latest baseline.
+	snapSeq uint64
+
 	// Components selects the warmed structures; zero value warms nothing,
 	// NewWarmer initializes it to AllComponents.
 	Components WarmComponents
@@ -39,6 +46,63 @@ type Warmer struct {
 // NewWarmer builds a full warmer bound to m's structures.
 func NewWarmer(m *Machine, cfg Config) *Warmer {
 	return &Warmer{machine: m, blockBits: cfg.IL1.BlockBits, Components: AllComponents}
+}
+
+// WarmSnapshot is a full snapshot of the warmed structures — cache/TLB
+// hierarchy and branch predictor — tagged with its sequence number, the
+// baseline identity subsequent SnapshotDelta calls key off.
+type WarmSnapshot struct {
+	Hier *cache.HierarchyState
+	Pred *bpred.State
+	// Seq identifies this snapshot within the warmer's chain; pass it to
+	// SnapshotDelta to capture the changes since this point.
+	Seq uint64
+}
+
+// WarmDelta is a dirty-block delta between two consecutive warm
+// snapshots: applying it to (a copy of) snapshot Since yields snapshot
+// Seq exactly.
+type WarmDelta struct {
+	Hier *cache.HierarchyDelta
+	Pred *bpred.Delta
+	// Since is the sequence number of the baseline snapshot, Seq the
+	// number this delta advances the chain to.
+	Since, Seq uint64
+}
+
+// Bytes returns the approximate in-memory payload size of the delta.
+func (d *WarmDelta) Bytes() int { return d.Hier.Bytes() + d.Pred.Bytes() }
+
+// Snapshot captures the machine's full warm state and resets dirty
+// tracking, making this snapshot the baseline for the next
+// SnapshotDelta — the keyframe of a delta chain.
+func (w *Warmer) Snapshot() *WarmSnapshot {
+	w.snapSeq++
+	s := &WarmSnapshot{
+		Hier: w.machine.Hier.Snapshot(),
+		Pred: w.machine.Pred.Snapshot(),
+		Seq:  w.snapSeq,
+	}
+	w.machine.Hier.ResetDirty()
+	w.machine.Pred.ResetDirty()
+	return s
+}
+
+// SnapshotDelta captures only the state dirtied since the snapshot
+// numbered since, which must be the warmer's most recent snapshot (full
+// or delta) — deltas chain strictly; skipping a link would silently
+// drop updates, so that is an error.
+func (w *Warmer) SnapshotDelta(since uint64) (*WarmDelta, error) {
+	if w.snapSeq == 0 || since != w.snapSeq {
+		return nil, fmt.Errorf("uarch: delta against snapshot %d, latest is %d", since, w.snapSeq)
+	}
+	w.snapSeq++
+	return &WarmDelta{
+		Hier:  w.machine.Hier.SnapshotDelta(),
+		Pred:  w.machine.Pred.SnapshotDelta(),
+		Since: since,
+		Seq:   w.snapSeq,
+	}, nil
 }
 
 // Forward advances the CPU by n instructions with functional warming.
