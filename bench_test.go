@@ -12,6 +12,8 @@ package repro
 // cmd/smartsweep for other scales.
 
 import (
+	"context"
+
 	"os"
 	"sync"
 	"testing"
@@ -36,7 +38,7 @@ func ctx(b *testing.B) *experiments.Context {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchCtx = experiments.NewContext(experiments.Small)
-		if err := benchCtx.Preload(uarch.Config8Way(), 8); err != nil {
+		if err := benchCtx.Preload(context.Background(), uarch.Config8Way(), 8); err != nil {
 			b.Fatalf("preload references: %v", err)
 		}
 	})
@@ -46,7 +48,7 @@ func ctx(b *testing.B) *experiments.Context {
 func BenchmarkFig2CoeffVariation(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2(c, uarch.Config8Way())
+		r, err := experiments.Fig2(context.Background(), c, uarch.Config8Way())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +76,7 @@ func BenchmarkFig2CoeffVariation(b *testing.B) {
 func BenchmarkFig3MinInstructions(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3(c, uarch.Config8Way())
+		r, err := experiments.Fig3(context.Background(), c, uarch.Config8Way())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +96,7 @@ func BenchmarkFig3MinInstructions(b *testing.B) {
 func BenchmarkFig4PerfModel(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4(c)
+		r, err := experiments.Fig4(context.Background(), c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +110,7 @@ func BenchmarkFig4PerfModel(b *testing.B) {
 func BenchmarkFig5OptimalU(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig5(c, uarch.Config8Way(), nil, nil)
+		r, err := experiments.Fig5(context.Background(), c, uarch.Config8Way(), nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +123,7 @@ func BenchmarkFig5OptimalU(b *testing.B) {
 func BenchmarkTable4DetailedWarming(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table4(c, uarch.Config8Way(), nil)
+		r, err := experiments.Table4(context.Background(), c, uarch.Config8Way(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +145,7 @@ func BenchmarkTable4DetailedWarming(b *testing.B) {
 func BenchmarkTable5FunctionalWarmingBias(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table5(c, uarch.Config8Way())
+		r, err := experiments.Table5(context.Background(), c, uarch.Config8Way())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +159,7 @@ func BenchmarkTable5FunctionalWarmingBias(b *testing.B) {
 func BenchmarkFig6CPIEstimation(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig6(c, uarch.Config8Way())
+		r, err := experiments.Fig6(context.Background(), c, uarch.Config8Way())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +173,7 @@ func BenchmarkFig6CPIEstimation(b *testing.B) {
 func BenchmarkFig7EPIEstimation(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig7(c, uarch.Config8Way())
+		r, err := experiments.Fig7(context.Background(), c, uarch.Config8Way())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +188,7 @@ func BenchmarkFig7EPIEstimation(b *testing.B) {
 func BenchmarkTable6Runtimes(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table6(c, uarch.Config8Way())
+		r, err := experiments.Table6(context.Background(), c, uarch.Config8Way())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +202,7 @@ func BenchmarkTable6Runtimes(b *testing.B) {
 func BenchmarkFig8SimPointComparison(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig8(c, uarch.Config8Way(), nil)
+		r, err := experiments.Fig8(context.Background(), c, uarch.Config8Way(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +220,7 @@ func BenchmarkFig8SimPointComparison(b *testing.B) {
 func BenchmarkAblationWarming(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationWarming(c, uarch.Config8Way(), nil)
+		r, err := experiments.AblationWarming(context.Background(), c, uarch.Config8Way(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -365,7 +367,7 @@ func BenchmarkEnginePipelined(b *testing.B) {
 func BenchmarkSixteenWayTable5(b *testing.B) {
 	c := ctx(b)
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table5(c, uarch.Config16Way())
+		r, err := experiments.Table5(context.Background(), c, uarch.Config16Way())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,10 @@
 // Command simpoint runs the SimPoint baseline (profile, cluster, select,
 // estimate) on one workload of the synthetic suite and reports the
-// selected simulation points and the weighted CPI estimate.
+// selected simulation points and the weighted CPI estimate. Workload
+// and machine selection share the sim service's flag vocabulary
+// (sim/simflag); the SimPoint estimator itself is the baseline the
+// SMARTS comparisons run against, not a sampling run, so it is not
+// served through sim.Session.
 //
 // Usage:
 //
@@ -12,31 +16,34 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/program"
 	"repro/internal/simpoint"
-	"repro/internal/uarch"
+	"repro/sim"
+	"repro/sim/simflag"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "gccx", "workload name")
-		cfgName  = flag.String("config", "8-way", "machine configuration")
-		length   = flag.Uint64("length", 2_000_000, "target dynamic instruction count")
+		workload = simflag.RegisterWorkload(flag.CommandLine)
+		machine  = simflag.RegisterMachine(flag.CommandLine)
 		interval = flag.Uint64("interval", 50_000, "profiling interval length")
 		maxK     = flag.Int("maxk", 10, "maximum cluster count")
 		seed     = flag.Int64("seed", 42, "clustering seed")
 	)
 	flag.Parse()
 
-	cfg, err := uarch.ConfigByName(*cfgName)
+	if workload.ListAndExit() {
+		return
+	}
+	cfg, err := machine.Config()
 	if err != nil {
 		fatal(err)
 	}
-	spec, err := program.ByName(*bench)
+	sess, err := sim.Open()
 	if err != nil {
 		fatal(err)
 	}
-	p, err := program.Generate(spec, *length)
+	defer sess.Close()
+	p, err := sess.Workload(*workload.Bench, *workload.Length)
 	if err != nil {
 		fatal(err)
 	}

@@ -3,6 +3,7 @@
 // suite under a chosen machine configuration and sampling plan and
 // prints the CPI and EPI estimates with their confidence, or — with
 // -procedure — executes the paper's full two-step estimation procedure.
+// It is a thin shell over the sim service API (sim.Open / Session.Run).
 //
 // Usage:
 //
@@ -14,118 +15,82 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/checkpoint"
-	"repro/internal/program"
-	"repro/internal/smarts"
-	"repro/internal/stats"
-	"repro/internal/uarch"
+	"repro/sim"
+	"repro/sim/simflag"
 )
 
 func main() {
 	var (
-		bench     = flag.String("bench", "gccx", "workload name (see -list)")
-		list      = flag.Bool("list", false, "list available workloads and exit")
-		cfgName   = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
-		length    = flag.Uint64("length", 2_000_000, "target dynamic instruction count")
-		u         = flag.Uint64("u", 1000, "sampling unit size U")
-		w         = flag.Uint64("w", 0, "detailed warming W (0 = recommended for config)")
-		n         = flag.Uint64("n", 400, "number of sampling units n")
-		j         = flag.Uint64("j", 0, "systematic phase offset j (units)")
-		warming   = flag.String("warming", "functional", "warming mode: none, detailed, functional")
+		workload  = simflag.RegisterWorkload(flag.CommandLine)
+		machine   = simflag.RegisterMachine(flag.CommandLine)
+		plan      = simflag.RegisterPlan(flag.CommandLine)
+		engine    = simflag.RegisterEngine(flag.CommandLine)
 		procedure = flag.Bool("procedure", false, "run the full two-step procedure")
 		eps       = flag.Float64("eps", 0.03, "target relative confidence interval")
-		parallel  = flag.Int("parallel", 0, "checkpointed parallel engine workers (0 = classic serial path, -1 = all cores)")
-		ckptDir   = flag.String("ckpt-dir", "", "on-disk checkpoint store directory; sweeps are saved and reused across runs (empty = in-memory only; requires -parallel)")
-		ckptMax   = flag.Int64("ckpt-max-bytes", 0, "LRU size cap for the checkpoint store in bytes; each save evicts the least recently used entries over the cap (0 = unbounded)")
 	)
 	flag.Parse()
 
-	if *list {
-		for _, spec := range program.Suite() {
-			fmt.Printf("%-10s (archetype of %s)\n", spec.Name, spec.Model)
-		}
+	if workload.ListAndExit() {
 		return
 	}
+	cfg, err := machine.Config()
+	if err != nil {
+		fatal(err)
+	}
 
-	cfg, err := uarch.ConfigByName(*cfgName)
+	sess, err := sim.Open(engine.SessionOptions("smartsim")...)
 	if err != nil {
 		fatal(err)
 	}
-	mode, err := parseWarming(*warming)
-	if err != nil {
+	defer sess.Close()
+	defer simflag.ReportStore(sess)
+
+	req := sim.NewRequest(*workload.Bench, sim.Machine(cfg), sim.Length(*workload.Length))
+	if err := plan.Apply(req); err != nil {
 		fatal(err)
 	}
-	spec, err := program.ByName(*bench)
+	engine.Apply(req)
+	if *procedure {
+		req.Procedure = &sim.ProcedureSpec{Eps: *eps}
+	}
+
+	prog, err := sess.Workload(req.Workload, req.Length)
 	if err != nil {
 		fatal(err)
-	}
-	p, err := program.Generate(spec, *length)
-	if err != nil {
-		fatal(err)
-	}
-	if *u == 0 {
-		fatal(fmt.Errorf("unit size -u must be positive"))
-	}
-	if *w == 0 {
-		*w = smarts.RecommendedW(cfg)
 	}
 	fmt.Printf("workload %s: %d instructions, %d sampling units of %d\n",
-		p.Name, p.Length, p.Length / *u, *u)
+		prog.Name, prog.Length, prog.Length/req.U, req.U)
 
-	var store *checkpoint.Store
-	if *ckptDir != "" {
-		if *parallel == 0 {
-			fmt.Fprintln(os.Stderr, "smartsim: -ckpt-dir requires the checkpointed engine; ignoring it on the classic serial path (set -parallel)")
-		} else {
-			if store, err = checkpoint.OpenStore(*ckptDir); err != nil {
-				fatal(err)
-			}
-			store.MaxBytes = *ckptMax
-			store.Logf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			}
-			defer reportStore(store)
-		}
+	rep, err := sess.Run(context.Background(), req)
+	if err != nil {
+		fatal(err)
 	}
 
-	if *procedure {
-		pc := smarts.DefaultProcedure(cfg, *n)
-		pc.U, pc.W, pc.Warming, pc.Eps, pc.J = *u, *w, mode, *eps, *j
-		pc.Parallelism = *parallel
-		pc.Store = store
-		pr, err := smarts.RunProcedure(p, cfg, pc)
-		if err != nil {
-			fatal(err)
-		}
+	if pr := rep.Procedure; pr != nil {
 		fmt.Printf("initial run  (n=%d): CPI %v\n", pr.Initial.CPISample().N(), pr.InitialCPI)
 		if pr.Tuned != nil {
 			fmt.Printf("tuned run  (n=%d): CPI %v\n", pr.Tuned.CPISample().N(), pr.TunedCPI)
 		} else {
 			fmt.Println("initial run met the confidence target; no second run needed")
 		}
-		report(pr.FinalResult())
+		report(rep)
 		return
 	}
-
-	plan := smarts.PlanForN(p.Length, *u, *w, *n, mode, *j)
-	plan.Parallelism = *parallel
-	plan.Store = store
-	res, err := smarts.Run(p, cfg, plan)
-	if err != nil {
-		fatal(err)
-	}
+	res := rep.Result()
 	fmt.Printf("plan: U=%d W=%d k=%d j=%d warming=%v parallel=%d\n",
-		plan.U, plan.W, plan.K, plan.J, plan.Warming, plan.Parallelism)
-	report(res)
+		res.Plan.U, res.Plan.W, res.Plan.K, res.Plan.J, res.Plan.Warming, *engine.Parallel)
+	report(rep)
 }
 
-func report(res *smarts.Result) {
-	cpi := res.CPIEstimate(stats.Alpha997)
-	epi := res.EPIEstimate(stats.Alpha997)
+func report(rep *sim.Report) {
+	res := rep.Result()
+	cpi := res.CPIEstimate(sim.Alpha997)
+	epi := res.EPIEstimate(sim.Alpha997)
 	fmt.Printf("CPI estimate: %v\n", cpi)
 	fmt.Printf("EPI estimate: %v nJ\n", epi)
 	fmt.Printf("instructions: %d measured, %d detailed warming, %d fast-forwarded\n",
@@ -137,23 +102,6 @@ func report(res *smarts.Result) {
 	}
 	fmt.Printf("time: %v fast-forward, %v detailed\n",
 		res.FastFwdTime.Round(1e6), res.DetailedTime.Round(1e6))
-}
-
-func reportStore(store *checkpoint.Store) {
-	hits, misses := store.Stats()
-	fmt.Fprintf(os.Stderr, "checkpoint store %s: %d hits, %d misses\n", store.Dir(), hits, misses)
-}
-
-func parseWarming(s string) (smarts.WarmingMode, error) {
-	switch s {
-	case "none":
-		return smarts.NoWarming, nil
-	case "detailed":
-		return smarts.DetailedWarming, nil
-	case "functional":
-		return smarts.FunctionalWarming, nil
-	}
-	return 0, fmt.Errorf("unknown warming mode %q", s)
 }
 
 func fatal(err error) {

@@ -1,5 +1,6 @@
 // Command smartsweep regenerates the SMARTS paper's evaluation artifacts
-// (Figures 2-8, Tables 4-6) at a chosen scale.
+// (Figures 2-8, Tables 4-6) at a chosen scale, through the sim service
+// API (experiment requests against one shared session).
 //
 // Usage:
 //
@@ -9,65 +10,47 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/checkpoint"
-	"repro/internal/experiments"
-	"repro/internal/uarch"
+	"repro/sim"
+	"repro/sim/simflag"
 )
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment id (fig2..fig8, table4..table6, or 'all')")
-		cfgName  = flag.String("config", "8-way", "machine configuration: 8-way or 16-way")
-		scale    = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
-		parallel = flag.Int("parallel", 0, "checkpointed parallel engine workers for sampling runs (0 = classic serial path, -1 = all cores)")
-		ckptDir  = flag.String("ckpt-dir", "", "on-disk checkpoint store directory; functional sweeps are saved and reused across experiments and invocations (empty = in-memory only; requires -parallel)")
-		ckptMax  = flag.Int64("ckpt-max-bytes", 0, "LRU size cap for the checkpoint store in bytes; each save evicts the least recently used entries over the cap (0 = unbounded)")
+		machine = simflag.RegisterMachine(flag.CommandLine)
+		engine  = simflag.RegisterEngine(flag.CommandLine)
+		exp     = flag.String("experiment", "all", "experiment id (fig2..fig8, table4..table6, or 'all')")
+		scale   = flag.String("scale", "small", "experiment scale: tiny, small, or medium")
 	)
 	flag.Parse()
 
-	cfg, err := uarch.ConfigByName(*cfgName)
+	cfg, err := machine.Config()
 	if err != nil {
 		fatal(err)
 	}
-	sc, err := experiments.ScaleByName(*scale)
+	sess, err := sim.Open(engine.SessionOptions("smartsweep")...)
 	if err != nil {
 		fatal(err)
 	}
-	ctx := experiments.NewContext(sc)
-	ctx.Parallelism = *parallel
-	if *ckptDir != "" {
-		if *parallel == 0 {
-			fmt.Fprintln(os.Stderr, "smartsweep: -ckpt-dir requires the checkpointed engine; ignoring it on the classic serial path (set -parallel)")
-		} else {
-			store, err := checkpoint.OpenStore(*ckptDir)
-			if err != nil {
-				fatal(err)
-			}
-			store.MaxBytes = *ckptMax
-			store.Logf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			}
-			ctx.Ckpt = store
-			defer func() {
-				hits, misses := store.Stats()
-				fmt.Fprintf(os.Stderr, "checkpoint store %s: %d hits, %d misses\n", store.Dir(), hits, misses)
-			}()
-		}
-	}
+	defer sess.Close()
+	defer simflag.ReportStore(sess)
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = experiments.Names()
+		names = sim.ExperimentNames()
 	}
 	for _, name := range names {
 		start := time.Now()
-		fmt.Printf("==== %s (scale %s) ====\n", name, sc.Name)
-		if err := experiments.Run(name, ctx, cfg, os.Stdout); err != nil {
+		fmt.Printf("==== %s (scale %s) ====\n", name, *scale)
+		req := sim.NewExperiment(name, sim.AtScale(*scale), sim.Machine(cfg),
+			sim.StreamTo(os.Stdout))
+		engine.Apply(req)
+		if _, err := sess.Run(context.Background(), req); err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

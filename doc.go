@@ -2,50 +2,69 @@
 // Accelerating Microarchitecture Simulation via Rigorous Statistical
 // Sampling" (Wunderlich, Wenisch, Falsafi, Hoe — ISCA 2003).
 //
-// The library lives under internal/: the SMARTS sampling framework
-// (internal/smarts), the detailed out-of-order superscalar substrate
-// (internal/uarch with internal/cache, internal/bpred, internal/energy),
-// the functional simulator and synthetic SPEC2K-archetype workload suite
-// (internal/functional, internal/program), the statistics machinery
-// (internal/stats), and the SimPoint baseline (internal/simpoint).
+// # Quickstart: the sim package
 //
-// Sampling runs execute either on the classic in-place serial loop or
-// on the checkpointed parallel engine: internal/checkpoint captures a
-// launch snapshot per sampling unit (architectural state, copy-on-write
+// The supported API is the top-level sim package — a context-aware,
+// session-based front door covering every kind of sampling run:
+//
+//	sess, err := sim.Open(sim.WithStore(dir))   // long-lived session
+//	if err != nil { ... }
+//	defer sess.Close()
+//
+//	rep, err := sess.Run(ctx, sim.NewRequest("gccx",
+//		sim.Length(4_000_000),
+//		sim.Units(400),
+//	))
+//	fmt.Println("CPI:", rep.CPI)                // estimate ± CI
+//
+// One request type reaches plain sampled runs, multi-offset phase
+// runs (sim.Phases), the paper's two-step estimation procedure
+// (sim.Calibrate), and the experiment registry (sim.NewExperiment).
+// Every path honors context cancellation and deadlines; sessions
+// deduplicate concurrent functional sweeps for the same checkpoint
+// key (singleflight) and emit typed progress events (sim.OnProgress).
+// The historical entry points in internal/smarts (Run, RunSampled,
+// RunSampledPhases, RunProcedure) remain as deprecated shims that
+// produce bit-identical results through the same mechanisms.
+//
+// # Architecture
+//
+// The mechanism layers live under internal/: the SMARTS sampling
+// framework (internal/smarts), the detailed out-of-order superscalar
+// substrate (internal/uarch with internal/cache, internal/bpred,
+// internal/energy), the functional simulator and synthetic
+// SPEC2K-archetype workload suite (internal/functional,
+// internal/program), the statistics machinery (internal/stats), and
+// the SimPoint baseline (internal/simpoint).
+//
+// Sampling runs execute either on the classic in-place serial loop
+// (sim.SerialLoop — the paper's original execution) or on the
+// checkpointed parallel engine: internal/checkpoint captures a launch
+// snapshot per sampling unit (architectural state, copy-on-write
 // memory image, functionally warmed cache/TLB/predictor tables) in one
 // functional sweep, and internal/engine replays the units across a
 // worker pool with deterministic stream-order aggregation — the same
-// estimate, bit for bit, at any worker count (Plan.Parallelism,
-// smartsim/smartsweep -parallel).
+// estimate, bit for bit, at any worker count.
 //
 // The engine is a streaming pipeline: the sweep hands each snapshot to
 // the workers the moment it is captured, so wall clock approaches
-// max(sweep, replay/workers) rather than their sum. Sweeps can be
-// persisted to an on-disk checkpoint store (checkpoint.Store,
-// Plan.Store, the CLIs' -ckpt-dir) keyed by workload, plan, and
-// warm-relevant machine geometry, so one functional sweep is shared
-// across runs and across machine configs that differ only in timing,
-// width, or energy parameters; one sweep can also capture several
-// systematic phase offsets at once (smarts.RunSampledPhases), which the
-// bias experiments use to pay one sweep for all phases. Every variant —
-// streamed, two-phase, store-loaded, multi-offset — produces
-// bit-identical estimates.
+// max(sweep, replay/workers) rather than their sum. Sweeps are
+// persisted to an on-disk checkpoint store (sim.WithStore, the CLIs'
+// -ckpt-dir) keyed by workload, plan, and warm-relevant machine
+// geometry, so one functional sweep is shared across runs, across
+// machine configs that differ only in timing, width, or energy
+// parameters, and across concurrent requests (the session's
+// singleflight). One sweep can also capture several systematic phase
+// offsets at once (sim.Phases), which the bias experiments use to pay
+// one sweep for all phases. Warm snapshots are dirty-block
+// delta-encoded in memory and in the store's v2 format, with periodic
+// keyframes bounding reconstruction chains. Every variant — streamed,
+// two-phase, store-loaded, multi-offset, cancelled-and-rerun —
+// produces bit-identical estimates.
 //
-// Warm snapshots are delta-encoded: the warmed structures maintain
-// dirty-block bitmaps inside their zero-allocation update fast paths,
-// so each checkpoint copies only the cache/TLB/predictor blocks touched
-// since the previous one, with a periodic full keyframe
-// (checkpoint.Params.Keyframe) bounding every unit's reconstruction
-// chain. Workers materialize launch states on demand
-// (checkpoint.Unit.MaterializeWarm), and the store's v2 format persists
-// the same keyframe+delta structure (read-compatible with v1 full
-// snapshots), shrinking both the in-memory footprint and the on-disk
-// bytes of dense plans several-fold while every schedule stays
-// bit-identical. The store also keeps an index.json of its entries and
-// can enforce an LRU size cap (checkpoint.Store.MaxBytes, the CLIs'
-// -ckpt-max-bytes).
-//
-// Executables are under cmd/, runnable examples under examples/, and the
-// benchmarks in bench_test.go regenerate every table and figure of the
-// paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
+// Executables are under cmd/ (their shared flags live in
+// sim/simflag), runnable examples under examples/ (examples/service
+// shows the concurrent session usage), and the benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
 package repro

@@ -1,6 +1,5 @@
-// Parallel: run the same SMARTS sampling plan on the classic serial
-// loop and on the checkpointed parallel engine, and compare estimates
-// and wall-clock time.
+// Parallel: run the same SMARTS sampling plan with one worker and with
+// one worker per core, and compare estimates and wall-clock time.
 //
 // The engine runs one functional-warming sweep that snapshots each
 // selected unit's launch state (registers, a copy-on-write memory
@@ -12,37 +11,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 	"time"
 
-	"repro/internal/program"
-	"repro/internal/smarts"
-	"repro/internal/stats"
-	"repro/internal/uarch"
+	"repro/sim"
 )
 
 func main() {
-	spec, err := program.ByName("gccx")
+	sess, err := sim.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := program.Generate(spec, 4_000_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := uarch.Config8Way()
-	plan := smarts.PlanForN(prog.Length, 1000, smarts.RecommendedW(cfg), 500,
-		smarts.FunctionalWarming, 0)
-	fmt.Printf("workload %s: %d instructions, measuring %d of %d units\n",
-		prog.Name, prog.Length, prog.Length/plan.U/plan.K, prog.Length/plan.U)
+	defer sess.Close()
+	ctx := context.Background()
 
-	// Serial engine run (workers=1): the baseline the parallel run must
+	const bench = "gccx"
+	const length = 4_000_000
+	prog, err := sess.Workload(bench, length)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := []sim.RequestOption{sim.Length(length), sim.Units(500)}
+	fmt.Printf("workload %s: %d instructions\n", prog.Name, prog.Length)
+
+	// Single-worker engine run: the baseline the parallel run must
 	// reproduce byte-for-byte.
-	plan.Parallelism = 1
 	start := time.Now()
-	serial, err := smarts.Run(prog, cfg, plan)
+	serial, err := sess.Run(ctx, sim.NewRequest(bench, append(base, sim.Workers(1))...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,19 +48,16 @@ func main() {
 
 	// Parallel run across all cores.
 	workers := runtime.GOMAXPROCS(0)
-	plan.Parallelism = workers
 	start = time.Now()
-	parallel, err := smarts.Run(prog, cfg, plan)
+	parallel, err := sess.Run(ctx, sim.NewRequest(bench, append(base, sim.Workers(workers))...))
 	if err != nil {
 		log.Fatal(err)
 	}
 	parallelTime := time.Since(start)
 
-	sCPI := serial.CPIEstimate(stats.Alpha997)
-	pCPI := parallel.CPIEstimate(stats.Alpha997)
-	fmt.Printf("serial   (1 worker):   CPI %v   in %v\n", sCPI, serialTime.Round(time.Millisecond))
-	fmt.Printf("parallel (%d workers): CPI %v   in %v\n", workers, pCPI, parallelTime.Round(time.Millisecond))
-	fmt.Printf("identical estimates: %v\n", sCPI == pCPI)
+	fmt.Printf("serial   (1 worker):   CPI %v   in %v\n", serial.CPI, serialTime.Round(time.Millisecond))
+	fmt.Printf("parallel (%d workers): CPI %v   in %v\n", workers, parallel.CPI, parallelTime.Round(time.Millisecond))
+	fmt.Printf("identical estimates: %v\n", serial.CPI == parallel.CPI)
 	if parallelTime > 0 {
 		fmt.Printf("speedup: %.2fx on the end-to-end run\n",
 			float64(serialTime)/float64(parallelTime))
@@ -71,14 +66,11 @@ func main() {
 	// With a target confidence interval the engine stops measuring units
 	// as soon as the stream-order prefix is confident enough — also
 	// deterministically.
-	early, err := smarts.RunSampled(prog, cfg, plan, smarts.EngineOptions{
-		Workers:   workers,
-		TargetEps: 0.20,
-		MinUnits:  30,
-	})
+	early, err := sess.Run(ctx, sim.NewRequest(bench,
+		append(base, sim.Workers(workers), sim.EarlyStop(0.20, 30))...))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("early termination at ±20%%: kept %d of %d planned units → CPI %v\n",
-		len(early.Units), len(parallel.Units), early.CPIEstimate(stats.Alpha997))
+		len(early.Result().Units), len(parallel.Result().Units), early.CPI)
 }

@@ -1,57 +1,54 @@
 // Quickstart: estimate the CPI of one benchmark with SMARTS.
 //
-// This is the minimal end-to-end use of the library: generate a
-// workload, build a sampling plan with functional warming, run it, and
-// read the estimate with its confidence interval.
+// This is the minimal end-to-end use of the library through its public
+// API: open a sim session, run one sampling request with functional
+// warming, and read the estimate with its confidence interval.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/program"
-	"repro/internal/smarts"
-	"repro/internal/stats"
-	"repro/internal/uarch"
+	"repro/sim"
 )
 
 func main() {
-	// 1. Pick a workload from the synthetic SPEC2K-archetype suite and
-	//    generate a ~2M-instruction build of it.
-	spec, err := program.ByName("gccx")
+	// 1. A session is the long-lived service object: it owns workload
+	//    and checkpoint caches and the execution defaults.
+	sess, err := sim.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := program.Generate(spec, 4_000_000)
+	defer sess.Close()
+
+	// 2. Pick a workload from the synthetic SPEC2K-archetype suite; the
+	//    session generates (and caches) a ~4M-instruction build of it.
+	prog, err := sess.Workload("gccx", 4_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("workload %s (archetype of SPEC %s): %d dynamic instructions\n",
-		prog.Name, spec.Model, prog.Length)
+	fmt.Printf("workload %s: %d dynamic instructions\n", prog.Name, prog.Length)
 
-	// 2. Configure the machine: the paper's 8-way out-of-order baseline.
-	cfg := uarch.Config8Way()
-
-	// 3. Build a systematic sampling plan: U=1000-instruction units,
-	//    detailed warming W=2000, n=400 units, functional warming during
-	//    fast-forward. PlanForN derives the sampling interval k from the
-	//    benchmark length.
-	plan := smarts.PlanForN(prog.Length, 1000, smarts.RecommendedW(cfg), 250,
-		smarts.FunctionalWarming, 0)
-	fmt.Printf("plan: U=%d W=%d k=%d (measuring %d of %d units)\n",
-		plan.U, plan.W, plan.K, prog.Length/plan.U/plan.K, prog.Length/plan.U)
-
-	// 4. Run and report.
-	res, err := smarts.Run(prog, cfg, plan)
+	// 3. Run a systematic sampling request: U=1000-instruction units,
+	//    the recommended detailed warming, n=250 units, functional
+	//    warming during fast-forward (the request defaults).
+	rep, err := sess.Run(context.Background(), sim.NewRequest("gccx",
+		sim.Length(4_000_000),
+		sim.Units(250),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cpi := res.CPIEstimate(stats.Alpha997)
-	epi := res.EPIEstimate(stats.Alpha997)
-	fmt.Printf("CPI: %v\n", cpi)
-	fmt.Printf("EPI: %v nJ\n", epi)
+
+	// 4. Read the estimates.
+	res := rep.Result()
+	fmt.Printf("plan: U=%d W=%d k=%d (measured %d of %d units)\n",
+		res.Plan.U, res.Plan.W, res.Plan.K, len(res.Units), res.PopulationUnits)
+	fmt.Printf("CPI: %v\n", rep.CPI)
+	fmt.Printf("EPI: %v nJ\n", rep.EPI)
 	fmt.Printf("simulated in detail: %.2f%% of the stream (%d measured + %d warming)\n",
 		100*float64(res.MeasuredInsts+res.WarmingInsts)/float64(prog.Length),
 		res.MeasuredInsts, res.WarmingInsts)

@@ -1,0 +1,107 @@
+// Service: the sim session as a long-running sampling service —
+// concurrent requests against one session, shared checkpoint store,
+// sweep deduplication, typed progress events, and cancellation.
+//
+// Three things to watch in the output:
+//
+//  1. Four concurrent requests for the same workload/plan pay ONE
+//     functional sweep: the session's singleflight makes one request
+//     the sweeper and the others wait, then load the committed entry
+//     (store stats show 1 miss, 3 hits). All four estimates are
+//     bit-identical.
+//
+//  2. Progress events stream per-unit capture/replay counts and the
+//     tightening confidence interval — no log scraping.
+//
+//  3. A request with a deadline is cancelled mid-run and returns
+//     context.DeadlineExceeded, leaving the store uncorrupted.
+//
+//     go run ./examples/service
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/sim"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sim-service-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sess, err := sim.Open(sim.WithStore(dir), sim.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// --- 1. Concurrent requests, one sweep -------------------------
+	const clients = 4
+	var wg sync.WaitGroup
+	reports := make([]*sim.Report, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = sess.Run(ctx, sim.NewRequest("gzipx",
+				sim.Length(1_000_000), sim.Units(150)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("client %d: %v", i, err)
+		}
+	}
+	identical := true
+	for i := 1; i < clients; i++ {
+		if reports[i].CPI != reports[0].CPI {
+			identical = false
+		}
+	}
+	hits, misses, _ := sess.StoreStats()
+	fmt.Printf("%d concurrent clients: CPI %v, bit-identical=%v\n", clients, reports[0].CPI, identical)
+	fmt.Printf("checkpoint store: %d sweep (miss), %d reuses (hits)\n\n", misses, hits)
+
+	// --- 2. Progress events ----------------------------------------
+	fmt.Println("progress events for a fresh workload:")
+	var events int
+	rep, err := sess.Run(ctx, sim.NewRequest("mcfx",
+		sim.Length(1_000_000), sim.Units(120),
+		sim.OnProgress(func(p sim.Progress) {
+			events++
+			switch p.Kind {
+			case sim.EventUnitReplayed:
+				if p.Replayed%40 == 0 {
+					fmt.Printf("  %3d units folded, CPI so far %v\n", p.Replayed, p.Estimate)
+				}
+			case sim.EventRunDone:
+				fmt.Printf("  done: %d units, CPI %v (cached sweep: %v)\n",
+					p.Replayed, p.Estimate, p.Cached)
+			}
+		}),
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: CPI %v after %d progress events in %v\n\n",
+		rep.CPI, events, rep.Elapsed.Round(time.Millisecond))
+
+	// --- 3. Cancellation -------------------------------------------
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	_, err = sess.Run(dctx, sim.NewRequest("ammpx", sim.Length(2_000_000), sim.Units(400)))
+	fmt.Printf("deadline-bound request: err=%v (deadline exceeded: %v)\n",
+		err, errors.Is(err, context.DeadlineExceeded))
+}

@@ -1,33 +1,38 @@
 // SimPoint comparison: the paper's Figure 8 on one benchmark — SMARTS
-// versus SimPoint estimating the same ground truth.
+// versus SimPoint estimating the same ground truth. The SMARTS side
+// runs through the sim API; the SimPoint baseline is the comparison
+// subject itself (internal/simpoint).
 //
 //	go run ./examples/simpoint_compare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/program"
 	"repro/internal/simpoint"
-	"repro/internal/smarts"
-	"repro/internal/stats"
-	"repro/internal/uarch"
+	"repro/sim"
 )
 
 func main() {
-	cfg := uarch.Config8Way()
-	spec, err := program.ByName("gccx") // the paper's worst SimPoint case is gcc-2
+	sess, err := sim.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := program.Generate(spec, 2_000_000)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer sess.Close()
+	ctx := context.Background()
 
-	ref, err := smarts.FullRun(prog, cfg, 1000)
+	const bench = "gccx" // the paper's worst SimPoint case is gcc-2
+	const length = 2_000_000
+	prog, err := sess.Workload(bench, length)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.Config8Way()
+
+	ref, err := sess.Reference(ctx, bench, length, 1000, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,15 +49,19 @@ func main() {
 	fmt.Printf("SimPoint (K=%d points):  CPI %.4f  error %+.1f%%  (%d insts detailed)\n",
 		sel.K, spRes.CPI, 100*(spRes.CPI-truth)/truth, spRes.SimulatedInsts)
 
-	// SMARTS with the same detailed-instruction budget.
-	budgetUnits := spRes.SimulatedInsts / (1000 + smarts.RecommendedW(cfg))
-	plan := smarts.PlanForN(prog.Length, 1000, smarts.RecommendedW(cfg), budgetUnits,
-		smarts.FunctionalWarming, 0)
-	smRes, err := smarts.Run(prog, cfg, plan)
+	// SMARTS with the same detailed-instruction budget, through the
+	// service API (serial loop: the paper's execution).
+	budgetUnits := spRes.SimulatedInsts / (1000 + sim.RecommendedW(cfg))
+	rep, err := sess.Run(ctx, sim.NewRequest(bench,
+		sim.Length(length),
+		sim.Units(budgetUnits),
+		sim.SerialLoop(),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
-	est := smRes.CPIEstimate(stats.Alpha997)
+	smRes := rep.Result()
+	est := rep.CPI
 	fmt.Printf("SMARTS  (n=%d units):  CPI %.4f  error %+.2f%%  (%d insts detailed)\n",
 		est.N, est.Mean, 100*(est.Mean-truth)/truth, smRes.MeasuredInsts+smRes.WarmingInsts)
 	fmt.Printf("\nSMARTS additionally bounds its own error: CI ±%.1f%% at 99.7%% confidence ", est.RelCI*100)

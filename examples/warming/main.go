@@ -17,27 +17,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/program"
-	"repro/internal/smarts"
-	"repro/internal/uarch"
+	"repro/sim"
 )
 
 func main() {
-	cfg := uarch.Config8Way()
-	spec, err := program.ByName("parserx")
+	sess, err := sim.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := program.Generate(spec, 1_500_000)
+	defer sess.Close()
+	ctx := context.Background()
+
+	const bench = "parserx"
+	const length = 1_500_000
+	cfg := sim.Config8Way()
+	prog, err := sess.Workload(bench, length)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Ground truth: the full-stream detailed simulation.
-	ref, err := smarts.FullRun(prog, cfg, 1000)
+	ref, err := sess.Reference(ctx, bench, length, 1000, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,14 +57,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Wide unit spacing so warming windows never merge.
+	// Wide unit spacing so warming windows never merge. The serial loop
+	// keeps the paper's in-place execution (units observe the previous
+	// unit's leftover state, the effect under study).
 	const n = 60
-	measure := func(mode smarts.WarmingMode, w uint64) (float64, float64) {
-		plan := smarts.PlanForN(prog.Length, 1000, w, n, mode, 0)
-		res, err := smarts.Run(prog, cfg, plan)
+	measure := func(mode sim.WarmingMode, w uint64) (float64, float64) {
+		rep, err := sess.Run(ctx, sim.NewRequest(bench,
+			sim.Length(length),
+			sim.Units(n),
+			sim.Warming(mode),
+			sim.Warmup(w),
+			sim.SerialLoop(),
+		))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := rep.Result()
 		var measured, want float64
 		for _, u := range res.Units {
 			if u.Index < uint64(len(trueUnits)) {
@@ -72,15 +84,16 @@ func main() {
 		return (measured - want) / want, detailedPct
 	}
 
-	bias, pct := measure(smarts.NoWarming, 0)
+	bias, pct := measure(sim.NoWarming, 0)
 	fmt.Printf("no warming:                  bias %+7.2f%%  (detail-simulated %4.1f%%)\n", bias*100, pct)
 
 	for _, w := range []uint64{500, 2000, 8000} {
-		bias, pct := measure(smarts.DetailedWarming, w)
+		bias, pct := measure(sim.DetailedWarming, w)
 		fmt.Printf("detailed warming W=%-6d    bias %+7.2f%%  (detail-simulated %4.1f%%)\n", w, bias*100, pct)
 	}
 
-	bias, pct = measure(smarts.FunctionalWarming, smarts.RecommendedW(cfg))
+	recW := sim.RecommendedW(cfg)
+	bias, pct = measure(sim.FunctionalWarming, recW)
 	fmt.Printf("functional warming W=%d:    bias %+7.2f%%  (detail-simulated %4.1f%%)\n",
-		smarts.RecommendedW(cfg), bias*100, pct)
+		recW, bias*100, pct)
 }

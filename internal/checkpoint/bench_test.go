@@ -1,6 +1,8 @@
 package checkpoint_test
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -45,7 +47,7 @@ func BenchmarkCaptureDense(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if set, err = checkpoint.Capture(p, cfg, dense); err != nil {
+		if set, err = checkpoint.Capture(context.Background(), p, cfg, dense); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +62,7 @@ func BenchmarkCaptureDense(b *testing.B) {
 
 	fullParams := dense
 	fullParams.Keyframe = 1
-	full, err := checkpoint.Capture(p, cfg, fullParams)
+	full, err := checkpoint.Capture(context.Background(), p, cfg, fullParams)
 	if err != nil {
 		b.Fatal(err)
 	}

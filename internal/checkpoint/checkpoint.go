@@ -68,6 +68,7 @@
 package checkpoint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -436,6 +437,15 @@ func (g *boundaryGen) next() (boundary, bool) {
 	return bb, true
 }
 
+// FFChunk bounds how many instructions a fast-forward loop runs
+// between cancellation checks — here in the capture sweep, and in the
+// serial loop of internal/smarts, which shares the constant so the two
+// paths keep matched cancellation latency. At functional-warming speed
+// (~20ns/inst) one chunk is a couple of milliseconds, so a cancelled
+// context stops the sweep promptly even inside a long fast-forward
+// gap, while the per-chunk check cost is amortized to nothing.
+const FFChunk = 1 << 16
+
 // CaptureStream runs the functional sweep over prog, calling emit for
 // each selected unit's launch state the moment it is captured, in
 // nondecreasing launch order. emit returning false stops the sweep
@@ -443,12 +453,21 @@ func (g *boundaryGen) next() (boundary, bool) {
 // describes what actually ran. cfg sizes the warmed structures; it is
 // only consulted when p.FunctionalWarm is set.
 //
+// The sweep honors ctx: cancellation (or deadline expiry) is observed
+// between boundaries and, within long fast-forward gaps, every FFChunk
+// instructions; the sweep then stops where it is and returns ctx.Err()
+// with Summary.Complete false, so a store writer layered on the stream
+// aborts instead of committing a partial entry.
+//
 // The consumer owns each emitted Unit. Snapshots share memory pages
 // copy-on-write with their neighbours, so holding one unit alive does
 // not pin the whole stream's footprint.
-func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(*Unit) bool) (*Summary, error) {
+func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config, p Params, emit func(*Unit) bool) (*Summary, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cpu := functional.New(prog)
 	var warmer *uarch.Warmer
@@ -475,16 +494,27 @@ func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(
 
 	sum.Complete = true
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			sum.Complete = false
+			sum.SweepInsts = cpu.Count
+			sum.SweepTime = time.Since(start)
+			return sum, cerr
+		}
 		b, ok := gen.next()
 		if !ok {
 			break
 		}
-		if ff := b.launch - pos; ff > 0 {
+		for pos < b.launch {
+			step := b.launch - pos
+			if step > FFChunk {
+				step = FFChunk
+			}
+			target := pos + step
 			var err error
 			if warmer != nil {
-				err = warmer.Forward(cpu, ff)
+				err = warmer.Forward(cpu, step)
 			} else {
-				_, err = cpu.Run(ff)
+				_, err = cpu.Run(step)
 			}
 			if err != nil {
 				sum.SweepInsts = cpu.Count
@@ -492,6 +522,15 @@ func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(
 				return sum, fmt.Errorf("checkpoint: sweep to unit %d: %w", b.unit, err)
 			}
 			pos = cpu.Count
+			if cpu.Halted || pos < target {
+				break
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				sum.Complete = false
+				sum.SweepInsts = cpu.Count
+				sum.SweepTime = time.Since(start)
+				return sum, cerr
+			}
 		}
 		if cpu.Halted || cpu.Count < b.launch {
 			break // program ended before this unit's launch point
@@ -536,9 +575,9 @@ func CaptureStream(prog *program.Program, cfg uarch.Config, p Params, emit func(
 // Capture runs the functional sweep over prog and collects every
 // selected unit's launch state into a Set. It is CaptureStream with a
 // buffering consumer.
-func Capture(prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
+func Capture(ctx context.Context, prog *program.Program, cfg uarch.Config, p Params) (*Set, error) {
 	set := &Set{K: p.K}
-	sum, err := CaptureStream(prog, cfg, p, func(u *Unit) bool {
+	sum, err := CaptureStream(ctx, prog, cfg, p, func(u *Unit) bool {
 		set.Units = append(set.Units, u)
 		return true
 	})

@@ -1,6 +1,8 @@
 package checkpoint_test
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/checkpoint"
@@ -25,7 +27,7 @@ func genProg(t testing.TB, name string, length uint64) *program.Program {
 
 func capture(t testing.TB, p *program.Program, cfg uarch.Config, params checkpoint.Params) *checkpoint.Set {
 	t.Helper()
-	set, err := checkpoint.Capture(p, cfg, params)
+	set, err := checkpoint.Capture(context.Background(), p, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,8 @@ package checkpoint
 // so the old writer can be reproduced exactly with the current codec.
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
@@ -99,7 +101,7 @@ func TestStoreReadsV1Entries(t *testing.T) {
 	cfg := uarch.Config8Way()
 	// Keyframe=1 captures full snapshots only — the v1 shape.
 	params := Params{U: 1000, W: 1000, K: 20, FunctionalWarm: true, Keyframe: 1}
-	set, err := Capture(p, cfg, params)
+	set, err := Capture(context.Background(), p, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package checkpoint_test
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -58,7 +60,7 @@ func TestMultiOffsetMatchesSingleSweeps(t *testing.T) {
 
 	multi := base
 	multi.Offsets = offsets
-	mset, err := checkpoint.Capture(p, cfg, multi)
+	mset, err := checkpoint.Capture(context.Background(), p, cfg, multi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestMultiOffsetMatchesSingleSweeps(t *testing.T) {
 	for _, j := range offsets {
 		single := base
 		single.J = j
-		sset, err := checkpoint.Capture(p, cfg, single)
+		sset, err := checkpoint.Capture(context.Background(), p, cfg, single)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +98,7 @@ func TestMultiOffsetMaxUnitsPerOffset(t *testing.T) {
 	params := checkpoint.Params{
 		U: 1000, W: 1000, K: 10, Offsets: []uint64{0, 3}, MaxUnits: 4,
 	}
-	set, err := checkpoint.Capture(p, cfg, params)
+	set, err := checkpoint.Capture(context.Background(), p, cfg, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestCaptureStreamEarlyStop(t *testing.T) {
 	p := genProg(t, "gzipx", 200_000)
 	cfg := uarch.Config8Way()
 	var got int
-	sum, err := checkpoint.CaptureStream(p, cfg,
+	sum, err := checkpoint.CaptureStream(context.Background(), p, cfg,
 		checkpoint.Params{U: 1000, W: 1000, K: 5, FunctionalWarm: true},
 		func(u *checkpoint.Unit) bool {
 			got++
@@ -131,7 +133,7 @@ func TestCaptureStreamEarlyStop(t *testing.T) {
 	if sum.Complete {
 		t.Fatal("truncated sweep reported complete")
 	}
-	full, err := checkpoint.Capture(p, cfg, checkpoint.Params{U: 1000, W: 1000, K: 5, FunctionalWarm: true})
+	full, err := checkpoint.Capture(context.Background(), p, cfg, checkpoint.Params{U: 1000, W: 1000, K: 5, FunctionalWarm: true})
 	if err != nil {
 		t.Fatal(err)
 	}

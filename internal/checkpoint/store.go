@@ -180,6 +180,15 @@ func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, k.Hash()+storeExt)
 }
 
+// Contains reports whether a committed entry file exists for k. It does
+// not validate the entry (Load still treats corruption as a miss); the
+// sim session's sweep deduplication uses it to decide whether a just-
+// finished concurrent sweep left a reusable entry behind.
+func (s *Store) Contains(k Key) bool {
+	_, err := os.Stat(s.path(k))
+	return err == nil
+}
+
 func (s *Store) countHit(hit bool) {
 	s.mu.Lock()
 	if hit {

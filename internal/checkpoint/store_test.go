@@ -1,6 +1,8 @@
 package checkpoint_test
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -367,7 +369,7 @@ func TestStoreStreamingWriter(t *testing.T) {
 	key := checkpoint.KeyFor(p, cfg, params)
 
 	var w *checkpoint.SetWriter
-	sum, err := checkpoint.CaptureStream(p, cfg, params, func(u *checkpoint.Unit) bool {
+	sum, err := checkpoint.CaptureStream(context.Background(), p, cfg, params, func(u *checkpoint.Unit) bool {
 		if w == nil {
 			var werr error
 			w, werr = store.Writer(key, p.Length/params.U)

@@ -24,6 +24,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -63,6 +64,18 @@ type Options struct {
 	// streaming pipeline. Results are bit-identical either way; the
 	// flag exists for scheduling benchmarks and pipeline validation.
 	TwoPhase bool
+	// OnCaptured, when non-nil, observes sweep progress: it is called
+	// with the cumulative captured-unit count each time a launch
+	// snapshot enters the pipeline (once with the total under TwoPhase
+	// or a store hit). Called from the sweep goroutine; callbacks must
+	// be fast and may not block on the engine.
+	OnCaptured func(captured int)
+	// OnReplayed, when non-nil, observes replay progress: it is called
+	// each time the deterministic stream-order prefix grows, with the
+	// folded unit count and the current CPI estimate over that prefix.
+	// Called from the collector goroutine, never concurrently with
+	// itself (but possibly concurrently with OnCaptured).
+	OnReplayed func(replayed int, est stats.Estimate)
 }
 
 func (o Options) workers() int {
@@ -133,11 +146,22 @@ const streamBuffer = 4
 // Run executes the plan described by p: launch states are loaded from
 // the store when possible, captured by a streaming (or two-phase) sweep
 // otherwise, and replayed across the worker pool.
-func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Options) (*Result, error) {
+//
+// ctx cancels the whole pipeline: the sweep stops at its next chunk
+// boundary, workers finish only their in-flight unit, the store writer
+// aborts its staged entry (never committing a partial sweep), and Run
+// returns ctx.Err(). A nil ctx is treated as context.Background().
+func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -150,7 +174,10 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 			return nil, err
 		}
 		if set != nil {
-			res, err := replaySet(prog, cfg, p.U, set, opt, start)
+			if opt.OnCaptured != nil {
+				opt.OnCaptured(len(set.Units))
+			}
+			res, err := replaySet(ctx, prog, cfg, p.U, set, opt, start)
 			if err != nil {
 				return nil, err
 			}
@@ -160,31 +187,40 @@ func Run(prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Optio
 	}
 
 	if opt.TwoPhase {
-		set, err := checkpoint.Capture(prog, cfg, p)
+		set, err := checkpoint.Capture(ctx, prog, cfg, p)
 		if err != nil {
 			return nil, err
+		}
+		if opt.OnCaptured != nil {
+			opt.OnCaptured(len(set.Units))
 		}
 		if opt.Store != nil {
 			if err := opt.Store.Save(key, set); err != nil {
 				opt.Store.Log("checkpoint store: save failed: %v", err)
 			}
 		}
-		return replaySet(prog, cfg, p.U, set, opt, start)
+		return replaySet(ctx, prog, cfg, p.U, set, opt, start)
 	}
-	return replayStreaming(prog, cfg, p, key, opt, start)
+	return replayStreaming(ctx, prog, cfg, p, key, opt, start)
 }
 
 // RunSet replays an already-captured set of launch states across the
 // worker pool — the entry point for callers that captured several phase
 // offsets in one sweep (checkpoint.Set.Offset) or otherwise manage
 // capture themselves. The caller keeps ownership of set; its Units
-// slice is not modified.
-func RunSet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, opt Options) (*Result, error) {
+// slice is not modified. ctx cancels the replay as in Run.
+func RunSet(ctx context.Context, prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if u == 0 {
 		return nil, fmt.Errorf("engine: zero sampling unit size")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	copied := &checkpoint.Set{
 		Units:           append([]*checkpoint.Unit(nil), set.Units...),
@@ -193,13 +229,13 @@ func RunSet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.S
 		SweepInsts:      set.SweepInsts,
 		SweepTime:       set.SweepTime,
 	}
-	return replaySet(prog, cfg, u, copied, opt, time.Now())
+	return replaySet(ctx, prog, cfg, u, copied, opt, time.Now())
 }
 
 // replaySet feeds an in-memory set through the replay pool. It owns
 // set.Units (entries are nilled as they are dispatched so snapshots
 // become collectable).
-func replaySet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, opt Options, start time.Time) (*Result, error) {
+func replaySet(ctx context.Context, prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, opt Options, start time.Time) (*Result, error) {
 	res := &Result{
 		PopulationUnits: set.PopulationUnits,
 		SweepInsts:      set.SweepInsts,
@@ -214,7 +250,7 @@ func replaySet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoin
 		nw = len(set.Units)
 	}
 
-	col := newCollector(prog, cfg, u, nw, opt, len(set.Units))
+	col := newCollector(ctx, prog, cfg, u, nw, opt, len(set.Units))
 	go func() {
 		defer close(col.feed)
 		for seq, cu := range set.Units {
@@ -240,8 +276,8 @@ func replaySet(prog *program.Program, cfg uarch.Config, u uint64, set *checkpoin
 // replayStreaming overlaps the capture sweep with replay: the sweep
 // goroutine emits each unit into the pipeline the moment its snapshot
 // is taken, and persists the stream to the store when one is attached.
-func replayStreaming(prog *program.Program, cfg uarch.Config, p checkpoint.Params, key checkpoint.Key, opt Options, start time.Time) (*Result, error) {
-	col := newCollector(prog, cfg, p.U, opt.workers(), opt, 0)
+func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpoint.Params, key checkpoint.Key, opt Options, start time.Time) (*Result, error) {
+	col := newCollector(ctx, prog, cfg, p.U, opt.workers(), opt, 0)
 
 	type sweepOut struct {
 		sum *checkpoint.Summary
@@ -258,7 +294,8 @@ func replayStreaming(prog *program.Program, cfg uarch.Config, p checkpoint.Param
 				sw = nil
 			}
 		}
-		sum, err := checkpoint.CaptureStream(prog, cfg, p, func(cu *checkpoint.Unit) bool {
+		captured := 0
+		sum, err := checkpoint.CaptureStream(ctx, prog, cfg, p, func(cu *checkpoint.Unit) bool {
 			if sw != nil {
 				if werr := sw.Add(cu); werr != nil {
 					opt.Store.Log("checkpoint store: save failed mid-sweep: %v", werr)
@@ -267,6 +304,10 @@ func replayStreaming(prog *program.Program, cfg uarch.Config, p checkpoint.Param
 			}
 			select {
 			case col.feed <- cu:
+				captured++
+				if opt.OnCaptured != nil {
+					opt.OnCaptured(captured)
+				}
 				return true
 			case <-col.quit:
 				return false
@@ -308,11 +349,13 @@ func replayStreaming(prog *program.Program, cfg uarch.Config, p checkpoint.Param
 // aggregation shared by every schedule. Units are read from feed in
 // stream order (the dispatcher assigns ascending seq numbers), fan out
 // to workers, and fold back through the aggregator; quit fires once the
-// outcome can no longer change (early termination or error).
+// outcome can no longer change (early termination, error, or context
+// cancellation).
 type collector struct {
 	feed chan *checkpoint.Unit
 	quit chan struct{}
 
+	ctx  context.Context
 	prog *program.Program
 	cfg  uarch.Config
 	u    uint64
@@ -321,13 +364,14 @@ type collector struct {
 	hint int
 }
 
-func newCollector(prog *program.Program, cfg uarch.Config, u uint64, nw int, opt Options, hint int) *collector {
+func newCollector(ctx context.Context, prog *program.Program, cfg uarch.Config, u uint64, nw int, opt Options, hint int) *collector {
 	if nw < 1 {
 		nw = 1
 	}
 	return &collector{
 		feed: make(chan *checkpoint.Unit, streamBuffer),
 		quit: make(chan struct{}),
+		ctx:  ctx,
 		prog: prog,
 		cfg:  cfg,
 		u:    u,
@@ -350,6 +394,20 @@ func (c *collector) collect(res *Result) error {
 	done := make(chan unitDone, c.nw)
 	var quitOnce sync.Once
 	signalQuit := func() { quitOnce.Do(func() { close(c.quit) }) }
+
+	// Context cancellation fires the same quit signal early termination
+	// uses: dispatch stops, in-flight units finish, the pipeline drains.
+	// The watcher is released at collect exit so it never outlives the
+	// run (no goroutine leak on the uncancelled path).
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-c.ctx.Done():
+			signalQuit()
+		case <-watchDone:
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for i := 0; i < c.nw; i++ {
@@ -385,6 +443,7 @@ func (c *collector) collect(res *Result) error {
 
 	collected := make([]unitDone, 0, c.hint)
 	var firstErr error
+	var folded uint64            // in-order units reported through OnReplayed
 	stopAt := int(^uint(0) >> 1) // in-order cutoff: units with seq >= stopAt are dropped
 	for d := range done {
 		switch {
@@ -401,7 +460,14 @@ func (c *collector) collect(res *Result) error {
 			}
 		default:
 			collected = append(collected, d)
-			if agg.Offer(uint64(d.seq), stats.Obs{CPI: d.res.CPI, EPI: d.res.EPI}) {
+			hitTarget := agg.Offer(uint64(d.seq), stats.Obs{CPI: d.res.CPI, EPI: d.res.EPI})
+			if c.opt.OnReplayed != nil {
+				if m := agg.Merged(); m > folded {
+					folded = m
+					c.opt.OnReplayed(int(m), agg.CPIEstimate())
+				}
+			}
+			if hitTarget {
 				if cut := int(agg.DoneAt()); cut < stopAt {
 					stopAt = cut
 					res.EarlyStopped = true
@@ -413,6 +479,12 @@ func (c *collector) collect(res *Result) error {
 	signalQuit() // release the producer if the stream ended naturally
 	if firstErr != nil {
 		return firstErr
+	}
+	// A cancelled context trumps whatever partial measurement drained
+	// out — unless early termination had already fixed the outcome, in
+	// which case the result is complete and the cancel merely raced it.
+	if err := c.ctx.Err(); err != nil && !res.EarlyStopped {
+		return err
 	}
 
 	sort.Slice(collected, func(i, j int) bool { return collected[i].seq < collected[j].seq })

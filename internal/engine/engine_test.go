@@ -1,6 +1,8 @@
 package engine_test
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -46,7 +48,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			params := checkpoint.Params{
 				U: 1000, W: 1000, K: 10, J: 0, FunctionalWarm: warm,
 			}
-			serial, err := engine.Run(p, cfg, params, engine.Options{Workers: 1})
+			serial, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -54,7 +56,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 				t.Fatalf("%s: too few units: %d", bench, len(serial.Units))
 			}
 			for _, workers := range []int{2, 4, 7} {
-				par, err := engine.Run(p, cfg, params, engine.Options{Workers: workers})
+				par, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: workers})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -127,7 +129,7 @@ func TestEarlyTerminationDeterministic(t *testing.T) {
 	opts := func(w int) engine.Options {
 		return engine.Options{Workers: w, TargetEps: 0.60, MinUnits: 10}
 	}
-	base, err := engine.Run(p, cfg, params, opts(1))
+	base, err := engine.Run(context.Background(), p, cfg, params, opts(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestEarlyTerminationDeterministic(t *testing.T) {
 		t.Fatalf("early stop kept %d units; expected a clearly shorter run", len(base.Units))
 	}
 	for _, workers := range []int{2, 4, 8} {
-		r, err := engine.Run(p, cfg, params, opts(workers))
+		r, err := engine.Run(context.Background(), p, cfg, params, opts(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +158,7 @@ func TestEarlyTerminationDeterministic(t *testing.T) {
 func TestEngineAccounting(t *testing.T) {
 	cfg := uarch.Config8Way()
 	p := genProg(t, "gzipx", 200_000)
-	r, err := engine.Run(p, cfg, checkpoint.Params{U: 1000, W: 2000, K: 20, J: 0, FunctionalWarm: true}, engine.Options{Workers: 4})
+	r, err := engine.Run(context.Background(), p, cfg, checkpoint.Params{U: 1000, W: 2000, K: 20, J: 0, FunctionalWarm: true}, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

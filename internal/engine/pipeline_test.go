@@ -1,6 +1,8 @@
 package engine_test
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/checkpoint"
@@ -41,7 +43,7 @@ func TestPipelineMatchesTwoPhase(t *testing.T) {
 
 	for _, eps := range []float64{0, 0.60} {
 		base := engine.Options{Workers: 1, TwoPhase: true, TargetEps: eps, MinUnits: 10}
-		serial, err := engine.Run(p, cfg, params, base)
+		serial, err := engine.Run(context.Background(), p, cfg, params, base)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func TestPipelineMatchesTwoPhase(t *testing.T) {
 		for _, workers := range []int{1, 2, 4, 7} {
 			for _, twoPhase := range []bool{false, true} {
 				opt := engine.Options{Workers: workers, TwoPhase: twoPhase, TargetEps: eps, MinUnits: 10}
-				got, err := engine.Run(p, cfg, params, opt)
+				got, err := engine.Run(context.Background(), p, cfg, params, opt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -76,11 +78,11 @@ func TestPipelineSweepOverlap(t *testing.T) {
 	p := genProg(t, "mcfx", 400_000)
 	params := checkpoint.Params{U: 1000, W: 1000, K: 4, J: 0, FunctionalWarm: true}
 
-	two, err := engine.Run(p, cfg, params, engine.Options{Workers: 4, TwoPhase: true})
+	two, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: 4, TwoPhase: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamed, err := engine.Run(p, cfg, params, engine.Options{Workers: 4})
+	streamed, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,26 +104,26 @@ func TestRunSetPerOffsetMatchesRuns(t *testing.T) {
 
 	multi := base
 	multi.Offsets = offsets
-	set, err := checkpoint.Capture(p, cfg, multi)
+	set, err := checkpoint.Capture(context.Background(), p, cfg, multi)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, j := range offsets {
 		single := base
 		single.J = j
-		want, err := engine.Run(p, cfg, single, engine.Options{Workers: 3})
+		want, err := engine.Run(context.Background(), p, cfg, single, engine.Options{Workers: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
 		sub := set.Offset(j)
-		got, err := engine.RunSet(p, cfg, base.U, sub, engine.Options{Workers: 2})
+		got, err := engine.RunSet(context.Background(), p, cfg, base.U, sub, engine.Options{Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
 		resultsBitIdentical(t, "offset replay", want, got)
 		// RunSet must not consume the caller's set: a second replay of
 		// the same sub-set still works.
-		again, err := engine.RunSet(p, cfg, base.U, sub, engine.Options{Workers: 4})
+		again, err := engine.RunSet(context.Background(), p, cfg, base.U, sub, engine.Options{Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +144,7 @@ func TestStoreRunBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	first, err := engine.Run(p, cfg, params, engine.Options{Workers: 2, Store: store})
+	first, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: 2, Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestStoreRunBitIdentical(t *testing.T) {
 		t.Fatal("first run has no sweep accounting")
 	}
 
-	second, err := engine.Run(p, cfg, params, engine.Options{Workers: 5, Store: store})
+	second, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: 5, Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestStoreRunBitIdentical(t *testing.T) {
 	variant := cfg
 	variant.Lat.Mem = 250
 	variant.EnergyScale = 2.0
-	third, err := engine.Run(p, variant, params, engine.Options{Workers: 2, Store: store})
+	third, err := engine.Run(context.Background(), p, variant, params, engine.Options{Workers: 2, Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,7 @@ func TestStoreEarlyStopNotPersisted(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	early, err := engine.Run(p, cfg, params, engine.Options{
+	early, err := engine.Run(context.Background(), p, cfg, params, engine.Options{
 		Workers: 4, Store: store, TargetEps: 0.60, MinUnits: 10,
 	})
 	if err != nil {
@@ -203,7 +205,7 @@ func TestStoreEarlyStopNotPersisted(t *testing.T) {
 		t.Skip("confidence target not reached early at this scale")
 	}
 
-	full, err := engine.Run(p, cfg, params, engine.Options{Workers: 4, Store: store})
+	full, err := engine.Run(context.Background(), p, cfg, params, engine.Options{Workers: 4, Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +218,7 @@ func TestStoreEarlyStopNotPersisted(t *testing.T) {
 
 	// Now the complete sweep is stored; a rerun of the early-stop
 	// configuration loads it and terminates at the same cutoff.
-	early2, err := engine.Run(p, cfg, params, engine.Options{
+	early2, err := engine.Run(context.Background(), p, cfg, params, engine.Options{
 		Workers: 2, Store: store, TargetEps: 0.60, MinUnits: 10,
 	})
 	if err != nil {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -47,7 +49,7 @@ var ablationVariants = []struct {
 // AblationWarming measures the component ablation for the given
 // benchmarks (nil = a representative subset spanning memory-bound,
 // branchy, and compute-bound behaviour).
-func AblationWarming(ctx *Context, cfg uarch.Config, benches []string) (*AblationResult, error) {
+func AblationWarming(ctx context.Context, ec *Context, cfg uarch.Config, benches []string) (*AblationResult, error) {
 	if benches == nil {
 		benches = []string{"mcfx", "parserx", "craftyx", "gccx", "eonx", "swimx"}
 	}
@@ -58,7 +60,7 @@ func AblationWarming(ctx *Context, cfg uarch.Config, benches []string) (*Ablatio
 
 	// Wide gaps so stale state has time to rot between units, as in the
 	// Table 4 setup.
-	n := ctx.Scale.NInit / 8
+	n := ec.Scale.NInit / 8
 	if n < 10 {
 		n = 10
 	}
@@ -66,8 +68,8 @@ func AblationWarming(ctx *Context, cfg uarch.Config, benches []string) (*Ablatio
 		row := AblationRow{Bench: bench}
 		for _, v := range ablationVariants {
 			comp := v.Comp
-			b, err := measureBiasComponents(ctx, bench, cfg, 1000, res.W, n,
-				ctx.Scale.BiasPhases, &comp)
+			b, err := measureBiasComponents(ctx, ec, bench, cfg, 1000, res.W, n,
+				ec.Scale.BiasPhases, &comp)
 			if err != nil {
 				return nil, err
 			}
@@ -80,14 +82,14 @@ func AblationWarming(ctx *Context, cfg uarch.Config, benches []string) (*Ablatio
 
 // measureBiasComponents is MeasureBias with a warming-component override
 // (always in FunctionalWarming mode).
-func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
+func measureBiasComponents(ctx context.Context, ec *Context, bench string, cfg uarch.Config,
 	u, w, n uint64, phases int, comp *smarts.WarmComponents) (float64, error) {
 
-	ref, err := ctx.Reference(bench, cfg)
+	ref, err := ec.Reference(ctx, bench, cfg)
 	if err != nil {
 		return 0, err
 	}
-	p, err := ctx.Program(bench)
+	p, err := ec.Program(bench)
 	if err != nil {
 		return 0, err
 	}
@@ -96,8 +98,8 @@ func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
 		return 0, err
 	}
 	base := smarts.PlanForN(p.Length, u, w, n, smarts.FunctionalWarming, 0)
-	base.Parallelism = ctx.Parallelism
-	base.Store = ctx.Ckpt
+	base.Parallelism = ec.Parallelism
+	base.Store = ec.Ckpt
 	base.Components = comp
 	if phases < 1 {
 		phases = 1
@@ -105,7 +107,7 @@ func measureBiasComponents(ctx *Context, bench string, cfg uarch.Config,
 	if uint64(phases) > base.K {
 		phases = int(base.K)
 	}
-	runs, err := runPhases(p, cfg, base, phases)
+	runs, err := runPhases(ctx, p, cfg, base, phases)
 	if err != nil {
 		return 0, err
 	}

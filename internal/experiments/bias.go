@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/program"
@@ -19,14 +21,14 @@ import (
 // Tables 4 and 5 of the paper report — even at modest n. (The paper
 // achieves the same isolation with enormous n; at reduced scale the
 // matched-unit form is the statistically equivalent measurement.)
-func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
+func MeasureBias(ctx context.Context, ec *Context, bench string, cfg uarch.Config, u, w uint64,
 	mode smarts.WarmingMode, n uint64, phases int) (float64, error) {
 
-	ref, err := ctx.Reference(bench, cfg)
+	ref, err := ec.Reference(ctx, bench, cfg)
 	if err != nil {
 		return 0, err
 	}
-	p, err := ctx.Program(bench)
+	p, err := ec.Program(bench)
 	if err != nil {
 		return 0, err
 	}
@@ -36,15 +38,15 @@ func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
 	}
 
 	base := smarts.PlanForN(p.Length, u, w, n, mode, 0)
-	base.Parallelism = ctx.Parallelism
-	base.Store = ctx.Ckpt
+	base.Parallelism = ec.Parallelism
+	base.Store = ec.Ckpt
 	if phases < 1 {
 		phases = 1
 	}
 	if uint64(phases) > base.K {
 		phases = int(base.K)
 	}
-	runs, err := runPhases(p, cfg, base, phases)
+	runs, err := runPhases(ctx, p, cfg, base, phases)
 	if err != nil {
 		return 0, fmt.Errorf("experiments: bias runs %s: %w", bench, err)
 	}
@@ -74,13 +76,13 @@ func MeasureBias(ctx *Context, bench string, cfg uarch.Config, u, w uint64,
 // launch boundaries are captured in one multi-offset sweep and replayed
 // from shared snapshots — bit-identical per phase to dedicated runs,
 // at one sweep's cost instead of `phases`.
-func runPhases(p *program.Program, cfg uarch.Config, plan smarts.Plan, phases int) ([]*smarts.Result, error) {
+func runPhases(ctx context.Context, p *program.Program, cfg uarch.Config, plan smarts.Plan, phases int) ([]*smarts.Result, error) {
 	js := make([]uint64, phases)
 	for ph := range js {
 		js[ph] = uint64(ph) * plan.K / uint64(phases)
 	}
 	if plan.Parallelism != 0 {
-		return smarts.RunSampledPhases(p, cfg, plan, js, smarts.EngineOptions{
+		return smarts.RunSampledPhasesContext(ctx, p, cfg, plan, js, smarts.EngineOptions{
 			Workers: plan.Parallelism,
 			Store:   plan.Store,
 		})
@@ -89,7 +91,7 @@ func runPhases(p *program.Program, cfg uarch.Config, plan smarts.Plan, phases in
 	for i, j := range js {
 		pj := plan
 		pj.J = j
-		res, err := smarts.Run(p, cfg, pj)
+		res, err := smarts.RunContext(ctx, p, cfg, pj)
 		if err != nil {
 			return nil, fmt.Errorf("j=%d: %w", j, err)
 		}

@@ -1,6 +1,8 @@
 package experiments_test
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -28,14 +30,14 @@ func TestMeasureBiasEngineMatchesPerPhase(t *testing.T) {
 
 	shared := freshTinyCtx()
 	shared.Parallelism = 2
-	got, err := experiments.MeasureBias(shared, bench, cfg, u, w, smarts.FunctionalWarming, n, phases)
+	got, err := experiments.MeasureBias(context.Background(), shared, bench, cfg, u, w, smarts.FunctionalWarming, n, phases)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Recompute with dedicated per-phase engine runs.
 	ref := freshTinyCtx()
-	refRuns, err := ref.Reference(bench, cfg)
+	refRuns, err := ref.Reference(context.Background(), bench, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +88,11 @@ func TestMeasureBiasStoreReuse(t *testing.T) {
 	ctx.Parallelism = 2
 	ctx.Ckpt = store
 
-	first, err := experiments.MeasureBias(ctx, "gzipx", cfg, 1000, 2000, smarts.FunctionalWarming, 60, 3)
+	first, err := experiments.MeasureBias(context.Background(), ctx, "gzipx", cfg, 1000, 2000, smarts.FunctionalWarming, 60, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := experiments.MeasureBias(ctx, "gzipx", cfg, 1000, 2000, smarts.FunctionalWarming, 60, 3)
+	second, err := experiments.MeasureBias(context.Background(), ctx, "gzipx", cfg, 1000, 2000, smarts.FunctionalWarming, 60, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

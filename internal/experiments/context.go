@@ -19,6 +19,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -160,8 +161,11 @@ func (c *Context) Program(name string) (*program.Program, error) {
 }
 
 // Reference returns the full-stream detailed reference for bench on cfg,
-// running it on first use. This is the expensive ground-truth pass.
-func (c *Context) Reference(bench string, cfg uarch.Config) (*smarts.Reference, error) {
+// running it on first use. This is the expensive ground-truth pass; a
+// cached reference returns regardless of ctx, and a fresh one is only
+// started while ctx is alive (the detailed run itself is not
+// interruptible — cancellation takes effect at the next sampling step).
+func (c *Context) Reference(ctx context.Context, bench string, cfg uarch.Config) (*smarts.Reference, error) {
 	key := bench + "/" + cfg.Name
 	c.mu.Lock()
 	if r, ok := c.refs[key]; ok {
@@ -169,6 +173,11 @@ func (c *Context) Reference(bench string, cfg uarch.Config) (*smarts.Reference, 
 		return r, nil
 	}
 	c.mu.Unlock()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	p, err := c.Program(bench)
 	if err != nil {
@@ -191,7 +200,7 @@ func (c *Context) Reference(bench string, cfg uarch.Config) (*smarts.Reference, 
 // Preload builds references for every benchmark of the scale in
 // parallel, bounded by par workers. Experiments that consume many
 // references call it first so wall-clock cost is amortized.
-func (c *Context) Preload(cfg uarch.Config, par int) error {
+func (c *Context) Preload(ctx context.Context, cfg uarch.Config, par int) error {
 	names := c.Scale.BenchNames()
 	if par < 1 {
 		par = 1
@@ -203,7 +212,7 @@ func (c *Context) Preload(cfg uarch.Config, par int) error {
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem }()
-			_, err := c.Reference(name, cfg)
+			_, err := c.Reference(ctx, name, cfg)
 			errs <- err
 		}()
 	}

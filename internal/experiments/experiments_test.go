@@ -1,6 +1,8 @@
 package experiments_test
 
 import (
+	"context"
+
 	"bytes"
 	"strings"
 	"testing"
@@ -21,7 +23,7 @@ func TestFig2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("needs references")
 	}
-	r, err := experiments.Fig2(tinyCtx, cfg8())
+	r, err := experiments.Fig2(context.Background(), tinyCtx, cfg8())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestFig3Invariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("needs references")
 	}
-	r, err := experiments.Fig3(tinyCtx, cfg8())
+	r, err := experiments.Fig3(context.Background(), tinyCtx, cfg8())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestFig3Invariants(t *testing.T) {
 // TestFig4Shape checks the analytic model's monotonic collapse and the
 // flatness of the functional-warming curve.
 func TestFig4Shape(t *testing.T) {
-	r, err := experiments.Fig4(tinyCtx)
+	r, err := experiments.Fig4(context.Background(), tinyCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -24,15 +26,15 @@ type Fig2Result struct {
 
 // Fig2 computes the V_CPI(U) curves for every benchmark at the scale's
 // feasible U range (chunk … N/20).
-func Fig2(ctx *Context, cfg uarch.Config) (*Fig2Result, error) {
+func Fig2(ctx context.Context, ec *Context, cfg uarch.Config) (*Fig2Result, error) {
 	res := &Fig2Result{Config: cfg.Name}
 	// U sweep: decade steps from the chunk size up to 1/20 of the
 	// benchmark (below that there are too few units for a stable CV).
-	for u := ctx.Scale.Chunk; u <= ctx.Scale.BenchLen/20; u *= 10 {
+	for u := ec.Scale.Chunk; u <= ec.Scale.BenchLen/20; u *= 10 {
 		res.Us = append(res.Us, u)
 	}
-	for _, bench := range ctx.Scale.BenchNames() {
-		ref, err := ctx.Reference(bench, cfg)
+	for _, bench := range ec.Scale.BenchNames() {
+		ref, err := ec.Reference(ctx, bench, cfg)
 		if err != nil {
 			return nil, err
 		}

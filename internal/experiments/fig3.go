@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -45,11 +47,11 @@ type Fig3Result struct {
 }
 
 // Fig3 computes the minimum-measurement table.
-func Fig3(ctx *Context, cfg uarch.Config) (*Fig3Result, error) {
-	u := ctx.Scale.Chunk
+func Fig3(ctx context.Context, ec *Context, cfg uarch.Config) (*Fig3Result, error) {
+	u := ec.Scale.Chunk
 	res := &Fig3Result{Config: cfg.Name, U: u}
-	for _, bench := range ctx.Scale.BenchNames() {
-		ref, err := ctx.Reference(bench, cfg)
+	for _, bench := range ec.Scale.BenchNames() {
+		ref, err := ec.Reference(ctx, bench, cfg)
 		if err != nil {
 			return nil, err
 		}

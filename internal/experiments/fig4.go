@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -32,20 +34,20 @@ type Fig4Result struct {
 
 // Fig4 evaluates the analytic model for the gcc-archetype benchmark, as
 // the paper does for gcc-1.
-func Fig4(ctx *Context) (*Fig4Result, error) {
-	p, err := ctx.Program("gccx")
+func Fig4(ctx context.Context, ec *Context) (*Fig4Result, error) {
+	p, err := ec.Program("gccx")
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig4Result{
 		Bench:  p.Name,
 		N:      p.Length,
-		NUnits: ctx.Scale.NInit,
+		NUnits: ec.Scale.NInit,
 		U:      1000,
 	}
 	base := perfmodel.Params{
 		N:      float64(p.Length),
-		NUnits: float64(ctx.Scale.NInit),
+		NUnits: float64(ec.Scale.NInit),
 		U:      1000,
 		SFW:    0.55,
 	}

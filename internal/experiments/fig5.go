@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -35,7 +37,7 @@ type Fig5Result struct {
 // Fig5 computes the detailed-fraction curves for the given benchmarks
 // (the paper plots gcc-1 on the left, and gcc-3/bzip2/mesa on the
 // right); pass nil for the scale's default subset.
-func Fig5(ctx *Context, cfg uarch.Config, benches []string, ws []uint64) (*Fig5Result, error) {
+func Fig5(ctx context.Context, ec *Context, cfg uarch.Config, benches []string, ws []uint64) (*Fig5Result, error) {
 	if benches == nil {
 		benches = []string{"gccx", "bzip2x", "mcfx", "eonx"}
 	}
@@ -44,12 +46,12 @@ func Fig5(ctx *Context, cfg uarch.Config, benches []string, ws []uint64) (*Fig5R
 		// with and without functional warming, plus the ideal W=0.
 		ws = []uint64{0, 1000, 100_000}
 	}
-	res := &Fig5Result{Config: cfg.Name, Alpha: stats.Alpha997, Eps: ctx.Scale.Eps}
-	for u := ctx.Scale.Chunk; u <= ctx.Scale.BenchLen/20; u *= 10 {
+	res := &Fig5Result{Config: cfg.Name, Alpha: stats.Alpha997, Eps: ec.Scale.Eps}
+	for u := ec.Scale.Chunk; u <= ec.Scale.BenchLen/20; u *= 10 {
 		res.Us = append(res.Us, u)
 	}
 	for _, bench := range benches {
-		ref, err := ctx.Reference(bench, cfg)
+		ref, err := ec.Reference(ctx, bench, cfg)
 		if err != nil {
 			return nil, err
 		}

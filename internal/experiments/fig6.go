@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -44,24 +46,24 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the full procedure per benchmark.
-func Fig6(ctx *Context, cfg uarch.Config) (*Fig6Result, error) {
-	res := &Fig6Result{Config: cfg.Name, NInit: ctx.Scale.NInit, Eps: ctx.Scale.Eps}
+func Fig6(ctx context.Context, ec *Context, cfg uarch.Config) (*Fig6Result, error) {
+	res := &Fig6Result{Config: cfg.Name, NInit: ec.Scale.NInit, Eps: ec.Scale.Eps}
 	var errSum float64
 	var nFinal int
-	for _, bench := range ctx.Scale.BenchNames() {
-		ref, err := ctx.Reference(bench, cfg)
+	for _, bench := range ec.Scale.BenchNames() {
+		ref, err := ec.Reference(ctx, bench, cfg)
 		if err != nil {
 			return nil, err
 		}
-		p, err := ctx.Program(bench)
+		p, err := ec.Program(bench)
 		if err != nil {
 			return nil, err
 		}
-		pc := smarts.DefaultProcedure(cfg, ctx.Scale.NInit)
-		pc.Eps = ctx.Scale.Eps
-		pc.Parallelism = ctx.Parallelism
-		pc.Store = ctx.Ckpt
-		pr, err := smarts.RunProcedure(p, cfg, pc)
+		pc := smarts.DefaultProcedure(cfg, ec.Scale.NInit)
+		pc.Eps = ec.Scale.Eps
+		pc.Parallelism = ec.Parallelism
+		pc.Store = ec.Ckpt
+		pr, err := smarts.RunProcedureContext(ctx, p, cfg, pc)
 		if err != nil {
 			return nil, err
 		}

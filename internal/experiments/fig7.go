@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -34,23 +36,23 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the sampling runs and compares EPI confidence to CPI's.
-func Fig7(ctx *Context, cfg uarch.Config) (*Fig7Result, error) {
-	res := &Fig7Result{Config: cfg.Name, NInit: ctx.Scale.NInit}
+func Fig7(ctx context.Context, ec *Context, cfg uarch.Config) (*Fig7Result, error) {
+	res := &Fig7Result{Config: cfg.Name, NInit: ec.Scale.NInit}
 	var errSum, epiCISum, cpiCISum float64
-	for _, bench := range ctx.Scale.BenchNames() {
-		ref, err := ctx.Reference(bench, cfg)
+	for _, bench := range ec.Scale.BenchNames() {
+		ref, err := ec.Reference(ctx, bench, cfg)
 		if err != nil {
 			return nil, err
 		}
-		p, err := ctx.Program(bench)
+		p, err := ec.Program(bench)
 		if err != nil {
 			return nil, err
 		}
-		plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), ctx.Scale.NInit,
+		plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), ec.Scale.NInit,
 			smarts.FunctionalWarming, 0)
-		plan.Parallelism = ctx.Parallelism
-		plan.Store = ctx.Ckpt
-		run, err := smarts.Run(p, cfg, plan)
+		plan.Parallelism = ec.Parallelism
+		plan.Store = ec.Ckpt
+		run, err := smarts.RunContext(ctx, p, cfg, plan)
 		if err != nil {
 			return nil, err
 		}

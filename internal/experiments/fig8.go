@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -41,24 +43,24 @@ type Fig8Result struct {
 }
 
 // Fig8 runs both estimators per benchmark.
-func Fig8(ctx *Context, cfg uarch.Config, benches []string) (*Fig8Result, error) {
+func Fig8(ctx context.Context, ec *Context, cfg uarch.Config, benches []string) (*Fig8Result, error) {
 	if benches == nil {
-		benches = ctx.Scale.BenchNames()
+		benches = ec.Scale.BenchNames()
 	}
 	res := &Fig8Result{Config: cfg.Name}
 	var spSum, spwSum, smSum float64
 	for _, bench := range benches {
-		ref, err := ctx.Reference(bench, cfg)
+		ref, err := ec.Reference(ctx, bench, cfg)
 		if err != nil {
 			return nil, err
 		}
-		p, err := ctx.Program(bench)
+		p, err := ec.Program(bench)
 		if err != nil {
 			return nil, err
 		}
 		truth := ref.TrueCPI()
 
-		spRes, sel, err := simpoint.Run(p, cfg, ctx.Scale.SPInterval, ctx.Scale.SPMaxK, 42)
+		spRes, sel, err := simpoint.Run(p, cfg, ec.Scale.SPInterval, ec.Scale.SPMaxK, 42)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: simpoint %s: %w", bench, err)
 		}
@@ -66,11 +68,11 @@ func Fig8(ctx *Context, cfg uarch.Config, benches []string) (*Fig8Result, error)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: warmed simpoint %s: %w", bench, err)
 		}
-		plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), ctx.Scale.NInit,
+		plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), ec.Scale.NInit,
 			smarts.FunctionalWarming, 0)
-		plan.Parallelism = ctx.Parallelism
-		plan.Store = ctx.Ckpt
-		smRun, err := smarts.Run(p, cfg, plan)
+		plan.Parallelism = ec.Parallelism
+		plan.Store = ec.Ckpt
+		smRun, err := smarts.RunContext(ctx, p, cfg, plan)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -10,93 +12,93 @@ import (
 
 // Runner executes one experiment end to end and writes its formatted
 // result.
-type Runner func(ctx *Context, cfg uarch.Config, w io.Writer) error
+type Runner func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error
 
 // Registry maps experiment identifiers (the paper's figure/table
 // numbers) to runners.
 var Registry = map[string]Runner{
-	"fig2": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig2(ctx, cfg)
+	"fig2": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig2(ctx, ec, cfg)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"fig3": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig3(ctx, cfg)
+	"fig3": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig3(ctx, ec, cfg)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"fig4": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig4(ctx)
+	"fig4": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig4(ctx, ec)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"fig5": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig5(ctx, cfg, nil, nil)
+	"fig5": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig5(ctx, ec, cfg, nil, nil)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"table4": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Table4(ctx, cfg, nil)
+	"table4": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Table4(ctx, ec, cfg, nil)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"table5": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Table5(ctx, cfg)
+	"table5": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Table5(ctx, ec, cfg)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"fig6": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig6(ctx, cfg)
+	"fig6": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig6(ctx, ec, cfg)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"fig7": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig7(ctx, cfg)
+	"fig7": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig7(ctx, ec, cfg)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"table6": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Table6(ctx, cfg)
+	"table6": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Table6(ctx, ec, cfg)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"fig8": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := Fig8(ctx, cfg, nil)
+	"fig8": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := Fig8(ctx, ec, cfg, nil)
 		if err != nil {
 			return err
 		}
 		r.Format(w)
 		return nil
 	},
-	"ablation": func(ctx *Context, cfg uarch.Config, w io.Writer) error {
-		r, err := AblationWarming(ctx, cfg, nil)
+	"ablation": func(ctx context.Context, ec *Context, cfg uarch.Config, w io.Writer) error {
+		r, err := AblationWarming(ctx, ec, cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -115,11 +117,13 @@ func Names() []string {
 	return out
 }
 
-// Run executes the named experiment.
-func Run(name string, ctx *Context, cfg uarch.Config, w io.Writer) error {
+// Run executes the named experiment. ctx is honored by the experiment's
+// sampling runs (reference ground-truth passes are checked between,
+// not interrupted mid-run).
+func Run(ctx context.Context, name string, ec *Context, cfg uarch.Config, w io.Writer) error {
 	r, ok := Registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return r(ctx, cfg, w)
+	return r(ctx, ec, cfg, w)
 }

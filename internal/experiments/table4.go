@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -40,14 +42,14 @@ type Table4Result struct {
 // experiments, and a W ladder that is a scaled-down analogue of the
 // paper's 50k/250k/500k buckets. Matched-unit bias measurement (see
 // MeasureBias) keeps the result precise despite the small n.
-func Table4(ctx *Context, cfg uarch.Config, ws []uint64) (*Table4Result, error) {
+func Table4(ctx context.Context, ec *Context, cfg uarch.Config, ws []uint64) (*Table4Result, error) {
 	// Gap target: units spaced ~N/n apart with n chosen so the largest
 	// swept W stays under half the gap.
-	n := ctx.Scale.NInit / 8
+	n := ec.Scale.NInit / 8
 	if n < 10 {
 		n = 10
 	}
-	gap := ctx.Scale.BenchLen / n
+	gap := ec.Scale.BenchLen / n
 	if ws == nil {
 		maxW := gap / 2
 		ws = []uint64{0}
@@ -56,11 +58,11 @@ func Table4(ctx *Context, cfg uarch.Config, ws []uint64) (*Table4Result, error) 
 		}
 	}
 	res := &Table4Result{Config: cfg.Name, Ws: ws, Threshold: 0.015}
-	for _, bench := range ctx.Scale.BenchNames() {
+	for _, bench := range ec.Scale.BenchNames() {
 		row := Table4Row{Bench: bench, BiasAtW: make([]float64, len(ws))}
 		for i, w := range ws {
-			b, err := MeasureBias(ctx, bench, cfg, 1000, w,
-				smarts.DetailedWarming, n, ctx.Scale.BiasPhases)
+			b, err := MeasureBias(ctx, ec, bench, cfg, 1000, w,
+				smarts.DetailedWarming, n, ec.Scale.BiasPhases)
 			if err != nil {
 				return nil, err
 			}

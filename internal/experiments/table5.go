@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -28,12 +30,12 @@ type Table5Result struct {
 }
 
 // Table5 measures the phase-averaged bias for every benchmark.
-func Table5(ctx *Context, cfg uarch.Config) (*Table5Result, error) {
+func Table5(ctx context.Context, ec *Context, cfg uarch.Config) (*Table5Result, error) {
 	w := smarts.RecommendedW(cfg)
 	res := &Table5Result{Config: cfg.Name, W: w}
-	for _, bench := range ctx.Scale.BenchNames() {
-		b, err := MeasureBias(ctx, bench, cfg, 1000, w,
-			smarts.FunctionalWarming, ctx.Scale.NInit, ctx.Scale.BiasPhases)
+	for _, bench := range ec.Scale.BenchNames() {
+		b, err := MeasureBias(ctx, ec, bench, cfg, 1000, w,
+			smarts.FunctionalWarming, ec.Scale.NInit, ec.Scale.BiasPhases)
 		if err != nil {
 			return nil, err
 		}

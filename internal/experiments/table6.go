@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -46,20 +48,20 @@ type Table6Result struct {
 // stream). Reusing the estimation n at reduced benchmark length would
 // detail-simulate most of the stream and measure nothing but the
 // detailed simulator.
-func Table6(ctx *Context, cfg uarch.Config) (*Table6Result, error) {
+func Table6(ctx context.Context, ec *Context, cfg uarch.Config) (*Table6Result, error) {
 	res := &Table6Result{Config: cfg.Name}
 	w := smarts.RecommendedW(cfg)
-	n := ctx.Scale.BenchLen / (1000 + w) / 25 // ~4% detailed fraction
+	n := ec.Scale.BenchLen / (1000 + w) / 25 // ~4% detailed fraction
 	if n < 10 {
 		n = 10
 	}
 	var speedupSum float64
-	for _, bench := range ctx.Scale.BenchNames() {
-		p, err := ctx.Program(bench)
+	for _, bench := range ec.Scale.BenchNames() {
+		p, err := ec.Program(bench)
 		if err != nil {
 			return nil, err
 		}
-		ref, err := ctx.Reference(bench, cfg) // cached detailed run
+		ref, err := ec.Reference(ctx, bench, cfg) // cached detailed run
 		if err != nil {
 			return nil, err
 		}
@@ -68,10 +70,10 @@ func Table6(ctx *Context, cfg uarch.Config) (*Table6Result, error) {
 			return nil, err
 		}
 		plan := smarts.PlanForN(p.Length, 1000, w, n, smarts.FunctionalWarming, 0)
-		plan.Parallelism = ctx.Parallelism
-		plan.Store = ctx.Ckpt
+		plan.Parallelism = ec.Parallelism
+		plan.Store = ec.Ckpt
 		start := time.Now()
-		if _, err := smarts.Run(p, cfg, plan); err != nil {
+		if _, err := smarts.RunContext(ctx, p, cfg, plan); err != nil {
 			return nil, err
 		}
 		smartsTime := time.Since(start)
@@ -95,7 +97,7 @@ func Table6(ctx *Context, cfg uarch.Config) (*Table6Result, error) {
 	})
 
 	// Analytic model with the paper's constants.
-	detFrac := float64(n) * float64(1000+w) / float64(ctx.Scale.BenchLen)
+	detFrac := float64(n) * float64(1000+w) / float64(ec.Scale.BenchLen)
 	if detFrac > 1 {
 		detFrac = 1
 	}

@@ -1,9 +1,12 @@
 package smarts
 
 import (
+	"context"
+
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/program"
+	"repro/internal/stats"
 	"repro/internal/uarch"
 )
 
@@ -29,7 +32,35 @@ type EngineOptions struct {
 	// TwoPhase runs the engine's capture-then-replay schedule instead of
 	// the streaming pipeline; results are bit-identical either way.
 	TwoPhase bool
+	// OnCaptured and OnReplayed observe pipeline progress; see
+	// engine.Options. The sim package uses them to emit typed progress
+	// events.
+	OnCaptured func(captured int)
+	OnReplayed func(replayed int, est stats.Estimate)
+	// OnPhaseReplayed, when non-nil, observes multi-offset replay
+	// progress with the phase offset attached; RunSampledPhases then
+	// invokes it instead of OnReplayed for each offset's replay.
+	OnPhaseReplayed func(j uint64, replayed int, est stats.Estimate)
 }
+
+// engineOptions translates EngineOptions to the engine's option struct.
+func (opt EngineOptions) engineOptions() engine.Options {
+	return engine.Options{
+		Workers:    opt.Workers,
+		Alpha:      opt.Alpha,
+		TargetEps:  opt.TargetEps,
+		MinUnits:   opt.MinUnits,
+		Store:      opt.Store,
+		TwoPhase:   opt.TwoPhase,
+		OnCaptured: opt.OnCaptured,
+		OnReplayed: opt.OnReplayed,
+	}
+}
+
+// CheckpointParams translates the plan into checkpoint capture
+// parameters — the quantity the checkpoint store keys sweeps by. The
+// sim session uses it to deduplicate concurrent sweeps for one key.
+func (pl Plan) CheckpointParams() checkpoint.Params { return pl.params() }
 
 // params translates a validated Plan into checkpoint capture parameters.
 func (pl Plan) params() checkpoint.Params {
@@ -67,7 +98,17 @@ func (pl Plan) params() checkpoint.Params {
 // units become fully independent: results are bit-identical for every
 // worker count, every schedule, and every sweep source (fresh or
 // stored), and the detailed phase scales with cores.
+//
+// Deprecated: new code should go through the sim package; this shim is
+// kept so existing callers and result-pinning tests keep working.
 func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOptions) (*Result, error) {
+	return RunSampledContext(context.Background(), prog, cfg, plan, opt)
+}
+
+// RunSampledContext is RunSampled with context support: cancellation
+// stops the sweep and the worker pool, aborts any staged store entry,
+// and returns ctx.Err() (see engine.Run).
+func RunSampledContext(ctx context.Context, prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOptions) (*Result, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,14 +118,7 @@ func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOp
 	if opt.Store == nil {
 		opt.Store = plan.Store
 	}
-	er, err := engine.Run(prog, cfg, plan.params(), engine.Options{
-		Workers:   opt.Workers,
-		Alpha:     opt.Alpha,
-		TargetEps: opt.TargetEps,
-		MinUnits:  opt.MinUnits,
-		Store:     opt.Store,
-		TwoPhase:  opt.TwoPhase,
-	})
+	er, err := engine.Run(ctx, prog, cfg, plan.params(), opt.engineOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +137,21 @@ func RunSampled(prog *program.Program, cfg uarch.Config, plan Plan, opt EngineOp
 // The sweep accounting (FastFwdInsts/FastFwdTime) on every result
 // echoes the one shared sweep; callers summing costs across phases
 // should count it once.
+//
+// Deprecated: new code should go through the sim package (a Request
+// with Offsets); this shim is kept so existing callers and
+// result-pinning tests keep working.
 func RunSampledPhases(prog *program.Program, cfg uarch.Config, plan Plan, js []uint64, opt EngineOptions) ([]*Result, error) {
+	return RunSampledPhasesContext(context.Background(), prog, cfg, plan, js, opt)
+}
+
+// RunSampledPhasesContext is RunSampledPhases with context support:
+// cancellation stops the shared sweep (or whichever offset's replay is
+// in flight) and returns ctx.Err().
+func RunSampledPhasesContext(ctx context.Context, prog *program.Program, cfg uarch.Config, plan Plan, js []uint64, opt EngineOptions) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,7 +180,7 @@ func RunSampledPhases(prog *program.Program, cfg uarch.Config, plan Plan, js []u
 			set = cached
 			sweepCached = true
 		} else {
-			set, err = checkpoint.Capture(prog, cfg, params)
+			set, err = checkpoint.Capture(ctx, prog, cfg, params)
 			if err != nil {
 				return nil, err
 			}
@@ -142,19 +190,30 @@ func RunSampledPhases(prog *program.Program, cfg uarch.Config, plan Plan, js []u
 		}
 	} else {
 		var err error
-		set, err = checkpoint.Capture(prog, cfg, params)
+		set, err = checkpoint.Capture(ctx, prog, cfg, params)
 		if err != nil {
 			return nil, err
 		}
 	}
+	if opt.OnCaptured != nil {
+		opt.OnCaptured(len(set.Units))
+	}
 
 	results := make([]*Result, len(js))
 	for i, j := range js {
-		er, err := engine.RunSet(prog, cfg, plan.U, set.Offset(j), engine.Options{
-			Workers:   opt.Workers,
-			Alpha:     opt.Alpha,
-			TargetEps: opt.TargetEps,
-			MinUnits:  opt.MinUnits,
+		onReplayed := opt.OnReplayed
+		if opt.OnPhaseReplayed != nil {
+			j := j
+			onReplayed = func(replayed int, est stats.Estimate) {
+				opt.OnPhaseReplayed(j, replayed, est)
+			}
+		}
+		er, err := engine.RunSet(ctx, prog, cfg, plan.U, set.Offset(j), engine.Options{
+			Workers:    opt.Workers,
+			Alpha:      opt.Alpha,
+			TargetEps:  opt.TargetEps,
+			MinUnits:   opt.MinUnits,
+			OnReplayed: onReplayed,
 		})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package smarts
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/checkpoint"
@@ -89,7 +90,41 @@ func (pr *ProcedureResult) FinalResult() *Result {
 }
 
 // RunProcedure executes the two-step SMARTS procedure on prog/cfg.
+//
+// Deprecated: new code should go through the sim package (a Request
+// with a Procedure spec); this shim is kept so existing callers and
+// result-pinning tests keep working.
 func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (*ProcedureResult, error) {
+	return RunProcedureContext(context.Background(), prog, cfg, pc)
+}
+
+// RunProcedureContext is RunProcedure with context support: the context
+// is honored inside both sampling runs and checked between them, so a
+// cancelled procedure stops mid-calibration and returns ctx.Err().
+func RunProcedureContext(ctx context.Context, prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (*ProcedureResult, error) {
+	return RunProcedureWith(ctx, prog, cfg, pc, nil)
+}
+
+// ProcedureRunner executes one sampling step of the two-step procedure.
+// stage is "initial" for the n_init run and "tuned" for the
+// recalibrated second run; plan carries the procedure's Parallelism and
+// Store settings. The sim session supplies a runner that layers sweep
+// deduplication and progress events over the same execution.
+type ProcedureRunner func(ctx context.Context, stage string, plan Plan) (*Result, error)
+
+// RunProcedureWith executes the two-step procedure with a custom runner
+// for its sampling steps; a nil runner uses RunContext directly. The
+// n-calibration logic — n_init run, confidence check, n_tuned sizing,
+// rerun — lives only here, whichever runner executes the steps.
+func RunProcedureWith(ctx context.Context, prog *program.Program, cfg uarch.Config, pc ProcedureConfig, run ProcedureRunner) (*ProcedureResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if run == nil {
+		run = func(ctx context.Context, stage string, plan Plan) (*Result, error) {
+			return RunContext(ctx, prog, cfg, plan)
+		}
+	}
 	if pc.U == 0 {
 		pc.U = 1000
 	}
@@ -109,8 +144,11 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 	plan := PlanForN(prog.Length, pc.U, pc.W, pc.NInit, pc.Warming, pc.J)
 	plan.Parallelism = pc.Parallelism
 	plan.Store = pc.Store
-	initial, err := Run(prog, cfg, plan)
+	initial, err := run(ctx, "initial", plan)
 	if err != nil {
+		if ctx.Err() != nil && err == ctx.Err() {
+			return nil, err
+		}
 		return nil, fmt.Errorf("smarts: initial run: %w", err)
 	}
 	pr := &ProcedureResult{
@@ -119,6 +157,9 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 	}
 	if pr.InitialCPI.Meets(pc.Eps) {
 		return pr, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Second step: size the sample from the measured V̂ and rerun.
@@ -130,8 +171,11 @@ func RunProcedure(prog *program.Program, cfg uarch.Config, pc ProcedureConfig) (
 	plan2 := PlanForN(prog.Length, pc.U, pc.W, pr.NTuned, pc.Warming, pc.J)
 	plan2.Parallelism = pc.Parallelism
 	plan2.Store = pc.Store
-	tuned, err := Run(prog, cfg, plan2)
+	tuned, err := run(ctx, "tuned", plan2)
 	if err != nil {
+		if ctx.Err() != nil && err == ctx.Err() {
+			return nil, err
+		}
 		return nil, fmt.Errorf("smarts: tuned run: %w", err)
 	}
 	pr.Tuned = tuned

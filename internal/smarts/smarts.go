@@ -36,6 +36,7 @@
 package smarts
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -211,8 +212,24 @@ func (r *Result) EPIEstimate(alpha float64) stats.Estimate {
 // Run executes one sampling simulation of prog on the machine described
 // by cfg. With plan.Parallelism != 0 the run is delegated to the
 // checkpointed parallel engine (see RunSampled); otherwise the classic
-// in-place serial loop below executes.
+// in-place serial loop executes.
+//
+// Deprecated: new code should go through the sim package
+// (sim.Open / Session.Run), which adds context cancellation, sweep
+// deduplication, and progress events on top of the same mechanisms.
+// This entry point is kept as a thin shim so existing callers and the
+// result-pinning tests keep working bit-identically.
 func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg, plan)
+}
+
+// RunContext is Run with context support: cancellation or deadline
+// expiry stops the run — between units and, within long fast-forward
+// gaps, every checkpoint.FFChunk instructions — and returns ctx.Err().
+func RunContext(ctx context.Context, prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,7 +237,7 @@ func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
 		return nil, err
 	}
 	if plan.Parallelism != 0 {
-		return RunSampled(prog, cfg, plan, EngineOptions{Workers: plan.Parallelism, Store: plan.Store})
+		return RunSampledContext(ctx, prog, cfg, plan, EngineOptions{Workers: plan.Parallelism, Store: plan.Store})
 	}
 
 	cpu := functional.New(prog)
@@ -241,6 +258,9 @@ func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
 	marks := make([]uarch.Mark, 2)
 
 	for unit := plan.J; unit < res.PopulationUnits; unit += plan.K {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if plan.MaxUnits > 0 && len(res.Units) >= plan.MaxUnits {
 			break
 		}
@@ -257,22 +277,29 @@ func Run(prog *program.Program, cfg uarch.Config, plan Plan) (*Result, error) {
 			warmStart = pos // overlapping with previous unit's tail
 		}
 
-		// Fast-forward to the warming start.
+		// Fast-forward to the warming start, in context-checked chunks.
 		ffStart := time.Now()
 		ff := warmStart - pos
-		if ff > 0 {
+		for pos < warmStart {
+			step := warmStart - pos
+			if step > checkpoint.FFChunk {
+				step = checkpoint.FFChunk
+			}
 			var err error
 			if plan.Warming == FunctionalWarming {
-				err = warmer.Forward(cpu, ff)
+				err = warmer.Forward(cpu, step)
 			} else {
-				_, err = cpu.Run(ff)
+				_, err = cpu.Run(step)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("smarts: fast-forward at unit %d: %w", unit, err)
 			}
-			pos = warmStart
-			res.FastFwdInsts += ff
+			pos += step
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
+		res.FastFwdInsts += ff
 		res.FastFwdTime += time.Since(ffStart)
 
 		// Detailed warming + measured unit in one pipeline-continuous run.

@@ -1,0 +1,109 @@
+package sim_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/smarts"
+	"repro/internal/uarch"
+	"repro/sim"
+)
+
+// TestSingleflightSweep runs N concurrent identical requests against a
+// cold store and asserts exactly one functional sweep happened (one
+// store miss; every other request reused the committed entry) and that
+// all N reports are bit-identical to the serial baseline.
+func TestSingleflightSweep(t *testing.T) {
+	p := testProg(t)
+	cfg := uarch.Config8Way()
+	plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), 80, smarts.FunctionalWarming, 0)
+	want, err := smarts.RunSampled(p, cfg, plan, smarts.EngineOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := sim.Open(sim.WithStore(t.TempDir()), sim.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	reports := make([]*sim.Report, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = sess.Run(context.Background(),
+				sim.NewRequest(testBench, sim.Length(testLen), sim.Units(80)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		sameMeasurement(t, "concurrent client", reports[i].Result(), want)
+	}
+
+	hits, misses, ok := sess.StoreStats()
+	if !ok {
+		t.Fatal("session has no store")
+	}
+	if misses != 1 {
+		t.Fatalf("%d store misses (= sweeps), want exactly 1", misses)
+	}
+	if hits != clients-1 {
+		t.Fatalf("%d store hits, want %d", hits, clients-1)
+	}
+	cached := 0
+	for _, rep := range reports {
+		if rep.Result().SweepCached {
+			cached++
+		}
+	}
+	if cached != clients-1 {
+		t.Fatalf("%d reports marked SweepCached, want %d", cached, clients-1)
+	}
+}
+
+// TestSingleflightPhases exercises the multi-offset path's dedup: two
+// concurrent phase requests for one key pay one multi-offset sweep.
+func TestSingleflightPhases(t *testing.T) {
+	sess, err := sim.Open(sim.WithStore(t.TempDir()), sim.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	req := func() *sim.Request {
+		return sim.NewRequest(testBench, sim.Length(testLen), sim.Units(60), sim.Phases(0, 2))
+	}
+	var wg sync.WaitGroup
+	reports := make([]*sim.Report, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = sess.Run(context.Background(), req())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	_, misses, _ := sess.StoreStats()
+	if misses != 1 {
+		t.Fatalf("%d store misses (= multi-offset sweeps), want exactly 1", misses)
+	}
+	for i := range reports[0].Results {
+		sameMeasurement(t, "phase client", reports[1].Results[i], reports[0].Results[i])
+	}
+}

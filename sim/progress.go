@@ -1,0 +1,103 @@
+package sim
+
+import "sync"
+
+// EventKind classifies a progress event.
+type EventKind int
+
+// Event kinds, in the order a run emits them.
+const (
+	// EventRunStart opens a run (or one stage of a procedure run).
+	EventRunStart EventKind = iota
+	// EventUnitCaptured reports sweep progress: Captured launch
+	// snapshots have entered the pipeline. Store hits and two-phase
+	// schedules report the total once.
+	EventUnitCaptured
+	// EventUnitReplayed reports measurement progress: Replayed units
+	// have been folded, in stream order, into the deterministic
+	// estimate, whose current value is Estimate.
+	EventUnitReplayed
+	// EventRunDone closes a run (or one stage); Estimate is the final
+	// CPI estimate and Cached reports whether the sweep came from the
+	// checkpoint store.
+	EventRunDone
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRunStart:
+		return "start"
+	case EventUnitCaptured:
+		return "captured"
+	case EventUnitReplayed:
+		return "replayed"
+	case EventRunDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Progress is one typed progress event. Events replace the log-print
+// scraping of the pre-sim CLIs: a consumer can render a live unit
+// counter and the tightening confidence interval from them alone.
+type Progress struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Stage distinguishes the sampling steps of compound runs:
+	// "sample" for plain and phase runs, "initial" and "tuned" for the
+	// two steps of the procedure.
+	Stage string
+	// Offset is the systematic phase offset the event belongs to
+	// (meaningful for multi-offset requests during replay).
+	Offset uint64
+	// Captured is the cumulative number of launch snapshots taken by
+	// the functional sweep.
+	Captured int
+	// Replayed is the cumulative number of units folded into the
+	// stream-order estimate.
+	Replayed int
+	// Estimate is the current CPI estimate over the folded prefix
+	// (valid on EventUnitReplayed and EventRunDone with Replayed >= 1).
+	Estimate Estimate
+	// Cached reports that launch states were loaded from the
+	// checkpoint store instead of swept (EventRunDone).
+	Cached bool
+}
+
+// ProgressFunc receives progress events. Callbacks are serialized per
+// request (never called concurrently for one Run call) but must be
+// fast: they run on the engine's sweep and collector goroutines.
+type ProgressFunc func(Progress)
+
+// progressSink fans a run's events to the session- and request-level
+// callbacks, serializing them under one mutex (sweep and collector
+// goroutines both emit).
+type progressSink struct {
+	mu  sync.Mutex
+	fns []ProgressFunc
+}
+
+func newProgressSink(fns ...ProgressFunc) *progressSink {
+	sink := &progressSink{}
+	for _, fn := range fns {
+		if fn != nil {
+			sink.fns = append(sink.fns, fn)
+		}
+	}
+	if len(sink.fns) == 0 {
+		return nil
+	}
+	return sink
+}
+
+func (p *progressSink) emit(ev Progress) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fn := range p.fns {
+		fn(ev)
+	}
+}

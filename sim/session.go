@@ -1,0 +1,723 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// Session is the long-lived service object behind Session.Run: it owns
+// the checkpoint store, caches generated workloads and experiment
+// state, supplies execution defaults, and deduplicates concurrent
+// sweeps. All methods are safe for concurrent use.
+type Session struct {
+	set settings
+
+	store *checkpoint.Store
+
+	mu          sync.Mutex
+	closed      bool
+	progs       map[progKey]*program.Program
+	progFlights map[progKey]*flight
+	exps        map[string]*experiments.Context
+	flights     map[string]*flight
+}
+
+type progKey struct {
+	name   string
+	length uint64
+}
+
+// flight is one in-progress sweep generation for a store key; waiters
+// block on done, then find the committed entry in the store.
+type flight struct {
+	done chan struct{}
+}
+
+// settings collects the session defaults the options mutate.
+type settings struct {
+	storeDir  string
+	storeMax  int64
+	workers   int
+	alpha     float64
+	logf      func(format string, args ...any)
+	progress  ProgressFunc
+	defLength uint64
+	defUnits  uint64
+}
+
+// Option configures a Session at Open.
+type Option func(*settings) error
+
+// WithStore attaches an on-disk checkpoint store rooted at dir:
+// functional sweeps are persisted and shared across runs of the
+// session (and across sessions pointed at the same directory), and
+// concurrent requests needing the same sweep are deduplicated.
+func WithStore(dir string) Option {
+	return func(s *settings) error {
+		if dir == "" {
+			return fmt.Errorf("sim: empty store directory")
+		}
+		s.storeDir = dir
+		return nil
+	}
+}
+
+// WithStoreLimit caps the store's total size in bytes;
+// least-recently-used entries are evicted on commit.
+func WithStoreLimit(maxBytes int64) Option {
+	return func(s *settings) error {
+		if maxBytes < 0 {
+			return fmt.Errorf("sim: negative store limit %d", maxBytes)
+		}
+		s.storeMax = maxBytes
+		return nil
+	}
+}
+
+// WithWorkers sets the default replay worker-pool size for requests
+// that do not set their own (0 or negative: one worker per core).
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		s.workers = n
+		return nil
+	}
+}
+
+// WithAlpha sets the default confidence parameter (default Alpha997).
+func WithAlpha(alpha float64) Option {
+	return func(s *settings) error {
+		if alpha <= 0 || alpha >= 1 {
+			return fmt.Errorf("sim: confidence parameter %v outside (0,1)", alpha)
+		}
+		s.alpha = alpha
+		return nil
+	}
+}
+
+// WithLog routes store and session log lines (hits, misses, evictions)
+// to fn; the default discards them.
+func WithLog(fn func(format string, args ...any)) Option {
+	return func(s *settings) error {
+		s.logf = fn
+		return nil
+	}
+}
+
+// WithProgress attaches a session-level progress callback receiving
+// every run's events (request-level callbacks are invoked as well).
+func WithProgress(fn ProgressFunc) Option {
+	return func(s *settings) error {
+		s.progress = fn
+		return nil
+	}
+}
+
+// WithDefaults overrides the session's default workload length and
+// target unit count for requests that leave them zero.
+func WithDefaults(length, units uint64) Option {
+	return func(s *settings) error {
+		if length == 0 || units == 0 {
+			return fmt.Errorf("sim: zero default length or units")
+		}
+		s.defLength, s.defUnits = length, units
+		return nil
+	}
+}
+
+// Open creates a Session. With no options the session runs fully in
+// memory (no checkpoint store), one replay worker per core, at the
+// paper's 99.7% confidence reporting.
+func Open(opts ...Option) (*Session, error) {
+	set := settings{
+		alpha:     stats.Alpha997,
+		defLength: 2_000_000,
+		defUnits:  400,
+	}
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	s := &Session{
+		set:         set,
+		progs:       make(map[progKey]*program.Program),
+		progFlights: make(map[progKey]*flight),
+		exps:        make(map[string]*experiments.Context),
+		flights:     make(map[string]*flight),
+	}
+	if set.storeDir != "" {
+		store, err := checkpoint.OpenStore(set.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		store.MaxBytes = set.storeMax
+		store.Logf = set.logf
+		s.store = store
+	}
+	return s, nil
+}
+
+// Close marks the session closed; subsequent Runs fail. In-flight runs
+// are not interrupted (cancel their contexts for that).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// StoreStats returns the checkpoint store's lifetime hit/miss counts;
+// ok is false when the session has no store.
+func (s *Session) StoreStats() (hits, misses uint64, ok bool) {
+	if s.store == nil {
+		return 0, 0, false
+	}
+	hits, misses = s.store.Stats()
+	return hits, misses, true
+}
+
+// StoreDir returns the checkpoint store directory ("" without a store).
+func (s *Session) StoreDir() string {
+	if s.store == nil {
+		return ""
+	}
+	return s.store.Dir()
+}
+
+// Workload returns the generated workload for (name, length), building
+// and caching it on first use. length 0 selects the session default.
+// Concurrent requests for one (name, length) generate it once; the
+// rest wait for the result.
+func (s *Session) Workload(name string, length uint64) (*Workload, error) {
+	if length == 0 {
+		length = s.set.defLength
+	}
+	key := progKey{name, length}
+	for {
+		s.mu.Lock()
+		if p, ok := s.progs[key]; ok {
+			s.mu.Unlock()
+			return p, nil
+		}
+		if f, ok := s.progFlights[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			continue // the generator finished (or failed); re-check
+		}
+		f := &flight{done: make(chan struct{})}
+		s.progFlights[key] = f
+		s.mu.Unlock()
+
+		p, err := generateWorkload(name, length)
+		s.mu.Lock()
+		if err == nil {
+			s.progs[key] = p
+		}
+		delete(s.progFlights, key)
+		s.mu.Unlock()
+		close(f.done)
+		return p, err
+	}
+}
+
+func generateWorkload(name string, length uint64) (*program.Program, error) {
+	spec, err := program.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return program.Generate(spec, length)
+}
+
+// Reference runs (uncached) the full-stream detailed simulation of the
+// workload on cfg — the ground truth sampling estimates are judged
+// against (a zero cfg selects the 8-way baseline). chunk is the
+// per-chunk measurement granularity. The detailed run is not
+// interruptible; ctx is checked before it starts.
+func (s *Session) Reference(ctx context.Context, workload string, length, chunk uint64, cfg Config) (*Reference, error) {
+	if err := s.runnable(ctx); err != nil {
+		return nil, err
+	}
+	p, err := s.Workload(workload, length)
+	if err != nil {
+		return nil, err
+	}
+	return smarts.FullRun(p, s.config(cfg), chunk)
+}
+
+// ExperimentNames lists the runnable experiment ids.
+func ExperimentNames() []string { return experiments.Names() }
+
+// Report is the result of one Session.Run.
+type Report struct {
+	// Results holds the sampling runs: one entry for plain requests,
+	// one per offset (aligned with Offsets) for multi-offset requests,
+	// and the final run of a procedure. Empty for experiments.
+	Results []*Result
+	// Offsets echoes the phase offsets of a multi-offset request.
+	Offsets []uint64
+	// Procedure reports both steps of a procedure request.
+	Procedure *ProcedureResult
+	// ExperimentOutput is the formatted table/figure of an experiment
+	// request.
+	ExperimentOutput string
+	// CPI and EPI are the final estimates at the request's confidence
+	// (the first offset's, for multi-offset runs; zero for
+	// experiments).
+	CPI, EPI Estimate
+	// Elapsed is the end-to-end wall-clock time of the request.
+	Elapsed time.Duration
+}
+
+// Result returns the primary sampling result (the first offset's run,
+// or the procedure's final run); nil for experiment reports.
+func (r *Report) Result() *Result {
+	if len(r.Results) > 0 {
+		return r.Results[0]
+	}
+	return nil
+}
+
+// Run executes one request. Every mode honors ctx: cancellation or
+// deadline expiry stops the sweep and the worker pool, aborts any
+// staged store entry, and returns ctx.Err().
+func (s *Session) Run(ctx context.Context, req *Request) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if err := s.runnable(ctx); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	if req.Experiment != "" {
+		rep, err := s.runExperiment(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		rep.Elapsed = time.Since(start)
+		return rep, nil
+	}
+
+	prog, err := s.Workload(req.Workload, req.Length)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.config(req.Config)
+	sink := newProgressSink(s.set.progress, req.Progress)
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = s.set.alpha
+	}
+
+	var rep *Report
+	switch {
+	case req.Procedure != nil:
+		rep, err = s.runProcedure(ctx, req, prog, cfg, sink, alpha)
+	case len(req.Offsets) > 0:
+		rep, err = s.runPhases(ctx, req, prog, cfg, sink, alpha)
+	default:
+		var res *Result
+		res, err = s.runPlan(ctx, req, prog, cfg, s.plan(req, prog, cfg), sink, "sample")
+		if err == nil {
+			rep = &Report{
+				Results: []*Result{res},
+				CPI:     res.CPIEstimate(alpha),
+				EPI:     res.EPIEstimate(alpha),
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// runnable gates new work on session and context state.
+func (s *Session) runnable(ctx context.Context) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("sim: session is closed")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// config resolves the effective machine configuration: only a fully
+// zero Config selects the 8-way baseline; a custom literal (even one
+// without a Name) is used as given and validated by the run.
+func (s *Session) config(cfg Config) Config {
+	if cfg == (Config{}) {
+		return uarch.Config8Way()
+	}
+	return cfg
+}
+
+// workers resolves the effective worker count for a request.
+func (s *Session) workers(req *Request) int {
+	n := req.Workers
+	if n == 0 {
+		n = s.set.workers
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// plan builds the sampling plan a request describes.
+func (s *Session) plan(req *Request, prog *program.Program, cfg Config) Plan {
+	u := req.U
+	if u == 0 {
+		u = 1000
+	}
+	w := req.W
+	if w == 0 && req.Warming != NoWarming {
+		w = smarts.RecommendedW(cfg)
+	}
+	var plan Plan
+	if req.K > 0 {
+		j := req.J
+		if j >= req.K {
+			j %= req.K
+		}
+		plan = Plan{U: u, W: w, K: req.K, J: j, Warming: req.Warming}
+	} else {
+		n := req.N
+		if n == 0 {
+			n = s.set.defUnits
+		}
+		plan = smarts.PlanForN(prog.Length, u, w, n, req.Warming, req.J)
+	}
+	plan.MaxUnits = req.MaxUnits
+	return plan
+}
+
+// engineOptions builds the engine options for one plan execution.
+func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, offset uint64) smarts.EngineOptions {
+	opt := smarts.EngineOptions{
+		Workers: s.workers(req),
+		// The effective alpha (request, else session) drives both the
+		// early-termination decision and the reported estimates, so
+		// the stop criterion and the report agree.
+		Alpha:     s.effAlpha(req),
+		TargetEps: req.TargetEps,
+		MinUnits:  req.MinUnits,
+		TwoPhase:  req.TwoPhase,
+	}
+	if !req.NoStore {
+		opt.Store = s.store
+	}
+	if sink != nil {
+		opt.OnCaptured = func(captured int) {
+			sink.emit(Progress{Kind: EventUnitCaptured, Stage: stage, Offset: offset, Captured: captured})
+		}
+		opt.OnReplayed = func(replayed int, est stats.Estimate) {
+			sink.emit(Progress{Kind: EventUnitReplayed, Stage: stage, Offset: offset, Replayed: replayed, Estimate: est})
+		}
+	}
+	return opt
+}
+
+// runPlan executes one sampling plan: the classic serial loop when the
+// request asks for it, the checkpointed engine otherwise — with
+// concurrent sweeps for the same store key deduplicated.
+func (s *Session) runPlan(ctx context.Context, req *Request, prog *program.Program, cfg Config, plan Plan, sink *progressSink, stage string) (*Result, error) {
+	sink.emit(Progress{Kind: EventRunStart, Stage: stage, Offset: plan.J})
+
+	var res *Result
+	var err error
+	if req.SerialLoop {
+		plan.Parallelism = 0
+		res, err = smarts.RunContext(ctx, prog, cfg, plan)
+	} else {
+		opt := s.engineOptions(req, sink, stage, plan.J)
+		run := func() (*Result, error) {
+			return smarts.RunSampledContext(ctx, prog, cfg, plan, opt)
+		}
+		// Sweep deduplication needs a committable sweep: early-terminated
+		// sweeps are incomplete and never persisted, so deduplicating
+		// them would only serialize the contenders behind leaders that
+		// can never produce a reusable entry.
+		if opt.Store != nil && req.TargetEps <= 0 {
+			key := checkpoint.KeyFor(prog, cfg, plan.CheckpointParams())
+			res, err = s.singleflight(ctx, key, run)
+		} else {
+			res, err = run()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	done := Progress{Kind: EventRunDone, Stage: stage, Offset: plan.J, Replayed: len(res.Units), Cached: res.SweepCached}
+	if len(res.Units) > 0 {
+		done.Estimate = res.CPIEstimate(s.effAlpha(req))
+	}
+	sink.emit(done)
+	return res, nil
+}
+
+func (s *Session) effAlpha(req *Request) float64 {
+	if req.Alpha != 0 {
+		return req.Alpha
+	}
+	return s.set.alpha
+}
+
+// runPhases executes a multi-offset request: all offsets measured from
+// one shared sweep (deduplicated under the multi-offset store key).
+func (s *Session) runPhases(ctx context.Context, req *Request, prog *program.Program, cfg Config, sink *progressSink, alpha float64) (*Report, error) {
+	plan := s.plan(req, prog, cfg)
+	// Both execution modes enforce the same offset contract (the
+	// engine's multi-offset capture would reject j >= k; the serial
+	// loop must not silently wrap instead).
+	for _, j := range req.Offsets {
+		if j >= plan.K {
+			return nil, fmt.Errorf("sim: phase offset %d must be below the sampling interval %d", j, plan.K)
+		}
+	}
+	if req.SerialLoop {
+		// The serial loop has no shared-sweep form; run each offset's
+		// classic loop in sequence (bit-identical to individual runs).
+		results := make([]*Result, len(req.Offsets))
+		for i, j := range req.Offsets {
+			pj := plan
+			pj.J = j
+			res, err := s.runPlan(ctx, req, prog, cfg, pj, sink, "sample")
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return phaseReport(req, results, alpha), nil
+	}
+
+	sink.emit(Progress{Kind: EventRunStart, Stage: "sample"})
+	opt := s.engineOptions(req, sink, "sample", 0)
+	if sink != nil {
+		// Replay events of a multi-offset run carry their offset, so a
+		// consumer can attribute the per-offset unit counters.
+		opt.OnReplayed = nil
+		opt.OnPhaseReplayed = func(j uint64, replayed int, est stats.Estimate) {
+			sink.emit(Progress{Kind: EventUnitReplayed, Stage: "sample", Offset: j, Replayed: replayed, Estimate: est})
+		}
+	}
+	run := func() ([]*Result, error) {
+		return smarts.RunSampledPhasesContext(ctx, prog, cfg, plan, req.Offsets, opt)
+	}
+	var results []*Result
+	var err error
+	if opt.Store != nil && req.TargetEps <= 0 {
+		params := plan.CheckpointParams()
+		params.J = 0
+		params.Offsets = req.Offsets
+		if verr := params.Validate(); verr != nil {
+			return nil, verr
+		}
+		key := checkpoint.KeyFor(prog, cfg, params)
+		results, err = singleflightDo(ctx, s, key, run)
+	} else {
+		results, err = run()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(results) > 0 {
+		done := Progress{Kind: EventRunDone, Stage: "sample", Replayed: len(results[0].Units), Cached: results[0].SweepCached}
+		if len(results[0].Units) > 0 {
+			done.Estimate = results[0].CPIEstimate(alpha)
+		}
+		sink.emit(done)
+	}
+	return phaseReport(req, results, alpha), nil
+}
+
+func phaseReport(req *Request, results []*Result, alpha float64) *Report {
+	rep := &Report{
+		Results: results,
+		Offsets: append([]uint64(nil), req.Offsets...),
+	}
+	if len(results) > 0 {
+		rep.CPI = results[0].CPIEstimate(alpha)
+		rep.EPI = results[0].EPIEstimate(alpha)
+	}
+	return rep
+}
+
+// runProcedure executes the two-step procedure, reusing the canonical
+// calibration loop with the session's plan runner (progress events and
+// sweep deduplication included).
+func (s *Session) runProcedure(ctx context.Context, req *Request, prog *program.Program, cfg Config, sink *progressSink, alpha float64) (*Report, error) {
+	spec := *req.Procedure
+	nInit := req.N
+	if nInit == 0 {
+		nInit = s.set.defUnits
+	}
+	pc := smarts.DefaultProcedure(cfg, nInit)
+	pc.J = req.J
+	if req.U != 0 {
+		pc.U = req.U
+	}
+	if req.W != 0 {
+		pc.W = req.W
+	}
+	pc.Warming = req.Warming
+	if spec.Eps != 0 {
+		pc.Eps = spec.Eps
+	}
+	// alpha is already the request-else-session effective confidence;
+	// an explicit spec overrides both.
+	pc.Alpha = alpha
+	if spec.Alpha != 0 {
+		pc.Alpha = spec.Alpha
+	}
+	if spec.Overshoot != 0 {
+		pc.Overshoot = spec.Overshoot
+	}
+
+	runner := func(ctx context.Context, stage string, plan Plan) (*Result, error) {
+		return s.runPlan(ctx, req, prog, cfg, plan, sink, stage)
+	}
+	pr, err := smarts.RunProcedureWith(ctx, prog, cfg, pc, runner)
+	if err != nil {
+		return nil, err
+	}
+	final := pr.FinalResult()
+	return &Report{
+		Results:   []*Result{final},
+		Procedure: pr,
+		CPI:       pr.Final(),
+		EPI:       final.EPIEstimate(pc.Alpha),
+	}, nil
+}
+
+// runExperiment regenerates one of the paper's figures or tables.
+func (s *Session) runExperiment(ctx context.Context, req *Request) (*Report, error) {
+	scale := req.Scale
+	if scale == "" {
+		scale = "small"
+	}
+	ec, err := s.expContext(scale, req)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.config(req.Config)
+	var buf bytes.Buffer
+	out := io.Writer(&buf)
+	if req.Output != nil {
+		out = io.MultiWriter(req.Output, &buf)
+	}
+	if err := experiments.Run(ctx, req.Experiment, ec, cfg, out); err != nil {
+		return nil, err
+	}
+	return &Report{ExperimentOutput: buf.String()}, nil
+}
+
+// expContext returns the session's shared experiment context for a
+// (scale, execution mode) pair, creating it on first use. Program and
+// reference caches are shared across every experiment request with the
+// same pair. SerialLoop requests keep the experiments on the classic
+// serial path — the mode that regenerates the historical figures and
+// tables exactly.
+func (s *Session) expContext(scale string, req *Request) (*experiments.Context, error) {
+	sc, err := experiments.ScaleByName(scale)
+	if err != nil {
+		return nil, err
+	}
+	par := s.workers(req)
+	if req.SerialLoop {
+		par = 0
+	}
+	useStore := !req.NoStore && s.store != nil && par != 0
+	// The cache key carries every execution knob baked into the
+	// context, so a NoStore request never inherits a store-attached
+	// context (or vice versa). Worker counts beyond serial-vs-engine
+	// are deliberately NOT in the key: engine results are bit-identical
+	// at any count, and the context's expensive reference cache should
+	// be shared across them (the first engine request's count sticks).
+	mode := "engine"
+	if par == 0 {
+		mode = "serial"
+	}
+	key := fmt.Sprintf("%s/%s/store=%v", scale, mode, useStore)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ec, ok := s.exps[key]; ok {
+		return ec, nil
+	}
+	ec := experiments.NewContext(sc)
+	ec.Parallelism = par
+	if useStore {
+		ec.Ckpt = s.store
+	}
+	s.exps[key] = ec
+	return ec, nil
+}
+
+// singleflight deduplicates concurrent sweep generation for one store
+// key: the first request becomes the leader and runs fn (sweeping and
+// committing the entry); concurrent requests for the same key wait for
+// the leader, then run fn themselves against the now-committed entry
+// (a store hit — no second sweep). If the leader failed or was
+// cancelled before committing, each waiter retries leadership in turn,
+// so one bad run never poisons the key.
+func (s *Session) singleflight(ctx context.Context, key checkpoint.Key, fn func() (*Result, error)) (*Result, error) {
+	return singleflightDo(ctx, s, key, fn)
+}
+
+// singleflightDo is the generic form of Session.singleflight (the
+// result may be a single run or a per-offset slice).
+func singleflightDo[T any](ctx context.Context, s *Session, key checkpoint.Key, fn func() (T, error)) (T, error) {
+	hash := key.Hash()
+	for {
+		s.mu.Lock()
+		f, inFlight := s.flights[hash]
+		if !inFlight {
+			f = &flight{done: make(chan struct{})}
+			s.flights[hash] = f
+			s.mu.Unlock()
+
+			res, err := fn()
+			s.mu.Lock()
+			delete(s.flights, hash)
+			s.mu.Unlock()
+			close(f.done)
+			return res, err
+		}
+		s.mu.Unlock()
+
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+		if s.store != nil && s.store.Contains(key) {
+			// The leader committed; run against the entry (store hit).
+			return fn()
+		}
+		// Leader failed or never committed (early termination, error,
+		// cancel): loop and contend for leadership.
+	}
+}

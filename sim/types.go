@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// The result and configuration vocabulary is shared with the internal
+// sampling framework by alias, not by copy: a sim run's Result is the
+// same value, bit for bit, that the historical internal/smarts entry
+// points produced, which is what keeps the migration to this API a
+// pure re-plumbing.
+
+// Result collects one full sampling run; see smarts.Result.
+type Result = smarts.Result
+
+// UnitResult is the measurement of one sampling unit.
+type UnitResult = smarts.UnitResult
+
+// ProcedureResult reports both steps of the two-step procedure.
+type ProcedureResult = smarts.ProcedureResult
+
+// Plan is the low-level sampling-plan shape (U, W, k, j, warming). The
+// session builds it from a Request; it is exported so reports remain
+// self-describing (Result.Plan).
+type Plan = smarts.Plan
+
+// Reference is a full-stream detailed simulation — the ground truth
+// sampling estimates are judged against (Session.Reference).
+type Reference = smarts.Reference
+
+// Estimate is a statistical point estimate with its confidence
+// interval; see stats.Estimate.
+type Estimate = stats.Estimate
+
+// Config describes the simulated machine.
+type Config = uarch.Config
+
+// Workload is a generated synthetic benchmark program.
+type Workload = program.Program
+
+// WorkloadSpec describes one workload archetype of the synthetic
+// SPEC2K-style suite.
+type WorkloadSpec = program.Spec
+
+// WarmingMode selects how microarchitectural state is treated between
+// sampling units.
+type WarmingMode = smarts.WarmingMode
+
+// Warming modes; see the smarts package for the paper context.
+const (
+	NoWarming         = smarts.NoWarming
+	DetailedWarming   = smarts.DetailedWarming
+	FunctionalWarming = smarts.FunctionalWarming
+)
+
+// Alpha997 is the confidence parameter of the paper's "99.7%
+// confidence" (three sigma) reporting.
+const Alpha997 = stats.Alpha997
+
+// Config8Way returns the paper's 8-way out-of-order baseline machine.
+func Config8Way() Config { return uarch.Config8Way() }
+
+// Config16Way returns the paper's 16-way machine.
+func Config16Way() Config { return uarch.Config16Way() }
+
+// ConfigByName resolves "8-way" or "16-way".
+func ConfigByName(name string) (Config, error) { return uarch.ConfigByName(name) }
+
+// RecommendedW returns the detailed-warming length the paper
+// recommends for cfg under functional warming.
+func RecommendedW(cfg Config) uint64 { return smarts.RecommendedW(cfg) }
+
+// Workloads lists the synthetic workload suite.
+func Workloads() []WorkloadSpec { return program.Suite() }
+
+// WorkloadNames lists the suite's workload names.
+func WorkloadNames() []string { return program.Names() }
