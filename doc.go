@@ -56,11 +56,15 @@
 // parameters, and across concurrent requests (the session's
 // singleflight). One sweep can also capture several systematic phase
 // offsets at once (sim.Phases), which the bias experiments use to pay
-// one sweep for all phases. Warm snapshots are dirty-block
-// delta-encoded in memory and in the store's v2 format, with periodic
-// keyframes bounding reconstruction chains. Every variant — streamed,
-// two-phase, store-loaded, multi-offset, cancelled-and-rerun —
-// produces bit-identical estimates.
+// one sweep for all phases. Storeless sessions park completed sweeps
+// in a session-scoped in-memory cache, so they get the same reuse.
+// Snapshots are delta-encoded end to end under one shared
+// snapshot/delta-chain contract (internal/delta): dirty-block deltas
+// for the warmed structures, dirty-page deltas for memory, periodic
+// keyframes (sim.WithKeyframe, the CLIs' -keyframe) bounding
+// reconstruction chains, in memory and in the store's v3 format alike.
+// Every variant — streamed, two-phase, store-loaded, multi-offset,
+// cancelled-and-rerun — produces bit-identical estimates.
 //
 // Executables are under cmd/ (their shared flags live in
 // sim/simflag), runnable examples under examples/ (examples/service

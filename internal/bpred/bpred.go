@@ -12,6 +12,7 @@ package bpred
 import (
 	"fmt"
 
+	"repro/internal/delta"
 	"repro/internal/isa"
 )
 
@@ -83,10 +84,11 @@ type Unit struct {
 	// tblDirty and btbDirty are snapshot dirty-tracking bitmaps (see
 	// delta.go): one bit per block of direction-table entries (bimodal,
 	// gshare, and chooser share indices and one bitmap) and per block of
-	// BTB entries. Update and the BTB paths mark them; SnapshotDelta
-	// consumes and clears them.
-	tblDirty []uint64
-	btbDirty []uint64
+	// BTB entries. Update and the BTB paths mark them; Delta consumes
+	// and clears them, and chain numbers the snapshot points.
+	tblDirty delta.Bitmap
+	btbDirty delta.Bitmap
+	chain    delta.Chain
 
 	// Stats accumulate over the unit's lifetime; callers snapshot/diff.
 	Stats Stats
@@ -108,8 +110,8 @@ func New(cfg Config) *Unit {
 		btbValid: make([]bool, cfg.BTBSets*cfg.BTBWays),
 		btbLRU:   make([]uint64, cfg.BTBSets*cfg.BTBWays),
 		ras:      make([]uint64, cfg.RASEntries),
-		tblDirty: newDirtyBitmap(n, tblGrainShift),
-		btbDirty: newDirtyBitmap(cfg.BTBSets*cfg.BTBWays, btbGrainShift),
+		tblDirty: delta.NewBitmap(n, tblGrainShift),
+		btbDirty: delta.NewBitmap(cfg.BTBSets*cfg.BTBWays, btbGrainShift),
 	}
 	// Weakly taken initial counters, the SimpleScalar default.
 	for i := range u.bimodal {

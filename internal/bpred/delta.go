@@ -1,78 +1,61 @@
 package bpred
 
-// Delta snapshots: dirty-block encoding of predictor state, the bpred
-// counterpart of the cache package's delta machinery. The direction
-// tables (bimodal/gshare/chooser share indices) and the BTB arrays are
-// covered by fixed-granularity dirty bitmaps maintained inside Update
-// and the BTB lookup/insert paths; the return address stack, history
-// register, and stamps are small enough to carry in full in every
-// delta. SnapshotDelta + State.Apply reproduce a full Snapshot exactly
-// (property-tested in delta_test.go).
+// Delta snapshots: dirty-block encoding of predictor state — the bpred
+// implementation of the shared snapshot/delta-chain contract
+// (internal/delta), mirroring the cache package's. The direction tables
+// (bimodal/gshare/chooser share indices) and the BTB arrays are covered
+// by fixed-granularity delta.Bitmaps maintained inside Update and the
+// BTB lookup/insert paths; the return address stack, history register,
+// and stamps are small enough to carry in full in every delta. Delta +
+// State.Apply reproduce a full Snapshot exactly (property-tested in
+// delta_test.go). Deltas are self-describing: each carries its grains,
+// so stored chains survive granularity retuning.
 
 import (
 	"fmt"
-	"math/bits"
+
+	"repro/internal/delta"
+)
+
+// The predictor implements the shared snapshot/delta contract.
+var (
+	_ delta.Source[*State, *Delta] = (*Unit)(nil)
+	_ delta.State[*Delta]          = (*State)(nil)
 )
 
 const (
-	// tblGrainShift: 64 direction-table entries (64 bytes per table,
-	// three tables) share one dirty bit.
-	tblGrainShift = 6
-	// btbGrainShift: 32 BTB entries (~800 bytes of tag/target/LRU/valid
+	// tblGrainShift: 4 direction-table entries (4 bytes per table, three
+	// tables) share one dirty bit. Predictor updates touch single
+	// indices scattered by the PC/history hash, so a near-entry grain
+	// minimizes dead weight per dirty bit.
+	tblGrainShift = 2
+	// btbGrainShift: 2 BTB entries (~50 bytes of tag/target/LRU/valid
 	// state) share one dirty bit.
-	btbGrainShift = 5
+	btbGrainShift = 1
 )
 
-// newDirtyBitmap allocates an all-dirty bitmap covering n entries at
-// the given block granularity (log2 entries per bit).
-func newDirtyBitmap(n int, grainShift uint) []uint64 {
-	blocks := (n + (1 << grainShift) - 1) >> grainShift
-	bm := make([]uint64, (blocks+63)/64)
-	for i := range bm {
-		bm[i] = ^uint64(0)
-	}
-	return bm
-}
-
 // markTbl records direction-table index i as modified.
-func (u *Unit) markTbl(i int) {
-	u.tblDirty[uint(i)>>(tblGrainShift+6)] |= 1 << ((uint(i) >> tblGrainShift) & 63)
-}
+func (u *Unit) markTbl(i int) { u.tblDirty.Mark(i) }
 
 // markBTB records BTB entry i as modified.
-func (u *Unit) markBTB(i int) {
-	u.btbDirty[uint(i)>>(btbGrainShift+6)] |= 1 << ((uint(i) >> btbGrainShift) & 63)
-}
+func (u *Unit) markBTB(i int) { u.btbDirty.Mark(i) }
 
 // markAllDirty forces the next delta to carry the full arrays.
 func (u *Unit) markAllDirty() {
-	for i := range u.tblDirty {
-		u.tblDirty[i] = ^uint64(0)
-	}
-	for i := range u.btbDirty {
-		u.btbDirty[i] = ^uint64(0)
-	}
-}
-
-// ResetDirty clears the dirty tracking, establishing the current state
-// as the baseline the next SnapshotDelta is measured against.
-func (u *Unit) ResetDirty() {
-	for i := range u.tblDirty {
-		u.tblDirty[i] = 0
-	}
-	for i := range u.btbDirty {
-		u.btbDirty[i] = 0
-	}
+	u.tblDirty.MarkAll()
+	u.btbDirty.MarkAll()
 }
 
 // Delta is a dirty-block delta between two predictor snapshots. Table
-// block b covers indices [b*64, (b+1)*64); BTB block b covers entries
-// [b*32, min((b+1)*32, BTBN)). The RAS and the scalars are always
-// carried in full (a few hundred bytes at most).
+// block b covers indices [b<<TblGrain, (b+1)<<TblGrain); BTB block b
+// covers entries [b<<BTBGrain, min((b+1)<<BTBGrain, BTBN)). The RAS and
+// the scalars are always carried in full (a few hundred bytes at most).
 type Delta struct {
-	// N is the direction-table entry count, BTBN the BTB entry count
-	// (geometry checks).
-	N, BTBN int
+	// N is the direction-table entry count, BTBN the BTB entry count,
+	// and TblGrain/BTBGrain the log2 block granularities (geometry
+	// checks).
+	N, BTBN            int
+	TblGrain, BTBGrain uint8
 
 	// TblBlocks holds dirty direction-table block indices, strictly
 	// ascending; Bimodal/Gshare/Chooser hold those blocks' segments.
@@ -92,83 +75,45 @@ type Delta struct {
 	RASTop int
 }
 
-// dirtyBlocks appends the set block indices of bm (ascending) to dst
-// and clears bm, skipping padding bits beyond nBlocks.
-func dirtyBlocks(dst []uint32, bm []uint64, nBlocks int) []uint32 {
-	for w, word := range bm {
-		for word != 0 {
-			b := w<<6 | bits.TrailingZeros64(word)
-			word &= word - 1
-			if b >= nBlocks {
-				continue
-			}
-			dst = append(dst, uint32(b))
-		}
-		bm[w] = 0
-	}
-	return dst
-}
+// Seq returns the predictor's current snapshot-chain link (0 before the
+// first Snapshot).
+func (u *Unit) Seq() uint64 { return u.chain.Seq() }
 
-// SnapshotDelta captures the table and BTB blocks touched since the
-// previous Snapshot+ResetDirty or SnapshotDelta and clears the dirty
-// tracking. Applying it to a copy of the previous snapshot reproduces
-// Snapshot exactly.
-func (u *Unit) SnapshotDelta() *Delta {
+// Delta captures the table and BTB blocks touched since the snapshot
+// point numbered since — which must be the predictor's latest; deltas
+// chain strictly — and clears the dirty tracking. Applying it to a copy
+// of the previous snapshot reproduces Snapshot exactly.
+func (u *Unit) Delta(since uint64) (*Delta, error) {
+	if _, err := u.chain.Next(since); err != nil {
+		return nil, fmt.Errorf("bpred: %w", err)
+	}
 	n, btbn := len(u.bimodal), len(u.btbTags)
 	d := &Delta{
 		N:        n,
 		BTBN:     btbn,
+		TblGrain: u.tblDirty.Grain(),
+		BTBGrain: u.btbDirty.Grain(),
 		History:  u.history,
 		BTBStamp: u.btbStamp,
 		RAS:      append([]uint64(nil), u.ras...),
 		RASTop:   u.rasTop,
 	}
-	d.TblBlocks = dirtyBlocks(nil, u.tblDirty, (n+63)>>tblGrainShift)
+	d.TblBlocks = u.tblDirty.AppendBlocks(nil)
 	for _, b := range d.TblBlocks {
-		lo := int(b) << tblGrainShift
-		hi := lo + 1<<tblGrainShift
-		if hi > n {
-			hi = n
-		}
+		lo, hi := delta.Span(b, d.TblGrain, n)
 		d.Bimodal = append(d.Bimodal, u.bimodal[lo:hi]...)
 		d.Gshare = append(d.Gshare, u.gshare[lo:hi]...)
 		d.Chooser = append(d.Chooser, u.chooser[lo:hi]...)
 	}
-	d.BTBBlocks = dirtyBlocks(nil, u.btbDirty, (btbn+31)>>btbGrainShift)
+	d.BTBBlocks = u.btbDirty.AppendBlocks(nil)
 	for _, b := range d.BTBBlocks {
-		lo := int(b) << btbGrainShift
-		hi := lo + 1<<btbGrainShift
-		if hi > btbn {
-			hi = btbn
-		}
+		lo, hi := delta.Span(b, d.BTBGrain, btbn)
 		d.BTBTags = append(d.BTBTags, u.btbTags[lo:hi]...)
 		d.BTBTgts = append(d.BTBTgts, u.btbTgts[lo:hi]...)
 		d.BTBLRU = append(d.BTBLRU, u.btbLRU[lo:hi]...)
 		d.BTBValid = append(d.BTBValid, u.btbValid[lo:hi]...)
 	}
-	return d
-}
-
-// validateBlocks checks one ascending block list against n entries at
-// the given granularity and returns the total covered entry count.
-func validateBlocks(blocks []uint32, n int, grainShift uint, what string) (int, error) {
-	total, prev := 0, -1
-	for _, b := range blocks {
-		if int(b) <= prev {
-			return 0, fmt.Errorf("bpred delta: %s blocks not ascending at %d", what, b)
-		}
-		prev = int(b)
-		lo := int(b) << grainShift
-		if lo >= n {
-			return 0, fmt.Errorf("bpred delta: %s block %d out of range (%d entries)", what, b, n)
-		}
-		hi := lo + 1<<grainShift
-		if hi > n {
-			hi = n
-		}
-		total += hi - lo
-	}
-	return total, nil
+	return d, nil
 }
 
 // Validate checks the delta's internal consistency against a predictor
@@ -183,7 +128,7 @@ func (d *Delta) Validate(n, btbn, rasn int) error {
 	if d.RASTop < 0 || d.RASTop > rasn {
 		return fmt.Errorf("bpred delta: RAS top %d out of range (%d entries)", d.RASTop, rasn)
 	}
-	total, err := validateBlocks(d.TblBlocks, n, tblGrainShift, "table")
+	total, err := delta.ValidateBlocks(d.TblBlocks, d.TblGrain, n, "bpred table")
 	if err != nil {
 		return err
 	}
@@ -191,7 +136,7 @@ func (d *Delta) Validate(n, btbn, rasn int) error {
 		return fmt.Errorf("bpred delta: table segments %d/%d/%d, want %d",
 			len(d.Bimodal), len(d.Gshare), len(d.Chooser), total)
 	}
-	total, err = validateBlocks(d.BTBBlocks, btbn, btbGrainShift, "BTB")
+	total, err = delta.ValidateBlocks(d.BTBBlocks, d.BTBGrain, btbn, "BTB")
 	if err != nil {
 		return err
 	}
@@ -246,11 +191,7 @@ func (s *State) Apply(d *Delta) error {
 	}
 	off := 0
 	for _, b := range d.TblBlocks {
-		lo := int(b) << tblGrainShift
-		hi := lo + 1<<tblGrainShift
-		if hi > d.N {
-			hi = d.N
-		}
+		lo, hi := delta.Span(b, d.TblGrain, d.N)
 		w := hi - lo
 		copy(s.Bimodal[lo:hi], d.Bimodal[off:off+w])
 		copy(s.Gshare[lo:hi], d.Gshare[off:off+w])
@@ -259,11 +200,7 @@ func (s *State) Apply(d *Delta) error {
 	}
 	off = 0
 	for _, b := range d.BTBBlocks {
-		lo := int(b) << btbGrainShift
-		hi := lo + 1<<btbGrainShift
-		if hi > d.BTBN {
-			hi = d.BTBN
-		}
+		lo, hi := delta.Span(b, d.BTBGrain, d.BTBN)
 		w := hi - lo
 		copy(s.BTBTags[lo:hi], d.BTBTags[off:off+w])
 		copy(s.BTBTgts[lo:hi], d.BTBTgts[off:off+w])

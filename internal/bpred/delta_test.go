@@ -38,12 +38,13 @@ func randomOutcome(rng *rand.Rand) bpred.Outcome {
 
 // TestPredDeltaMatchesSnapshot is the predictor's delta correctness
 // property: after randomized warm traffic (full Warm passes, so
-// Predict-side BTB LRU updates are covered too), applying SnapshotDelta
-// over the previous snapshot reproduces a fresh full Snapshot exactly.
+// Predict-side BTB LRU updates are covered too), applying a chain of
+// Deltas over the previous snapshot reproduces a fresh full Snapshot
+// exactly.
 func TestPredDeltaMatchesSnapshot(t *testing.T) {
 	u := bpred.New(smallCfg())
 	rng := rand.New(rand.NewSource(23))
-	u.SnapshotDelta() // drain the initial all-dirty state
+	// The keyframe snapshot resets dirty tracking and starts the chain.
 	tracked := u.Snapshot()
 	for round := 0; round < 60; round++ {
 		for i := 0; i < rng.Intn(400); i++ {
@@ -52,12 +53,23 @@ func TestPredDeltaMatchesSnapshot(t *testing.T) {
 		if round == 30 {
 			u.Flush() // must mark everything
 		}
-		if err := tracked.Apply(u.SnapshotDelta()); err != nil {
+		d, err := u.Delta(u.Seq())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := tracked.Apply(d); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		if full := u.Snapshot(); !reflect.DeepEqual(tracked, full) {
 			t.Fatalf("round %d: delta-tracked predictor state diverged", round)
 		}
+	}
+	// Chain discipline: stale or pre-snapshot baselines fail.
+	if _, err := u.Delta(u.Seq() - 1); err == nil {
+		t.Fatal("stale baseline must fail")
+	}
+	if _, err := bpred.New(smallCfg()).Delta(0); err == nil {
+		t.Fatal("delta before first snapshot must fail")
 	}
 }
 
@@ -73,14 +85,20 @@ func TestPredDeltaApplyRejectsCorrupt(t *testing.T) {
 	mk := func() *bpred.Delta {
 		v := bpred.New(smallCfg())
 		r2 := rand.New(rand.NewSource(3))
+		v.Snapshot()
 		for i := 0; i < 100; i++ {
 			v.Warm(randomOutcome(r2))
 		}
-		return v.SnapshotDelta()
+		d, err := v.Delta(v.Seq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
 	}
 	for name, corrupt := range map[string]func(*bpred.Delta){
 		"geometry":     func(d *bpred.Delta) { d.N = 7 },
 		"btb-geometry": func(d *bpred.Delta) { d.BTBN = 1 << 20 },
+		"tbl-grain":    func(d *bpred.Delta) { d.TblGrain = 40 },
 		"ras":          func(d *bpred.Delta) { d.RAS = d.RAS[:1] },
 		"ras-top":      func(d *bpred.Delta) { d.RASTop = 99 },
 		"ras-top-neg":  func(d *bpred.Delta) { d.RASTop = -1 },

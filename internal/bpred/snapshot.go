@@ -19,8 +19,13 @@ type State struct {
 	RASTop int
 }
 
-// Snapshot captures the unit's trained state.
+// Snapshot captures the unit's trained state. It is the keyframe of
+// the predictor's delta chain: dirty tracking restarts here, so the
+// next Delta carries exactly the blocks touched from this point on.
 func (u *Unit) Snapshot() *State {
+	u.tblDirty.Reset()
+	u.btbDirty.Reset()
+	u.chain.Keyframe()
 	s := &State{
 		Bimodal:  append([]uint8(nil), u.bimodal...),
 		Gshare:   append([]uint8(nil), u.gshare...),

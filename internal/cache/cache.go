@@ -16,7 +16,11 @@
 // simulation observes.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/delta"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -73,13 +77,13 @@ type Cache struct {
 	lastUsed []uint64 // LRU stamps
 	stamp    uint64
 
-	// snapDirty is the snapshot dirty-tracking bitmap: one bit per
-	// dirtyGrain-entry block of the tag/valid/dirty/lastUsed arrays, set
-	// whenever any entry in the block may have changed and cleared by
-	// SnapshotDelta/ResetDirty. It enables delta snapshots (copy only
-	// blocks touched since the previous snapshot); marking is two shifts
-	// and an OR, cheap enough for the warm fast paths.
-	snapDirty []uint64
+	// snapDirty is the snapshot dirty-tracking bitmap (one bit per
+	// GrainShift-granularity block of the tag/valid/dirty/lastUsed
+	// arrays), and chain the snapshot sequence — together the cache's
+	// implementation of the delta contract (see delta.go). Marking is
+	// two shifts and an OR, cheap enough for the warm fast paths.
+	snapDirty delta.Bitmap
+	chain     delta.Chain
 
 	// lastIdx is the way index of the most recently hit or filled block —
 	// a hint for Touch's warm-hit fast path. It is revalidated against
@@ -108,7 +112,7 @@ func New(cfg Config) *Cache {
 		lastUsed: make([]uint64, n),
 		// Start all-dirty: the first snapshot after construction must be
 		// a full one (delta consumers always key off a prior snapshot).
-		snapDirty: newDirtyBitmap(n),
+		snapDirty: delta.NewBitmap(n, GrainShift),
 	}
 }
 
@@ -150,7 +154,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 				c.dirty[i] = true
 			}
 			c.lastIdx = i
-			c.markDirty(i)
+			c.snapDirty.Mark(i)
 			return AccessResult{Hit: true}
 		}
 	}
@@ -185,7 +189,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	c.dirty[victim] = write
 	c.lastUsed[victim] = c.stamp
 	c.lastIdx = victim
-	c.markDirty(victim)
+	c.snapDirty.Mark(victim)
 	return res
 }
 
@@ -211,7 +215,7 @@ func (c *Cache) Touch(addr uint64, write bool) bool {
 		if write {
 			c.dirty[i] = true
 		}
-		c.markDirty(i)
+		c.snapDirty.Mark(i)
 		return true
 	}
 	return false
@@ -236,7 +240,7 @@ func (c *Cache) Flush() {
 		c.dirty[i] = false
 		c.lastUsed[i] = 0
 	}
-	c.markAllDirty()
+	c.snapDirty.MarkAll()
 }
 
 // Occupancy returns the number of valid blocks.

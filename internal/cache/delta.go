@@ -1,79 +1,58 @@
 package cache
 
-// Delta snapshots: dirty-block encoding of cache state.
+// Delta snapshots: dirty-block encoding of cache state, implementing
+// the shared snapshot/delta-chain contract of internal/delta.
 //
 // Every content-bearing array of a Cache (tags, valid/dirty bits, LRU
-// stamps) is covered by a dirty bitmap at a fixed granularity of
-// dirtyGrain entries per block. The state-update fast paths (Touch,
-// Access) mark the block containing each touched entry; SnapshotDelta
-// then copies only the marked blocks — the state that can have changed
-// since the previous snapshot — and State.Apply patches them back over
+// stamps) is covered by one delta.Bitmap at a fixed granularity of
+// 1<<GrainShift entries per block. The state-update fast paths (Touch,
+// Access) mark the block containing each touched entry; Delta then
+// copies only the marked blocks — the state that can have changed since
+// the previous snapshot point — and State.Apply patches them back over
 // a full snapshot. Marking over-approximates freely (Flush and Restore
 // mark everything) but must never under-approximate: the delta/full
 // equivalence is property-tested in delta_test.go and is what keeps
 // delta-encoded checkpoints bit-identical to full ones.
+//
+// Deltas are self-describing: each carries its grain, so a consumer
+// (or a store entry written under an older granularity) reconstructs
+// with the grain the delta was captured at, not whatever this package
+// currently uses.
 
 import (
 	"fmt"
-	"math/bits"
+
+	"repro/internal/delta"
 )
 
-const (
-	// dirtyGrainShift is log2 of the dirty-tracking granularity: 32
-	// entries (~580 bytes of tag+LRU+flag state) share one dirty bit. A
-	// finer grain shrinks deltas for scattered traffic; a coarser one
-	// shrinks the bitmap. 32 keeps per-unit deltas a few hundred bytes
-	// per touched region while the largest array (a 1MB L2's 16K
-	// entries) needs only an 8-word bitmap.
-	dirtyGrainShift = 5
-	dirtyGrain      = 1 << dirtyGrainShift
-	// dirtyWordShift converts an entry index straight to its bitmap word
-	// index (64 blocks per word).
-	dirtyWordShift = dirtyGrainShift + 6
+// The cache structures implement the shared snapshot/delta contract.
+var (
+	_ delta.Source[*State, *Delta]                   = (*Cache)(nil)
+	_ delta.Source[*State, *Delta]                   = (*TLB)(nil)
+	_ delta.Source[*HierarchyState, *HierarchyDelta] = (*Hierarchy)(nil)
+	_ delta.State[*Delta]                            = (*State)(nil)
+	_ delta.State[*HierarchyDelta]                   = (*HierarchyState)(nil)
 )
 
-// newDirtyBitmap allocates an all-dirty bitmap covering n entries, so
-// the first delta taken without a prior full snapshot conservatively
-// carries everything.
-func newDirtyBitmap(n int) []uint64 {
-	blocks := (n + dirtyGrain - 1) / dirtyGrain
-	bm := make([]uint64, (blocks+63)/64)
-	for i := range bm {
-		bm[i] = ^uint64(0)
-	}
-	return bm
-}
-
-// markDirty records that entry i may have changed since the last
-// snapshot. Two shifts and an OR — cheap enough for the Touch/Access
-// fast paths the functional-warming sweep lives in.
-func (c *Cache) markDirty(i int) {
-	c.snapDirty[uint(i)>>dirtyWordShift] |= 1 << ((uint(i) >> dirtyGrainShift) & 63)
-}
-
-// markAllDirty forces the next delta to carry the full arrays.
-func (c *Cache) markAllDirty() {
-	for i := range c.snapDirty {
-		c.snapDirty[i] = ^uint64(0)
-	}
-}
-
-// ResetDirty clears the dirty tracking, establishing the current
-// contents as the baseline the next SnapshotDelta is measured against.
-// Callers pair it with a full Snapshot (see uarch.Warmer.Snapshot).
-func (c *Cache) ResetDirty() {
-	for i := range c.snapDirty {
-		c.snapDirty[i] = 0
-	}
-}
+// GrainShift is log2 of the dirty-tracking granularity this package
+// captures deltas at: 2 entries (~36 bytes of tag+LRU+flag state)
+// share one dirty bit. The dominant warm traffic is scattered single-
+// entry LRU-stamp updates — cache indexing hashes accesses across sets
+// — so a near-entry grain carries the least dead weight per dirty bit;
+// the bitmap stays small regardless (a 1MB L2's 16K entries need a
+// 128-word bitmap). Decoded deltas carry their own grain, so changing
+// this constant never invalidates stored chains.
+const GrainShift = 1
 
 // Delta is a dirty-block delta between two snapshots of one cache: the
 // scalar stamp plus, for each dirty block, that block's segment of every
 // content array, concatenated in ascending block order. Block b covers
-// entries [b*dirtyGrain, min((b+1)*dirtyGrain, N)).
+// entries [b<<Grain, min((b+1)<<Grain, N)).
 type Delta struct {
-	// N is the entry count of the full arrays (geometry check).
+	// N is the entry count of the full arrays and Grain the log2 block
+	// granularity (geometry checks).
 	N     int
+	Grain uint8
 	Stamp uint64
 	// Blocks holds the dirty block indices, strictly ascending.
 	Blocks []uint32
@@ -85,41 +64,30 @@ type Delta struct {
 	LastUsed []uint64
 }
 
-// blockSpan returns the entry range covered by block b in arrays of n
-// entries.
-func blockSpan(b uint32, n int) (lo, hi int) {
-	lo = int(b) << dirtyGrainShift
-	hi = lo + dirtyGrain
-	if hi > n {
-		hi = n
-	}
-	return lo, hi
-}
+// Seq returns the cache's current snapshot-chain link (0 before the
+// first Snapshot).
+func (c *Cache) Seq() uint64 { return c.chain.Seq() }
 
-// SnapshotDelta captures the blocks touched since the previous
-// Snapshot+ResetDirty or SnapshotDelta and clears the dirty tracking, so
-// consecutive calls form a chain of deltas. Applying the delta to a copy
-// of the previous snapshot (State.Apply) reproduces Snapshot exactly.
-func (c *Cache) SnapshotDelta() *Delta {
-	n := len(c.tags)
-	d := &Delta{N: n, Stamp: c.stamp}
-	for w, word := range c.snapDirty {
-		for word != 0 {
-			b := uint32(w<<6 | bits.TrailingZeros64(word))
-			word &= word - 1
-			lo, hi := blockSpan(b, n)
-			if lo >= n {
-				continue // padding bits beyond the last block
-			}
-			d.Blocks = append(d.Blocks, b)
-			d.Tags = append(d.Tags, c.tags[lo:hi]...)
-			d.Valid = append(d.Valid, c.valid[lo:hi]...)
-			d.Dirty = append(d.Dirty, c.dirty[lo:hi]...)
-			d.LastUsed = append(d.LastUsed, c.lastUsed[lo:hi]...)
-		}
-		c.snapDirty[w] = 0
+// Delta captures the blocks touched since the snapshot point numbered
+// since — which must be the cache's latest (Snapshot or Delta); deltas
+// chain strictly — and clears the dirty tracking. Applying the delta to
+// a copy of the previous snapshot (State.Apply) reproduces Snapshot
+// exactly.
+func (c *Cache) Delta(since uint64) (*Delta, error) {
+	if _, err := c.chain.Next(since); err != nil {
+		return nil, fmt.Errorf("cache %s: %w", c.cfg.Name, err)
 	}
-	return d
+	n := len(c.tags)
+	d := &Delta{N: n, Grain: c.snapDirty.Grain(), Stamp: c.stamp}
+	d.Blocks = c.snapDirty.AppendBlocks(nil)
+	for _, b := range d.Blocks {
+		lo, hi := delta.Span(b, d.Grain, n)
+		d.Tags = append(d.Tags, c.tags[lo:hi]...)
+		d.Valid = append(d.Valid, c.valid[lo:hi]...)
+		d.Dirty = append(d.Dirty, c.dirty[lo:hi]...)
+		d.LastUsed = append(d.LastUsed, c.lastUsed[lo:hi]...)
+	}
+	return d, nil
 }
 
 // Validate checks the delta's internal consistency against a full-array
@@ -130,17 +98,9 @@ func (d *Delta) Validate(n int) error {
 	if d.N != n {
 		return fmt.Errorf("cache delta: geometry %d entries, state has %d", d.N, n)
 	}
-	total, prev := 0, -1
-	for _, b := range d.Blocks {
-		if int(b) <= prev {
-			return fmt.Errorf("cache delta: blocks not ascending at %d", b)
-		}
-		prev = int(b)
-		lo, hi := blockSpan(b, n)
-		if lo >= n {
-			return fmt.Errorf("cache delta: block %d out of range (%d entries)", b, n)
-		}
-		total += hi - lo
+	total, err := delta.ValidateBlocks(d.Blocks, d.Grain, n, "cache")
+	if err != nil {
+		return err
 	}
 	if len(d.Tags) != total || len(d.Valid) != total || len(d.Dirty) != total || len(d.LastUsed) != total {
 		return fmt.Errorf("cache delta: segment lengths %d/%d/%d/%d, want %d",
@@ -182,7 +142,7 @@ func (s *State) Apply(d *Delta) error {
 	}
 	off := 0
 	for _, b := range d.Blocks {
-		lo, hi := blockSpan(b, d.N)
+		lo, hi := delta.Span(b, d.Grain, d.N)
 		w := hi - lo
 		copy(s.Tags[lo:hi], d.Tags[off:off+w])
 		copy(s.Valid[lo:hi], d.Valid[off:off+w])
@@ -194,12 +154,12 @@ func (s *State) Apply(d *Delta) error {
 	return nil
 }
 
-// SnapshotDelta captures the TLB translations touched since the last
-// snapshot (see Cache.SnapshotDelta).
-func (t *TLB) SnapshotDelta() *Delta { return t.inner.SnapshotDelta() }
+// Delta captures the TLB translations touched since the snapshot point
+// numbered since (see Cache.Delta).
+func (t *TLB) Delta(since uint64) (*Delta, error) { return t.inner.Delta(since) }
 
-// ResetDirty clears the TLB's dirty tracking.
-func (t *TLB) ResetDirty() { t.inner.ResetDirty() }
+// Seq returns the TLB's current snapshot-chain link.
+func (t *TLB) Seq() uint64 { return t.inner.Seq() }
 
 // HierarchyDelta bundles the deltas of every structure in a Hierarchy —
 // the dirty-block counterpart of HierarchyState.
@@ -208,27 +168,35 @@ type HierarchyDelta struct {
 	ITLB, DTLB   *Delta
 }
 
-// SnapshotDelta captures all caches' and TLBs' dirty blocks and clears
-// their tracking.
-func (h *Hierarchy) SnapshotDelta() *HierarchyDelta {
-	return &HierarchyDelta{
-		IL1:  h.IL1.SnapshotDelta(),
-		DL1:  h.DL1.SnapshotDelta(),
-		L2:   h.L2.SnapshotDelta(),
-		ITLB: h.ITLB.SnapshotDelta(),
-		DTLB: h.DTLB.SnapshotDelta(),
+// Delta captures all caches' and TLBs' dirty blocks since the snapshot
+// point numbered since and clears their tracking. The hierarchy's
+// structures advance their chains in lockstep (Snapshot and Delta drive
+// all of them), so one sequence number covers the ensemble; a structure
+// snapshotted out-of-band desynchronizes and surfaces here as an error.
+func (h *Hierarchy) Delta(since uint64) (*HierarchyDelta, error) {
+	d := &HierarchyDelta{}
+	var err error
+	if d.IL1, err = h.IL1.Delta(since); err != nil {
+		return nil, err
 	}
+	if d.DL1, err = h.DL1.Delta(since); err != nil {
+		return nil, err
+	}
+	if d.L2, err = h.L2.Delta(since); err != nil {
+		return nil, err
+	}
+	if d.ITLB, err = h.ITLB.Delta(since); err != nil {
+		return nil, err
+	}
+	if d.DTLB, err = h.DTLB.Delta(since); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
-// ResetDirty clears dirty tracking across the hierarchy, making the
-// current contents the baseline for the next SnapshotDelta.
-func (h *Hierarchy) ResetDirty() {
-	h.IL1.ResetDirty()
-	h.DL1.ResetDirty()
-	h.L2.ResetDirty()
-	h.ITLB.ResetDirty()
-	h.DTLB.ResetDirty()
-}
+// Seq returns the hierarchy's current snapshot-chain link (the
+// structures move in lockstep; IL1 is representative).
+func (h *Hierarchy) Seq() uint64 { return h.IL1.Seq() }
 
 // Bytes sums the payload sizes of the bundled deltas.
 func (d *HierarchyDelta) Bytes() int {

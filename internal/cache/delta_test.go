@@ -10,11 +10,11 @@ import (
 
 // TestDeltaMatchesSnapshot is the delta-snapshot correctness property:
 // under randomized warm traffic (Touch fast paths, full Accesses,
-// occasional Flushes), a chain of SnapshotDelta applications over the
-// previous full snapshot reproduces the exact bytes of a fresh full
-// Snapshot at every step. Under-marking a dirty block would fail this
-// immediately; the test also exercises the truncated last block of a
-// non-multiple-of-grain geometry (the 3-set TLB-like config).
+// occasional Flushes), a chain of Delta applications over the previous
+// full snapshot reproduces the exact bytes of a fresh full Snapshot at
+// every step. Under-marking a dirty block would fail this immediately;
+// the test also exercises the truncated last block of a
+// non-multiple-of-grain geometry (the 5-entry config).
 func TestDeltaMatchesSnapshot(t *testing.T) {
 	for _, cfg := range []cache.Config{
 		{Name: "D", Sets: 64, Ways: 2, BlockBits: 6},
@@ -23,8 +23,8 @@ func TestDeltaMatchesSnapshot(t *testing.T) {
 		t.Run(cfg.Name, func(t *testing.T) {
 			c := cache.New(cfg)
 			rng := rand.New(rand.NewSource(11))
-			// Establish the baseline: full snapshot + reset.
-			c.SnapshotDelta() // drain the initial all-dirty state
+			// Establish the baseline: the keyframe snapshot resets dirty
+			// tracking and starts the chain.
 			tracked := c.Snapshot()
 			for round := 0; round < 60; round++ {
 				n := rng.Intn(500)
@@ -42,7 +42,10 @@ func TestDeltaMatchesSnapshot(t *testing.T) {
 				if round == 30 {
 					c.Flush() // must mark everything
 				}
-				d := c.SnapshotDelta()
+				d, err := c.Delta(c.Seq())
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
 				if err := tracked.Apply(d); err != nil {
 					t.Fatalf("round %d: %v", round, err)
 				}
@@ -54,18 +57,41 @@ func TestDeltaMatchesSnapshot(t *testing.T) {
 	}
 }
 
+// TestDeltaSequencing pins the chain discipline of the delta contract:
+// deltas before any snapshot or against stale baselines must fail.
+func TestDeltaSequencing(t *testing.T) {
+	c := cache.New(cache.Config{Name: "S", Sets: 8, Ways: 2, BlockBits: 6})
+	if _, err := c.Delta(0); err == nil {
+		t.Fatal("delta before first snapshot must fail")
+	}
+	c.Snapshot()
+	seq := c.Seq()
+	if _, err := c.Delta(seq + 7); err == nil {
+		t.Fatal("future baseline must fail")
+	}
+	if _, err := c.Delta(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delta(seq); err == nil {
+		t.Fatal("stale baseline must fail")
+	}
+}
+
 // TestTLBDeltaMatchesSnapshot runs the same property through the TLB
 // wrapper (page-granularity keys, Touch fast path).
 func TestTLBDeltaMatchesSnapshot(t *testing.T) {
 	tlb := cache.NewTLB("T", 16, 4, 12)
 	rng := rand.New(rand.NewSource(5))
-	tlb.SnapshotDelta()
 	tracked := tlb.Snapshot()
 	for round := 0; round < 40; round++ {
 		for i := 0; i < rng.Intn(800); i++ {
 			tlb.Touch(uint64(rng.Intn(1 << 20)))
 		}
-		if err := tracked.Apply(tlb.SnapshotDelta()); err != nil {
+		d, err := tlb.Delta(tlb.Seq())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := tracked.Apply(d); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		if full := tlb.Snapshot(); !reflect.DeepEqual(tracked, full) {
@@ -84,10 +110,17 @@ func TestDeltaApplyRejectsCorrupt(t *testing.T) {
 	base := func() *cache.Delta {
 		cc := cache.New(cache.Config{Name: "V", Sets: 8, Ways: 2, BlockBits: 6})
 		cc.Access(0x40, true)
-		return cc.SnapshotDelta()
+		cc.Snapshot()
+		cc.Access(0x80, true)
+		d, err := cc.Delta(cc.Seq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
 	}
 	for name, corrupt := range map[string]func(*cache.Delta){
 		"geometry":       func(d *cache.Delta) { d.N = 1 << 20 },
+		"grain":          func(d *cache.Delta) { d.Grain = 40 },
 		"out-of-range":   func(d *cache.Delta) { d.Blocks[0] = 1 << 30 },
 		"not-ascending":  func(d *cache.Delta) { d.Blocks = append(d.Blocks, d.Blocks[len(d.Blocks)-1]) },
 		"short-segment":  func(d *cache.Delta) { d.Tags = d.Tags[:0] },

@@ -15,7 +15,9 @@ type State struct {
 	Stamp    uint64
 }
 
-// Snapshot captures the cache's current contents.
+// Snapshot captures the cache's current contents. It is the keyframe
+// of the cache's delta chain: dirty tracking restarts here, so the next
+// Delta carries exactly the blocks touched from this point on.
 func (c *Cache) Snapshot() *State {
 	s := &State{
 		Tags:     make([]uint64, len(c.tags)),
@@ -28,6 +30,8 @@ func (c *Cache) Snapshot() *State {
 	copy(s.Valid, c.valid)
 	copy(s.Dirty, c.dirty)
 	copy(s.LastUsed, c.lastUsed)
+	c.snapDirty.Reset()
+	c.chain.Keyframe()
 	return s
 }
 
@@ -43,7 +47,7 @@ func (c *Cache) Restore(s *State) error {
 	copy(c.dirty, s.Dirty)
 	copy(c.lastUsed, s.LastUsed)
 	c.stamp = s.Stamp
-	c.markAllDirty() // every entry may differ from the last delta baseline
+	c.snapDirty.MarkAll() // every entry may differ from the last delta baseline
 	return nil
 }
 

@@ -16,21 +16,24 @@ import (
 // it exists for: a dense sampling plan (every second unit checkpointed)
 // where snapshot capture, not functional execution, dominates the
 // sweep. The timed loop runs the delta-encoded capture (the default);
-// the reported metrics compare its in-memory warm payload and on-disk
-// entry size against a full-snapshot capture (Keyframe=1, the pre-delta
-// encoding) of the same plan:
+// the reported metrics compare its in-memory warm and memory payloads
+// and its on-disk entry size against a full-snapshot capture
+// (Keyframe=1, the pre-delta encoding) of the same plan:
 //
 //	snapshotBytes/unit      in-memory warm payload, delta encoding
 //	fullSnapshotBytes/unit  same plan, full snapshots
 //	snapshotShrinkX         fullSnapshotBytes / snapshotBytes
+//	memBytes/unit           in-memory memory payload (distinct pages +
+//	                        page tables/dirty-page deltas), delta encoding
+//	fullMemBytes/unit       same plan, full page table every unit
 //	storeBytes/unit         on-disk entry bytes per unit, delta encoding
 //	fullStoreBytes/unit     on-disk entry bytes per unit, full snapshots
 //	units/s                 delta-encoded capture throughput
 //
-// CI gates snapshotBytes/unit and storeBytes/unit against the committed
-// BENCH_pipeline.json baseline (see cmd/benchjson -regress): both are
-// deterministic byte counts, so any >10% regression is a real encoding
-// change, not runner noise.
+// CI gates snapshotBytes/unit, memBytes/unit, and storeBytes/unit
+// against the committed BENCH_pipeline.json baseline (see cmd/benchjson
+// -regress): all are deterministic byte counts, so any >10% regression
+// is a real encoding change, not runner noise.
 func BenchmarkCaptureDense(b *testing.B) {
 	spec, err := program.ByName("gccx")
 	if err != nil {
@@ -89,6 +92,8 @@ func BenchmarkCaptureDense(b *testing.B) {
 	b.ReportMetric(deltaBytes/units, "snapshotBytes/unit")
 	b.ReportMetric(fullBytes/units, "fullSnapshotBytes/unit")
 	b.ReportMetric(fullBytes/deltaBytes, "snapshotShrinkX")
+	b.ReportMetric(float64(set.MemBytes())/units, "memBytes/unit")
+	b.ReportMetric(float64(full.MemBytes())/units, "fullMemBytes/unit")
 	b.ReportMetric(deltaStore/units, "storeBytes/unit")
 	b.ReportMetric(fullStore/units, "fullStoreBytes/unit")
 }

@@ -35,23 +35,25 @@
 // bias experiments, which average over several phases, pay one sweep
 // instead of one per phase.
 //
-// # Delta-encoded warm snapshots
+// # Delta-encoded snapshots
 //
 // Neighbouring checkpoints along one sweep differ only in the cache
-// lines, TLB entries, and predictor counters touched between them, so
-// copying ~370KB of warm state per unit makes snapshot capture the
-// dominant cost of dense plans. The warmed structures therefore
-// maintain dirty-block bitmaps inside their update fast paths (still
-// zero allocations per instruction), and the sweep snapshots
-// incrementally: every Params.Keyframe-th captured unit carries a full
-// snapshot, the units between carry dirty-block deltas against their
-// predecessor (uarch.Warmer.SnapshotDelta), and consumers reconstruct
-// any unit's full launch state on demand with Unit.MaterializeWarm /
-// Set.Materialize — a clone of the nearest keyframe plus at most
-// Keyframe-1 delta applications, read-only on shared state and so safe
-// from any number of replay workers at once. Materialized states are
-// bit-identical to full snapshots; the encoding is invisible to every
-// schedule.
+// lines, TLB entries, predictor counters, and memory pages touched
+// between them, so copying full state per unit makes snapshot capture
+// the dominant cost of dense plans. Every checkpointable structure
+// therefore implements one shared snapshot/delta-chain contract
+// (internal/delta): dirty tracking maintained inside the update fast
+// paths (still zero allocations per instruction — dirty-block bitmaps
+// in the warmed structures, a dirty-page journal in mem.Memory), full
+// keyframes every Params.Keyframe-th captured unit, and sequence-
+// checked deltas against the predecessor on the units between
+// (uarch.Warmer.Delta for warm state, mem.Memory.Delta for memory).
+// Consumers reconstruct any unit's full launch state on demand with
+// Unit.Materialize / Set.Materialize — a clone of the nearest keyframe
+// plus at most Keyframe-1 delta applications, read-only on shared
+// state and so safe from any number of replay workers at once.
+// Materialized states are bit-identical to full snapshots; the encoding
+// is invisible to every schedule.
 //
 // # On-disk store
 //
@@ -60,11 +62,13 @@
 // configuration; see store.go. A functional sweep is then paid once per
 // (workload, plan, hierarchy shape) and shared across machine configs
 // that differ only in timing, width, or energy parameters. The file
-// format (v2) persists the keyframe+delta structure directly, so dense
-// entries shrink with the in-memory encoding; v1 entries (full
-// snapshots only) remain loadable. The store keeps an index.json of its
-// entries and, with MaxBytes set, evicts least-recently-used entries on
-// commit.
+// format (v3) persists the keyframe+delta structure directly — for
+// memory as well as warm state, collapsing what used to be an ad-hoc
+// per-unit page table into the same delta code path — so dense entries
+// shrink with the in-memory encoding; v1 (full snapshots only) and v2
+// (warm deltas, full page tables) entries remain loadable. The store
+// keeps an index.json of its entries and, with MaxBytes set, evicts
+// least-recently-used entries on commit.
 package checkpoint
 
 import (
@@ -108,24 +112,30 @@ type Params struct {
 	// MaxUnits, when nonzero, caps the number of captured units per
 	// offset.
 	MaxUnits int
-	// Keyframe is the keyframe interval of delta-encoded warm snapshots:
+	// Keyframe is the keyframe interval of delta-encoded snapshots:
 	// every Keyframe-th captured unit (in capture order, across offsets)
-	// carries a full warm snapshot and the units between carry
-	// dirty-block deltas against their predecessor, shrinking both the
-	// in-memory footprint of a dense sweep and the store entries. 0
-	// selects DefaultKeyframe; 1 disables deltas (every unit a full
-	// snapshot). The encoding never changes the materialized launch
-	// states — Materialize reproduces the full snapshot bit for bit — so
-	// Keyframe is deliberately excluded from the store Key. Ignored for
-	// cold captures.
+	// carries a full snapshot — warm state and memory page table — and
+	// the units between carry deltas against their predecessor
+	// (dirty-block warm deltas, dirty-page memory deltas), shrinking
+	// both the in-memory footprint of a dense sweep and the store
+	// entries. 0 selects DefaultKeyframe; 1 disables deltas (every unit
+	// a full snapshot). The encoding never changes the materialized
+	// launch states — Materialize reproduces the full snapshot bit for
+	// bit — so Keyframe is deliberately excluded from the store Key.
+	// Cold captures delta-encode memory the same way (they have no warm
+	// state).
 	Keyframe int
 }
 
 // DefaultKeyframe is the keyframe interval used when Params.Keyframe is
-// zero: one full snapshot per 16 captured units bounds any unit's
-// materialization walk at 15 delta applications while keeping the full
-// copies a ~6% minority of a dense sweep's snapshot volume.
-const DefaultKeyframe = 16
+// zero: one full snapshot per 64 captured units bounds any unit's
+// materialization walk at 63 delta applications while keeping the full
+// copies a small minority of a dense sweep's snapshot volume. (The
+// interval grew from 16 when deltas moved to near-entry dirty grains
+// and took over the memory half: with deltas several times cheaper,
+// amortizing the keyframe further is the better trade — on the dense
+// benchmark plan the keyframes would otherwise dominate the entry.)
+const DefaultKeyframe = 64
 
 // keyframe returns the effective keyframe interval.
 func (p Params) keyframe() int {
@@ -209,24 +219,31 @@ type Unit struct {
 	// to zero for warmed plans, Start otherwise. The detailed replay
 	// runs Start-LaunchAt warming instructions, then U measured ones.
 	LaunchAt uint64
-	// Arch is the architectural register state at LaunchAt.
+	// Arch is the architectural register state at LaunchAt. It is tiny
+	// and carried in full on every unit.
 	Arch functional.ArchState
 	// Mem is the memory image at LaunchAt (copy-on-write, shared with
-	// neighbouring checkpoints).
+	// neighbouring checkpoints). It is populated only on keyframe units
+	// (and on every unit of sets loaded from pre-v3 store entries); nil
+	// when this unit's memory is delta-encoded.
 	Mem *mem.Image
+	// MemDelta, on delta-encoded units, is the dirty-page change from
+	// Prev's memory to this unit's; Mem is then nil.
+	MemDelta *mem.Delta
 	// Warm is the functionally warmed cache/TLB/predictor state at
 	// LaunchAt. It is populated only on keyframe units (and on every
 	// unit when deltas are disabled); nil when the sweep ran without
 	// functional warming or when this unit is delta-encoded. Consumers
-	// that need the launch state call MaterializeWarm, which handles
-	// every encoding.
+	// that need the launch state call Materialize, which handles every
+	// encoding.
 	Warm *WarmState
 	// Delta, on delta-encoded units, is the dirty-block change from
 	// Prev's warm state to this unit's; Warm is then nil.
 	Delta *uarch.WarmDelta
 	// Prev links a delta-encoded unit to its predecessor in capture
-	// order — the chain MaterializeWarm walks back to the nearest
-	// keyframe. The links keep at most one keyframe interval of deltas
+	// order — the chain Materialize walks back to the nearest keyframe
+	// (memory and warm deltas share the cadence, so one link serves
+	// both). The links keep at most one keyframe interval of deltas
 	// (plus the keyframe) alive per retained unit.
 	Prev *Unit
 }
@@ -235,15 +252,66 @@ type Unit struct {
 // unit's replay executes before measurement begins.
 func (u *Unit) WarmLen() uint64 { return u.Start - u.LaunchAt }
 
-// MaterializeWarm reconstructs the unit's full warm launch state: a
-// keyframe returns its snapshot directly (shared — treat as read-only;
-// Restore only reads it), a delta unit clones the nearest keyframe and
-// applies the chain of deltas up to itself, and a cold unit returns
-// nil. Materialization never mutates shared state, so any number of
-// goroutines may materialize units of the same chain concurrently —
-// this is how the engine's workers reconstruct launch states on
-// demand.
-func (u *Unit) MaterializeWarm() (*WarmState, error) {
+// Launch is a unit's fully materialized launch state: the memory image
+// and — for warmed sweeps — the cache/TLB/predictor state at LaunchAt.
+// (The architectural registers live on the Unit itself; they are carried
+// in full on every unit.) On keyframe units the fields alias the unit's
+// own shared snapshots — treat them as read-only; NewMemory and Restore
+// only read them.
+type Launch struct {
+	Mem  *mem.Image
+	Warm *WarmState // nil when the sweep ran without functional warming
+}
+
+// Materialize reconstructs the unit's full launch state: a keyframe
+// returns its snapshots directly (shared — treat as read-only), a
+// delta-encoded unit clones the nearest keyframe and applies the chain
+// of deltas up to itself — memory and warm state alike — and a cold
+// unit materializes with a nil Warm. Materialization never mutates
+// shared state, so any number of goroutines may materialize units of
+// the same chain concurrently — this is how the engine's workers
+// reconstruct launch states on demand.
+func (u *Unit) Materialize() (*Launch, error) {
+	m, err := u.materializeMem()
+	if err != nil {
+		return nil, err
+	}
+	w, err := u.materializeWarm()
+	if err != nil {
+		return nil, err
+	}
+	return &Launch{Mem: m, Warm: w}, nil
+}
+
+// materializeMem resolves the memory half of the launch state through
+// its delta chain. It walks the chain independently of the warm half:
+// sets loaded from pre-v3 store entries carry full memory on every unit
+// but delta-encoded warm state, and cold sweeps the reverse.
+func (u *Unit) materializeMem() (*mem.Image, error) {
+	if u.Mem != nil {
+		return u.Mem, nil
+	}
+	var chain []*Unit
+	cur := u
+	for cur.Mem == nil {
+		if cur.MemDelta == nil || cur.Prev == nil {
+			return nil, fmt.Errorf("checkpoint: unit %d: broken memory delta chain at unit %d", u.Index, cur.Index)
+		}
+		chain = append(chain, cur)
+		cur = cur.Prev
+	}
+	img := cur.Mem.Clone()
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := img.Apply(chain[i].MemDelta); err != nil {
+			return nil, fmt.Errorf("checkpoint: unit %d: materialize memory at unit %d: %w", u.Index, chain[i].Index, err)
+		}
+	}
+	return img, nil
+}
+
+// materializeWarm resolves the warm half of the launch state through
+// its delta chain; cold units resolve to nil.
+func (u *Unit) materializeWarm() (*WarmState, error) {
 	if u.Warm != nil {
 		return u.Warm, nil
 	}
@@ -283,6 +351,21 @@ func (u *Unit) WarmBytes() int {
 	return 0
 }
 
+// MemTableBytes returns the unit's own memory bookkeeping payload — 16
+// bytes (number + reference) per page the unit lists, i.e. the full
+// page table on keyframes and only the dirty pages on delta units. Page
+// contents are shared with neighbouring units and accounted separately
+// (see Set.MemBytes).
+func (u *Unit) MemTableBytes() int {
+	switch {
+	case u.Mem != nil:
+		return 16 * u.Mem.PageCount()
+	case u.MemDelta != nil:
+		return 16 * u.MemDelta.Len()
+	}
+	return 0
+}
+
 // Summary describes one capture sweep's cost and extent.
 type Summary struct {
 	// PopulationUnits is the benchmark length in units (the paper's N).
@@ -317,14 +400,14 @@ type Set struct {
 	SweepTime time.Duration
 }
 
-// Materialize reconstructs the full warm launch state of the i-th unit
-// in the set (in stream order), resolving delta chains through their
-// keyframes; see Unit.MaterializeWarm.
-func (s *Set) Materialize(i int) (*WarmState, error) {
+// Materialize reconstructs the full launch state of the i-th unit in
+// the set (in stream order), resolving delta chains through their
+// keyframes; see Unit.Materialize.
+func (s *Set) Materialize(i int) (*Launch, error) {
 	if i < 0 || i >= len(s.Units) {
 		return nil, fmt.Errorf("checkpoint: materialize unit %d of %d", i, len(s.Units))
 	}
-	return s.Units[i].MaterializeWarm()
+	return s.Units[i].Materialize()
 }
 
 // WarmBytes sums the warm payload carried by the set's units — full
@@ -333,6 +416,36 @@ func (s *Set) WarmBytes() int {
 	total := 0
 	for _, u := range s.Units {
 		total += u.WarmBytes()
+	}
+	return total
+}
+
+// MemBytes approximates the in-memory (and, closely, on-disk) memory
+// payload of the set: every distinct page array counted once — pages
+// are shared copy-on-write along the stream, and the store writes each
+// version once — plus each unit's page table or dirty-page delta
+// bookkeeping. With delta encoding the per-unit tables collapse to the
+// dirty pages, which is the quantity the memBytes/unit benchmark metric
+// tracks.
+func (s *Set) MemBytes() int {
+	seen := make(map[*[mem.PageSize]byte]struct{})
+	total := 0
+	for _, u := range s.Units {
+		total += u.MemTableBytes()
+		visit := func(data *[mem.PageSize]byte) {
+			if _, ok := seen[data]; !ok {
+				seen[data] = struct{}{}
+				total += mem.PageSize
+			}
+		}
+		switch {
+		case u.Mem != nil:
+			u.Mem.VisitPages(func(_ uint64, data *[mem.PageSize]byte) { visit(data) })
+		case u.MemDelta != nil:
+			for _, p := range u.MemDelta.Pages {
+				visit(p)
+			}
+		}
 	}
 	return total
 }
@@ -485,12 +598,14 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 	gen := newBoundaryGen(p, sum.PopulationUnits)
 	var pos uint64 // instructions consumed from the stream so far
 
-	// Delta-encoded warm snapshots: every kf-th captured unit is a full
-	// keyframe, the units between carry dirty-block deltas chained off
-	// it (see Params.Keyframe).
+	// Delta-encoded snapshots: every kf-th captured unit is a full
+	// keyframe, the units between carry deltas chained off it — dirty
+	// memory pages always, dirty warm blocks when warming (see
+	// Params.Keyframe).
 	kf := p.keyframe()
-	var prevWarm *Unit // last unit that carried warm state
-	var lastSeq uint64 // its warmer snapshot sequence number
+	var prevUnit *Unit // last captured unit (the chain predecessor)
+	var lastSeq uint64 // the warmer's snapshot sequence number
+	var lastMem uint64 // the memory's snapshot sequence number
 
 	sum.Complete = true
 	for {
@@ -541,26 +656,38 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 			Start:    b.start,
 			LaunchAt: b.launch,
 			Arch:     cpu.Arch(),
-			Mem:      cpu.Mem.Snapshot(),
 		}
-		if machine != nil {
-			if prevWarm == nil || sum.Captured%kf == 0 {
+		if prevUnit == nil || sum.Captured%kf == 0 {
+			// Keyframe: full memory image and (when warming) warm state.
+			u.Mem = cpu.Mem.Snapshot()
+			lastMem = cpu.Mem.Seq()
+			if machine != nil {
 				snap := warmer.Snapshot()
 				u.Warm = &WarmState{Hier: snap.Hier, Pred: snap.Pred}
 				lastSeq = snap.Seq
-			} else {
-				d, derr := warmer.SnapshotDelta(lastSeq)
+			}
+		} else {
+			md, derr := cpu.Mem.Delta(lastMem)
+			if derr != nil {
+				sum.SweepInsts = cpu.Count
+				sum.SweepTime = time.Since(start)
+				return sum, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
+			}
+			u.MemDelta = md
+			u.Prev = prevUnit
+			lastMem = md.Seq
+			if machine != nil {
+				d, derr := warmer.Delta(lastSeq)
 				if derr != nil {
 					sum.SweepInsts = cpu.Count
 					sum.SweepTime = time.Since(start)
 					return sum, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
 				}
 				u.Delta = d
-				u.Prev = prevWarm
 				lastSeq = d.Seq
 			}
-			prevWarm = u
 		}
+		prevUnit = u
 		sum.Captured++
 		if !emit(u) {
 			sum.Complete = false

@@ -76,7 +76,11 @@ func TestRoundTripResume(t *testing.T) {
 	}
 	for i := 0; i+1 < len(set.Units) && i < 4; i++ {
 		cur, next := set.Units[i], set.Units[i+1]
-		cpu := functional.NewAt(p, cur.Arch, cur.Mem.NewMemory())
+		curL, err := cur.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := functional.NewAt(p, cur.Arch, curL.Mem.NewMemory())
 		n, err := cpu.Run(next.LaunchAt - cur.LaunchAt)
 		if err != nil {
 			t.Fatal(err)
@@ -87,7 +91,11 @@ func TestRoundTripResume(t *testing.T) {
 		if got := cpu.Arch(); got != next.Arch {
 			t.Fatalf("unit %d: resumed arch state diverged:\n got %+v\nwant %+v", i, got, next.Arch)
 		}
-		memEqual(t, cpu.Mem, next.Mem.NewMemory())
+		nextL, err := next.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		memEqual(t, cpu.Mem, nextL.Mem.NewMemory())
 	}
 }
 
@@ -104,17 +112,17 @@ func TestRoundTripIsolation(t *testing.T) {
 
 	run := func() (functional.ArchState, uint64) {
 		machine := uarch.NewMachine(cfg)
-		warm, err := cu.MaterializeWarm()
+		launch, err := cu.Materialize()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := machine.Hier.Restore(warm.Hier); err != nil {
+		if err := machine.Hier.Restore(launch.Warm.Hier); err != nil {
 			t.Fatal(err)
 		}
-		if err := machine.Pred.Restore(warm.Pred); err != nil {
+		if err := machine.Pred.Restore(launch.Warm.Pred); err != nil {
 			t.Fatal(err)
 		}
-		cpu := functional.NewAt(p, cu.Arch, cu.Mem.NewMemory())
+		cpu := functional.NewAt(p, cu.Arch, launch.Mem.NewMemory())
 		src := &uarch.Source{CPU: cpu}
 		core := uarch.NewCore(machine)
 		n := cu.WarmLen() + 1000
@@ -150,18 +158,18 @@ func TestWarmStateMatchesContinuousSweep(t *testing.T) {
 	cur, next := set.Units[0], set.Units[1]
 
 	machine := uarch.NewMachine(cfg)
-	curWarm, err := cur.MaterializeWarm()
+	curL, err := cur.Materialize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := machine.Hier.Restore(curWarm.Hier); err != nil {
+	if err := machine.Hier.Restore(curL.Warm.Hier); err != nil {
 		t.Fatal(err)
 	}
-	if err := machine.Pred.Restore(curWarm.Pred); err != nil {
+	if err := machine.Pred.Restore(curL.Warm.Pred); err != nil {
 		t.Fatal(err)
 	}
 	warmer := uarch.NewWarmer(machine, cfg)
-	cpu := functional.NewAt(p, cur.Arch, cur.Mem.NewMemory())
+	cpu := functional.NewAt(p, cur.Arch, curL.Mem.NewMemory())
 	if err := warmer.Forward(cpu, next.LaunchAt-cur.LaunchAt); err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +177,11 @@ func TestWarmStateMatchesContinuousSweep(t *testing.T) {
 	// Compare by probing: every DL1 block valid in the continuation must
 	// match the sweep snapshot and vice versa. A direct struct compare
 	// of the snapshots is the simplest faithful check.
-	nextWarm, err := next.MaterializeWarm()
+	nextL, err := next.Materialize()
 	if err != nil {
 		t.Fatal(err)
 	}
+	nextWarm := nextL.Warm
 	gotH := machine.Hier.Snapshot()
 	wantH := nextWarm.Hier
 	for name, pair := range map[string][2][]uint64{

@@ -27,15 +27,30 @@ const (
 	recPage   = 1 // one 4KiB page, referenced by arrival order
 	recUnit   = 2 // one captured unit
 	recEnd    = 3 // terminator carrying the sweep totals
-	recKeyIdx = 4 // keyframe index (v2): ordinals of full-snapshot units
+	recKeyIdx = 4 // keyframe index (v2+): ordinals of keyframe units
 )
 
-// Warm-state encodings inside a v2 unit record. Version-1 files carry
+// Warm-state encodings inside a v2+ unit record. Version-1 files carry
 // only a 0/1 presence flag, which maps onto warmNone/warmFull.
 const (
 	warmNone  = 0 // cold capture: no warm state
 	warmFull  = 1 // full snapshot (keyframe)
 	warmDelta = 2 // dirty-block delta against the previous warm unit
+)
+
+// Memory encodings inside a v3 unit record. Pre-v3 files always carry a
+// full page table (memFull's layout, without the kind byte).
+const (
+	memFull  = 1 // full page table (keyframe)
+	memDelta = 2 // dirty-page delta against the previous unit
+)
+
+// Dirty-block granularities of pre-v3 delta records, which predate the
+// self-describing grain fields: the constants the v2 writer compiled in.
+const (
+	v2CacheGrain = 5
+	v2TblGrain   = 6
+	v2BTBGrain   = 5
 )
 
 // codecWriter wraps the output stream with the scratch buffer the
@@ -330,11 +345,14 @@ func (c *codecReader) predState() (*bpred.State, error) {
 }
 
 // unit emits one captured unit record (tag already written by the
-// caller alongside any new page records). forceFull, when non-nil,
-// overrides the unit's own warm encoding with a full snapshot — the
-// writer uses it to re-keyframe a delta unit whose predecessor is not
-// the previously written unit (a chain the reader could not rebuild).
-func (c *codecWriter) unit(u *Unit, nums []uint64, refs []uint64, forceFull *WarmState) error {
+// caller alongside any new page records). memKind selects the memory
+// encoding of the nums/refs page table (full table or dirty-page
+// delta); warm, when non-nil, is written as a full snapshot, warmD as a
+// dirty-block delta, neither as a cold unit. The store writer resolves
+// which combination a unit gets — including re-keyframing delta units
+// whose predecessor is not the previously written unit (a chain the
+// reader could not rebuild).
+func (c *codecWriter) unit(u *Unit, memKind uint64, nums, refs []uint64, warm *WarmState, warmD *uarch.WarmDelta) error {
 	for _, v := range []uint64{u.Index, u.Start, u.LaunchAt} {
 		if err := c.u64(v); err != nil {
 			return err
@@ -357,27 +375,26 @@ func (c *codecWriter) unit(u *Unit, nums []uint64, refs []uint64, forceFull *War
 	if err := c.u64(halted); err != nil {
 		return err
 	}
+	if err := c.u64(memKind); err != nil {
+		return err
+	}
 	if err := c.u64s(nums); err != nil {
 		return err
 	}
 	if err := c.u64s(refs); err != nil {
 		return err
 	}
-	full := u.Warm
-	if forceFull != nil {
-		full = forceFull
-	}
 	switch {
-	case full != nil:
+	case warm != nil:
 		if err := c.u64(warmFull); err != nil {
 			return err
 		}
-		return c.warmState(full)
-	case u.Delta != nil:
+		return c.warmState(warm)
+	case warmD != nil:
 		if err := c.u64(warmDelta); err != nil {
 			return err
 		}
-		return c.warmDelta(u.Delta)
+		return c.warmDelta(warmD)
 	}
 	return c.u64(warmNone)
 }
@@ -395,9 +412,13 @@ func (c *codecWriter) warmState(w *WarmState) error {
 	return c.predState(w.Pred)
 }
 
-// cacheDelta emits one dirty-block cache/TLB delta.
+// cacheDelta emits one dirty-block cache/TLB delta (v3 layout: the
+// grain is serialized, so stored chains survive granularity retuning).
 func (c *codecWriter) cacheDelta(d *cache.Delta) error {
 	if err := c.u64(uint64(d.N)); err != nil {
+		return err
+	}
+	if err := c.u64(uint64(d.Grain)); err != nil {
 		return err
 	}
 	if err := c.u64(d.Stamp); err != nil {
@@ -418,7 +439,7 @@ func (c *codecWriter) cacheDelta(d *cache.Delta) error {
 	return c.u64s(d.LastUsed)
 }
 
-func (c *codecReader) cacheDelta() (*cache.Delta, error) {
+func (c *codecReader) cacheDelta(version uint32) (*cache.Delta, error) {
 	d := &cache.Delta{}
 	n, err := c.u64()
 	if err != nil {
@@ -428,6 +449,18 @@ func (c *codecReader) cacheDelta() (*cache.Delta, error) {
 		return nil, fmt.Errorf("unreasonable delta geometry %d", n)
 	}
 	d.N = int(n)
+	if version >= 3 {
+		grain, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		if grain > 30 {
+			return nil, fmt.Errorf("unreasonable delta grain %d", grain)
+		}
+		d.Grain = uint8(grain)
+	} else {
+		d.Grain = v2CacheGrain
+	}
 	if d.Stamp, err = c.u64(); err != nil {
 		return nil, err
 	}
@@ -449,12 +482,19 @@ func (c *codecReader) cacheDelta() (*cache.Delta, error) {
 	return d, nil
 }
 
-// predDelta emits one dirty-block predictor delta.
+// predDelta emits one dirty-block predictor delta (v3 layout with
+// serialized grains).
 func (c *codecWriter) predDelta(d *bpred.Delta) error {
 	if err := c.u64(uint64(d.N)); err != nil {
 		return err
 	}
 	if err := c.u64(uint64(d.BTBN)); err != nil {
+		return err
+	}
+	if err := c.u64(uint64(d.TblGrain)); err != nil {
+		return err
+	}
+	if err := c.u64(uint64(d.BTBGrain)); err != nil {
 		return err
 	}
 	if err := c.u32s(d.TblBlocks); err != nil {
@@ -488,7 +528,7 @@ func (c *codecWriter) predDelta(d *bpred.Delta) error {
 	return c.u64(uint64(int64(d.RASTop)))
 }
 
-func (c *codecReader) predDelta() (*bpred.Delta, error) {
+func (c *codecReader) predDelta(version uint32) (*bpred.Delta, error) {
 	d := &bpred.Delta{}
 	n, err := c.u64()
 	if err != nil {
@@ -502,6 +542,22 @@ func (c *codecReader) predDelta() (*bpred.Delta, error) {
 		return nil, fmt.Errorf("unreasonable delta geometry %d/%d", n, btbn)
 	}
 	d.N, d.BTBN = int(n), int(btbn)
+	if version >= 3 {
+		tg, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		bg, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		if tg > 30 || bg > 30 {
+			return nil, fmt.Errorf("unreasonable delta grains %d/%d", tg, bg)
+		}
+		d.TblGrain, d.BTBGrain = uint8(tg), uint8(bg)
+	} else {
+		d.TblGrain, d.BTBGrain = v2TblGrain, v2BTBGrain
+	}
 	if d.TblBlocks, err = c.u32s(); err != nil {
 		return nil, err
 	}
@@ -558,15 +614,15 @@ func (c *codecWriter) warmDelta(d *uarch.WarmDelta) error {
 	return c.predDelta(d.Pred)
 }
 
-func (c *codecReader) warmDelta() (*uarch.WarmDelta, error) {
+func (c *codecReader) warmDelta(version uint32) (*uarch.WarmDelta, error) {
 	hier := &cache.HierarchyDelta{}
 	var err error
 	for _, dst := range []**cache.Delta{&hier.IL1, &hier.DL1, &hier.L2, &hier.ITLB, &hier.DTLB} {
-		if *dst, err = c.cacheDelta(); err != nil {
+		if *dst, err = c.cacheDelta(version); err != nil {
 			return nil, err
 		}
 	}
-	pred, err := c.predDelta()
+	pred, err := c.predDelta(version)
 	if err != nil {
 		return nil, err
 	}
@@ -611,12 +667,15 @@ func (g warmGeom) validate(d *uarch.WarmDelta) error {
 	return d.Pred.Validate(g.tbl, g.btb, g.ras)
 }
 
-// unit decodes one unit record. version selects the warm encoding (v1:
-// presence flag + full snapshot; v2: kind byte with delta support).
-// prevWarm is the last warm-carrying unit decoded so far (the delta
-// chain predecessor) and geom the geometry established by the chain's
-// keyframe; geom is updated when this record carries a full snapshot.
-func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm *Unit, geom *warmGeom) (*Unit, error) {
+// unit decodes one unit record. version selects the layout: v1 carries
+// a full page table and a warm presence flag; v2 adds the warm
+// delta/full/none kind; v3 adds the memory full/delta kind and
+// serialized grains. prev is the previously decoded unit (the v3 delta
+// chain predecessor), prevWarm the last warm-carrying unit (the pre-v3
+// warm chain predecessor), and geom the geometry established by the
+// chain's keyframe; geom is updated when this record carries a full
+// snapshot.
+func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prev, prevWarm *Unit, geom *warmGeom) (*Unit, error) {
 	u := &Unit{}
 	var err error
 	if u.Index, err = c.u64(); err != nil {
@@ -650,6 +709,12 @@ func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm
 	arch.Halted = halted != 0
 	u.Arch = arch
 
+	mKind := uint64(memFull)
+	if version >= 3 {
+		if mKind, err = c.u64(); err != nil {
+			return nil, err
+		}
+	}
 	nums, err := c.u64s()
 	if err != nil {
 		return nil, err
@@ -661,15 +726,44 @@ func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm
 	if len(nums) != len(refs) {
 		return nil, fmt.Errorf("unit %d: page table mismatch", u.Index)
 	}
-	pm := make(map[uint64]*[mem.PageSize]byte, len(nums))
-	for i, num := range nums {
-		ref := refs[i]
-		if ref >= uint64(len(pages)) {
-			return nil, fmt.Errorf("unit %d: page ref %d out of range", u.Index, ref)
+	resolve := func() ([]*[mem.PageSize]byte, error) {
+		out := make([]*[mem.PageSize]byte, len(refs))
+		for i, ref := range refs {
+			if ref >= uint64(len(pages)) {
+				return nil, fmt.Errorf("unit %d: page ref %d out of range", u.Index, ref)
+			}
+			out[i] = pages[ref]
 		}
-		pm[num] = pages[ref]
+		return out, nil
 	}
-	u.Mem = mem.ImageFromPages(pm)
+	switch mKind {
+	case memFull:
+		resolved, err := resolve()
+		if err != nil {
+			return nil, err
+		}
+		pm := make(map[uint64]*[mem.PageSize]byte, len(nums))
+		for i, num := range nums {
+			pm[num] = resolved[i]
+		}
+		u.Mem = mem.ImageFromPages(pm)
+	case memDelta:
+		if prev == nil {
+			return nil, fmt.Errorf("unit %d: memory delta with no preceding keyframe", u.Index)
+		}
+		resolved, err := resolve()
+		if err != nil {
+			return nil, err
+		}
+		d := &mem.Delta{Nums: nums, Pages: resolved}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("unit %d: %w", u.Index, err)
+		}
+		u.MemDelta = d
+		u.Prev = prev
+	default:
+		return nil, fmt.Errorf("unit %d: unknown memory encoding %d", u.Index, mKind)
+	}
 
 	kind, err := c.u64()
 	if err != nil {
@@ -679,6 +773,11 @@ func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm
 	case warmNone:
 		return u, nil
 	case warmFull:
+		if version >= 3 && u.MemDelta != nil {
+			// The v3 writer keyframes memory and warm state together; a
+			// mixed unit means records were spliced.
+			return nil, fmt.Errorf("unit %d: full warm state on a memory-delta unit", u.Index)
+		}
 		hier := &cache.HierarchyState{}
 		for _, dst := range []**cache.State{&hier.IL1, &hier.DL1, &hier.L2, &hier.ITLB, &hier.DTLB} {
 			if *dst, err = c.cacheState(); err != nil {
@@ -696,10 +795,13 @@ func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm
 		if version < 2 {
 			return nil, fmt.Errorf("unit %d: delta record in version-%d file", u.Index, version)
 		}
+		if version >= 3 && u.MemDelta == nil {
+			return nil, fmt.Errorf("unit %d: warm delta on a memory-keyframe unit", u.Index)
+		}
 		if prevWarm == nil {
 			return nil, fmt.Errorf("unit %d: delta with no preceding keyframe", u.Index)
 		}
-		d, err := c.warmDelta()
+		d, err := c.warmDelta(version)
 		if err != nil {
 			return nil, err
 		}
@@ -707,7 +809,11 @@ func (c *codecReader) unit(version uint32, pages []*[mem.PageSize]byte, prevWarm
 			return nil, fmt.Errorf("unit %d: %w", u.Index, err)
 		}
 		u.Delta = d
-		u.Prev = prevWarm
+		if u.Prev == nil {
+			u.Prev = prevWarm
+		} else if u.Prev != prevWarm {
+			return nil, fmt.Errorf("unit %d: warm and memory chains diverge", u.Index)
+		}
 		return u, nil
 	}
 	return nil, fmt.Errorf("unit %d: unknown warm encoding %d", u.Index, kind)

@@ -1,10 +1,10 @@
 package checkpoint
 
-// In-package test of version-1 read compatibility. A v1 entry has the
-// same byte layout as a v2 entry whose units are all full snapshots —
-// the v1 warm presence flag coincides with warmFull/warmNone — except
-// for the version field and the absence of the keyframe index record,
-// so the old writer can be reproduced exactly with the current codec.
+// In-package test of version-1 read compatibility: the old writer's
+// byte layout — full page tables on every unit, a warm presence flag
+// coinciding with warmFull/warmNone, no keyframe index record — is
+// reproduced by hand so the current reader is exercised against real
+// v1 bytes. (See compat_v2_test.go for the v2 equivalent.)
 
 import (
 	"context"
@@ -47,7 +47,7 @@ func writeV1(t *testing.T, path string, k Key, set *Set) {
 	prevPages := make(map[*[mem.PageSize]byte]uint64)
 	var nextPage uint64
 	for _, u := range set.Units {
-		if u.Delta != nil {
+		if u.Delta != nil || u.MemDelta != nil {
 			t.Fatal("writeV1 given a delta-encoded unit")
 		}
 		var nums, refs []uint64
@@ -72,9 +72,7 @@ func writeV1(t *testing.T, path string, k Key, set *Set) {
 		if err := cw.u64(recUnit); err != nil {
 			t.Fatal(err)
 		}
-		if err := cw.unit(u, nums, refs, nil); err != nil {
-			t.Fatal(err)
-		}
+		writeUnitPreV3(t, cw, u, nums, refs)
 	}
 	for _, v := range []uint64{recEnd, uint64(len(set.Units)), set.SweepInsts, uint64(int64(set.SweepTime))} {
 		if err := cw.u64(v); err != nil {

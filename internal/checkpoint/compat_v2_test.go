@@ -1,0 +1,433 @@
+package checkpoint
+
+// In-package test of version-2 read compatibility against a hand-
+// written v2 file. The v2 layout differs from v3 in three ways the
+// helpers here reproduce byte for byte: unit records carry no memory-
+// encoding kind (the page table is always full), delta records carry no
+// grain fields (the granularities were compile-time constants — 32
+// cache entries, 64 direction-table entries, 32 BTB entries per dirty
+// block), and the keyframe index lists warm-keyframe ordinals.
+
+import (
+	"context"
+
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/delta"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// writeUnitPreV3 emits one unit record in the v1/v2 layout: no memory
+// kind, full page table, then the warm state (full or none — the v1
+// presence flag and the v2 kind coincide for these).
+func writeUnitPreV3(t *testing.T, cw *codecWriter, u *Unit, nums, refs []uint64) {
+	t.Helper()
+	for _, v := range []uint64{u.Index, u.Start, u.LaunchAt} {
+		if err := cw.u64(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arch := u.Arch
+	if err := cw.u64s(arch.Regs[:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{arch.PC, arch.Count} {
+		if err := cw.u64(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	halted := uint64(0)
+	if arch.Halted {
+		halted = 1
+	}
+	if err := cw.u64(halted); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64s(nums); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64s(refs); err != nil {
+		t.Fatal(err)
+	}
+	if u.Warm == nil {
+		if err := cw.u64(warmNone); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err := cw.u64(warmFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.warmState(u.Warm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diffCacheState computes the v2-grain dirty-block delta between two
+// full snapshots: every 32-entry block in which any array differs is
+// carried. This is exactly the shape the v2 writer persisted (its
+// dirty tracking over-approximated to touched blocks; a differing-block
+// delta is a valid, minimal instance of it).
+func diffCacheState(prev, cur *cache.State) *cache.Delta {
+	n := len(cur.Tags)
+	d := &cache.Delta{N: n, Grain: v2CacheGrain, Stamp: cur.Stamp}
+	nBlocks := (n + (1 << v2CacheGrain) - 1) >> v2CacheGrain
+	for b := 0; b < nBlocks; b++ {
+		lo, hi := delta.Span(uint32(b), v2CacheGrain, n)
+		changed := false
+		for i := lo; i < hi; i++ {
+			if prev.Tags[i] != cur.Tags[i] || prev.Valid[i] != cur.Valid[i] ||
+				prev.Dirty[i] != cur.Dirty[i] || prev.LastUsed[i] != cur.LastUsed[i] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		d.Blocks = append(d.Blocks, uint32(b))
+		d.Tags = append(d.Tags, cur.Tags[lo:hi]...)
+		d.Valid = append(d.Valid, cur.Valid[lo:hi]...)
+		d.Dirty = append(d.Dirty, cur.Dirty[lo:hi]...)
+		d.LastUsed = append(d.LastUsed, cur.LastUsed[lo:hi]...)
+	}
+	return d
+}
+
+// diffPredState computes the v2-grain predictor delta between two full
+// snapshots.
+func diffPredState(prev, cur *bpred.State) *bpred.Delta {
+	n, btbn := len(cur.Bimodal), len(cur.BTBTags)
+	d := &bpred.Delta{
+		N: n, BTBN: btbn,
+		TblGrain: v2TblGrain, BTBGrain: v2BTBGrain,
+		History:  cur.History,
+		BTBStamp: cur.BTBStamp,
+		RAS:      append([]uint64(nil), cur.RAS...),
+		RASTop:   cur.RASTop,
+	}
+	nBlocks := (n + (1 << v2TblGrain) - 1) >> v2TblGrain
+	for b := 0; b < nBlocks; b++ {
+		lo, hi := delta.Span(uint32(b), v2TblGrain, n)
+		changed := false
+		for i := lo; i < hi; i++ {
+			if prev.Bimodal[i] != cur.Bimodal[i] || prev.Gshare[i] != cur.Gshare[i] || prev.Chooser[i] != cur.Chooser[i] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		d.TblBlocks = append(d.TblBlocks, uint32(b))
+		d.Bimodal = append(d.Bimodal, cur.Bimodal[lo:hi]...)
+		d.Gshare = append(d.Gshare, cur.Gshare[lo:hi]...)
+		d.Chooser = append(d.Chooser, cur.Chooser[lo:hi]...)
+	}
+	bBlocks := (btbn + (1 << v2BTBGrain) - 1) >> v2BTBGrain
+	for b := 0; b < bBlocks; b++ {
+		lo, hi := delta.Span(uint32(b), v2BTBGrain, btbn)
+		changed := false
+		for i := lo; i < hi; i++ {
+			if prev.BTBTags[i] != cur.BTBTags[i] || prev.BTBTgts[i] != cur.BTBTgts[i] ||
+				prev.BTBLRU[i] != cur.BTBLRU[i] || prev.BTBValid[i] != cur.BTBValid[i] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		d.BTBBlocks = append(d.BTBBlocks, uint32(b))
+		d.BTBTags = append(d.BTBTags, cur.BTBTags[lo:hi]...)
+		d.BTBTgts = append(d.BTBTgts, cur.BTBTgts[lo:hi]...)
+		d.BTBLRU = append(d.BTBLRU, cur.BTBLRU[lo:hi]...)
+		d.BTBValid = append(d.BTBValid, cur.BTBValid[lo:hi]...)
+	}
+	return d
+}
+
+// writeV2CacheDelta emits a cache delta in the v2 layout (no grain
+// field).
+func writeV2CacheDelta(t *testing.T, cw *codecWriter, d *cache.Delta) {
+	t.Helper()
+	for _, v := range []uint64{uint64(d.N), d.Stamp} {
+		if err := cw.u64(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.u32s(d.Blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64s(d.Tags); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.bools(d.Valid); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.bools(d.Dirty); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64s(d.LastUsed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeV2PredDelta emits a predictor delta in the v2 layout (no grain
+// fields).
+func writeV2PredDelta(t *testing.T, cw *codecWriter, d *bpred.Delta) {
+	t.Helper()
+	for _, v := range []uint64{uint64(d.N), uint64(d.BTBN)} {
+		if err := cw.u64(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.u32s(d.TblBlocks); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]uint8{d.Bimodal, d.Gshare, d.Chooser} {
+		if err := cw.bytes(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.u64(d.History); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u32s(d.BTBBlocks); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range [][]uint64{d.BTBTags, d.BTBTgts, d.BTBLRU} {
+		if err := cw.u64s(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.bools(d.BTBValid); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64(d.BTBStamp); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64s(d.RAS); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64(uint64(int64(d.RASTop))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeV2 serializes set exactly as the version-2 writer did: full page
+// tables on every unit, unit 0 a warm keyframe, subsequent units warm
+// deltas at the v2 granularities, and a warm-keyframe index record.
+// set must hold full snapshots (Keyframe=1) so the deltas can be
+// derived by diffing.
+func writeV2(t *testing.T, path string, k Key, set *Set) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(storeMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(f, binary.LittleEndian, uint32(storeVersionV2)); err != nil {
+		t.Fatal(err)
+	}
+	cw := newCodecWriter(f)
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(storeManifest{Key: k, PopulationUnits: set.PopulationUnits}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.bytes(blob.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	prevPages := make(map[*[mem.PageSize]byte]uint64)
+	var nextPage uint64
+	var keyframes []uint64
+	for i, u := range set.Units {
+		if u.Warm == nil || u.Mem == nil {
+			t.Fatal("writeV2 needs full snapshots (capture with Keyframe=1)")
+		}
+		var nums, refs []uint64
+		cur := make(map[*[mem.PageSize]byte]uint64)
+		u.Mem.VisitPages(func(num uint64, data *[mem.PageSize]byte) {
+			id, ok := prevPages[data]
+			if !ok {
+				id = nextPage
+				nextPage++
+				if err := cw.u64(recPage); err != nil {
+					t.Fatal(err)
+				}
+				if err := cw.bytes(data[:]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cur[data] = id
+			nums = append(nums, num)
+			refs = append(refs, id)
+		})
+		prevPages = cur
+		if err := cw.u64(recUnit); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			keyframes = append(keyframes, uint64(i))
+			writeUnitPreV3(t, cw, u, nums, refs)
+			continue
+		}
+		// Delta unit: the v1/v2 header fields, then the v2 warm delta.
+		for _, v := range []uint64{u.Index, u.Start, u.LaunchAt} {
+			if err := cw.u64(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		arch := u.Arch
+		if err := cw.u64s(arch.Regs[:]); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []uint64{arch.PC, arch.Count} {
+			if err := cw.u64(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		halted := uint64(0)
+		if arch.Halted {
+			halted = 1
+		}
+		if err := cw.u64(halted); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.u64s(nums); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.u64s(refs); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.u64(warmDelta); err != nil {
+			t.Fatal(err)
+		}
+		prev, cur2 := set.Units[i-1].Warm, u.Warm
+		for _, pair := range [][2]*cache.State{
+			{prev.Hier.IL1, cur2.Hier.IL1}, {prev.Hier.DL1, cur2.Hier.DL1},
+			{prev.Hier.L2, cur2.Hier.L2}, {prev.Hier.ITLB, cur2.Hier.ITLB},
+			{prev.Hier.DTLB, cur2.Hier.DTLB},
+		} {
+			writeV2CacheDelta(t, cw, diffCacheState(pair[0], pair[1]))
+		}
+		writeV2PredDelta(t, cw, diffPredState(prev.Pred, cur2.Pred))
+	}
+	if err := cw.u64(recKeyIdx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.u64s(keyframes); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{recEnd, uint64(len(set.Units)), set.SweepInsts, uint64(int64(set.SweepTime))} {
+		if err := cw.u64(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreReadsV2Entries verifies the current reader loads a
+// hand-written version-2 entry — full page tables, warm delta chains at
+// the old compiled-in granularities, warm-keyframe index — and that
+// every loaded unit materializes to exactly the captured launch state.
+func TestStoreReadsV2Entries(t *testing.T) {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := program.Generate(spec, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	// Keyframe=1 captures full snapshots; writeV2 derives the deltas.
+	params := Params{U: 1000, W: 1000, K: 10, FunctionalWarm: true, Keyframe: 1}
+	set, err := Capture(context.Background(), p, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Units) < 5 {
+		t.Fatalf("want >= 5 units, got %d", len(set.Units))
+	}
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFor(p, cfg, params)
+	writeV2(t, store.path(key), key, set)
+
+	loaded, err := store.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("v2 entry not loaded")
+	}
+	if len(loaded.Units) != len(set.Units) {
+		t.Fatalf("loaded %d units, saved %d", len(loaded.Units), len(set.Units))
+	}
+	sawDelta := false
+	for i, u := range loaded.Units {
+		want := set.Units[i]
+		if u.Index != want.Index || u.Arch != want.Arch {
+			t.Fatalf("unit %d differs after v2 load", i)
+		}
+		if u.Mem == nil {
+			t.Fatalf("unit %d: v2 units carry full page tables", i)
+		}
+		if u.Delta != nil {
+			sawDelta = true
+		}
+		launch, err := u.Materialize()
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if launch.Warm == nil || !reflect.DeepEqual(launch.Warm.Hier, want.Warm.Hier) ||
+			!reflect.DeepEqual(launch.Warm.Pred, want.Warm.Pred) {
+			t.Fatalf("unit %d warm state differs after v2 load + materialize", i)
+		}
+	}
+	if !sawDelta {
+		t.Fatal("hand-written v2 entry decoded no delta units; the compat path was not exercised")
+	}
+
+	// A v2 entry round-trips through Save (re-keyframed to v3) without
+	// losing state.
+	store2, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.Save(key, loaded); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := store2.Load(key)
+	if err != nil || reloaded == nil {
+		t.Fatalf("resave of v2-loaded set failed: %v", err)
+	}
+	for i := range set.Units {
+		launch, err := reloaded.Units[i].Materialize()
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(launch.Warm.Hier, set.Units[i].Warm.Hier) {
+			t.Fatalf("unit %d hierarchy differs after v2→v3 resave", i)
+		}
+	}
+}

@@ -61,21 +61,41 @@ func TestSetMaterialize(t *testing.T) {
 	cfg := uarch.Config8Way()
 	set := capture(t, p, cfg, checkpoint.Params{U: 1000, W: 1000, K: 5, FunctionalWarm: true})
 	for i := range set.Units {
-		w, err := set.Materialize(i)
+		launch, err := set.Materialize(i)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if w == nil {
+		if launch.Warm == nil {
 			t.Fatalf("unit %d materialized to nil warm state", i)
+		}
+		if launch.Mem == nil {
+			t.Fatalf("unit %d materialized to nil memory", i)
 		}
 	}
 	if _, err := set.Materialize(len(set.Units)); err == nil {
 		t.Fatal("out-of-range Materialize did not error")
 	}
-	// Cold captures materialize to nil without error.
+	// Cold captures materialize with a nil Warm (memory delta chains are
+	// still resolved).
 	cold := capture(t, p, cfg, checkpoint.Params{U: 1000, K: 5})
-	if w, err := cold.Materialize(0); err != nil || w != nil {
-		t.Fatalf("cold unit materialized to (%v, %v); want (nil, nil)", w, err)
+	coldDeltas := 0
+	for i := range cold.Units {
+		launch, err := cold.Materialize(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if launch.Warm != nil {
+			t.Fatalf("cold unit %d materialized warm state", i)
+		}
+		if launch.Mem == nil {
+			t.Fatalf("cold unit %d materialized to nil memory", i)
+		}
+		if cold.Units[i].MemDelta != nil {
+			coldDeltas++
+		}
+	}
+	if coldDeltas == 0 {
+		t.Fatal("cold capture carried no memory-delta units; the cold chain path was not exercised")
 	}
 }
 
@@ -113,7 +133,7 @@ func TestBrokenChainMaterializeErrors(t *testing.T) {
 		t.Fatal("no delta unit captured")
 	}
 	du.Prev = nil
-	if _, err := du.MaterializeWarm(); err == nil {
+	if _, err := du.Materialize(); err == nil {
 		t.Fatal("severed chain materialized without error")
 	}
 }

@@ -1,0 +1,66 @@
+package checkpoint
+
+import "sync"
+
+// MemCache is an in-memory analogue of Store: completed capture Sets
+// keyed by the same content-addressed Key. The sim session attaches one
+// to storeless sessions so repeated (and singleflight-deduplicated
+// concurrent) requests for the same sweep reuse the captured launch
+// states instead of re-sweeping — the on-disk store's sharing semantics
+// without touching disk.
+//
+// Entries hold their full delta-chained snapshot payload alive for the
+// cache's lifetime; the owner (a sim.Session) bounds that lifetime.
+// All methods are safe for concurrent use.
+type MemCache struct {
+	mu   sync.Mutex
+	sets map[string]*Set
+
+	hits, misses uint64
+}
+
+// NewMemCache returns an empty cache.
+func NewMemCache() *MemCache {
+	return &MemCache{sets: make(map[string]*Set)}
+}
+
+// Get returns the cached Set for k, or nil. The returned Set is shared:
+// callers must treat its units as read-only (engine.RunSet's copy-and-
+// replay discipline).
+func (c *MemCache) Get(k Key) *Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.sets[k.Hash()]
+	if set != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return set
+}
+
+// Put caches set under k. Only complete sweeps belong here (the caller
+// checks Summary.Complete); an early-terminated capture would poison
+// every later request with a truncated population.
+func (c *MemCache) Put(k Key, set *Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sets[k.Hash()] = set
+}
+
+// Contains reports whether a set is cached for k without touching the
+// hit/miss counters — the sim session's singleflight uses it to decide
+// whether a just-finished concurrent sweep left a reusable result.
+func (c *MemCache) Contains(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.sets[k.Hash()]
+	return ok
+}
+
+// Stats returns the lifetime hit/miss counts.
+func (c *MemCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -11,9 +11,9 @@ import (
 )
 
 // unitsEqual compares two captured units including warm state and the
-// memory image contents. Warm state is compared after materialization,
-// so a delta-encoded unit and a full-snapshot unit are equal exactly
-// when their launch states are bit-identical.
+// memory image contents. Both halves are compared after
+// materialization, so a delta-encoded unit and a full-snapshot unit are
+// equal exactly when their launch states are bit-identical.
 func unitsEqual(t *testing.T, what string, a, b *checkpoint.Unit) {
 	t.Helper()
 	if a.Index != b.Index || a.Start != b.Start || a.LaunchAt != b.LaunchAt {
@@ -23,25 +23,25 @@ func unitsEqual(t *testing.T, what string, a, b *checkpoint.Unit) {
 	if a.Arch != b.Arch {
 		t.Fatalf("%s unit %d: arch state differs", what, a.Index)
 	}
-	memEqual(t, a.Mem.NewMemory(), b.Mem.NewMemory())
-	aw, err := a.MaterializeWarm()
+	al, err := a.Materialize()
 	if err != nil {
 		t.Fatalf("%s unit %d: %v", what, a.Index, err)
 	}
-	bw, err := b.MaterializeWarm()
+	bl, err := b.Materialize()
 	if err != nil {
 		t.Fatalf("%s unit %d: %v", what, b.Index, err)
 	}
-	if (aw == nil) != (bw == nil) {
+	memEqual(t, al.Mem.NewMemory(), bl.Mem.NewMemory())
+	if (al.Warm == nil) != (bl.Warm == nil) {
 		t.Fatalf("%s unit %d: warm presence differs", what, a.Index)
 	}
-	if aw == nil {
+	if al.Warm == nil {
 		return
 	}
-	if !reflect.DeepEqual(aw.Hier, bw.Hier) {
+	if !reflect.DeepEqual(al.Warm.Hier, bl.Warm.Hier) {
 		t.Fatalf("%s unit %d: hierarchy state differs", what, a.Index)
 	}
-	if !reflect.DeepEqual(aw.Pred, bw.Pred) {
+	if !reflect.DeepEqual(al.Warm.Pred, bl.Warm.Pred) {
 		t.Fatalf("%s unit %d: predictor state differs", what, a.Index)
 	}
 }

@@ -29,15 +29,26 @@ import (
 // and the dominant payloads (tag arrays, LRU stamps, memory pages) are
 // cheap to rewrite but expensive to push through a codec.
 //
-// Version 2 adds delta-encoded warm snapshots: unit records carry a
+// Version 2 added delta-encoded warm snapshots: unit records carry a
 // warm-encoding kind (none/full/delta), delta units hold dirty-block
 // deltas chained off the preceding full "keyframe" unit, and a keyframe
 // index record before the End record enumerates the keyframe ordinals
-// so truncated or spliced chains are detected at load. Version-1 files
-// (every unit a full snapshot) still load; writers always emit v2.
+// so truncated or spliced chains are detected at load.
+//
+// Version 3 extends the same delta discipline to memory, collapsing the
+// codec's ad-hoc per-unit page table into the shared chain code path:
+// unit records carry a memory-encoding kind (full/delta), delta units
+// list only the pages dirtied since the preceding unit (mem.Delta from
+// the dirty-page journal), keyframes carry the full page table, and
+// memory and warm state keyframe together — the keyframe index now
+// guards both chains. Delta records also serialize their dirty-block
+// grain, so retuning the granularity never invalidates stored chains.
+// Version-1 (every unit a full snapshot) and version-2 (full page
+// tables, warm deltas) files still load; writers always emit v3.
 // Corruption anywhere — including mid-chain — degrades to a miss.
 const (
-	storeVersion   = 2
+	storeVersion   = 3
+	storeVersionV2 = 2
 	storeVersionV1 = 1
 	storeExt       = ".ckpt"
 )
@@ -263,8 +274,8 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != storeVersion && version != storeVersionV1 {
-		return nil, fmt.Errorf("format version %d, want %d or %d", version, storeVersion, storeVersionV1)
+	if version != storeVersion && version != storeVersionV2 && version != storeVersionV1 {
+		return nil, fmt.Errorf("format version %d, want %d, %d, or %d", version, storeVersion, storeVersionV2, storeVersionV1)
 	}
 	cr := newCodecReader(r)
 	man, err := readManifest(cr)
@@ -277,9 +288,10 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 
 	set := &Set{K: k.K, PopulationUnits: man.PopulationUnits}
 	var pages []*[mem.PageSize]byte
-	var prevWarm *Unit    // delta chain predecessor
+	var prev *Unit        // previously decoded unit (v3 chain predecessor)
+	var prevWarm *Unit    // warm chain predecessor (pre-v3 files)
 	var geom warmGeom     // geometry established by the last keyframe
-	var keyframes []int64 // ordinals of full-snapshot units, for index validation
+	var keyframes []int64 // ordinals of keyframe units, for index validation
 	var keyIdx []uint64   // the file's keyframe index record, when present
 	sawKeyIdx := false
 	for {
@@ -298,16 +310,24 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 			}
 			pages = append(pages, (*[mem.PageSize]byte)(page))
 		case recUnit:
-			u, err := cr.unit(version, pages, prevWarm, &geom)
+			u, err := cr.unit(version, pages, prev, prevWarm, &geom)
 			if err != nil {
 				return nil, err
 			}
-			if u.Warm != nil {
+			// The keyframe index lists full-snapshot units: memory
+			// keyframes in v3 (warm state keyframes with them), warm
+			// keyframes in v2.
+			if version >= 3 {
+				if u.Mem != nil {
+					keyframes = append(keyframes, int64(len(set.Units)))
+				}
+			} else if u.Warm != nil {
 				keyframes = append(keyframes, int64(len(set.Units)))
 			}
 			if u.Warm != nil || u.Delta != nil {
 				prevWarm = u
 			}
+			prev = u
 			set.Units = append(set.Units, u)
 		case recKeyIdx:
 			if version < 2 || sawKeyIdx {
@@ -364,23 +384,25 @@ type SetWriter struct {
 	key   Key
 	tmp   *os.File
 	cw    *codecWriter
-	// prevPages maps the previous unit's page arrays to their record
-	// ids. Copy-on-write sharing is contiguous in stream time (a page
-	// shared by snapshots i and j > i is shared by every snapshot in
-	// between), so a one-unit window deduplicates exactly while letting
-	// pages the sweep has moved past become collectable — the writer
-	// must not pin the whole stream's footprint in the pipelined
-	// engine.
-	prevPages map[*[mem.PageSize]byte]uint64
-	nextPage  uint64
-	units     int
-	// prevWarm is the last warm-carrying unit written: a delta unit is
-	// only encodable as a delta when its chain predecessor is exactly
-	// this unit (the reader rebuilds chains from record order). Units
-	// arriving out of chain order — e.g. an offset sub-set whose deltas
-	// point at units of other offsets — are materialized and written as
-	// full keyframes instead.
-	prevWarm *Unit
+	// table is the running reconstruction of the stream's current page
+	// table (page number → array) and ids maps its arrays to their page-
+	// record ids. Keyframes replace the table; deltas overlay it. Pages
+	// the stream has replaced drop out, so the writer's footprint stays
+	// bounded by the live footprint — it must not pin the whole stream
+	// in the pipelined engine — while pages shared copy-on-write across
+	// any span of units are written exactly once (sharing is contiguous
+	// in stream time).
+	table    map[uint64]*[mem.PageSize]byte
+	ids      map[*[mem.PageSize]byte]uint64
+	nextPage uint64
+	units    int
+	// prevUnit is the last unit written: a delta unit is only encodable
+	// as a delta when its chain predecessor is exactly this unit (the
+	// reader rebuilds chains from record order). Units arriving out of
+	// chain order — e.g. an offset sub-set whose deltas point at units
+	// of other offsets — are materialized and written as full keyframes
+	// instead.
+	prevUnit *Unit
 	// keyframes holds the ordinals of full-snapshot units for the
 	// keyframe index record Commit emits.
 	keyframes []uint64
@@ -394,7 +416,11 @@ func (s *Store) Writer(k Key, pop uint64) (*SetWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: store writer: %w", err)
 	}
-	w := &SetWriter{store: s, key: k, tmp: tmp, prevPages: make(map[*[mem.PageSize]byte]uint64)}
+	w := &SetWriter{
+		store: s, key: k, tmp: tmp,
+		table: make(map[uint64]*[mem.PageSize]byte),
+		ids:   make(map[*[mem.PageSize]byte]uint64),
+	}
 	if _, err := tmp.Write(storeMagic[:]); err != nil {
 		w.fail(err)
 		return nil, w.err
@@ -432,28 +458,92 @@ func (w *SetWriter) cleanup() {
 	}
 }
 
+// page ensures data has a page record, writing one on first sight, and
+// returns its id.
+func (w *SetWriter) page(data *[mem.PageSize]byte) (uint64, error) {
+	if id, ok := w.ids[data]; ok {
+		return id, nil
+	}
+	id := w.nextPage
+	w.nextPage++
+	if err := w.cw.u64(recPage); err != nil {
+		return 0, err
+	}
+	if err := w.cw.bytes(data[:]); err != nil {
+		return 0, err
+	}
+	w.ids[data] = id
+	return id, nil
+}
+
 // Add appends one unit. Errors are sticky; after the first, Add becomes
 // a no-op returning the same error, and Commit will refuse.
+//
+// A unit is written as a delta exactly when it carries a memory delta
+// extending the previously written unit — the only chain shape the
+// reader can rebuild from record order. Anything else (keyframes,
+// out-of-order units from an offset sub-set, units loaded from pre-v3
+// entries whose memory is full but warm state delta-encoded) is
+// materialized and written as a full keyframe.
 func (w *SetWriter) Add(u *Unit) error {
 	if w.err != nil {
 		return w.err
 	}
+	if u.MemDelta != nil && u.Warm == nil && u.Prev == w.prevUnit && w.prevUnit != nil {
+		// Chain-aligned delta unit: write only the dirty pages.
+		nums := u.MemDelta.Nums
+		refs := make([]uint64, len(nums))
+		for i, data := range u.MemDelta.Pages {
+			id, err := w.page(data)
+			if err != nil {
+				w.fail(err)
+				return w.err
+			}
+			refs[i] = id
+			if old, ok := w.table[nums[i]]; ok && old != data {
+				delete(w.ids, old)
+			}
+			w.table[nums[i]] = data
+		}
+		if err := w.cw.u64(recUnit); err != nil {
+			w.fail(err)
+			return w.err
+		}
+		if err := w.cw.unit(u, memDelta, nums, refs, nil, u.Delta); err != nil {
+			w.fail(err)
+			return w.err
+		}
+		w.prevUnit = u
+		w.units++
+		return nil
+	}
+
+	// Full keyframe: the unit's own snapshots, or — for delta units that
+	// cannot extend the written chain — their materialization.
+	img, warm := u.Mem, u.Warm
+	if img == nil || (u.Warm == nil && u.Delta != nil) {
+		launch, err := u.Materialize()
+		if err != nil {
+			w.fail(err)
+			return w.err
+		}
+		img, warm = launch.Mem, launch.Warm
+	}
 	var nums, refs []uint64
 	var encErr error
-	cur := make(map[*[mem.PageSize]byte]uint64, u.Mem.PageCount())
-	u.Mem.VisitPages(func(num uint64, data *[mem.PageSize]byte) {
+	table := make(map[uint64]*[mem.PageSize]byte, img.PageCount())
+	ids := make(map[*[mem.PageSize]byte]uint64, img.PageCount())
+	img.VisitPages(func(num uint64, data *[mem.PageSize]byte) {
 		if encErr != nil {
 			return
 		}
-		id, ok := w.prevPages[data]
-		if !ok {
-			id = w.nextPage
-			w.nextPage++
-			if encErr = w.cw.u64(recPage); encErr == nil {
-				encErr = w.cw.bytes(data[:])
-			}
+		id, err := w.page(data)
+		if err != nil {
+			encErr = err
+			return
 		}
-		cur[data] = id
+		table[num] = data
+		ids[data] = id
 		nums = append(nums, num)
 		refs = append(refs, id)
 	})
@@ -461,32 +551,19 @@ func (w *SetWriter) Add(u *Unit) error {
 		w.fail(encErr)
 		return w.err
 	}
-	w.prevPages = cur
-	// Delta units must extend the chain exactly where the reader will
-	// look: the previously written warm unit. Re-keyframe otherwise.
-	var forceFull *WarmState
-	if u.Delta != nil && u.Prev != w.prevWarm {
-		full, err := u.MaterializeWarm()
-		if err != nil {
-			w.fail(err)
-			return w.err
-		}
-		forceFull = full
-	}
+	// Replace the running table: pages the stream no longer maps drop
+	// their ids, keeping the dedup window at the live footprint.
+	w.table, w.ids = table, ids
 	if err := w.cw.u64(recUnit); err != nil {
 		w.fail(err)
 		return w.err
 	}
-	if err := w.cw.unit(u, nums, refs, forceFull); err != nil {
+	if err := w.cw.unit(u, memFull, nums, refs, warm, nil); err != nil {
 		w.fail(err)
 		return w.err
 	}
-	if u.Warm != nil || forceFull != nil {
-		w.keyframes = append(w.keyframes, uint64(w.units))
-	}
-	if u.Warm != nil || u.Delta != nil {
-		w.prevWarm = u
-	}
+	w.keyframes = append(w.keyframes, uint64(w.units))
+	w.prevUnit = u
 	w.units++
 	return nil
 }

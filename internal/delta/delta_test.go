@@ -1,0 +1,117 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestChainSequencing(t *testing.T) {
+	var c Chain
+	if c.Seq() != 0 {
+		t.Fatalf("fresh chain at seq %d", c.Seq())
+	}
+	if _, err := c.Next(0); err == nil {
+		t.Fatal("delta before any keyframe must fail")
+	}
+	if got := c.Keyframe(); got != 1 {
+		t.Fatalf("first keyframe numbered %d", got)
+	}
+	seq, err := c.Next(1)
+	if err != nil || seq != 2 {
+		t.Fatalf("Next(1) = %d, %v", seq, err)
+	}
+	if _, err := c.Next(1); err == nil {
+		t.Fatal("stale baseline must fail")
+	}
+	if _, err := c.Next(3); err == nil {
+		t.Fatal("future baseline must fail")
+	}
+	if got := c.Keyframe(); got != 3 {
+		t.Fatalf("keyframe after delta numbered %d", got)
+	}
+	c.Invalidate()
+	if _, err := c.Next(3); err == nil {
+		t.Fatal("delta across Invalidate must fail")
+	}
+	if got := c.Keyframe(); got != 1 {
+		t.Fatalf("keyframe after Invalidate numbered %d", got)
+	}
+}
+
+// TestBitmapCoversMarks is the bitmap's soundness property: every
+// marked entry's block is drained, in ascending order, exactly once.
+func TestBitmapCoversMarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n     int
+		grain uint8
+	}{
+		{1, 0}, {7, 1}, {64, 3}, {100, 3}, {4096, 5}, {16384, 3}, {777, 6},
+	} {
+		bm := NewBitmap(tc.n, tc.grain)
+		// A fresh bitmap drains every block (all-dirty start).
+		all := bm.AppendBlocks(nil)
+		wantBlocks := (tc.n + (1 << tc.grain) - 1) >> tc.grain
+		if len(all) != wantBlocks {
+			t.Fatalf("n=%d grain=%d: fresh bitmap drains %d blocks, want %d", tc.n, tc.grain, len(all), wantBlocks)
+		}
+		// After the drain it is clean.
+		if left := bm.AppendBlocks(nil); len(left) != 0 {
+			t.Fatalf("n=%d grain=%d: %d blocks left after drain", tc.n, tc.grain, len(left))
+		}
+		// Random marks: the drained blocks must be exactly the marked
+		// entries' blocks, ascending.
+		marked := map[uint32]bool{}
+		for i := 0; i < 50; i++ {
+			e := rng.Intn(tc.n)
+			bm.Mark(e)
+			marked[uint32(e>>tc.grain)] = true
+		}
+		got := bm.AppendBlocks(nil)
+		if len(got) != len(marked) {
+			t.Fatalf("n=%d grain=%d: drained %d blocks, marked %d", tc.n, tc.grain, len(got), len(marked))
+		}
+		prev := -1
+		for _, b := range got {
+			if !marked[b] {
+				t.Fatalf("n=%d grain=%d: drained unmarked block %d", tc.n, tc.grain, b)
+			}
+			if int(b) <= prev {
+				t.Fatalf("n=%d grain=%d: blocks not ascending", tc.n, tc.grain)
+			}
+			prev = int(b)
+		}
+	}
+}
+
+func TestValidateBlocks(t *testing.T) {
+	// Valid ascending list covering a short tail block.
+	total, err := ValidateBlocks([]uint32{0, 2, 3}, 3, 26, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8+8+2 {
+		t.Fatalf("covered %d entries, want 18", total)
+	}
+	if _, err := ValidateBlocks([]uint32{2, 1}, 3, 26, "test"); err == nil {
+		t.Fatal("descending blocks accepted")
+	}
+	if _, err := ValidateBlocks([]uint32{1, 1}, 3, 26, "test"); err == nil {
+		t.Fatal("duplicate blocks accepted")
+	}
+	if _, err := ValidateBlocks([]uint32{4}, 3, 26, "test"); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, err := ValidateBlocks(nil, 40, 26, "test"); err == nil {
+		t.Fatal("absurd grain accepted")
+	}
+}
+
+// TestMarkZeroAlloc pins Mark to zero allocations — it lives inside
+// the warm fast paths.
+func TestMarkZeroAlloc(t *testing.T) {
+	bm := NewBitmap(4096, 3)
+	if allocs := testing.AllocsPerRun(1000, func() { bm.Mark(123) }); allocs != 0 {
+		t.Fatalf("Mark allocates %.1f objects/op", allocs)
+	}
+}

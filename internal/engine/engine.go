@@ -59,6 +59,16 @@ type Options struct {
 	// later runs. Early-terminated sweeps are not persisted (they are
 	// incomplete).
 	Store *checkpoint.Store
+	// Cache, when non-nil, is the in-memory analogue of Store, checked
+	// after it: a cached Set for this key skips the sweep, and a
+	// completed fresh sweep is cached. The sim session attaches one to
+	// storeless sessions so sweep reuse does not require disk.
+	Cache *checkpoint.MemCache
+	// Keyframe overrides checkpoint.Params.Keyframe (the full-snapshot
+	// interval of delta-encoded capture) when positive. It changes only
+	// the encoding, never the materialized launch states, and is
+	// excluded from the store key.
+	Keyframe int
 	// TwoPhase disables capture/replay overlap: the full sweep runs
 	// before the first worker starts, as the engine behaved before the
 	// streaming pipeline. Results are bit-identical either way; the
@@ -165,10 +175,15 @@ func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpo
 		return nil, err
 	}
 	start := time.Now()
+	if opt.Keyframe > 0 {
+		p.Keyframe = opt.Keyframe
+	}
 
 	var key checkpoint.Key
-	if opt.Store != nil {
+	if opt.Store != nil || opt.Cache != nil {
 		key = checkpoint.KeyFor(prog, cfg, p)
+	}
+	if opt.Store != nil {
 		set, err := opt.Store.Load(key)
 		if err != nil {
 			return nil, err
@@ -178,6 +193,21 @@ func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpo
 				opt.OnCaptured(len(set.Units))
 			}
 			res, err := replaySet(ctx, prog, cfg, p.U, set, opt, start)
+			if err != nil {
+				return nil, err
+			}
+			res.SweepCached = true
+			return res, nil
+		}
+	}
+	if opt.Cache != nil {
+		if set := opt.Cache.Get(key); set != nil {
+			if opt.OnCaptured != nil {
+				opt.OnCaptured(len(set.Units))
+			}
+			// The cached set stays shared; replay a copy (replaySet nils
+			// dispatched entries).
+			res, err := replaySet(ctx, prog, cfg, p.U, copySet(set), opt, start)
 			if err != nil {
 				return nil, err
 			}
@@ -199,9 +229,25 @@ func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpo
 				opt.Store.Log("checkpoint store: save failed: %v", err)
 			}
 		}
+		if opt.Cache != nil {
+			opt.Cache.Put(key, copySet(set))
+		}
 		return replaySet(ctx, prog, cfg, p.U, set, opt, start)
 	}
 	return replayStreaming(ctx, prog, cfg, p, key, opt, start)
+}
+
+// copySet shallow-copies a Set so replaySet's entry-nilling never
+// touches a shared original; the units themselves stay shared (replay
+// only reads them).
+func copySet(set *checkpoint.Set) *checkpoint.Set {
+	return &checkpoint.Set{
+		Units:           append([]*checkpoint.Unit(nil), set.Units...),
+		K:               set.K,
+		PopulationUnits: set.PopulationUnits,
+		SweepInsts:      set.SweepInsts,
+		SweepTime:       set.SweepTime,
+	}
 }
 
 // RunSet replays an already-captured set of launch states across the
@@ -222,14 +268,7 @@ func RunSet(ctx context.Context, prog *program.Program, cfg uarch.Config, u uint
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	copied := &checkpoint.Set{
-		Units:           append([]*checkpoint.Unit(nil), set.Units...),
-		K:               set.K,
-		PopulationUnits: set.PopulationUnits,
-		SweepInsts:      set.SweepInsts,
-		SweepTime:       set.SweepTime,
-	}
-	return replaySet(ctx, prog, cfg, u, copied, opt, time.Now())
+	return replaySet(ctx, prog, cfg, u, copySet(set), opt, time.Now())
 }
 
 // replaySet feeds an in-memory set through the replay pool. It owns
@@ -294,6 +333,9 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 				sw = nil
 			}
 		}
+		// With an in-memory cache attached, retain the streamed units so
+		// a complete sweep can be cached for later requests.
+		var retained []*checkpoint.Unit
 		captured := 0
 		sum, err := checkpoint.CaptureStream(ctx, prog, cfg, p, func(cu *checkpoint.Unit) bool {
 			if sw != nil {
@@ -301,6 +343,9 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 					opt.Store.Log("checkpoint store: save failed mid-sweep: %v", werr)
 					sw = nil
 				}
+			}
+			if opt.Cache != nil {
+				retained = append(retained, cu)
 			}
 			select {
 			case col.feed <- cu:
@@ -322,6 +367,15 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 			} else {
 				sw.Abort()
 			}
+		}
+		if opt.Cache != nil && err == nil && sum.Complete {
+			opt.Cache.Put(key, &checkpoint.Set{
+				Units:           retained,
+				K:               p.K,
+				PopulationUnits: sum.PopulationUnits,
+				SweepInsts:      sum.SweepInsts,
+				SweepTime:       sum.SweepTime,
+			})
 		}
 		sweepc <- sweepOut{sum, err}
 	}()
@@ -517,22 +571,23 @@ func worker(prog *program.Program, cfg uarch.Config, u uint64, jobs <-chan unitJ
 func replay(prog *program.Program, cfg uarch.Config, cu *checkpoint.Unit, u uint64) unitDone {
 	machine := uarch.NewMachine(cfg)
 	// Delta-encoded snapshots are materialized here, on the worker, so
-	// the capture sweep's critical path copies only dirty blocks; the
-	// reconstruction (clone keyframe, apply the delta chain) is read-only
-	// on the shared snapshots and therefore safe at any worker count.
-	warm, err := cu.MaterializeWarm()
+	// the capture sweep's critical path copies only dirty blocks and
+	// pages; the reconstruction (clone keyframe, apply the delta chain —
+	// warm state and memory alike) is read-only on the shared snapshots
+	// and therefore safe at any worker count.
+	launch, err := cu.Materialize()
 	if err != nil {
 		return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
 	}
-	if warm != nil {
-		if err := machine.Hier.Restore(warm.Hier); err != nil {
+	if launch.Warm != nil {
+		if err := machine.Hier.Restore(launch.Warm.Hier); err != nil {
 			return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
 		}
-		if err := machine.Pred.Restore(warm.Pred); err != nil {
+		if err := machine.Pred.Restore(launch.Warm.Pred); err != nil {
 			return unitDone{err: fmt.Errorf("engine: unit %d: %w", cu.Index, err)}
 		}
 	}
-	cpu := functional.NewAt(prog, cu.Arch, cu.Mem.NewMemory())
+	cpu := functional.NewAt(prog, cu.Arch, launch.Mem.NewMemory())
 	src := &uarch.Source{CPU: cpu}
 	core := uarch.NewCore(machine)
 

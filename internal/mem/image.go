@@ -17,6 +17,10 @@ type Image struct {
 // stays usable; its subsequent writes copy pages privately and do not
 // leak into the image (nor into memories built from it). The snapshot
 // itself is O(allocated pages) in time and shares all page storage.
+//
+// Snapshot is also the keyframe of the memory's delta chain: it resets
+// the dirty-page journal, so the next Delta carries exactly the pages
+// written from here on (see delta.go in this package).
 func (m *Memory) Snapshot() *Image {
 	img := &Image{pages: make(map[uint64]*[PageSize]byte, len(m.pages))}
 	if m.shared == nil {
@@ -27,6 +31,8 @@ func (m *Memory) Snapshot() *Image {
 		m.shared[num] = struct{}{}
 	}
 	m.lastWritable = false
+	m.journal = m.journal[:0]
+	m.chain.Keyframe()
 	return img
 }
 

@@ -9,6 +9,8 @@ package mem
 import (
 	"encoding/binary"
 	"sort"
+
+	"repro/internal/delta"
 )
 
 // Page geometry.
@@ -34,6 +36,12 @@ type Memory struct {
 	lastPageNum  uint64
 	lastPage     *[PageSize]byte
 	lastWritable bool
+
+	// journal lists the pages made writable since the last snapshot
+	// point, and chain numbers the snapshot points — the dirty-page
+	// journal behind the delta contract (see delta.go in this package).
+	journal []uint64
+	chain   delta.Chain
 }
 
 // New returns an empty memory.
@@ -71,12 +79,14 @@ func (m *Memory) wpage(addr uint64) *[PageSize]byte {
 	case !ok:
 		p = new([PageSize]byte)
 		m.pages[num] = p
+		m.record(num)
 	case m.isShared(num):
 		cp := new([PageSize]byte)
 		*cp = *p
 		m.pages[num] = cp
 		delete(m.shared, num)
 		p = cp
+		m.record(num)
 	}
 	m.lastPageNum, m.lastPage, m.lastWritable = num, p, true
 	return p
@@ -244,13 +254,17 @@ func (m *Memory) PageCount() int { return len(m.pages) }
 // Footprint returns the number of bytes of allocated backing store.
 func (m *Memory) Footprint() uint64 { return uint64(len(m.pages)) * PageSize }
 
-// Reset discards all contents.
+// Reset discards all contents. It also invalidates any delta chain in
+// progress: pages vanish here, which a dirty-page delta cannot express,
+// so the next chain must start with a fresh Snapshot.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*[PageSize]byte)
 	m.shared = nil
 	m.lastPage = nil
 	m.lastPageNum = 0
 	m.lastWritable = false
+	m.journal = m.journal[:0]
+	m.chain.Invalidate()
 }
 
 // Clone returns a deep copy of the memory. Simulators use it to rerun a

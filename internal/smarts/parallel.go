@@ -29,6 +29,15 @@ type EngineOptions struct {
 	// Store, when non-nil, persists and reuses capture sweeps on disk
 	// (see checkpoint.Store). Plan.Store is used when this is nil.
 	Store *checkpoint.Store
+	// Cache, when non-nil, reuses capture sweeps in memory (checked
+	// after the store); the sim session attaches one to storeless
+	// sessions.
+	Cache *checkpoint.MemCache
+	// Keyframe overrides the delta-encoded capture's full-snapshot
+	// interval when positive (see checkpoint.Params.Keyframe). Encoding
+	// only — materialized launch states, and therefore results, are
+	// unchanged.
+	Keyframe int
 	// TwoPhase runs the engine's capture-then-replay schedule instead of
 	// the streaming pipeline; results are bit-identical either way.
 	TwoPhase bool
@@ -51,6 +60,8 @@ func (opt EngineOptions) engineOptions() engine.Options {
 		TargetEps:  opt.TargetEps,
 		MinUnits:   opt.MinUnits,
 		Store:      opt.Store,
+		Cache:      opt.Cache,
+		Keyframe:   opt.Keyframe,
 		TwoPhase:   opt.TwoPhase,
 		OnCaptured: opt.OnCaptured,
 		OnReplayed: opt.OnReplayed,
@@ -164,14 +175,20 @@ func RunSampledPhasesContext(ctx context.Context, prog *program.Program, cfg uar
 	params := plan.params()
 	params.J = 0
 	params.Offsets = js
+	if opt.Keyframe > 0 {
+		params.Keyframe = opt.Keyframe
+	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 
 	var set *checkpoint.Set
 	sweepCached := false
+	var key checkpoint.Key
+	if opt.Store != nil || opt.Cache != nil {
+		key = checkpoint.KeyFor(prog, cfg, params)
+	}
 	if opt.Store != nil {
-		key := checkpoint.KeyFor(prog, cfg, params)
 		cached, err := opt.Store.Load(key)
 		if err != nil {
 			return nil, err
@@ -179,20 +196,27 @@ func RunSampledPhasesContext(ctx context.Context, prog *program.Program, cfg uar
 		if cached != nil {
 			set = cached
 			sweepCached = true
-		} else {
-			set, err = checkpoint.Capture(ctx, prog, cfg, params)
-			if err != nil {
-				return nil, err
-			}
-			if serr := opt.Store.Save(key, set); serr != nil {
-				opt.Store.Log("checkpoint store: save failed: %v", serr)
-			}
 		}
-	} else {
+	}
+	if set == nil && opt.Cache != nil {
+		if cached := opt.Cache.Get(key); cached != nil {
+			set = cached
+			sweepCached = true
+		}
+	}
+	if set == nil {
 		var err error
 		set, err = checkpoint.Capture(ctx, prog, cfg, params)
 		if err != nil {
 			return nil, err
+		}
+		if opt.Store != nil {
+			if serr := opt.Store.Save(key, set); serr != nil {
+				opt.Store.Log("checkpoint store: save failed: %v", serr)
+			}
+		}
+		if opt.Cache != nil {
+			opt.Cache.Put(key, set)
 		}
 	}
 	if opt.OnCaptured != nil {

@@ -5,9 +5,14 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/delta"
 	"repro/internal/functional"
 	"repro/internal/isa"
 )
+
+// The warmer implements the shared snapshot/delta contract for the
+// warmed ensemble (hierarchy + predictor).
+var _ delta.Source[*WarmSnapshot, *WarmDelta] = (*Warmer)(nil)
 
 // WarmComponents selects which microarchitectural structures functional
 // warming maintains. The paper's functional warming maintains all of
@@ -34,9 +39,12 @@ type Warmer struct {
 	haveIBlock bool
 	rec        functional.DynInst
 
-	// snapSeq numbers the snapshots taken through Snapshot/SnapshotDelta
-	// so delta chains can assert they extend the latest baseline.
-	snapSeq uint64
+	// chain numbers the snapshots taken through Snapshot/Delta so delta
+	// chains can assert they extend the latest baseline. The warmed
+	// structures each keep their own chain, advanced in lockstep by the
+	// warmer; a structure snapshotted out-of-band desynchronizes and the
+	// next Delta fails rather than silently dropping updates.
+	chain delta.Chain
 
 	// Components selects the warmed structures; zero value warms nothing,
 	// NewWarmer initializes it to AllComponents.
@@ -50,12 +58,12 @@ func NewWarmer(m *Machine, cfg Config) *Warmer {
 
 // WarmSnapshot is a full snapshot of the warmed structures — cache/TLB
 // hierarchy and branch predictor — tagged with its sequence number, the
-// baseline identity subsequent SnapshotDelta calls key off.
+// baseline identity subsequent Delta calls key off.
 type WarmSnapshot struct {
 	Hier *cache.HierarchyState
 	Pred *bpred.State
 	// Seq identifies this snapshot within the warmer's chain; pass it to
-	// SnapshotDelta to capture the changes since this point.
+	// Delta to capture the changes since this point.
 	Seq uint64
 }
 
@@ -74,35 +82,39 @@ type WarmDelta struct {
 func (d *WarmDelta) Bytes() int { return d.Hier.Bytes() + d.Pred.Bytes() }
 
 // Snapshot captures the machine's full warm state and resets dirty
-// tracking, making this snapshot the baseline for the next
-// SnapshotDelta — the keyframe of a delta chain.
+// tracking, making this snapshot the baseline for the next Delta — the
+// keyframe of a delta chain.
 func (w *Warmer) Snapshot() *WarmSnapshot {
-	w.snapSeq++
-	s := &WarmSnapshot{
+	return &WarmSnapshot{
 		Hier: w.machine.Hier.Snapshot(),
 		Pred: w.machine.Pred.Snapshot(),
-		Seq:  w.snapSeq,
+		Seq:  w.chain.Keyframe(),
 	}
-	w.machine.Hier.ResetDirty()
-	w.machine.Pred.ResetDirty()
-	return s
 }
 
-// SnapshotDelta captures only the state dirtied since the snapshot
-// numbered since, which must be the warmer's most recent snapshot (full
-// or delta) — deltas chain strictly; skipping a link would silently
-// drop updates, so that is an error.
-func (w *Warmer) SnapshotDelta(since uint64) (*WarmDelta, error) {
-	if w.snapSeq == 0 || since != w.snapSeq {
-		return nil, fmt.Errorf("uarch: delta against snapshot %d, latest is %d", since, w.snapSeq)
+// Seq returns the warmer's current snapshot-chain link (0 before the
+// first Snapshot).
+func (w *Warmer) Seq() uint64 { return w.chain.Seq() }
+
+// Delta captures only the state dirtied since the snapshot numbered
+// since, which must be the warmer's most recent snapshot (full or
+// delta) — deltas chain strictly; skipping a link would silently drop
+// updates, so that is an error (enforced here and again by each
+// structure's own chain).
+func (w *Warmer) Delta(since uint64) (*WarmDelta, error) {
+	seq, err := w.chain.Next(since)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: %w", err)
 	}
-	w.snapSeq++
-	return &WarmDelta{
-		Hier:  w.machine.Hier.SnapshotDelta(),
-		Pred:  w.machine.Pred.SnapshotDelta(),
-		Since: since,
-		Seq:   w.snapSeq,
-	}, nil
+	hier, err := w.machine.Hier.Delta(since)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: %w", err)
+	}
+	pred, err := w.machine.Pred.Delta(since)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: %w", err)
+	}
+	return &WarmDelta{Hier: hier, Pred: pred, Since: since, Seq: seq}, nil
 }
 
 // Forward advances the CPU by n instructions with functional warming.

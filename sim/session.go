@@ -25,6 +25,11 @@ type Session struct {
 	set settings
 
 	store *checkpoint.Store
+	// sweeps is the in-memory sweep cache of storeless sessions: the
+	// singleflight's leader parks its captured launch states here so
+	// waiters (and later requests) reuse them without a disk store.
+	// Nil when a store is attached — the store already shares sweeps.
+	sweeps *checkpoint.MemCache
 
 	mu          sync.Mutex
 	closed      bool
@@ -51,6 +56,7 @@ type settings struct {
 	storeMax  int64
 	workers   int
 	alpha     float64
+	keyframe  int
 	logf      func(format string, args ...any)
 	progress  ProgressFunc
 	defLength uint64
@@ -102,6 +108,24 @@ func WithAlpha(alpha float64) Option {
 			return fmt.Errorf("sim: confidence parameter %v outside (0,1)", alpha)
 		}
 		s.alpha = alpha
+		return nil
+	}
+}
+
+// WithKeyframe sets the keyframe interval of delta-encoded checkpoint
+// capture: every n-th captured unit carries a full snapshot (warm state
+// and memory page table), the units between carry dirty-block and
+// dirty-page deltas. 0 keeps the built-in default; 1 disables deltas
+// (every unit a full snapshot). The interval trades store-entry and
+// in-memory snapshot size against per-replay materialization work; it
+// never changes results, and existing store entries stay valid (the
+// interval is excluded from the store key).
+func WithKeyframe(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("sim: negative keyframe interval %d", n)
+		}
+		s.keyframe = n
 		return nil
 	}
 }
@@ -165,6 +189,10 @@ func Open(opts ...Option) (*Session, error) {
 		store.MaxBytes = set.storeMax
 		store.Logf = set.logf
 		s.store = store
+	} else {
+		// Storeless sessions still deduplicate and reuse sweeps — in
+		// memory, for the session's lifetime.
+		s.sweeps = checkpoint.NewMemCache()
 	}
 	return s, nil
 }
@@ -194,6 +222,17 @@ func (s *Session) StoreDir() string {
 		return ""
 	}
 	return s.store.Dir()
+}
+
+// SweepCacheStats returns the in-memory sweep cache's lifetime hit/miss
+// counts; ok is false when the session runs with an on-disk store
+// (which shares sweeps instead — see StoreStats).
+func (s *Session) SweepCacheStats() (hits, misses uint64, ok bool) {
+	if s.sweeps == nil {
+		return 0, 0, false
+	}
+	hits, misses = s.sweeps.Stats()
+	return hits, misses, true
 }
 
 // Workload returns the generated workload for (name, length), building
@@ -424,10 +463,12 @@ func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, 
 		Alpha:     s.effAlpha(req),
 		TargetEps: req.TargetEps,
 		MinUnits:  req.MinUnits,
+		Keyframe:  s.set.keyframe,
 		TwoPhase:  req.TwoPhase,
 	}
 	if !req.NoStore {
 		opt.Store = s.store
+		opt.Cache = s.sweeps
 	}
 	if sink != nil {
 		opt.OnCaptured = func(captured int) {
@@ -459,8 +500,10 @@ func (s *Session) runPlan(ctx context.Context, req *Request, prog *program.Progr
 		// Sweep deduplication needs a committable sweep: early-terminated
 		// sweeps are incomplete and never persisted, so deduplicating
 		// them would only serialize the contenders behind leaders that
-		// can never produce a reusable entry.
-		if opt.Store != nil && req.TargetEps <= 0 {
+		// can never produce a reusable entry. It works for storeless
+		// sessions too — the leader parks the captured set in the
+		// session's in-memory sweep cache.
+		if (opt.Store != nil || opt.Cache != nil) && req.TargetEps <= 0 {
 			key := checkpoint.KeyFor(prog, cfg, plan.CheckpointParams())
 			res, err = s.singleflight(ctx, key, run)
 		} else {
@@ -528,7 +571,7 @@ func (s *Session) runPhases(ctx context.Context, req *Request, prog *program.Pro
 	}
 	var results []*Result
 	var err error
-	if opt.Store != nil && req.TargetEps <= 0 {
+	if (opt.Store != nil || opt.Cache != nil) && req.TargetEps <= 0 {
 		params := plan.CheckpointParams()
 		params.J = 0
 		params.Offsets = req.Offsets
@@ -677,13 +720,27 @@ func (s *Session) expContext(scale string, req *Request) (*experiments.Context, 
 
 // singleflight deduplicates concurrent sweep generation for one store
 // key: the first request becomes the leader and runs fn (sweeping and
-// committing the entry); concurrent requests for the same key wait for
-// the leader, then run fn themselves against the now-committed entry
-// (a store hit — no second sweep). If the leader failed or was
-// cancelled before committing, each waiter retries leadership in turn,
-// so one bad run never poisons the key.
+// committing the entry — to the on-disk store, or to the in-memory
+// sweep cache on storeless sessions); concurrent requests for the same
+// key wait for the leader, then run fn themselves against the
+// now-committed entry (a hit — no second sweep). If the leader failed
+// or was cancelled before committing, each waiter retries leadership in
+// turn, so one bad run never poisons the key.
 func (s *Session) singleflight(ctx context.Context, key checkpoint.Key, fn func() (*Result, error)) (*Result, error) {
 	return singleflightDo(ctx, s, key, fn)
+}
+
+// sweepAvailable reports whether a committed sweep for key is reusable
+// — from the on-disk store or the in-memory cache, whichever the
+// session runs with.
+func (s *Session) sweepAvailable(key checkpoint.Key) bool {
+	if s.store != nil && s.store.Contains(key) {
+		return true
+	}
+	if s.sweeps != nil && s.sweeps.Contains(key) {
+		return true
+	}
+	return false
 }
 
 // singleflightDo is the generic form of Session.singleflight (the
@@ -713,8 +770,8 @@ func singleflightDo[T any](ctx context.Context, s *Session, key checkpoint.Key, 
 			var zero T
 			return zero, ctx.Err()
 		}
-		if s.store != nil && s.store.Contains(key) {
-			// The leader committed; run against the entry (store hit).
+		if s.sweepAvailable(key) {
+			// The leader committed; run against the entry (a hit).
 			return fn()
 		}
 		// Leader failed or never committed (early termination, error,

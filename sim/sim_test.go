@@ -269,3 +269,31 @@ func TestClosedSession(t *testing.T) {
 		t.Fatal("closed session accepted a run")
 	}
 }
+
+// TestKeyframeOptionBitIdentical pins the WithKeyframe contract: the
+// keyframe interval changes only the checkpoint encoding, never the
+// measurement — every interval (full snapshots, tight chains, one long
+// chain) reports bit-identical results.
+func TestKeyframeOptionBitIdentical(t *testing.T) {
+	var want *sim.Report
+	for _, kf := range []int{0, 1, 3, 64} {
+		sess, err := sim.Open(sim.WithWorkers(2), sim.WithKeyframe(kf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.Run(context.Background(),
+			sim.NewRequest(testBench, sim.Length(testLen), sim.Units(60)))
+		sess.Close()
+		if err != nil {
+			t.Fatalf("keyframe %d: %v", kf, err)
+		}
+		if want == nil {
+			want = rep
+			continue
+		}
+		sameMeasurement(t, "keyframe interval", rep.Result(), want.Result())
+	}
+	if _, err := sim.Open(sim.WithKeyframe(-1)); err == nil {
+		t.Fatal("negative keyframe accepted")
+	}
+}
