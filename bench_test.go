@@ -13,18 +13,21 @@ package repro
 
 import (
 	"context"
-
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/program"
 	"repro/internal/smarts"
 	"repro/internal/stats"
 	"repro/internal/uarch"
+	"repro/sim"
 )
 
 var (
@@ -359,6 +362,96 @@ func BenchmarkEnginePipelined(b *testing.B) {
 			b.ReportMetric(float64(coldTime)/float64(cachedTime), "storeSpeedupX")
 			b.ReportMetric(float64(len(streamed.Units))/streamedTime.Seconds(), "units/s")
 		}
+	}
+}
+
+// BenchmarkDistributedLoopback tracks the distributed sampling service
+// against the in-process engine it must reproduce: a loopback
+// coordinator with two workers (two replay workers each, matching
+// BenchmarkEnginePipelined's 4) runs the same ≥1M-instruction plan as
+// BenchmarkEnginePipelined. shardedUnits/s is distributed replay
+// throughput on a warm sweep cache, and mergeOverheadX is distributed
+// wall clock over local engine wall clock — the HTTP/JSON shard
+// round-trip cost, since both sides replay identical snapshot sets.
+// Both runs must agree bit for bit.
+func BenchmarkDistributedLoopback(b *testing.B) {
+	spec, err := program.ByName("gccx")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := program.Generate(spec, 2_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := uarch.Config8Way()
+	plan := smarts.PlanForN(p.Length, 1000, smarts.RecommendedW(cfg), 400,
+		smarts.FunctionalWarming, 0)
+
+	coord, err := dist.NewCoordinator(dist.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+	for i := 0; i < 2; i++ {
+		var w *dist.Worker
+		var h http.Handler
+		srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			h.ServeHTTP(rw, r)
+		}))
+		defer srv.Close()
+		w = dist.NewWorker(dist.WorkerOptions{
+			Coordinator:  coordSrv.URL,
+			Self:         srv.URL,
+			Workers:      2,
+			PollInterval: 5 * time.Millisecond,
+		})
+		h = w.Handler()
+		coord.AddWorker(srv.URL)
+	}
+	client := dist.NewClient(coordSrv.URL)
+	req := func() *sim.Request {
+		return sim.NewRequest("gccx", sim.Length(2_000_000),
+			sim.UnitSize(plan.U), sim.Warmup(plan.W), sim.Interval(plan.K),
+			sim.Phase(plan.J), sim.Warming(sim.FunctionalWarming))
+	}
+
+	cache := checkpoint.NewMemCache()
+	local := func() (*smarts.Result, time.Duration) {
+		start := time.Now()
+		res, err := smarts.RunSampled(p, cfg, plan, smarts.EngineOptions{Workers: 4, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(start)
+	}
+	// Warm both sides' sweep caches so the measured loop compares replay
+	// and merge, not sweep scheduling.
+	localRes, _ := local()
+	if _, err := client.Run(context.Background(), req()); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rep, err := client.Run(context.Background(), req())
+		if err != nil {
+			b.Fatal(err)
+		}
+		distTime := time.Since(start)
+
+		b.StopTimer()
+		_, localTime := local()
+		if i == 0 {
+			res := rep.Result()
+			if got, want := res.CPIEstimate(stats.Alpha997), localRes.CPIEstimate(stats.Alpha997); got != want {
+				b.Fatalf("distributed estimate disagrees: %v vs %v", got, want)
+			}
+			b.ReportMetric(float64(len(res.Units))/distTime.Seconds(), "shardedUnits/s")
+			b.ReportMetric(float64(distTime)/float64(localTime), "mergeOverheadX")
+		}
+		b.StartTimer()
 	}
 }
 

@@ -66,9 +66,26 @@
 // Every variant — streamed, two-phase, store-loaded, multi-offset,
 // cancelled-and-rerun — produces bit-identical estimates.
 //
+// # Distributed sampling
+//
+// internal/dist scales the same runs across machines: a coordinator
+// (cmd/simd coordinator) splits a run's sampled units into contiguous
+// shard ranges, a worker fleet (cmd/simd worker) replays them through
+// the same engine, and a stream-order merge reproduces the
+// single-machine report bit for bit at any (machine × worker) count —
+// including confidence-targeted early termination, worker failure with
+// shard reassignment, and run cancellation. The fleet shares one
+// functional sweep per checkpoint key through a claim protocol (the
+// session singleflight, fleet-wide) backed by the coordinator's sweep
+// cache and optional on-disk store; the format-v3 store codec doubles
+// as the wire encoding. dist.Client has the same Run(ctx, *Request)
+// shape as sim.Session, so callers swap local for distributed
+// execution with one constructor (examples/distributed).
+//
 // Executables are under cmd/ (their shared flags live in
 // sim/simflag), runnable examples under examples/ (examples/service
-// shows the concurrent session usage), and the benchmarks in
+// shows the concurrent session usage, examples/distributed the
+// loopback fleet), and the benchmarks in
 // bench_test.go regenerate every table and figure of the paper's
 // evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
 package repro

@@ -375,19 +375,17 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 	}
 }
 
-// SetWriter streams a capture into the store as units are emitted, so
-// saving adds no memory footprint to the pipelined engine. Commit
-// finalizes the entry atomically; Abort discards it. Exactly one of the
-// two must be called.
-type SetWriter struct {
-	store *Store
-	key   Key
-	tmp   *os.File
-	cw    *codecWriter
+// setEncoder writes one entry's byte stream (header, manifest, page and
+// unit records, keyframe index, end record) to any io.Writer. It is the
+// shared encoding core of the store's SetWriter and of EncodeSet, the
+// wire form the distributed service ships sweeps with — both produce
+// the identical format-v3 byte stream.
+type setEncoder struct {
+	cw *codecWriter
 	// table is the running reconstruction of the stream's current page
 	// table (page number → array) and ids maps its arrays to their page-
 	// record ids. Keyframes replace the table; deltas overlay it. Pages
-	// the stream has replaced drop out, so the writer's footprint stays
+	// the stream has replaced drop out, so the encoder's footprint stays
 	// bounded by the live footprint — it must not pin the whole stream
 	// in the pipelined engine — while pages shared copy-on-write across
 	// any span of units are written exactly once (sharing is contiguous
@@ -404,9 +402,44 @@ type SetWriter struct {
 	// instead.
 	prevUnit *Unit
 	// keyframes holds the ordinals of full-snapshot units for the
-	// keyframe index record Commit emits.
+	// keyframe index record finish emits.
 	keyframes []uint64
-	err       error
+}
+
+// newSetEncoder writes the header and manifest for an entry keyed by k
+// and returns the encoder for its records.
+func newSetEncoder(w io.Writer, k Key, pop uint64) (*setEncoder, error) {
+	if _, err := w.Write(storeMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(storeVersion)); err != nil {
+		return nil, err
+	}
+	e := &setEncoder{
+		cw:    newCodecWriter(w),
+		table: make(map[uint64]*[mem.PageSize]byte),
+		ids:   make(map[*[mem.PageSize]byte]uint64),
+	}
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(storeManifest{Key: k, PopulationUnits: pop}); err != nil {
+		return nil, err
+	}
+	if err := e.cw.bytes(blob.Bytes()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetWriter streams a capture into the store as units are emitted, so
+// saving adds no memory footprint to the pipelined engine. Commit
+// finalizes the entry atomically; Abort discards it. Exactly one of the
+// two must be called.
+type SetWriter struct {
+	store *Store
+	key   Key
+	tmp   *os.File
+	enc   *setEncoder
+	err   error
 }
 
 // Writer stages a new store entry for k. pop is the workload's
@@ -416,29 +449,13 @@ func (s *Store) Writer(k Key, pop uint64) (*SetWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: store writer: %w", err)
 	}
-	w := &SetWriter{
-		store: s, key: k, tmp: tmp,
-		table: make(map[uint64]*[mem.PageSize]byte),
-		ids:   make(map[*[mem.PageSize]byte]uint64),
-	}
-	if _, err := tmp.Write(storeMagic[:]); err != nil {
+	w := &SetWriter{store: s, key: k, tmp: tmp}
+	enc, err := newSetEncoder(tmp, k, pop)
+	if err != nil {
 		w.fail(err)
 		return nil, w.err
 	}
-	if err := binary.Write(tmp, binary.LittleEndian, uint32(storeVersion)); err != nil {
-		w.fail(err)
-		return nil, w.err
-	}
-	w.cw = newCodecWriter(tmp)
-	var blob bytes.Buffer
-	if err := gob.NewEncoder(&blob).Encode(storeManifest{Key: k, PopulationUnits: pop}); err != nil {
-		w.fail(err)
-		return nil, w.err
-	}
-	if err := w.cw.bytes(blob.Bytes()); err != nil {
-		w.fail(err)
-		return nil, w.err
-	}
+	w.enc = enc
 	return w, nil
 }
 
@@ -460,24 +477,23 @@ func (w *SetWriter) cleanup() {
 
 // page ensures data has a page record, writing one on first sight, and
 // returns its id.
-func (w *SetWriter) page(data *[mem.PageSize]byte) (uint64, error) {
-	if id, ok := w.ids[data]; ok {
+func (e *setEncoder) page(data *[mem.PageSize]byte) (uint64, error) {
+	if id, ok := e.ids[data]; ok {
 		return id, nil
 	}
-	id := w.nextPage
-	w.nextPage++
-	if err := w.cw.u64(recPage); err != nil {
+	id := e.nextPage
+	e.nextPage++
+	if err := e.cw.u64(recPage); err != nil {
 		return 0, err
 	}
-	if err := w.cw.bytes(data[:]); err != nil {
+	if err := e.cw.bytes(data[:]); err != nil {
 		return 0, err
 	}
-	w.ids[data] = id
+	e.ids[data] = id
 	return id, nil
 }
 
-// Add appends one unit. Errors are sticky; after the first, Add becomes
-// a no-op returning the same error, and Commit will refuse.
+// add appends one unit's records.
 //
 // A unit is written as a delta exactly when it carries a memory delta
 // extending the previously written unit — the only chain shape the
@@ -485,36 +501,30 @@ func (w *SetWriter) page(data *[mem.PageSize]byte) (uint64, error) {
 // out-of-order units from an offset sub-set, units loaded from pre-v3
 // entries whose memory is full but warm state delta-encoded) is
 // materialized and written as a full keyframe.
-func (w *SetWriter) Add(u *Unit) error {
-	if w.err != nil {
-		return w.err
-	}
-	if u.MemDelta != nil && u.Warm == nil && u.Prev == w.prevUnit && w.prevUnit != nil {
+func (e *setEncoder) add(u *Unit) error {
+	if u.MemDelta != nil && u.Warm == nil && u.Prev == e.prevUnit && e.prevUnit != nil {
 		// Chain-aligned delta unit: write only the dirty pages.
 		nums := u.MemDelta.Nums
 		refs := make([]uint64, len(nums))
 		for i, data := range u.MemDelta.Pages {
-			id, err := w.page(data)
+			id, err := e.page(data)
 			if err != nil {
-				w.fail(err)
-				return w.err
+				return err
 			}
 			refs[i] = id
-			if old, ok := w.table[nums[i]]; ok && old != data {
-				delete(w.ids, old)
+			if old, ok := e.table[nums[i]]; ok && old != data {
+				delete(e.ids, old)
 			}
-			w.table[nums[i]] = data
+			e.table[nums[i]] = data
 		}
-		if err := w.cw.u64(recUnit); err != nil {
-			w.fail(err)
-			return w.err
+		if err := e.cw.u64(recUnit); err != nil {
+			return err
 		}
-		if err := w.cw.unit(u, memDelta, nums, refs, nil, u.Delta); err != nil {
-			w.fail(err)
-			return w.err
+		if err := e.cw.unit(u, memDelta, nums, refs, nil, u.Delta); err != nil {
+			return err
 		}
-		w.prevUnit = u
-		w.units++
+		e.prevUnit = u
+		e.units++
 		return nil
 	}
 
@@ -524,8 +534,7 @@ func (w *SetWriter) Add(u *Unit) error {
 	if img == nil || (u.Warm == nil && u.Delta != nil) {
 		launch, err := u.Materialize()
 		if err != nil {
-			w.fail(err)
-			return w.err
+			return err
 		}
 		img, warm = launch.Mem, launch.Warm
 	}
@@ -537,7 +546,7 @@ func (w *SetWriter) Add(u *Unit) error {
 		if encErr != nil {
 			return
 		}
-		id, err := w.page(data)
+		id, err := e.page(data)
 		if err != nil {
 			encErr = err
 			return
@@ -548,24 +557,52 @@ func (w *SetWriter) Add(u *Unit) error {
 		refs = append(refs, id)
 	})
 	if encErr != nil {
-		w.fail(encErr)
-		return w.err
+		return encErr
 	}
 	// Replace the running table: pages the stream no longer maps drop
 	// their ids, keeping the dedup window at the live footprint.
-	w.table, w.ids = table, ids
-	if err := w.cw.u64(recUnit); err != nil {
-		w.fail(err)
-		return w.err
+	e.table, e.ids = table, ids
+	if err := e.cw.u64(recUnit); err != nil {
+		return err
 	}
-	if err := w.cw.unit(u, memFull, nums, refs, warm, nil); err != nil {
-		w.fail(err)
-		return w.err
+	if err := e.cw.unit(u, memFull, nums, refs, warm, nil); err != nil {
+		return err
 	}
-	w.keyframes = append(w.keyframes, uint64(w.units))
-	w.prevUnit = u
-	w.units++
+	e.keyframes = append(e.keyframes, uint64(e.units))
+	e.prevUnit = u
+	e.units++
 	return nil
+}
+
+// finish seals the record stream with the keyframe index, the end
+// record carrying the sweep totals, and a flush of the encoder's
+// buffer.
+func (e *setEncoder) finish(sweepInsts uint64, sweepTime time.Duration) error {
+	if err := e.cw.u64(recKeyIdx); err != nil {
+		return err
+	}
+	if err := e.cw.u64s(e.keyframes); err != nil {
+		return err
+	}
+	for _, v := range []uint64{recEnd, uint64(e.units), sweepInsts, uint64(int64(sweepTime))} {
+		if err := e.cw.u64(v); err != nil {
+			return err
+		}
+	}
+	return e.cw.w.Flush()
+}
+
+// Add appends one unit. Errors are sticky; after the first, Add becomes
+// a no-op returning the same error, and Commit will refuse. See
+// setEncoder.add for the delta-versus-keyframe discipline.
+func (w *SetWriter) Add(u *Unit) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.enc.add(u); err != nil {
+		w.fail(err)
+	}
+	return w.err
 }
 
 // Commit seals the entry with the sweep totals and atomically installs
@@ -574,21 +611,7 @@ func (w *SetWriter) Commit(sweepInsts uint64, sweepTime time.Duration) error {
 	if w.err != nil {
 		return w.err
 	}
-	if err := w.cw.u64(recKeyIdx); err != nil {
-		w.fail(err)
-		return w.err
-	}
-	if err := w.cw.u64s(w.keyframes); err != nil {
-		w.fail(err)
-		return w.err
-	}
-	for _, v := range []uint64{recEnd, uint64(w.units), sweepInsts, uint64(int64(sweepTime))} {
-		if err := w.cw.u64(v); err != nil {
-			w.fail(err)
-			return w.err
-		}
-	}
-	if err := w.cw.w.Flush(); err != nil {
+	if err := w.enc.finish(sweepInsts, sweepTime); err != nil {
 		w.fail(err)
 		return w.err
 	}
@@ -606,8 +629,8 @@ func (w *SetWriter) Commit(sweepInsts uint64, sweepTime time.Duration) error {
 		w.err = err
 		return err
 	}
-	w.store.Log("checkpoint store: saved %s (%s: %d units)", w.key.Hash(), w.key.Workload, w.units)
-	w.store.noteCommit(w.key.Hash(), w.key.String(), w.units)
+	w.store.Log("checkpoint store: saved %s (%s: %d units)", w.key.Hash(), w.key.Workload, w.enc.units)
+	w.store.noteCommit(w.key.Hash(), w.key.String(), w.enc.units)
 	return nil
 }
 

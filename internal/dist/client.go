@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/sim"
+)
+
+// Client runs sampling requests on a remote coordinator with the same
+// Run(ctx, *Request) → *Report shape as sim.Session — callers swap
+// local for distributed execution with one constructor. Progress
+// events stream back to Request.Progress; the final report's
+// measurement half is bit-identical to the local engine's.
+type Client struct {
+	url    string
+	client *http.Client
+}
+
+// NewClient builds a client for the coordinator at base URL url.
+func NewClient(url string) *Client {
+	return &Client{url: url, client: &http.Client{}}
+}
+
+// Run executes one request on the coordinator. Requests the service
+// does not shard (experiments, procedures, multi-offset runs, the
+// serial loop) fail before touching the network. Cancellation tears
+// down the run stream; the coordinator observes it and stops the
+// shards.
+func (c *Client) Run(ctx context.Context, req *sim.Request) (*sim.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wr, err := wireFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w (coordinator %s)", ErrBusy, c.url)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dist: coordinator %s: %s: %s", c.url, resp.Status, bytes.TrimSpace(msg))
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var env runEnvelope
+		if err := dec.Decode(&env); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("dist: run stream from %s broke: %w", c.url, err)
+		}
+		switch {
+		case env.Error != "":
+			return nil, fmt.Errorf("dist: %s", env.Error)
+		case env.Progress != nil:
+			if req.Progress != nil {
+				req.Progress(env.Progress.progress())
+			}
+		case env.Report != nil:
+			wrep := env.Report
+			rep := &sim.Report{
+				CPI:     wrep.CPI,
+				EPI:     wrep.EPI,
+				Elapsed: time.Duration(wrep.ElapsedNs),
+			}
+			if wrep.Result != nil {
+				rep.Results = []*sim.Result{wrep.Result}
+			}
+			return rep, nil
+		}
+	}
+}

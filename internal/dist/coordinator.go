@@ -1,0 +1,799 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/program"
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+	"repro/sim"
+)
+
+// ErrBusy reports that the coordinator's run slots and wait queue are
+// both full; the caller should retry later (HTTP 429 on the wire).
+var ErrBusy = errors.New("dist: coordinator at capacity")
+
+// Options configures a Coordinator.
+type Options struct {
+	// StoreDir, when non-empty, attaches an on-disk checkpoint store:
+	// uploaded sweeps are persisted and shared across runs and restarts.
+	// StoreMaxBytes caps it (see sim.WithStoreLimit).
+	StoreDir      string
+	StoreMaxBytes int64
+	// MemCacheBytes caps the in-memory sweep cache's snapshot payload
+	// (0 = unbounded). The cache fronts the store either way: fetches
+	// hit memory first, uploads land in both.
+	MemCacheBytes int64
+	// MaxActive bounds concurrently executing runs (default 2);
+	// MaxQueue bounds runs waiting for a slot (default 16). A run
+	// beyond both fails fast with ErrBusy; a queued run honors its
+	// context deadline.
+	MaxActive int
+	MaxQueue  int
+	// ShardsPerWorker sets how many contiguous shard ranges are cut per
+	// live worker (default 2): more shards mean finer-grained retry and
+	// better load balance, at more per-shard overhead.
+	ShardsPerWorker int
+	// LeaseTTL bounds how long a sweep claim may sit unfinished before
+	// another worker may take ownership (default 2 minutes) — the
+	// recovery path for a worker that died mid-sweep.
+	LeaseTTL time.Duration
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator is the distributed sampling service's front door: it
+// admits runs, shards their sampled units across registered workers,
+// serves the fleet-wide sweep cache and claim table, and merges shard
+// streams into bit-identical reports. All methods are safe for
+// concurrent use.
+type Coordinator struct {
+	opt    Options
+	store  *checkpoint.Store
+	sweeps *checkpoint.MemCache
+	client *http.Client
+	slots  chan struct{}
+
+	mu      sync.Mutex
+	queued  int
+	workers []*workerRef
+	claims  map[string]claimState
+	active  map[string]*activeRun
+	progs   map[progKey]*program.Program
+}
+
+type claimState struct {
+	owner string
+	since time.Time
+}
+
+// activeRun pins the key material the sweep endpoints need for a run's
+// hash, refcounted across concurrent runs sharing it.
+type activeRun struct {
+	key     checkpoint.Key
+	noStore bool
+	refs    int
+}
+
+type progKey struct {
+	name   string
+	length uint64
+}
+
+// workerRef is one registered worker.
+type workerRef struct {
+	url string
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func (w *workerRef) markDead() { w.mu.Lock(); w.dead = true; w.mu.Unlock() }
+func (w *workerRef) revive()   { w.mu.Lock(); w.dead = false; w.mu.Unlock() }
+func (w *workerRef) alive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.dead
+}
+
+// NewCoordinator builds a coordinator (opening the on-disk store when
+// configured). Workers register themselves over POST /v1/register or
+// are added directly with AddWorker.
+func NewCoordinator(opt Options) (*Coordinator, error) {
+	if opt.MaxActive <= 0 {
+		opt.MaxActive = 2
+	}
+	if opt.MaxQueue < 0 {
+		opt.MaxQueue = 0
+	} else if opt.MaxQueue == 0 {
+		opt.MaxQueue = 16
+	}
+	if opt.ShardsPerWorker <= 0 {
+		opt.ShardsPerWorker = 2
+	}
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 2 * time.Minute
+	}
+	c := &Coordinator{
+		opt:    opt,
+		sweeps: checkpoint.NewMemCache(),
+		client: &http.Client{},
+		slots:  make(chan struct{}, opt.MaxActive),
+		claims: make(map[string]claimState),
+		active: make(map[string]*activeRun),
+		progs:  make(map[progKey]*program.Program),
+	}
+	c.sweeps.MaxBytes = opt.MemCacheBytes
+	if opt.StoreDir != "" {
+		store, err := checkpoint.OpenStore(opt.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		store.MaxBytes = opt.StoreMaxBytes
+		store.Logf = opt.Logf
+		c.store = store
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// AddWorker registers a worker by base URL (idempotent; re-adding a
+// dead worker revives it).
+func (c *Coordinator) AddWorker(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.url == url {
+			w.revive()
+			return
+		}
+	}
+	c.workers = append(c.workers, &workerRef{url: url})
+	c.logf("dist: worker registered: %s", url)
+}
+
+func (c *Coordinator) liveWorkers() []*workerRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var live []*workerRef
+	for _, w := range c.workers {
+		if w.alive() {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// admit acquires a run slot, waiting in the bounded queue when all
+// slots are busy. The returned release frees the slot.
+func (c *Coordinator) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case c.slots <- struct{}{}:
+		return func() { <-c.slots }, nil
+	default:
+	}
+	c.mu.Lock()
+	if c.queued >= c.opt.MaxQueue {
+		c.mu.Unlock()
+		return nil, ErrBusy
+	}
+	c.queued++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.queued--
+		c.mu.Unlock()
+	}()
+	select {
+	case c.slots <- struct{}{}:
+		return func() { <-c.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// workload returns the generated program for (name, length), cached.
+func (c *Coordinator) workload(name string, length uint64) (*program.Program, error) {
+	key := progKey{name, length}
+	c.mu.Lock()
+	p, ok := c.progs[key]
+	c.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	spec, err := program.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err = program.Generate(spec, length)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.progs[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// retainRun pins the run's key in the active table so the sweep and
+// claim endpoints can serve its hash.
+func (c *Coordinator) retainRun(hash string, key checkpoint.Key, noStore bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if run, ok := c.active[hash]; ok {
+		run.refs++
+		return
+	}
+	c.active[hash] = &activeRun{key: key, noStore: noStore, refs: 1}
+}
+
+func (c *Coordinator) releaseRun(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run, ok := c.active[hash]
+	if !ok {
+		return
+	}
+	run.refs--
+	if run.refs <= 0 {
+		delete(c.active, hash)
+		delete(c.claims, hash)
+	}
+}
+
+// sweepReady reports a reusable committed sweep for run (memory first,
+// then the store unless the run opted out).
+func (c *Coordinator) sweepReady(run *activeRun) bool {
+	if c.sweeps.Contains(run.key) {
+		return true
+	}
+	return c.store != nil && !run.noStore && c.store.Contains(run.key)
+}
+
+// Run executes one request across the registered workers, with the
+// same signature and Report shape as sim.Session.Run. The report's
+// measurement half is bit-identical to a local engine run of the same
+// request at any topology.
+func (c *Coordinator) Run(ctx context.Context, req *sim.Request) (*sim.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wr, err := wireFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	release, err := c.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return c.runAdmitted(ctx, wr, req.Progress)
+}
+
+// runAdmitted resolves and executes an admitted run.
+func (c *Coordinator) runAdmitted(ctx context.Context, wr *wireRequest, progress sim.ProgressFunc) (*sim.Report, error) {
+	start := time.Now()
+	req := wr.request()
+	length := req.Length
+	if length == 0 {
+		length = sim.DefaultLength
+	}
+	prog, err := c.workload(req.Workload, length)
+	if err != nil {
+		return nil, err
+	}
+	cfg := req.Config
+	if cfg == (uarch.Config{}) {
+		cfg = uarch.Config8Way()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan := sim.ResolvePlan(req, prog)
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	spec := runSpec{Workload: req.Workload, Length: length, Config: cfg, Plan: specFromPlan(plan)}
+
+	run := &shardedRun{
+		c:    c,
+		spec: spec,
+		plan: plan,
+		prog: prog,
+		wr:   wr,
+		sink: newSink(progress),
+	}
+	res, err := run.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	alpha := wr.Alpha
+	if alpha == 0 {
+		alpha = stats.Alpha997
+	}
+	rep := &sim.Report{Results: []*sim.Result{res}, Elapsed: time.Since(start)}
+	if len(res.Units) > 0 {
+		rep.CPI = res.CPIEstimate(alpha)
+		rep.EPI = res.EPIEstimate(alpha)
+	}
+	return rep, nil
+}
+
+// shardedRun is the state of one dispatched run.
+type shardedRun struct {
+	c    *Coordinator
+	spec runSpec
+	plan smarts.Plan
+	prog *program.Program
+	wr   *wireRequest
+	sink *eventSink
+
+	pop    uint64
+	total  int
+	shards int
+	m      *merger
+
+	// smu guards the merge and the shard bookkeeping below; merger
+	// offers are serialized under it (one lock, because the merge IS
+	// the shared state of the run).
+	smu       sync.Mutex
+	pending   chan shardRange
+	remaining int
+	runErr    error
+	trailer   *shardDone
+	anySwept  bool
+}
+
+type shardRange struct {
+	lo, hi, idx int
+}
+
+// splitRange cuts [0, n) into at most parts contiguous, near-even
+// ranges (fewer when n < parts; none when n == 0).
+func splitRange(n, parts int) []shardRange {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]shardRange, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + (n-lo)/(parts-i)
+		out = append(out, shardRange{lo: lo, hi: hi, idx: i})
+		lo = hi
+	}
+	return out
+}
+
+func (r *shardedRun) run(ctx context.Context) (*smarts.Result, error) {
+	c := r.c
+	r.pop = r.prog.Length / r.plan.U
+	r.total = r.plan.CheckpointParams().ExpectedUnits(r.pop)
+	workers := c.liveWorkers()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dist: no live workers registered")
+	}
+	shards := splitRange(r.total, len(workers)*c.opt.ShardsPerWorker)
+	r.shards = len(shards)
+
+	key := checkpoint.KeyFor(r.prog, r.spec.Config, r.plan.CheckpointParams())
+	hash := key.Hash()
+	c.retainRun(hash, key, r.wr.NoStore)
+	defer c.releaseRun(hash)
+
+	r.sink.emit(sim.Progress{Kind: sim.EventRunStart, Stage: "sample", Offset: r.plan.J,
+		Population: r.pop, Total: r.total})
+
+	alpha := r.wr.Alpha
+	if alpha == 0 {
+		alpha = stats.Alpha997
+	}
+	r.m = newMerger(r.plan.U, alpha, r.wr.TargetEps, r.wr.MinUnits, r.total)
+	dispatchCtx, cancelDispatch := context.WithCancel(ctx)
+	defer cancelDispatch()
+	replayStart := time.Now()
+	r.m.onFold = func(merged uint64, est stats.Estimate) {
+		r.sink.emit(sim.Progress{Kind: sim.EventUnitReplayed, Stage: "sample", Offset: r.plan.J,
+			Replayed: int(merged), Estimate: est, Population: r.pop, Total: r.total,
+			ETA: etaFrom(replayStart, int(merged), r.total)})
+	}
+	// Early termination broadcasts a stop: cancelling the dispatch
+	// context aborts every in-flight shard request fleet-wide.
+	r.m.onStop = cancelDispatch
+
+	r.pending = make(chan shardRange, r.shards+len(workers))
+	for _, sr := range shards {
+		r.pending <- sr
+	}
+	r.remaining = r.shards
+	if r.shards == 0 {
+		close(r.pending)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			r.workerLoop(dispatchCtx, w)
+		}(w)
+	}
+	wg.Wait()
+	cancelDispatch()
+
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	switch {
+	case r.runErr != nil:
+		return nil, r.runErr
+	case r.m.earlyStopped():
+		// The cutoff prefix is complete; outstanding shards were only
+		// producing surplus units beyond it.
+	case ctx.Err() != nil:
+		return nil, ctx.Err()
+	case r.remaining > 0:
+		return nil, fmt.Errorf("dist: %d shard range(s) left unassigned: all workers failed", r.remaining)
+	}
+	// The trailer can be missing only when early termination cut the
+	// run before any shard finished; the population is known locally
+	// and the sweep accounting is then best-effort zero (a local
+	// early-terminated run reports its own partial sweep cost, which is
+	// wall-clock-like and excluded from bit-identity anyway).
+	td := shardDone{Population: r.pop}
+	if r.trailer != nil {
+		td = *r.trailer
+	}
+	res := r.m.finalize(r.plan, td, r.anySwept)
+	done := sim.Progress{Kind: sim.EventRunDone, Stage: "sample", Offset: r.plan.J,
+		Replayed: len(res.Units), Cached: res.SweepCached, Population: r.pop, Total: r.total}
+	if len(res.Units) > 0 {
+		done.Estimate = res.CPIEstimate(alphaOr997(r.wr.Alpha))
+	}
+	r.sink.emit(done)
+	return res, nil
+}
+
+func alphaOr997(alpha float64) float64 {
+	if alpha == 0 {
+		return stats.Alpha997
+	}
+	return alpha
+}
+
+// workerLoop pulls shard ranges for one worker until the pool drains,
+// the run is cancelled, or the worker dies.
+func (r *shardedRun) workerLoop(ctx context.Context, w *workerRef) {
+	for {
+		var sr shardRange
+		var ok bool
+		select {
+		case sr, ok = <-r.pending:
+			if !ok {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+		received, trailer, err := r.runShard(ctx, w, sr)
+		if err == nil {
+			r.smu.Lock()
+			if trailer != nil {
+				if r.trailer == nil {
+					r.trailer = trailer
+				}
+				r.anySwept = r.anySwept || trailer.Swept
+			}
+			r.remaining--
+			if r.remaining == 0 {
+				close(r.pending)
+			}
+			r.smu.Unlock()
+			continue
+		}
+		if ctx.Err() != nil {
+			return // cancelled: early stop or caller cancel, not a failure
+		}
+		var app *appError
+		if errors.As(err, &app) {
+			// The simulation itself failed; it would fail identically on
+			// any worker. Abort the run.
+			r.smu.Lock()
+			if r.runErr == nil {
+				r.runErr = err
+			}
+			r.smu.Unlock()
+			return
+		}
+		// Transport failure: the worker is gone. Units stream in
+		// ascending order, so the received prefix is contiguous — the
+		// rest of the range goes back in the pool for the survivors,
+		// and merge-by-index keeps the outcome untouched.
+		w.markDead()
+		r.c.logf("dist: worker %s died on shard %d [%d,%d): %v; requeueing %d unit(s)",
+			w.url, sr.idx, sr.lo, sr.hi, err, sr.hi-(sr.lo+received))
+		r.smu.Lock()
+		r.pending <- shardRange{lo: sr.lo + received, hi: sr.hi, idx: sr.idx}
+		r.smu.Unlock()
+		return
+	}
+}
+
+// appError is a failure the worker's simulation reported (as opposed to
+// transport loss); it is deterministic and aborts the run.
+type appError struct{ msg string }
+
+func (e *appError) Error() string { return e.msg }
+
+// runShard executes one shard range on one worker, folding its streamed
+// units into the merge. It returns the number of unit records received
+// (the contiguous prefix of the range) and the stream trailer.
+func (r *shardedRun) runShard(ctx context.Context, w *workerRef, sr shardRange) (received int, trailer *shardDone, err error) {
+	r.sink.emit(sim.Progress{Kind: sim.EventShardStart, Stage: "sample", Offset: r.plan.J,
+		Population: r.pop, Total: sr.hi - sr.lo, Shard: sr.idx, Shards: r.shards})
+
+	body, err := json.Marshal(shardMsg{Spec: r.spec, Lo: sr.lo, Hi: sr.hi, Shard: sr.idx, Shards: r.shards})
+	if err != nil {
+		return 0, nil, &appError{msg: fmt.Sprintf("dist: encode shard: %v", err)}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, &appError{msg: fmt.Sprintf("dist: build shard request: %v", err)}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.c.client.Do(hreq)
+	if err != nil {
+		return 0, nil, err // transport
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, nil, &appError{msg: fmt.Sprintf("dist: worker %s rejected shard: %s: %s",
+			w.url, resp.Status, bytes.TrimSpace(msg))}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec shardRecord
+		if derr := dec.Decode(&rec); derr != nil {
+			// EOF (clean or mid-record) without a trailer means the
+			// worker died mid-stream: a transport failure.
+			return received, nil, fmt.Errorf("dist: shard stream from %s broke: %w", w.url, derr)
+		}
+		switch {
+		case rec.Error != "":
+			return received, nil, &appError{msg: rec.Error}
+		case rec.Unit != nil:
+			r.smu.Lock()
+			r.m.offer(*rec.Unit)
+			r.smu.Unlock()
+			received++
+		case rec.Captured > 0:
+			r.sink.emit(sim.Progress{Kind: sim.EventUnitCaptured, Stage: "sample", Offset: r.plan.J,
+				Captured: rec.Captured, Population: r.pop, Total: r.total,
+				Shard: sr.idx, Shards: r.shards})
+		case rec.Done != nil:
+			r.sink.emit(sim.Progress{Kind: sim.EventShardDone, Stage: "sample", Offset: r.plan.J,
+				Replayed: received, Population: r.pop, Total: sr.hi - sr.lo,
+				Shard: sr.idx, Shards: r.shards})
+			return received, rec.Done, nil
+		}
+	}
+}
+
+// eventSink serializes progress callbacks across the run's goroutines.
+type eventSink struct {
+	mu sync.Mutex
+	fn sim.ProgressFunc
+}
+
+func newSink(fn sim.ProgressFunc) *eventSink {
+	if fn == nil {
+		return nil
+	}
+	return &eventSink{fn: fn}
+}
+
+func (s *eventSink) emit(ev sim.Progress) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fn(ev)
+}
+
+// etaFrom extrapolates remaining time from the observed rate.
+func etaFrom(start time.Time, done, total int) time.Duration {
+	if done <= 0 || total <= 0 || done >= total {
+		return 0
+	}
+	elapsed := time.Since(start)
+	return time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/claims", c.handleClaim)
+	mux.HandleFunc("GET /v1/sweeps/{hash}", c.handleSweepGet)
+	mux.HandleFunc("PUT /v1/sweeps/{hash}", c.handleSweepPut)
+	mux.HandleFunc("POST /v1/runs", c.handleRun)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(rw http.ResponseWriter, req *http.Request) {
+	var msg registerMsg
+	if err := json.NewDecoder(req.Body).Decode(&msg); err != nil || msg.URL == "" {
+		http.Error(rw, "bad register body", http.StatusBadRequest)
+		return
+	}
+	c.AddWorker(msg.URL)
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleClaim(rw http.ResponseWriter, req *http.Request) {
+	var msg claimMsg
+	if err := json.NewDecoder(req.Body).Decode(&msg); err != nil {
+		http.Error(rw, "bad claim body", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	run, ok := c.active[msg.Hash]
+	if !ok {
+		c.mu.Unlock()
+		http.Error(rw, "no active run for sweep", http.StatusNotFound)
+		return
+	}
+	state := claimWait
+	if c.sweepReady(run) {
+		state = claimReady
+	} else if cl, claimed := c.claims[msg.Hash]; !claimed ||
+		cl.owner == msg.Owner || time.Since(cl.since) > c.opt.LeaseTTL {
+		// Unclaimed, re-claimed by the current owner, or the lease
+		// expired (the owner died mid-sweep): the caller sweeps.
+		c.claims[msg.Hash] = claimState{owner: msg.Owner, since: time.Now()}
+		state = claimOwner
+	}
+	c.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(claimReply{State: state})
+}
+
+func (c *Coordinator) activeFor(hash string) (*activeRun, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run, ok := c.active[hash]
+	return run, ok
+}
+
+func (c *Coordinator) handleSweepGet(rw http.ResponseWriter, req *http.Request) {
+	hash := req.PathValue("hash")
+	run, ok := c.activeFor(hash)
+	if !ok {
+		http.Error(rw, "no active run for sweep", http.StatusNotFound)
+		return
+	}
+	set := c.sweeps.Get(run.key)
+	if set == nil && c.store != nil && !run.noStore {
+		loaded, err := c.store.Load(run.key)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if loaded != nil {
+			c.sweeps.Put(run.key, loaded)
+			set = loaded
+		}
+	}
+	if set == nil {
+		http.Error(rw, "sweep not available", http.StatusNotFound)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	if err := checkpoint.EncodeSet(rw, run.key, set); err != nil {
+		// Headers are gone; the broken stream surfaces as a decode
+		// failure on the worker, which falls back to claiming.
+		c.logf("dist: sweep download %s failed: %v", hash, err)
+	}
+}
+
+func (c *Coordinator) handleSweepPut(rw http.ResponseWriter, req *http.Request) {
+	hash := req.PathValue("hash")
+	run, ok := c.activeFor(hash)
+	if !ok {
+		http.Error(rw, "no active run for sweep", http.StatusNotFound)
+		return
+	}
+	set, err := checkpoint.DecodeSet(req.Body, run.key)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.sweeps.Put(run.key, set)
+	if c.store != nil && !run.noStore && !c.store.Contains(run.key) {
+		if err := c.store.Save(run.key, set); err != nil {
+			c.logf("dist: persisting sweep %s failed: %v", hash, err)
+		}
+	}
+	c.mu.Lock()
+	delete(c.claims, hash)
+	c.mu.Unlock()
+	c.logf("dist: sweep %s uploaded (%d units)", hash, len(set.Units))
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleRun(rw http.ResponseWriter, req *http.Request) {
+	var wr wireRequest
+	if err := json.NewDecoder(req.Body).Decode(&wr); err != nil {
+		http.Error(rw, "bad run body", http.StatusBadRequest)
+		return
+	}
+	if err := distributable(wr.request()); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, err := c.admit(req.Context())
+	switch {
+	case errors.Is(err, ErrBusy):
+		http.Error(rw, err.Error(), http.StatusTooManyRequests)
+		return
+	case err != nil:
+		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	fl, _ := rw.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(rw)
+	send := func(env runEnvelope) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := enc.Encode(env); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	progress := func(ev sim.Progress) {
+		wp := wireFromProgress(ev)
+		send(runEnvelope{Progress: &wp})
+	}
+	rep, err := c.runAdmitted(req.Context(), &wr, progress)
+	if err != nil {
+		send(runEnvelope{Error: err.Error()})
+		return
+	}
+	send(runEnvelope{Report: &wireReport{
+		Result:    rep.Result(),
+		CPI:       rep.CPI,
+		EPI:       rep.EPI,
+		ElapsedNs: int64(rep.Elapsed),
+	}})
+}

@@ -1,0 +1,85 @@
+// Package dist turns the sampling service into a distributed one: a
+// coordinator shards a sim.Request's sampled units into contiguous
+// ranges, dispatches them to workers over HTTP/JSON (stdlib only), and
+// merges the shard streams through the same deterministic stream-order
+// aggregation a single machine uses — so the final report is
+// bit-identical to a local engine run at any (machine × worker) count,
+// including under confidence-targeted early termination.
+//
+// # Why sharding is free
+//
+// SMARTS sampling units are statistically independent, and the
+// checkpointed engine (internal/engine) makes them computationally
+// independent too: each unit's measurement is a pure function of its
+// captured launch snapshot. A shard therefore needs nothing from its
+// neighbors — only the shared snapshot Set and its [lo, hi) range of
+// stream positions — and the merge is a pure reordering problem,
+// solved by stats.StreamAggregator exactly as it is for local worker
+// pools. Units are merged by stream index, never by arrival order, so
+// worker death, retries, and scheduling cannot perturb the estimate.
+//
+// # Protocol
+//
+// The coordinator serves:
+//
+//	POST /v1/runs          serialized request in, NDJSON envelope stream
+//	                       out: progress events, then the final report
+//	                       (or an error) as the last record.
+//	POST /v1/register      worker announces its base URL.
+//	POST /v1/claims        fleet-wide sweep singleflight (see below).
+//	GET  /v1/sweeps/{hash} fetch a captured sweep, encoded in the
+//	                       checkpoint store's format-v3 byte stream.
+//	PUT  /v1/sweeps/{hash} upload a freshly captured sweep.
+//	GET  /v1/healthz       readiness.
+//
+// Workers serve:
+//
+//	POST /v1/shards        shard assignment in, NDJSON record stream
+//	                       out: sweep-progress records while capturing,
+//	                       one record per replayed unit in ascending
+//	                       stream order, then a trailer with the sweep
+//	                       accounting (or an error record).
+//	GET  /v1/healthz       readiness.
+//
+// Sweeps travel in the exact bytes Store.Save writes to disk
+// (checkpoint.EncodeSet/DecodeSet), so the wire format is the store
+// format and decoding validates the content-addressed key end to end.
+// Both sides resolve the plan independently with sim.ResolvePlan and
+// derive the same checkpoint.Key, so only the request travels — never
+// the plan, the program, or unit indices.
+//
+// # Fleet-wide sweep singleflight
+//
+// The functional sweep is the one sequential, whole-stream cost; it
+// must be paid once per (workload, plan, warm geometry) key across the
+// fleet, not once per shard. Before sweeping, a worker claims the key
+// at the coordinator: the reply is "ready" (a sweep is cached or
+// stored — fetch it), "owner" (you sweep; upload when done), or "wait"
+// (another worker is sweeping — poll). Claims carry a lease: if the
+// owner dies mid-sweep, the claim expires after LeaseTTL and the next
+// poller takes ownership. The uploaded sweep lands in the
+// coordinator's bounded MemCache and (unless the request opts out) its
+// on-disk store, so later runs skip the sweep entirely.
+//
+// # Failure and retry
+//
+// A worker that dies mid-shard is marked dead and its range is
+// requeued for the surviving workers. Workers stream units in
+// ascending stream order, so the received prefix of a broken stream is
+// contiguous; the requeued range resumes exactly after it, and every
+// stream position is still offered to the aggregator exactly once.
+// Errors the simulation itself reports (as opposed to transport
+// failure) abort the run — they are deterministic and would fail on
+// any worker. If every worker dies, the run fails with an error
+// rather than hanging.
+//
+// # Early termination and admission
+//
+// The coordinator folds in-order prefixes as shard streams arrive;
+// when the target confidence interval is met it fixes the same cutoff
+// a local run would (StreamAggregator.DoneAt) and broadcasts a stop by
+// cancelling all in-flight shard requests. Admission control bounds
+// concurrent runs (MaxActive) with a bounded wait queue (MaxQueue)
+// honoring context deadlines; beyond both, runs fail fast with
+// ErrBusy.
+package dist

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/smarts"
+	"repro/internal/stats"
+)
+
+// merger folds shard-streamed units into the deterministic stream-order
+// estimate, replicating the engine collector's semantics exactly: every
+// non-partial unit is offered to the StreamAggregator keyed by its
+// stream position, a partial unit (program ended inside it) cuts the
+// stream at its position, and a met confidence target fixes the cutoff
+// at the aggregator's in-order prefix length. Because the fold is by
+// stream index, the outcome is a pure function of the sample sequence —
+// identical for any shard split, worker count, arrival interleaving, or
+// retry history.
+type merger struct {
+	agg       *stats.StreamAggregator
+	planU     uint64
+	collected []wireUnit
+	stopAt    int
+	early     bool
+	folded    uint64
+
+	// onFold observes in-order progress (the engine's OnReplayed
+	// analogue); onStop fires once when early termination fixes the
+	// cutoff, so the coordinator can broadcast a stop to in-flight
+	// shards. Both are called from offer's caller goroutine; the
+	// coordinator serializes offers with its stream lock.
+	onFold func(merged uint64, est stats.Estimate)
+	onStop func()
+}
+
+func newMerger(planU uint64, alpha, eps float64, minUnits uint64, hint int) *merger {
+	if alpha == 0 {
+		alpha = stats.Alpha997
+	}
+	return &merger{
+		agg:       stats.NewStreamAggregator(alpha, eps, minUnits),
+		planU:     planU,
+		collected: make([]wireUnit, 0, hint),
+		stopAt:    int(^uint(0) >> 1),
+	}
+}
+
+// offer folds one streamed unit. Each stream position must be offered
+// exactly once across all shards and retries — the coordinator's
+// resume-after-prefix retry discipline guarantees it. Not safe for
+// concurrent use; the caller serializes.
+func (m *merger) offer(u wireUnit) {
+	if u.Partial {
+		// The program ended inside this unit: keep everything before
+		// it, drop it and everything after (matches the engine and the
+		// serial path).
+		if u.Seq < m.stopAt {
+			m.stopAt = u.Seq
+		}
+		return
+	}
+	m.collected = append(m.collected, u)
+	hitTarget := m.agg.Offer(uint64(u.Seq), stats.Obs{CPI: u.CPI, EPI: u.EPI})
+	if m.onFold != nil {
+		if n := m.agg.Merged(); n > m.folded {
+			m.folded = n
+			m.onFold(n, m.agg.CPIEstimate())
+		}
+	}
+	if hitTarget {
+		if cut := int(m.agg.DoneAt()); cut < m.stopAt {
+			m.stopAt = cut
+			m.early = true
+			if m.onStop != nil {
+				m.onStop()
+			}
+		}
+	}
+}
+
+// earlyStopped reports that the confidence target fixed the cutoff. The
+// kept prefix is then complete by construction (DoneAt is an in-order
+// prefix length), so the run's outcome can no longer change.
+func (m *merger) earlyStopped() bool { return m.early }
+
+// finalize assembles the run's Result: collected units sorted by stream
+// position, truncated at the cutoff, with the engine's per-unit
+// accounting. trailer supplies the sweep half (population and
+// fast-forward cost); swept reports whether any shard ran the sweep in
+// this run (false: every shard reused a cached sweep, the distributed
+// analogue of a store hit).
+func (m *merger) finalize(plan smarts.Plan, trailer shardDone, swept bool) *smarts.Result {
+	sort.Slice(m.collected, func(i, j int) bool { return m.collected[i].Seq < m.collected[j].Seq })
+	res := &smarts.Result{
+		Plan:            plan,
+		PopulationUnits: trailer.Population,
+		FastFwdInsts:    trailer.SweepInsts,
+		FastFwdTime:     time.Duration(trailer.SweepTimeNs),
+		SweepCached:     !swept,
+	}
+	for _, u := range m.collected {
+		if u.Seq >= m.stopAt {
+			continue
+		}
+		res.Units = append(res.Units, smarts.UnitResult{
+			Index:    u.Index,
+			Cycles:   u.Cycles,
+			EnergyNJ: u.EnergyNJ,
+			CPI:      u.CPI,
+			EPI:      u.EPI,
+		})
+		res.MeasuredInsts += m.planU
+		res.WarmingInsts += u.Warming
+		res.DetailedTime += time.Duration(u.ElapsedNs)
+	}
+	return res
+}

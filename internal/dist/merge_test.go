@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/smarts"
+)
+
+// synthUnits builds a synthetic replay stream of n units with randomized
+// observations; partialAt (when >= 0) marks that position as the
+// program-ended-inside-it partial unit.
+func synthUnits(rng *rand.Rand, n, partialAt int) []wireUnit {
+	units := make([]wireUnit, n)
+	for i := range units {
+		cpi := 0.8 + rng.Float64()
+		u := wireUnit{
+			Seq:       i,
+			Index:     uint64(i) * 7,
+			Cycles:    uint64(1000 * cpi),
+			EnergyNJ:  500 + rng.Float64()*100,
+			CPI:       cpi,
+			EPI:       0.5 + rng.Float64()*0.1,
+			Warming:   uint64(rng.Intn(5000)),
+			ElapsedNs: int64(rng.Intn(1_000_000)),
+		}
+		if i == partialAt {
+			u = wireUnit{Seq: i, Partial: true}
+		}
+		units[i] = u
+	}
+	return units
+}
+
+// TestMergeOrderInvariance is the shard-merge property test: splitting a
+// replay stream into K contiguous ranges and merging the units in any
+// interleaved arrival order reproduces the unsharded (single-range,
+// in-order) fold byte for byte — including the early-termination cutoff
+// and partial-unit truncation.
+func TestMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	plan := smarts.Plan{U: 1000, W: 2000, K: 10, J: 3}
+	trailer := shardDone{Captured: 140, Population: 600, SweepInsts: 600_000, SweepTimeNs: 12345}
+
+	for trial := 0; trial < 300; trial++ {
+		n := 20 + rng.Intn(120)
+		partialAt := -1
+		if rng.Intn(3) == 0 {
+			partialAt = rng.Intn(n)
+		}
+		var eps float64
+		var minUnits uint64
+		if rng.Intn(2) == 0 {
+			eps = 0.02 + rng.Float64()*0.3
+			minUnits = uint64(2 + rng.Intn(10))
+		}
+		units := synthUnits(rng, n, partialAt)
+
+		// Unsharded reference: one range covering the whole stream,
+		// offered strictly in stream order.
+		ref := newMerger(plan.U, 0, eps, minUnits, n)
+		for _, u := range units {
+			ref.offer(u)
+		}
+		want := ref.finalize(plan, trailer, false)
+
+		// Sharded: K contiguous ranges, units arriving in a random
+		// interleaving that preserves only per-shard order (exactly what
+		// concurrent shard streams deliver).
+		shards := splitRange(n, 1+rng.Intn(8))
+		next := make([]int, len(shards))
+		m := newMerger(plan.U, 0, eps, minUnits, n)
+		for remaining := n; remaining > 0; {
+			s := rng.Intn(len(shards))
+			sr := shards[s]
+			if next[s] >= sr.hi-sr.lo {
+				continue
+			}
+			m.offer(units[sr.lo+next[s]])
+			next[s]++
+			remaining--
+		}
+		got := m.finalize(plan, trailer, false)
+
+		if m.earlyStopped() != ref.earlyStopped() {
+			t.Fatalf("trial %d: early-stop disagreement (sharded %v, unsharded %v)",
+				trial, m.earlyStopped(), ref.earlyStopped())
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d shards=%d eps=%g partial=%d): sharded merge diverged:\n got %+v\nwant %+v",
+				trial, n, len(shards), eps, partialAt, got, want)
+		}
+	}
+}
+
+// TestSplitRange: shard ranges tile [0, n) contiguously, are near-even,
+// and never exceed the unit count.
+func TestSplitRange(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for parts := -1; parts <= n+3; parts++ {
+			shards := splitRange(n, parts)
+			if n <= 0 {
+				if shards != nil {
+					t.Fatalf("splitRange(%d,%d) = %v, want nil", n, parts, shards)
+				}
+				continue
+			}
+			lo := 0
+			for _, sr := range shards {
+				if sr.lo != lo || sr.hi <= sr.lo {
+					t.Fatalf("splitRange(%d,%d): bad range %+v at lo=%d", n, parts, sr, lo)
+				}
+				lo = sr.hi
+			}
+			if lo != n {
+				t.Fatalf("splitRange(%d,%d) covers [0,%d), want [0,%d)", n, parts, lo, n)
+			}
+			want := parts
+			if want < 1 {
+				want = 1
+			}
+			if want > n {
+				want = n
+			}
+			if len(shards) != want {
+				t.Fatalf("splitRange(%d,%d) produced %d shards, want %d", n, parts, len(shards), want)
+			}
+		}
+	}
+}

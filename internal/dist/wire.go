@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/smarts"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+	"repro/sim"
+)
+
+// wireRequest is the serialized subset of sim.Request the distributed
+// service accepts: one sampling plan over one workload. Modes that are
+// local by nature — experiments, procedures, multi-offset phase runs,
+// the classic serial loop — are rejected at the client (see
+// distributable). Worker-pool sizing is a per-worker deployment
+// setting, so Request.Workers does not travel.
+type wireRequest struct {
+	Workload string
+	Length   uint64
+	// Config is the simulated machine; nil selects the 8-way baseline
+	// (mirroring the zero sim.Config).
+	Config *uarch.Config
+
+	U, W, N, K, J uint64
+	Warming       int
+	MaxUnits      int
+	NoStore       bool
+
+	TargetEps float64
+	MinUnits  uint64
+	Alpha     float64
+}
+
+// distributable rejects request modes the service does not shard.
+func distributable(req *sim.Request) error {
+	switch {
+	case req == nil:
+		return fmt.Errorf("dist: nil request")
+	case req.Experiment != "":
+		return fmt.Errorf("dist: experiment requests are not distributable; run them on a local session")
+	case req.Procedure != nil:
+		return fmt.Errorf("dist: procedure requests are not distributable; drive the two-step procedure from the client")
+	case len(req.Offsets) > 0:
+		return fmt.Errorf("dist: multi-offset phase requests are not distributable")
+	case req.SerialLoop:
+		return fmt.Errorf("dist: the classic serial loop cannot be sharded (its units are not independent)")
+	case req.TwoPhase:
+		return fmt.Errorf("dist: TwoPhase is a local scheduling knob; it does not apply to distributed runs")
+	case req.Output != nil:
+		return fmt.Errorf("dist: Output streams experiment text; it does not apply to distributed runs")
+	case req.Workload == "":
+		return fmt.Errorf("dist: request names no workload")
+	case req.Alpha != 0 && (req.Alpha <= 0 || req.Alpha >= 1):
+		return fmt.Errorf("dist: confidence parameter %v outside (0,1)", req.Alpha)
+	}
+	return nil
+}
+
+// wireFromRequest validates and serializes a request for the wire.
+func wireFromRequest(req *sim.Request) (*wireRequest, error) {
+	if err := distributable(req); err != nil {
+		return nil, err
+	}
+	wr := &wireRequest{
+		Workload:  req.Workload,
+		Length:    req.Length,
+		U:         req.U,
+		W:         req.W,
+		N:         req.N,
+		K:         req.K,
+		J:         req.J,
+		Warming:   int(req.Warming),
+		MaxUnits:  req.MaxUnits,
+		NoStore:   req.NoStore,
+		TargetEps: req.TargetEps,
+		MinUnits:  req.MinUnits,
+		Alpha:     req.Alpha,
+	}
+	if req.Config != (sim.Config{}) {
+		cfg := req.Config
+		wr.Config = &cfg
+	}
+	return wr, nil
+}
+
+// request reconstructs the sim.Request a wireRequest describes.
+func (wr *wireRequest) request() *sim.Request {
+	req := &sim.Request{
+		Workload:  wr.Workload,
+		Length:    wr.Length,
+		U:         wr.U,
+		W:         wr.W,
+		N:         wr.N,
+		K:         wr.K,
+		J:         wr.J,
+		Warming:   sim.WarmingMode(wr.Warming),
+		MaxUnits:  wr.MaxUnits,
+		NoStore:   wr.NoStore,
+		TargetEps: wr.TargetEps,
+		MinUnits:  wr.MinUnits,
+		Alpha:     wr.Alpha,
+	}
+	if wr.Config != nil {
+		req.Config = *wr.Config
+	}
+	return req
+}
+
+// planSpec is a resolved sampling plan on the wire. The coordinator
+// resolves the request against the generated workload once and ships
+// the result, so every shard of a run — including retries on other
+// workers — replays under the identical plan.
+type planSpec struct {
+	U, W, K, J uint64
+	Warming    int
+	MaxUnits   int
+}
+
+func specFromPlan(pl smarts.Plan) planSpec {
+	return planSpec{U: pl.U, W: pl.W, K: pl.K, J: pl.J, Warming: int(pl.Warming), MaxUnits: pl.MaxUnits}
+}
+
+func (ps planSpec) plan() smarts.Plan {
+	return smarts.Plan{U: ps.U, W: ps.W, K: ps.K, J: ps.J, Warming: smarts.WarmingMode(ps.Warming), MaxUnits: ps.MaxUnits}
+}
+
+// runSpec is everything a worker needs to materialize a run's snapshot
+// set: the workload regenerates deterministically from (name, length),
+// the plan fixes the unit selection, and together with the config they
+// derive the content-addressed sweep key.
+type runSpec struct {
+	Workload string
+	Length   uint64
+	Config   uarch.Config
+	Plan     planSpec
+}
+
+// shardMsg assigns one contiguous range [Lo, Hi) of stream positions to
+// a worker. Shard/Shards locate the range in the run for progress
+// events.
+type shardMsg struct {
+	Spec          runSpec
+	Lo, Hi        int
+	Shard, Shards int
+}
+
+// wireUnit is one replayed unit streamed back from a worker, carrying
+// the full engine measurement so the coordinator's merge reproduces the
+// local collector's accounting bit for bit (float64 fields round-trip
+// JSON exactly).
+type wireUnit struct {
+	Seq       int
+	Index     uint64
+	Cycles    uint64
+	EnergyNJ  float64
+	CPI, EPI  float64
+	Warming   uint64
+	ElapsedNs int64
+	Partial   bool
+}
+
+// shardDone is a shard stream's trailer: the sweep accounting of the
+// set the shard replayed from.
+type shardDone struct {
+	Captured    int
+	Population  uint64
+	SweepInsts  uint64
+	SweepTimeNs int64
+	// Swept reports this worker ran the functional sweep itself (the
+	// fleet singleflight made it the owner) rather than fetching it.
+	Swept bool
+}
+
+// shardRecord is one NDJSON record of a worker's shard stream; exactly
+// one field is set.
+type shardRecord struct {
+	// Captured reports sweep progress while this worker owns the
+	// capture (cumulative captured-unit count).
+	Captured int        `json:"captured,omitempty"`
+	Unit     *wireUnit  `json:"unit,omitempty"`
+	Done     *shardDone `json:"done,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// claimMsg asks the coordinator who owns the sweep for a key hash.
+type claimMsg struct {
+	Hash  string
+	Owner string
+}
+
+// Claim states.
+const (
+	claimOwner = "owner" // caller sweeps and uploads
+	claimWait  = "wait"  // another worker is sweeping; poll
+	claimReady = "ready" // the sweep is available; fetch it
+)
+
+type claimReply struct {
+	State string
+}
+
+// wireProgress is a sim.Progress event on the run stream.
+type wireProgress struct {
+	Kind       int
+	Stage      string
+	Offset     uint64
+	Captured   int
+	Replayed   int
+	Estimate   stats.Estimate
+	Cached     bool
+	Population uint64
+	Total      int
+	ETANs      int64
+	Shard      int
+	Shards     int
+}
+
+func wireFromProgress(ev sim.Progress) wireProgress {
+	return wireProgress{
+		Kind: int(ev.Kind), Stage: ev.Stage, Offset: ev.Offset,
+		Captured: ev.Captured, Replayed: ev.Replayed, Estimate: ev.Estimate,
+		Cached: ev.Cached, Population: ev.Population, Total: ev.Total,
+		ETANs: int64(ev.ETA), Shard: ev.Shard, Shards: ev.Shards,
+	}
+}
+
+func (wp wireProgress) progress() sim.Progress {
+	return sim.Progress{
+		Kind: sim.EventKind(wp.Kind), Stage: wp.Stage, Offset: wp.Offset,
+		Captured: wp.Captured, Replayed: wp.Replayed, Estimate: wp.Estimate,
+		Cached: wp.Cached, Population: wp.Population, Total: wp.Total,
+		ETA: time.Duration(wp.ETANs), Shard: wp.Shard, Shards: wp.Shards,
+	}
+}
+
+// wireReport is the final record of a run stream. Plan.Store is nil by
+// construction (the coordinator never attaches its store to the result
+// plan), so the result marshals cleanly; its Duration fields are int64
+// nanoseconds in JSON and round-trip exactly.
+type wireReport struct {
+	Result    *smarts.Result
+	CPI, EPI  stats.Estimate
+	ElapsedNs int64
+}
+
+// runEnvelope is one NDJSON record of a coordinator run stream; exactly
+// one field is set, and a Report or Error record is final.
+type runEnvelope struct {
+	Progress *wireProgress `json:"progress,omitempty"`
+	Report   *wireReport   `json:"report,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// registerMsg announces a worker to the coordinator.
+type registerMsg struct {
+	URL string
+}

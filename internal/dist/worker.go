@@ -1,0 +1,357 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (required).
+	Coordinator string
+	// Self is this worker's advertised base URL — the address the
+	// coordinator dispatches shards to (required for Register) and the
+	// worker's identity in the sweep claim table.
+	Self string
+	// Workers is the replay worker-pool size per shard (<= 0: one per
+	// core). Purely a throughput knob; results are bit-identical at any
+	// value.
+	Workers int
+	// MemCacheBytes caps the worker's local sweep cache (0 = unbounded).
+	// Shards of one run hit this cache after the first fetch.
+	MemCacheBytes int64
+	// PollInterval is the wait between sweep-claim polls while another
+	// worker sweeps (default 50ms).
+	PollInterval time.Duration
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Worker executes shard ranges for a coordinator: it materializes the
+// run's snapshot set (fetching it, or sweeping as the fleet
+// singleflight's owner), replays its assigned range through the
+// engine, and streams per-unit results back in stream order. All
+// methods are safe for concurrent use; concurrent shards of one run
+// share the cached set.
+type Worker struct {
+	opt    WorkerOptions
+	client *http.Client
+	cache  *checkpoint.MemCache
+	sweeps atomic.Uint64
+
+	mu    sync.Mutex
+	progs map[progKey]*program.Program
+}
+
+// NewWorker builds a worker.
+func NewWorker(opt WorkerOptions) *Worker {
+	if opt.PollInterval <= 0 {
+		opt.PollInterval = 50 * time.Millisecond
+	}
+	w := &Worker{
+		opt:    opt,
+		client: &http.Client{},
+		cache:  checkpoint.NewMemCache(),
+		progs:  make(map[progKey]*program.Program),
+	}
+	w.cache.MaxBytes = opt.MemCacheBytes
+	return w
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opt.Logf != nil {
+		w.opt.Logf(format, args...)
+	}
+}
+
+// SweepCount returns how many functional sweeps this worker has run
+// itself (fleet singleflight should keep the fleet-wide sum at one per
+// key).
+func (w *Worker) SweepCount() uint64 { return w.sweeps.Load() }
+
+// Register announces the worker to its coordinator.
+func (w *Worker) Register(ctx context.Context) error {
+	body, err := json.Marshal(registerMsg{URL: w.opt.Self})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opt.Coordinator+"/v1/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: register with %s: %s", w.opt.Coordinator, resp.Status)
+	}
+	return nil
+}
+
+// Handler returns the worker's HTTP API.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/shards", w.handleShard)
+	return mux
+}
+
+func (w *Worker) workload(name string, length uint64) (*program.Program, error) {
+	key := progKey{name, length}
+	w.mu.Lock()
+	p, ok := w.progs[key]
+	w.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	spec, err := program.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err = program.Generate(spec, length)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.progs[key] = p
+	w.mu.Unlock()
+	return p, nil
+}
+
+func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
+	var msg shardMsg
+	if err := json.NewDecoder(req.Body).Decode(&msg); err != nil {
+		http.Error(rw, "bad shard body", http.StatusBadRequest)
+		return
+	}
+	ctx := req.Context()
+	prog, err := w.workload(msg.Spec.Workload, msg.Spec.Length)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := msg.Spec.Config
+	if cfg == (uarch.Config{}) {
+		cfg = uarch.Config8Way()
+	}
+	plan := msg.Spec.Plan.plan()
+	if err := plan.Validate(); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	params := plan.CheckpointParams()
+	key := checkpoint.KeyFor(prog, cfg, params)
+
+	// From here the stream is committed: failures travel as Error
+	// records, per-unit results as Unit records, flushed as they
+	// happen so the coordinator folds them while the shard still runs.
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.WriteHeader(http.StatusOK)
+	fl, _ := rw.(http.Flusher)
+	enc := json.NewEncoder(rw)
+	streamErr := false
+	send := func(rec shardRecord) bool {
+		if streamErr {
+			return false
+		}
+		if err := enc.Encode(rec); err != nil {
+			streamErr = true
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+
+	set, swept, err := w.ensureSet(ctx, key, prog, cfg, params, func(captured int) bool {
+		return send(shardRecord{Captured: captured})
+	})
+	if err != nil {
+		send(shardRecord{Error: err.Error()})
+		return
+	}
+
+	lo, hi := msg.Lo, msg.Hi
+	if hi > len(set.Units) {
+		// The coordinator sizes shards from the expected unit count;
+		// the captured count falls short when the program halts early.
+		hi = len(set.Units)
+	}
+	opt := engine.Options{Workers: w.opt.Workers}
+	err = engine.ReplayRange(ctx, prog, cfg, plan.U, set, lo, hi, opt, func(ru engine.RangeUnit) bool {
+		return send(shardRecord{Unit: &wireUnit{
+			Seq:       ru.Seq,
+			Index:     ru.Res.Index,
+			Cycles:    ru.Res.Cycles,
+			EnergyNJ:  ru.Res.EnergyNJ,
+			CPI:       ru.Res.CPI,
+			EPI:       ru.Res.EPI,
+			Warming:   ru.Warming,
+			ElapsedNs: int64(ru.Elapsed),
+			Partial:   ru.Partial,
+		}})
+	})
+	if err != nil {
+		send(shardRecord{Error: err.Error()})
+		return
+	}
+	send(shardRecord{Done: &shardDone{
+		Captured:    len(set.Units),
+		Population:  set.PopulationUnits,
+		SweepInsts:  set.SweepInsts,
+		SweepTimeNs: int64(set.SweepTime),
+		Swept:       swept,
+	}})
+}
+
+// ensureSet materializes the snapshot set for key: the local cache
+// first, then the fleet claim protocol — fetch when ready, sweep (and
+// upload) when this worker wins ownership, poll while another worker
+// sweeps. onCaptured observes local sweep progress; a false return
+// (the consumer hung up) aborts only the shard stream, never the
+// sweep itself — a half-captured set would waste the fleet's one
+// sweep.
+func (w *Worker) ensureSet(ctx context.Context, key checkpoint.Key, prog *program.Program, cfg uarch.Config, params checkpoint.Params, onCaptured func(int) bool) (set *checkpoint.Set, swept bool, err error) {
+	if set := w.cache.Get(key); set != nil {
+		return set, false, nil
+	}
+	hash := key.Hash()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		state, err := w.claim(ctx, hash)
+		if err != nil {
+			return nil, false, fmt.Errorf("dist: claim sweep %s: %w", hash, err)
+		}
+		switch state {
+		case claimReady:
+			set, err := w.fetchSet(ctx, key)
+			if err == nil {
+				w.cache.Put(key, set)
+				return set, false, nil
+			}
+			// The cached sweep vanished between the claim and the fetch
+			// (eviction) or the transfer broke: claim again.
+			w.logf("dist: sweep fetch %s failed: %v; re-claiming", hash, err)
+		case claimOwner:
+			set := &checkpoint.Set{K: params.K}
+			sum, err := checkpoint.CaptureStream(ctx, prog, cfg, params, func(u *checkpoint.Unit) bool {
+				set.Units = append(set.Units, u)
+				if onCaptured != nil {
+					onCaptured(len(set.Units))
+				}
+				return true
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			set.PopulationUnits = sum.PopulationUnits
+			set.SweepInsts = sum.SweepInsts
+			set.SweepTime = sum.SweepTime
+			w.sweeps.Add(1)
+			w.cache.Put(key, set)
+			if err := w.uploadSet(ctx, key, set); err != nil {
+				// The set is good locally; the fleet just cannot reuse
+				// it. The claim lease expires and another worker will
+				// re-sweep if needed.
+				w.logf("dist: sweep upload %s failed: %v", hash, err)
+			}
+			return set, true, nil
+		case claimWait:
+			select {
+			case <-time.After(w.opt.PollInterval):
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		default:
+			return nil, false, fmt.Errorf("dist: unknown claim state %q", state)
+		}
+	}
+}
+
+func (w *Worker) claim(ctx context.Context, hash string) (string, error) {
+	body, err := json.Marshal(claimMsg{Hash: hash, Owner: w.opt.Self})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opt.Coordinator+"/v1/claims", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var reply claimReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return "", err
+	}
+	return reply.State, nil
+}
+
+func (w *Worker) fetchSet(ctx context.Context, key checkpoint.Key) (*checkpoint.Set, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.opt.Coordinator+"/v1/sweeps/"+key.Hash(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweep download: %s", resp.Status)
+	}
+	return checkpoint.DecodeSet(resp.Body, key)
+}
+
+func (w *Worker) uploadSet(ctx context.Context, key checkpoint.Key, set *checkpoint.Set) error {
+	var buf bytes.Buffer
+	if err := checkpoint.EncodeSet(&buf, key, set); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		w.opt.Coordinator+"/v1/sweeps/"+key.Hash(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("sweep upload: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/program"
+	"repro/internal/uarch"
+)
+
+// RangeUnit is one replayed unit of a shard-range replay, delivered in
+// stream order.
+type RangeUnit struct {
+	// Seq is the unit's position in the captured stream (the global
+	// stream index shard merges are keyed by).
+	Seq int
+	// Res is the unit's measurement; meaningless when Partial is set.
+	Res UnitResult
+	// Warming is the number of detailed-warming instructions the replay
+	// executed before measurement.
+	Warming uint64
+	// Elapsed is the unit's detailed-replay CPU time.
+	Elapsed time.Duration
+	// Partial reports the program ended inside the unit; the serial
+	// semantics drop it and everything after it, which the consumer
+	// enforces (trailing units of the range may still be emitted).
+	Partial bool
+}
+
+// ReplayRange replays the units [lo, hi) of set — positions in the
+// captured stream — across opt.Workers workers, calling emit for every
+// unit in ascending Seq order. It is the distributed service's worker
+// entry point: a shard replays only its contiguous range, streams each
+// result the moment its stream-order predecessor has been emitted, and
+// the coordinator merges shards by Seq into the same deterministic
+// aggregation a single-machine run performs.
+//
+// The range is clamped to the set (callers size shards from
+// Params.ExpectedUnits, which can exceed the captured count when the
+// program halts early); an empty range emits nothing and returns nil.
+// set is shared and read-only — materialization never mutates the
+// snapshots — so any number of concurrent ReplayRange calls may replay
+// overlapping ranges of one Set.
+//
+// emit returning false stops the replay early (the consumer's stream
+// died or the merge was cut short); ReplayRange then returns nil after
+// the in-flight units drain. ctx cancellation likewise stops dispatch
+// and returns ctx.Err().
+func ReplayRange(ctx context.Context, prog *program.Program, cfg uarch.Config, u uint64, set *checkpoint.Set, lo, hi int, opt Options, emit func(RangeUnit) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if u == 0 {
+		return fmt.Errorf("engine: zero sampling unit size")
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(set.Units) {
+		hi = len(set.Units)
+	}
+	if lo >= hi {
+		return ctx.Err()
+	}
+	nw := opt.workers()
+	if nw > hi-lo {
+		nw = hi - lo
+	}
+
+	jobs := make(chan unitJob)
+	done := make(chan unitDone, nw)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	signalQuit := func() { quitOnce.Do(func() { close(quit) }) }
+
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			signalQuit()
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(prog, cfg, u, jobs, done)
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for seq := lo; seq < hi; seq++ {
+			select {
+			case jobs <- unitJob{seq: seq, unit: set.Units[seq]}:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Reorder completions into ascending Seq before emitting, so the
+	// consumer observes the deterministic stream order regardless of
+	// worker scheduling.
+	pending := make(map[int]unitDone, nw)
+	next := lo
+	var firstErr error
+	for d := range done {
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			signalQuit()
+			continue
+		}
+		pending[d.seq] = d
+		for {
+			nd, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr != nil {
+				continue
+			}
+			if !emit(RangeUnit{Seq: nd.seq, Res: nd.res, Warming: nd.warming, Elapsed: nd.elapsed, Partial: nd.partial}) {
+				signalQuit()
+				firstErr = errStopped
+			}
+		}
+	}
+	signalQuit()
+	if firstErr == errStopped {
+		return nil
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// errStopped marks an emit-requested stop internally; ReplayRange
+// translates it to a nil return.
+var errStopped = fmt.Errorf("engine: replay stopped by consumer")

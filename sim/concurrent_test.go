@@ -115,7 +115,7 @@ func TestSingleflightStoreless(t *testing.T) {
 		}
 		sameMeasurement(t, "storeless concurrent client", reports[i].Result(), want)
 	}
-	_, misses, ok := sess.SweepCacheStats()
+	_, misses, _, ok := sess.SweepCacheStats()
 	if !ok {
 		t.Fatal("storeless session has no sweep cache")
 	}

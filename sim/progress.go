@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // EventKind classifies a progress event.
 type EventKind int
@@ -21,6 +24,13 @@ const (
 	// CPI estimate and Cached reports whether the sweep came from the
 	// checkpoint store.
 	EventRunDone
+	// EventShardStart opens one shard of a distributed run: the unit
+	// range [Shard, Shards) metadata is carried in Shard/Shards, the
+	// range size in Total. Only distributed runs emit shard events.
+	EventShardStart
+	// EventShardDone closes one shard of a distributed run; Replayed is
+	// the number of units the shard streamed back.
+	EventShardDone
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +44,10 @@ func (k EventKind) String() string {
 		return "replayed"
 	case EventRunDone:
 		return "done"
+	case EventShardStart:
+		return "shard-start"
+	case EventShardDone:
+		return "shard-done"
 	}
 	return "unknown"
 }
@@ -63,6 +77,21 @@ type Progress struct {
 	// Cached reports that launch states were loaded from the
 	// checkpoint store instead of swept (EventRunDone).
 	Cached bool
+	// Population is the number of sampling units the workload divides
+	// into (workload length / U) — the denominator the sweep walks.
+	Population uint64
+	// Total is the expected number of sampled units for the run (the
+	// plan's systematic selection over Population), known up front; the
+	// captured count can fall short only when the program halts early.
+	Total int
+	// ETA estimates the remaining time of the event's stage from its
+	// observed rate: Captured over Total on EventUnitCaptured, Replayed
+	// over Total on EventUnitReplayed. Zero when no rate is established
+	// yet.
+	ETA time.Duration
+	// Shard and Shards identify the emitting shard of a distributed run
+	// (shard events and per-unit events forwarded from workers).
+	Shard, Shards int
 }
 
 // ProgressFunc receives progress events. Callbacks are serialized per

@@ -52,15 +52,16 @@ type flight struct {
 
 // settings collects the session defaults the options mutate.
 type settings struct {
-	storeDir  string
-	storeMax  int64
-	workers   int
-	alpha     float64
-	keyframe  int
-	logf      func(format string, args ...any)
-	progress  ProgressFunc
-	defLength uint64
-	defUnits  uint64
+	storeDir    string
+	storeMax    int64
+	memCacheMax int64
+	workers     int
+	alpha       float64
+	keyframe    int
+	logf        func(format string, args ...any)
+	progress    ProgressFunc
+	defLength   uint64
+	defUnits    uint64
 }
 
 // Option configures a Session at Open.
@@ -88,6 +89,22 @@ func WithStoreLimit(maxBytes int64) Option {
 			return fmt.Errorf("sim: negative store limit %d", maxBytes)
 		}
 		s.storeMax = maxBytes
+		return nil
+	}
+}
+
+// WithMemCacheBytes caps the storeless session's in-memory sweep cache
+// at maxBytes of snapshot payload; least-recently-used sweeps are
+// evicted on insert (the sweep just captured is never evicted, so the
+// run that paid for it always reuses it). 0 — the default — leaves the
+// cache unbounded, the pre-existing behavior. Sessions with an on-disk
+// store ignore it (the store has its own cap, WithStoreLimit).
+func WithMemCacheBytes(maxBytes int64) Option {
+	return func(s *settings) error {
+		if maxBytes < 0 {
+			return fmt.Errorf("sim: negative sweep cache limit %d", maxBytes)
+		}
+		s.memCacheMax = maxBytes
 		return nil
 	}
 }
@@ -166,8 +183,8 @@ func WithDefaults(length, units uint64) Option {
 func Open(opts ...Option) (*Session, error) {
 	set := settings{
 		alpha:     stats.Alpha997,
-		defLength: 2_000_000,
-		defUnits:  400,
+		defLength: DefaultLength,
+		defUnits:  DefaultUnits,
 	}
 	for _, opt := range opts {
 		if err := opt(&set); err != nil {
@@ -191,8 +208,10 @@ func Open(opts ...Option) (*Session, error) {
 		s.store = store
 	} else {
 		// Storeless sessions still deduplicate and reuse sweeps — in
-		// memory, for the session's lifetime.
+		// memory, for the session's lifetime (bounded when the session
+		// asks for it).
 		s.sweeps = checkpoint.NewMemCache()
+		s.sweeps.MaxBytes = set.memCacheMax
 	}
 	return s, nil
 }
@@ -224,15 +243,16 @@ func (s *Session) StoreDir() string {
 	return s.store.Dir()
 }
 
-// SweepCacheStats returns the in-memory sweep cache's lifetime hit/miss
-// counts; ok is false when the session runs with an on-disk store
-// (which shares sweeps instead — see StoreStats).
-func (s *Session) SweepCacheStats() (hits, misses uint64, ok bool) {
+// SweepCacheStats returns the in-memory sweep cache's lifetime
+// hit/miss/eviction counts (evictions stay zero unless the cache is
+// bounded with WithMemCacheBytes); ok is false when the session runs
+// with an on-disk store (which shares sweeps instead — see StoreStats).
+func (s *Session) SweepCacheStats() (hits, misses, evictions uint64, ok bool) {
 	if s.sweeps == nil {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
-	hits, misses = s.sweeps.Stats()
-	return hits, misses, true
+	hits, misses, evictions = s.sweeps.Stats()
+	return hits, misses, evictions, true
 }
 
 // Workload returns the generated workload for (name, length), building
@@ -425,8 +445,42 @@ func (s *Session) workers(req *Request) int {
 	return n
 }
 
-// plan builds the sampling plan a request describes.
+// Package-level request defaults (overridable per session with
+// WithDefaults).
+const (
+	// DefaultLength is the workload length requests fall back to.
+	DefaultLength = 2_000_000
+	// DefaultUnits is the target sampled-unit count requests fall back
+	// to when they set neither K nor N.
+	DefaultUnits = 400
+)
+
+// ResolvePlan returns the concrete sampling plan req describes against
+// the generated workload prog — the request's knobs with the package
+// defaults applied (U=1000, the config's recommended W, DefaultUnits
+// target units). It is the plan a default-configured Session executes
+// for req; the distributed service's coordinator and workers resolve it
+// independently so both sides agree on unit indices without shipping a
+// plan over the wire.
+func ResolvePlan(req *Request, prog *Workload) Plan {
+	return resolvePlan(req, prog, resolveConfig(req.Config), DefaultUnits)
+}
+
+// resolveConfig is the package-level form of Session.config.
+func resolveConfig(cfg Config) Config {
+	if cfg == (Config{}) {
+		return uarch.Config8Way()
+	}
+	return cfg
+}
+
+// plan builds the sampling plan a request describes, with the session's
+// defaults.
 func (s *Session) plan(req *Request, prog *program.Program, cfg Config) Plan {
+	return resolvePlan(req, prog, cfg, s.set.defUnits)
+}
+
+func resolvePlan(req *Request, prog *program.Program, cfg Config, defUnits uint64) Plan {
 	u := req.U
 	if u == 0 {
 		u = 1000
@@ -445,7 +499,7 @@ func (s *Session) plan(req *Request, prog *program.Program, cfg Config) Plan {
 	} else {
 		n := req.N
 		if n == 0 {
-			n = s.set.defUnits
+			n = defUnits
 		}
 		plan = smarts.PlanForN(prog.Length, u, w, n, req.Warming, req.J)
 	}
@@ -453,8 +507,28 @@ func (s *Session) plan(req *Request, prog *program.Program, cfg Config) Plan {
 	return plan
 }
 
+// planTotals reports the progress denominators of one plan execution:
+// the workload's unit population and the expected sampled-unit count.
+func planTotals(plan Plan, prog *program.Program) (pop uint64, total int) {
+	if prog == nil || plan.U == 0 {
+		return 0, 0
+	}
+	pop = prog.Length / plan.U
+	return pop, plan.CheckpointParams().ExpectedUnits(pop)
+}
+
+// etaFrom extrapolates the remaining time of a stage from its observed
+// rate: done of total steps since start.
+func etaFrom(start time.Time, done, total int) time.Duration {
+	if done <= 0 || total <= 0 || done >= total {
+		return 0
+	}
+	elapsed := time.Since(start)
+	return time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+}
+
 // engineOptions builds the engine options for one plan execution.
-func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, offset uint64) smarts.EngineOptions {
+func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, offset uint64, plan Plan, prog *program.Program) smarts.EngineOptions {
 	opt := smarts.EngineOptions{
 		Workers: s.workers(req),
 		// The effective alpha (request, else session) drives both the
@@ -471,11 +545,23 @@ func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, 
 		opt.Cache = s.sweeps
 	}
 	if sink != nil {
+		pop, total := planTotals(plan, prog)
+		start := time.Now()
 		opt.OnCaptured = func(captured int) {
-			sink.emit(Progress{Kind: EventUnitCaptured, Stage: stage, Offset: offset, Captured: captured})
+			sink.emit(Progress{Kind: EventUnitCaptured, Stage: stage, Offset: offset, Captured: captured,
+				Population: pop, Total: total, ETA: etaFrom(start, captured, total)})
 		}
+		// The collector folds units from one goroutine, so the lazily
+		// set replay clock needs no synchronization; replay overlaps the
+		// sweep in the streamed schedule, making the ETA the remaining
+		// pipeline time, not a serial-stage sum.
+		var replayStart time.Time
 		opt.OnReplayed = func(replayed int, est stats.Estimate) {
-			sink.emit(Progress{Kind: EventUnitReplayed, Stage: stage, Offset: offset, Replayed: replayed, Estimate: est})
+			if replayStart.IsZero() {
+				replayStart = time.Now()
+			}
+			sink.emit(Progress{Kind: EventUnitReplayed, Stage: stage, Offset: offset, Replayed: replayed, Estimate: est,
+				Population: pop, Total: total, ETA: etaFrom(replayStart, replayed, total)})
 		}
 	}
 	return opt
@@ -493,7 +579,7 @@ func (s *Session) runPlan(ctx context.Context, req *Request, prog *program.Progr
 		plan.Parallelism = 0
 		res, err = smarts.RunContext(ctx, prog, cfg, plan)
 	} else {
-		opt := s.engineOptions(req, sink, stage, plan.J)
+		opt := s.engineOptions(req, sink, stage, plan.J, plan, prog)
 		run := func() (*Result, error) {
 			return smarts.RunSampledContext(ctx, prog, cfg, plan, opt)
 		}
@@ -557,13 +643,40 @@ func (s *Session) runPhases(ctx context.Context, req *Request, prog *program.Pro
 	}
 
 	sink.emit(Progress{Kind: EventRunStart, Stage: "sample"})
-	opt := s.engineOptions(req, sink, "sample", 0)
+	opt := s.engineOptions(req, sink, "sample", 0, plan, prog)
 	if sink != nil {
+		// A multi-offset sweep captures every offset's units in one
+		// pass, so the capture denominator spans all offsets while each
+		// offset's replay counts against its own expectation.
+		pop, _ := planTotals(plan, prog)
+		sweepParams := plan.CheckpointParams()
+		sweepParams.J = 0
+		sweepParams.Offsets = req.Offsets
+		sweepTotal := sweepParams.ExpectedUnits(pop)
+		perOffset := make(map[uint64]int, len(req.Offsets))
+		for _, j := range req.Offsets {
+			pj := plan.CheckpointParams()
+			pj.J = j
+			pj.Offsets = nil
+			perOffset[j] = pj.ExpectedUnits(pop)
+		}
+		start := time.Now()
+		opt.OnCaptured = func(captured int) {
+			sink.emit(Progress{Kind: EventUnitCaptured, Stage: "sample", Captured: captured,
+				Population: pop, Total: sweepTotal, ETA: etaFrom(start, captured, sweepTotal)})
+		}
 		// Replay events of a multi-offset run carry their offset, so a
 		// consumer can attribute the per-offset unit counters.
 		opt.OnReplayed = nil
+		var replayStart time.Time
+		replayedAll := 0
 		opt.OnPhaseReplayed = func(j uint64, replayed int, est stats.Estimate) {
-			sink.emit(Progress{Kind: EventUnitReplayed, Stage: "sample", Offset: j, Replayed: replayed, Estimate: est})
+			if replayStart.IsZero() {
+				replayStart = time.Now()
+			}
+			replayedAll++
+			sink.emit(Progress{Kind: EventUnitReplayed, Stage: "sample", Offset: j, Replayed: replayed, Estimate: est,
+				Population: pop, Total: perOffset[j], ETA: etaFrom(replayStart, replayedAll, sweepTotal)})
 		}
 	}
 	run := func() ([]*Result, error) {
