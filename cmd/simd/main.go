@@ -57,8 +57,11 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   simd coordinator -listen ADDR [-workers URL,...] [-ckpt-dir DIR] [-ckpt-max-bytes N]
                    [-mem-cache-bytes N] [-max-active N] [-max-queue N] [-shards-per-worker N]
+                   [-lease D]
   simd worker      -listen ADDR -coordinator URL [-advertise URL] [-parallel N] [-mem-cache-bytes N]
-  simd run         -coordinator URL [workload/machine/plan flags] [-eps E -min-units N] [-v]
+                   [-heartbeat D] [-resume-interval N]
+  simd run         -coordinator URL [workload/machine/plan flags] [-eps E -min-units N]
+                   [-fallback-local] [-v]
 `)
 }
 
@@ -73,6 +76,7 @@ func coordinatorMain(args []string) {
 		active    = fs.Int("max-active", 0, "concurrently running runs admitted (0 = default)")
 		queue     = fs.Int("max-queue", 0, "runs waiting for a slot before ErrBusy (0 = default, -1 = no queue)")
 		perWorker = fs.Int("shards-per-worker", 0, "shard ranges per live worker, for work stealing (0 = default)")
+		dflags    = simflag.RegisterDistCoordinator(fs)
 	)
 	fs.Parse(args)
 
@@ -83,6 +87,7 @@ func coordinatorMain(args []string) {
 		MaxActive:       *active,
 		MaxQueue:        *queue,
 		ShardsPerWorker: *perWorker,
+		LeaseTTL:        *dflags.Lease,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -105,6 +110,7 @@ func workerMain(args []string) {
 		advertise   = fs.String("advertise", "", "base URL the coordinator reaches this worker at (default: derived from -listen on loopback)")
 		parallel    = fs.Int("parallel", -1, "replay workers per shard (-1 = all cores)")
 		memMax      = fs.Int64("mem-cache-bytes", 0, "LRU size cap for the local sweep cache in bytes (0 = unbounded)")
+		dflags      = simflag.RegisterDistWorker(fs)
 	)
 	fs.Parse(args)
 	if *coordinator == "" {
@@ -120,14 +126,18 @@ func workerMain(args []string) {
 	}
 
 	w := dist.NewWorker(dist.WorkerOptions{
-		Coordinator:   *coordinator,
-		Self:          self,
-		Workers:       *parallel,
-		MemCacheBytes: *memMax,
-		Logf:          log.Printf,
+		Coordinator:    *coordinator,
+		Self:           self,
+		Workers:        *parallel,
+		MemCacheBytes:  *memMax,
+		Heartbeat:      *dflags.Heartbeat,
+		ResumeInterval: *dflags.ResumeInt,
+		Logf:           log.Printf,
 	})
 	// The coordinator may still be coming up; keep announcing until it
-	// answers, in the background so the worker serves shards meanwhile.
+	// answers (Register itself retries transient failures with backoff),
+	// in the background so the worker serves shards meanwhile. Once
+	// registered, the same goroutine drives the liveness heartbeat.
 	go func() {
 		for {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -135,6 +145,7 @@ func workerMain(args []string) {
 			cancel()
 			if err == nil {
 				log.Printf("registered with %s as %s", *coordinator, self)
+				w.Heartbeat(context.Background())
 				return
 			}
 			log.Printf("register with %s failed (%v); retrying", *coordinator, err)
@@ -152,6 +163,7 @@ func runMain(args []string) {
 		eps         = fs.Float64("eps", 0, "stop measuring once the CPI confidence interval is within ±eps (0 = run the full plan)")
 		minUnits    = fs.Uint64("min-units", 0, "minimum measured units before -eps may stop the run")
 		verbose     = fs.Bool("v", false, "stream shard and sweep progress to stderr")
+		fallback    = fs.Bool("fallback-local", false, "degrade to an in-process run (bit-identical, slower) when the coordinator stays unreachable after retries")
 		workload    = simflag.RegisterWorkload(fs)
 		machine     = simflag.RegisterMachine(fs)
 		plan        = simflag.RegisterPlan(fs)
@@ -188,11 +200,24 @@ func runMain(args []string) {
 				}
 			case sim.EventShardDone:
 				log.Printf("shard %d/%d done (%d units)", ev.Shard+1, ev.Shards, ev.Replayed)
+			case sim.EventRetry:
+				log.Printf("retrying after transient failure (attempt %d): %s", ev.Attempt, ev.Note)
+			case sim.EventFallback:
+				log.Printf("coordinator unreachable; falling back to a local run: %s", ev.Note)
 			}
 		}
 	}
 
-	rep, err := dist.NewClient(*coordinator).Run(context.Background(), req)
+	client := dist.NewClient(*coordinator)
+	if *fallback {
+		local, err := sim.Open()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer local.Close()
+		client.Fallback = local
+	}
+	rep, err := client.Run(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

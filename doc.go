@@ -66,6 +66,14 @@
 // Every variant — streamed, two-phase, store-loaded, multi-offset,
 // cancelled-and-rerun — produces bit-identical estimates.
 //
+// Sweeps are also crash-safe: with a store attached, an in-progress
+// sweep journals its position every few keyframes as a *.partial
+// record (invisible to the committed index), and a rerun of the same
+// request resumes from the journal's last keyframe instead of
+// resweeping (sim.WithResumeInterval, the CLIs' -resume-interval). The
+// resumed unit stream is bit-identical to an uninterrupted sweep, and
+// a corrupt journal degrades to a cold sweep — never a wrong result.
+//
 // # Distributed sampling
 //
 // internal/dist scales the same runs across machines: a coordinator
@@ -78,9 +86,15 @@
 // functional sweep per checkpoint key through a claim protocol (the
 // session singleflight, fleet-wide) backed by the coordinator's sweep
 // cache and optional on-disk store; the format-v3 store codec doubles
-// as the wire encoding. dist.Client has the same Run(ctx, *Request)
-// shape as sim.Session, so callers swap local for distributed
-// execution with one constructor (examples/distributed).
+// as the wire encoding. The fleet is fault-tolerant end to end: sweep
+// owners journal partial progress to the coordinator and renew their
+// claim lease, so a worker killed mid-sweep hands the sweep to a peer
+// that resumes from the journal; RPCs retry with backoff and jitter;
+// workers heartbeat for liveness; and dist.Client — which has the same
+// Run(ctx, *Request) shape as sim.Session, so callers swap local for
+// distributed execution with one constructor (examples/distributed) —
+// can degrade to a bit-identical in-process run when the coordinator
+// is unreachable.
 //
 // Executables are under cmd/ (their shared flags live in
 // sim/simflag), runnable examples under examples/ (examples/service

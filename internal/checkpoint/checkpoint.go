@@ -125,6 +125,24 @@ type Params struct {
 	// Cold captures delta-encode memory the same way (they have no warm
 	// state).
 	Keyframe int
+	// OnFrame, when non-nil, observes the sweep's resumable state after
+	// each captured unit is emitted: the ResumeFrame pinpoints the exact
+	// sweep position a later CaptureStream can continue from given the
+	// units captured so far (see resume.go). Called from the sweep
+	// goroutine, after emit returned true. Like Keyframe, OnFrame is an
+	// execution-side knob excluded from the store Key.
+	OnFrame func(ResumeFrame)
+	// Resume, when non-nil, continues a previously journaled sweep of
+	// this same plan instead of starting at instruction zero: the
+	// boundary generator is replayed over the already-captured units
+	// (each validated against the plan — a mismatched journal is an
+	// error, never a wrong resume), the sweep CPU, memory, and warm
+	// state are reconstructed from the last captured unit, and only new
+	// units are emitted. The continued unit stream is bit-identical to
+	// the tail of an uninterrupted sweep; the first resumed capture is a
+	// fresh keyframe (an encoding-only divergence, like Keyframe itself
+	// excluded from bit-identity and from the store Key).
+	Resume *ResumeState
 }
 
 // DefaultKeyframe is the keyframe interval used when Params.Keyframe is
@@ -375,8 +393,14 @@ type Summary struct {
 	SweepInsts uint64
 	// SweepTime is the wall-clock cost of the sweep.
 	SweepTime time.Duration
-	// Captured is the number of units emitted.
+	// Captured is the number of units emitted — including, on a resumed
+	// sweep, the units the journal already held (which are not
+	// re-emitted; see Params.Resume).
 	Captured int
+	// ResumedAt is the journaled instruction position a resumed sweep
+	// continued from (0 for a cold sweep): SweepInsts - ResumedAt is the
+	// functional work this sweep actually executed.
+	ResumedAt uint64
 	// Complete reports that the sweep visited every selected boundary:
 	// it was not cut short by the consumer (a false return from emit).
 	// Reaching program end before the last boundary still counts as
@@ -598,6 +622,20 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 	gen := newBoundaryGen(p, sum.PopulationUnits)
 	var pos uint64 // instructions consumed from the stream so far
 
+	if rs := p.Resume; rs != nil && len(rs.Units) > 0 {
+		var err error
+		cpu, err = resumeSweep(prog, machine, warmer, gen, rs)
+		if err != nil {
+			return nil, err
+		}
+		pos = cpu.Count
+		sum.Captured = len(rs.Units)
+		sum.ResumedAt = rs.SweepInsts
+		// Backdate start so time.Since(start) — used by every exit path —
+		// accumulates on top of the journaled sweep time.
+		start = start.Add(-rs.SweepTime)
+	}
+
 	// Delta-encoded snapshots: every kf-th captured unit is a full
 	// keyframe, the units between carry deltas chained off it — dirty
 	// memory pages always, dirty warm blocks when warming (see
@@ -692,6 +730,20 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 		if !emit(u) {
 			sum.Complete = false
 			break
+		}
+		if p.OnFrame != nil {
+			// At capture time the stream position equals the unit's launch
+			// point, so the frame pins exactly the state a resumed sweep
+			// reconstructs from this unit.
+			fr := ResumeFrame{
+				Captured:   sum.Captured,
+				SweepInsts: cpu.Count,
+				SweepTime:  time.Since(start),
+			}
+			if warmer != nil {
+				fr.LastIBlock, fr.HaveIBlock = warmer.FetchBlock()
+			}
+			p.OnFrame(fr)
 		}
 	}
 	sum.SweepInsts = cpu.Count

@@ -28,6 +28,7 @@ const (
 	recUnit   = 2 // one captured unit
 	recEnd    = 3 // terminator carrying the sweep totals
 	recKeyIdx = 4 // keyframe index (v2+): ordinals of keyframe units
+	recFrame  = 5 // resume frame sealing a partial-sweep journal prefix (resume.go)
 )
 
 // Warm-state encodings inside a v2+ unit record. Version-1 files carry

@@ -20,6 +20,21 @@ import (
 type Client struct {
 	url    string
 	client *http.Client
+
+	// Fallback, when non-nil, is a local session the client degrades to
+	// when the coordinator stays unreachable (or at capacity) after the
+	// connect retries: the run completes in-process — bit-identical by
+	// construction — after an EventFallback progress event carrying the
+	// coordinator error. A run stream that breaks after it started still
+	// fails (the coordinator may keep executing; a silent local redo
+	// could double the work).
+	Fallback *sim.Session
+	// Retries, RetryBase and RetryMax shape the capped
+	// exponential-backoff retry on the initial run request (zero values
+	// select the defaults: 4 attempts, 50ms base, 2s cap). Each retried
+	// attempt surfaces as an EventRetry progress event.
+	Retries             int
+	RetryBase, RetryMax time.Duration
 }
 
 // NewClient builds a client for the coordinator at base URL url.
@@ -44,24 +59,56 @@ func (c *Client) Run(ctx context.Context, req *sim.Request) (*sim.Report, error)
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url+"/v1/runs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.client.Do(hreq)
-	if err != nil {
-		return nil, err
+	policy := retryPolicy{Attempts: c.Retries, Base: c.RetryBase, Max: c.RetryMax}
+	var resp *http.Response
+	var rejected bool // deterministic coordinator rejection: no fallback
+	connErr := retry(ctx, policy, func(attempt int, aerr error) {
+		if req.Progress != nil {
+			req.Progress(sim.Progress{Kind: sim.EventRetry, Stage: "sample",
+				Attempt: attempt, Note: "coordinator run: " + aerr.Error()})
+		}
+	}, func() error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url+"/v1/runs", bytes.NewReader(body))
+		if err != nil {
+			return permanent(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		r, err := c.client.Do(hreq)
+		if err != nil {
+			return err
+		}
+		switch r.StatusCode {
+		case http.StatusOK:
+			resp = r
+			return nil
+		case http.StatusTooManyRequests:
+			r.Body.Close()
+			return fmt.Errorf("%w (coordinator %s)", ErrBusy, c.url)
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+			r.Body.Close()
+			err := fmt.Errorf("dist: coordinator %s: %s: %s", c.url, r.Status, bytes.TrimSpace(msg))
+			if !httpRetryable(r.StatusCode) {
+				// Deterministic rejection (a bad request): the local
+				// session would fail or diverge the same way. Retrying
+				// cannot help and neither can falling back.
+				rejected = true
+				return permanent(err)
+			}
+			return err
+		}
+	})
+	if connErr != nil {
+		if c.Fallback != nil && !rejected && ctx.Err() == nil {
+			if req.Progress != nil {
+				req.Progress(sim.Progress{Kind: sim.EventFallback, Stage: "sample",
+					Note: connErr.Error()})
+			}
+			return c.Fallback.Run(ctx, req)
+		}
+		return nil, connErr
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusTooManyRequests:
-		return nil, fmt.Errorf("%w (coordinator %s)", ErrBusy, c.url)
-	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("dist: coordinator %s: %s: %s", c.url, resp.Status, bytes.TrimSpace(msg))
-	}
 
 	dec := json.NewDecoder(resp.Body)
 	for {

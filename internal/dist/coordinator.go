@@ -46,8 +46,14 @@ type Options struct {
 	ShardsPerWorker int
 	// LeaseTTL bounds how long a sweep claim may sit unfinished before
 	// another worker may take ownership (default 2 minutes) — the
-	// recovery path for a worker that died mid-sweep.
+	// recovery path for a worker that died mid-sweep. Owners renew the
+	// lease by re-claiming (the worker does so every LeaseTTL/3), so the
+	// TTL can sit well below the longest sweep.
 	LeaseTTL time.Duration
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// harness on the coordinator's hooks (FaultExpireLease). Testing
+	// only.
+	Faults *Faults
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -70,6 +76,13 @@ type Coordinator struct {
 	claims  map[string]claimState
 	active  map[string]*activeRun
 	progs   map[progKey]*program.Program
+	// partials holds uploaded partial-sweep journals (opaque format-v3
+	// bytes) by key hash: a sweep owner uploads its journal as it
+	// progresses, and the worker that wins the claim after the owner
+	// dies resumes from here instead of resweeping. Entries are dropped
+	// when the completed sweep arrives; with a store attached they are
+	// also persisted as *.partial files, surviving coordinator restarts.
+	partials map[string][]byte
 }
 
 type claimState struct {
@@ -96,14 +109,32 @@ type workerRef struct {
 
 	mu   sync.Mutex
 	dead bool
+	// beatEvery and lastBeat implement heartbeat liveness: a worker that
+	// announced a heartbeat interval and then fell silent for three
+	// intervals stops receiving dispatches until it beats again.
+	// Workers that never announced an interval are exempt.
+	beatEvery time.Duration
+	lastBeat  time.Time
 }
 
 func (w *workerRef) markDead() { w.mu.Lock(); w.dead = true; w.mu.Unlock() }
 func (w *workerRef) revive()   { w.mu.Lock(); w.dead = false; w.mu.Unlock() }
+func (w *workerRef) beat() {
+	w.mu.Lock()
+	w.dead = false
+	w.lastBeat = time.Now()
+	w.mu.Unlock()
+}
 func (w *workerRef) alive() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return !w.dead
+	if w.dead {
+		return false
+	}
+	if w.beatEvery > 0 && !w.lastBeat.IsZero() && time.Since(w.lastBeat) > 3*w.beatEvery {
+		return false
+	}
+	return true
 }
 
 // NewCoordinator builds a coordinator (opening the on-disk store when
@@ -125,13 +156,14 @@ func NewCoordinator(opt Options) (*Coordinator, error) {
 		opt.LeaseTTL = 2 * time.Minute
 	}
 	c := &Coordinator{
-		opt:    opt,
-		sweeps: checkpoint.NewMemCache(),
-		client: &http.Client{},
-		slots:  make(chan struct{}, opt.MaxActive),
-		claims: make(map[string]claimState),
-		active: make(map[string]*activeRun),
-		progs:  make(map[progKey]*program.Program),
+		opt:      opt,
+		sweeps:   checkpoint.NewMemCache(),
+		client:   &http.Client{},
+		slots:    make(chan struct{}, opt.MaxActive),
+		claims:   make(map[string]claimState),
+		active:   make(map[string]*activeRun),
+		progs:    make(map[progKey]*program.Program),
+		partials: make(map[string][]byte),
 	}
 	c.sweeps.MaxBytes = opt.MemCacheBytes
 	if opt.StoreDir != "" {
@@ -153,18 +185,43 @@ func (c *Coordinator) logf(format string, args ...any) {
 }
 
 // AddWorker registers a worker by base URL (idempotent; re-adding a
-// dead worker revives it).
-func (c *Coordinator) AddWorker(url string) {
+// dead worker revives it). Workers added this way announce no
+// heartbeat and are never expired for silence.
+func (c *Coordinator) AddWorker(url string) { c.addWorker(url, 0) }
+
+func (c *Coordinator) addWorker(url string, beatEvery time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, w := range c.workers {
 		if w.url == url {
-			w.revive()
+			w.mu.Lock()
+			w.dead = false
+			w.beatEvery = beatEvery
+			if beatEvery > 0 {
+				w.lastBeat = time.Now()
+			}
+			w.mu.Unlock()
 			return
 		}
 	}
-	c.workers = append(c.workers, &workerRef{url: url})
+	ref := &workerRef{url: url, beatEvery: beatEvery}
+	if beatEvery > 0 {
+		ref.lastBeat = time.Now()
+	}
+	c.workers = append(c.workers, ref)
 	c.logf("dist: worker registered: %s", url)
+}
+
+// workerByURL finds a registered worker.
+func (c *Coordinator) workerByURL(url string) *workerRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.url == url {
+			return w
+		}
+	}
+	return nil
 }
 
 func (c *Coordinator) liveWorkers() []*workerRef {
@@ -590,6 +647,10 @@ func (r *shardedRun) runShard(ctx context.Context, w *workerRef, sr shardRange) 
 			r.sink.emit(sim.Progress{Kind: sim.EventUnitCaptured, Stage: "sample", Offset: r.plan.J,
 				Captured: rec.Captured, Population: r.pop, Total: r.total,
 				Shard: sr.idx, Shards: r.shards})
+		case rec.Retry != nil:
+			r.sink.emit(sim.Progress{Kind: sim.EventRetry, Stage: "sample", Offset: r.plan.J,
+				Attempt: rec.Retry.Attempt, Note: rec.Retry.Op + ": " + rec.Retry.Err,
+				Population: r.pop, Total: r.total, Shard: sr.idx, Shards: r.shards})
 		case rec.Done != nil:
 			r.sink.emit(sim.Progress{Kind: sim.EventShardDone, Stage: "sample", Offset: r.plan.J,
 				Replayed: received, Population: r.pop, Total: sr.hi - sr.lo,
@@ -637,9 +698,12 @@ func (c *Coordinator) Handler() http.Handler {
 		rw.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("POST /v1/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/claims", c.handleClaim)
 	mux.HandleFunc("GET /v1/sweeps/{hash}", c.handleSweepGet)
 	mux.HandleFunc("PUT /v1/sweeps/{hash}", c.handleSweepPut)
+	mux.HandleFunc("GET /v1/partials/{hash}", c.handlePartialGet)
+	mux.HandleFunc("PUT /v1/partials/{hash}", c.handlePartialPut)
 	mux.HandleFunc("POST /v1/runs", c.handleRun)
 	return mux
 }
@@ -650,7 +714,24 @@ func (c *Coordinator) handleRegister(rw http.ResponseWriter, req *http.Request) 
 		http.Error(rw, "bad register body", http.StatusBadRequest)
 		return
 	}
-	c.AddWorker(msg.URL)
+	c.addWorker(msg.URL, time.Duration(msg.IntervalNs))
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleHeartbeat(rw http.ResponseWriter, req *http.Request) {
+	var msg heartbeatMsg
+	if err := json.NewDecoder(req.Body).Decode(&msg); err != nil || msg.URL == "" {
+		http.Error(rw, "bad heartbeat body", http.StatusBadRequest)
+		return
+	}
+	w := c.workerByURL(msg.URL)
+	if w == nil {
+		// A beat from a worker the coordinator forgot (restart): tell it
+		// to re-register.
+		http.Error(rw, "unknown worker; re-register", http.StatusNotFound)
+		return
+	}
+	w.beat()
 	rw.WriteHeader(http.StatusNoContent)
 }
 
@@ -670,16 +751,25 @@ func (c *Coordinator) handleClaim(rw http.ResponseWriter, req *http.Request) {
 	state := claimWait
 	if c.sweepReady(run) {
 		state = claimReady
-	} else if cl, claimed := c.claims[msg.Hash]; !claimed ||
-		cl.owner == msg.Owner || time.Since(cl.since) > c.opt.LeaseTTL {
-		// Unclaimed, re-claimed by the current owner, or the lease
-		// expired (the owner died mid-sweep): the caller sweeps.
-		c.claims[msg.Hash] = claimState{owner: msg.Owner, since: time.Now()}
-		state = claimOwner
+	} else {
+		cl, claimed := c.claims[msg.Hash]
+		if claimed && cl.owner != msg.Owner {
+			if ok, _ := c.opt.Faults.fire(FaultExpireLease); ok {
+				claimed = false // injected: treat the lease as lapsed
+			}
+		}
+		if !claimed || cl.owner == msg.Owner || time.Since(cl.since) > c.opt.LeaseTTL {
+			// Unclaimed, re-claimed by the current owner (which renews the
+			// lease), or the lease expired (the owner died mid-sweep): the
+			// caller sweeps — resuming from the dead owner's uploaded
+			// partial journal when one exists.
+			c.claims[msg.Hash] = claimState{owner: msg.Owner, since: time.Now()}
+			state = claimOwner
+		}
 	}
 	c.mu.Unlock()
 	rw.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(rw).Encode(claimReply{State: state})
+	json.NewEncoder(rw).Encode(claimReply{State: state, LeaseNs: int64(c.opt.LeaseTTL)})
 }
 
 func (c *Coordinator) activeFor(hash string) (*activeRun, bool) {
@@ -740,9 +830,77 @@ func (c *Coordinator) handleSweepPut(rw http.ResponseWriter, req *http.Request) 
 	}
 	c.mu.Lock()
 	delete(c.claims, hash)
+	delete(c.partials, hash)
 	c.mu.Unlock()
+	if c.store != nil && !run.noStore {
+		c.store.DropPartial(run.key)
+	}
 	c.logf("dist: sweep %s uploaded (%d units)", hash, len(set.Units))
 	rw.WriteHeader(http.StatusNoContent)
+}
+
+// handlePartialPut accepts a sweep owner's partial journal (format-v3
+// partial record bytes). The journal is validated against the run's key
+// before it is kept: a corrupt upload is rejected so the fleet never
+// resumes from garbage — it degrades to an earlier journal or a cold
+// sweep instead.
+func (c *Coordinator) handlePartialPut(rw http.ResponseWriter, req *http.Request) {
+	hash := req.PathValue("hash")
+	run, ok := c.activeFor(hash)
+	if !ok {
+		http.Error(rw, "no active run for sweep", http.StatusNotFound)
+		return
+	}
+	raw, err := io.ReadAll(req.Body)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rs, err := checkpoint.DecodePartial(bytes.NewReader(raw), run.key)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.partials[hash] = raw
+	c.mu.Unlock()
+	if c.store != nil && !run.noStore {
+		if err := c.store.SavePartial(run.key, rs); err != nil {
+			c.logf("dist: persisting partial %s failed: %v", hash, err)
+		}
+	}
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+// handlePartialGet serves the most recent partial journal for a run's
+// sweep, falling back to the store's *.partial file when memory has
+// none (a coordinator restart). 404 when no journal exists: the caller
+// sweeps cold.
+func (c *Coordinator) handlePartialGet(rw http.ResponseWriter, req *http.Request) {
+	hash := req.PathValue("hash")
+	run, ok := c.activeFor(hash)
+	if !ok {
+		http.Error(rw, "no active run for sweep", http.StatusNotFound)
+		return
+	}
+	c.mu.Lock()
+	raw := c.partials[hash]
+	c.mu.Unlock()
+	if raw == nil && c.store != nil && !run.noStore {
+		rs, err := c.store.LoadPartial(run.key)
+		if err == nil && rs != nil {
+			var buf bytes.Buffer
+			if err := checkpoint.EncodePartial(&buf, run.key, rs); err == nil {
+				raw = buf.Bytes()
+			}
+		}
+	}
+	if raw == nil {
+		http.Error(rw, "no partial sweep journal", http.StatusNotFound)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(raw)
 }
 
 func (c *Coordinator) handleRun(rw http.ResponseWriter, req *http.Request) {

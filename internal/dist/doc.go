@@ -22,15 +22,26 @@
 //
 // The coordinator serves:
 //
-//	POST /v1/runs          serialized request in, NDJSON envelope stream
-//	                       out: progress events, then the final report
-//	                       (or an error) as the last record.
-//	POST /v1/register      worker announces its base URL.
-//	POST /v1/claims        fleet-wide sweep singleflight (see below).
-//	GET  /v1/sweeps/{hash} fetch a captured sweep, encoded in the
-//	                       checkpoint store's format-v3 byte stream.
-//	PUT  /v1/sweeps/{hash} upload a freshly captured sweep.
-//	GET  /v1/healthz       readiness.
+//	POST /v1/runs            serialized request in, NDJSON envelope
+//	                         stream out: progress events, then the final
+//	                         report (or an error) as the last record.
+//	POST /v1/register        worker announces its base URL and optional
+//	                         heartbeat interval.
+//	POST /v1/heartbeat       worker liveness beat; a worker that
+//	                         announced an interval and then stays silent
+//	                         for three intervals leaves the dispatch set
+//	                         until it beats again.
+//	POST /v1/claims          fleet-wide sweep singleflight (see below).
+//	GET  /v1/sweeps/{hash}   fetch a captured sweep, encoded in the
+//	                         checkpoint store's format-v3 byte stream.
+//	PUT  /v1/sweeps/{hash}   upload a freshly captured sweep.
+//	GET  /v1/partials/{hash} fetch the sweep's current partial journal
+//	                         (404 = sweep cold).
+//	PUT  /v1/partials/{hash} upload a sweep owner's partial journal
+//	                         (the store's format-v3 partial record;
+//	                         validated against the run's key, rejected
+//	                         if corrupt).
+//	GET  /v1/healthz         readiness.
 //
 // Workers serve:
 //
@@ -55,11 +66,27 @@
 // fleet, not once per shard. Before sweeping, a worker claims the key
 // at the coordinator: the reply is "ready" (a sweep is cached or
 // stored — fetch it), "owner" (you sweep; upload when done), or "wait"
-// (another worker is sweeping — poll). Claims carry a lease: if the
-// owner dies mid-sweep, the claim expires after LeaseTTL and the next
+// (another worker is sweeping — poll). Claims carry a lease: the owner
+// renews it by re-claiming every LeaseTTL/3 while it sweeps, so if the
+// owner dies mid-sweep the claim expires after LeaseTTL and the next
 // poller takes ownership. The uploaded sweep lands in the
 // coordinator's bounded MemCache and (unless the request opts out) its
 // on-disk store, so later runs skip the sweep entirely.
+//
+// # Crash-safe sweeps
+//
+// A sweep owner journals its progress: every ResumeInterval keyframes
+// it uploads a partial record (checkpoint.EncodePartial — the same
+// bytes Store.PartialWriter journals locally) to the coordinator,
+// which keeps it in memory and, with a store attached, as a *.partial
+// file that survives coordinator restarts. A worker that wins the
+// claim after the owner died fetches the journal and resumes the sweep
+// from its last keyframe (checkpoint Params.Resume) instead of
+// restarting at instruction zero; the continued unit stream is
+// bit-identical to an uninterrupted sweep. Corruption never poisons a
+// run: a journal that fails validation is rejected at upload, and one
+// that fails resume-replay on the worker degrades to a cold sweep. The
+// journal is deleted when the completed sweep arrives.
 //
 // # Failure and retry
 //
@@ -72,6 +99,23 @@
 // failure) abort the run — they are deterministic and would fail on
 // any worker. If every worker dies, the run fails with an error
 // rather than hanging.
+//
+// Worker→coordinator RPCs (register, claim, sweep and journal
+// transfer) retry transient failures with capped exponential backoff
+// plus deterministic jitter; each retried attempt surfaces to the run
+// as a sim.EventRetry progress event naming the operation and attempt.
+// dist.Client retries its initial run request the same way and, when a
+// Fallback session is configured, degrades to an in-process run (after
+// a sim.EventFallback event) if the coordinator stays unreachable —
+// bit-identical by construction, since local and distributed runs
+// share the engine. Deterministic rejections (4xx) neither retry nor
+// fall back.
+//
+// The crash/resume matrix is tested through a deterministic
+// fault-injection harness (Faults): kill-the-owner-mid-sweep,
+// kill-mid-stream, drop/delay RPC, and expire-lease trigger at exact
+// occurrence counts, so lease handoff and journaled resume run as
+// ordinary unit tests instead of wall-clock races.
 //
 // # Early termination and admission
 //

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// retryPolicy shapes the capped exponential backoff the distributed
+// endpoints use for transient failures: attempt n (0-based) waits
+// Base·2ⁿ, capped at Max, plus a deterministic jitter of up to half the
+// backoff so a fleet of workers retrying the same coordinator does not
+// hammer it in lockstep.
+type retryPolicy struct {
+	// Attempts is the total number of tries (default 4; 1 = no retry).
+	Attempts int
+	// Base is the first backoff (default 50ms); Max caps the growth
+	// (default 2s).
+	Base, Max time.Duration
+}
+
+func (p retryPolicy) withDefaults() retryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the wait before retrying after (1-based) attempt.
+func (p retryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	// Deterministic jitter in [0, d/2): a Weyl-style hash of the attempt
+	// number — reproducible for tests, decorrelated across attempts.
+	j := time.Duration(uint64(attempt)*0x9e3779b97f4a7c15%1000) * d / 2000
+	return d + j
+}
+
+// permanentError marks an error retrying cannot help with (a rejected
+// request, a deterministic simulation failure); retry returns it
+// immediately.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// retry runs fn up to p.Attempts times, backing off between failures.
+// onRetry (optional) observes each failed attempt that will be retried
+// — the hook the progress surfacing hangs off. Permanent errors
+// (permanent(...), *appError, context errors) short-circuit.
+func retry(ctx context.Context, p retryPolicy, onRetry func(attempt int, err error), fn func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		var app *appError
+		if errors.As(err, &app) || ctx.Err() != nil || attempt >= p.Attempts {
+			return err
+		}
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		select {
+		case <-time.After(p.backoff(attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -182,6 +182,17 @@ type shardRecord struct {
 	Unit     *wireUnit  `json:"unit,omitempty"`
 	Done     *shardDone `json:"done,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	// Retry reports a transient worker→coordinator RPC failure being
+	// retried with backoff; the coordinator forwards it as an
+	// EventRetry progress event.
+	Retry *wireRetry `json:"retry,omitempty"`
+}
+
+// wireRetry describes one retried RPC attempt.
+type wireRetry struct {
+	Op      string
+	Attempt int
+	Err     string
 }
 
 // claimMsg asks the coordinator who owns the sweep for a key hash.
@@ -199,6 +210,10 @@ const (
 
 type claimReply struct {
 	State string
+	// LeaseNs is the coordinator's claim lease TTL: an owner that
+	// neither finishes nor renews (by re-claiming) within the lease
+	// loses the sweep to the next poller. Owners renew at LeaseNs/3.
+	LeaseNs int64
 }
 
 // wireProgress is a sim.Progress event on the run stream.
@@ -215,6 +230,8 @@ type wireProgress struct {
 	ETANs      int64
 	Shard      int
 	Shards     int
+	Attempt    int
+	Note       string
 }
 
 func wireFromProgress(ev sim.Progress) wireProgress {
@@ -223,6 +240,7 @@ func wireFromProgress(ev sim.Progress) wireProgress {
 		Captured: ev.Captured, Replayed: ev.Replayed, Estimate: ev.Estimate,
 		Cached: ev.Cached, Population: ev.Population, Total: ev.Total,
 		ETANs: int64(ev.ETA), Shard: ev.Shard, Shards: ev.Shards,
+		Attempt: ev.Attempt, Note: ev.Note,
 	}
 }
 
@@ -232,6 +250,7 @@ func (wp wireProgress) progress() sim.Progress {
 		Captured: wp.Captured, Replayed: wp.Replayed, Estimate: wp.Estimate,
 		Cached: wp.Cached, Population: wp.Population, Total: wp.Total,
 		ETA: time.Duration(wp.ETANs), Shard: wp.Shard, Shards: wp.Shards,
+		Attempt: wp.Attempt, Note: wp.Note,
 	}
 }
 
@@ -253,7 +272,16 @@ type runEnvelope struct {
 	Error    string        `json:"error,omitempty"`
 }
 
-// registerMsg announces a worker to the coordinator.
+// registerMsg announces a worker to the coordinator. IntervalNs, when
+// positive, is the worker's heartbeat interval: the coordinator stops
+// dispatching to a worker silent for three intervals (and revives it on
+// the next beat).
 type registerMsg struct {
+	URL        string
+	IntervalNs int64
+}
+
+// heartbeatMsg is a worker liveness beat.
+type heartbeatMsg struct {
 	URL string
 }

@@ -35,6 +35,34 @@ type WorkerOptions struct {
 	// PollInterval is the wait between sweep-claim polls while another
 	// worker sweeps (default 50ms).
 	PollInterval time.Duration
+	// Heartbeat, when positive, is the liveness heartbeat interval
+	// announced at registration and driven by Worker.Heartbeat; the
+	// coordinator stops dispatching to a worker silent for three
+	// intervals. 0 disables heartbeats (the worker is never expired for
+	// silence).
+	Heartbeat time.Duration
+	// Keyframe overrides the snapshot keyframe interval for sweeps this
+	// worker runs (0 = checkpoint.DefaultKeyframe). Encoding-only, like
+	// sim.WithKeyframe: excluded from the sweep key and from
+	// bit-identity.
+	Keyframe int
+	// ResumeInterval is the sweep-journal upload cadence in keyframes
+	// while this worker owns a sweep: every n-th keyframe it uploads its
+	// partial journal to the coordinator, bounding the work lost if it
+	// dies mid-sweep (the next claim winner resumes from the journal).
+	// 0 selects engine.DefaultResumeInterval; negative disables journal
+	// uploads.
+	ResumeInterval int
+	// Retries, RetryBase and RetryMax shape the capped exponential
+	// backoff (with jitter) on coordinator RPCs — register, claim,
+	// sweep and journal transfer. Zero values select the defaults:
+	// 4 attempts, 50ms base, 2s cap.
+	Retries             int
+	RetryBase, RetryMax time.Duration
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// harness on this worker's hooks (kill-mid-sweep, kill-mid-stream,
+	// drop/delay RPC). Testing only.
+	Faults *Faults
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -46,10 +74,12 @@ type WorkerOptions struct {
 // methods are safe for concurrent use; concurrent shards of one run
 // share the cached set.
 type Worker struct {
-	opt    WorkerOptions
-	client *http.Client
-	cache  *checkpoint.MemCache
-	sweeps atomic.Uint64
+	opt       WorkerOptions
+	policy    retryPolicy
+	client    *http.Client
+	cache     *checkpoint.MemCache
+	sweeps    atomic.Uint64
+	sweepExec atomic.Uint64
 
 	mu    sync.Mutex
 	progs map[progKey]*program.Program
@@ -62,7 +92,8 @@ func NewWorker(opt WorkerOptions) *Worker {
 	}
 	w := &Worker{
 		opt:    opt,
-		client: &http.Client{},
+		policy: retryPolicy{Attempts: opt.Retries, Base: opt.RetryBase, Max: opt.RetryMax}.withDefaults(),
+		client: faultClient(opt.Faults),
 		cache:  checkpoint.NewMemCache(),
 		progs:  make(map[progKey]*program.Program),
 	}
@@ -81,14 +112,85 @@ func (w *Worker) logf(format string, args ...any) {
 // key).
 func (w *Worker) SweepCount() uint64 { return w.sweeps.Load() }
 
-// Register announces the worker to its coordinator.
+// SweepExecInsts returns the functional-warming instructions this
+// worker actually executed while sweeping, counted as the sweep runs —
+// journaled prefixes resumed from the fleet are excluded, and a sweep
+// killed mid-flight still counts what it burned — so the fleet-wide
+// sum bounds the sweep work duplicated across a crash/handoff.
+func (w *Worker) SweepExecInsts() uint64 { return w.sweepExec.Load() }
+
+// httpRetryable classifies an HTTP status as transient (worth a
+// backoff retry) or deterministic.
+func httpRetryable(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// Register announces the worker to its coordinator, retrying transient
+// failures with capped exponential backoff.
 func (w *Worker) Register(ctx context.Context) error {
-	body, err := json.Marshal(registerMsg{URL: w.opt.Self})
+	return retry(ctx, w.policy, func(attempt int, err error) {
+		w.logf("dist: register with %s failed (attempt %d): %v; retrying", w.opt.Coordinator, attempt, err)
+	}, func() error {
+		return w.registerOnce(ctx)
+	})
+}
+
+func (w *Worker) registerOnce(ctx context.Context) error {
+	body, err := json.Marshal(registerMsg{URL: w.opt.Self, IntervalNs: int64(w.opt.Heartbeat)})
+	if err != nil {
+		return permanent(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opt.Coordinator+"/v1/register", bytes.NewReader(body))
+	if err != nil {
+		return permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("dist: register with %s: %s", w.opt.Coordinator, resp.Status)
+		if !httpRetryable(resp.StatusCode) {
+			return permanent(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Heartbeat beats the coordinator every WorkerOptions.Heartbeat until
+// ctx ends, keeping this worker live in the dispatch set. It returns
+// immediately when no heartbeat interval is configured. A beat the
+// coordinator rejects as unknown (its restart lost the registration)
+// re-registers.
+func (w *Worker) Heartbeat(ctx context.Context) {
+	if w.opt.Heartbeat <= 0 {
+		return
+	}
+	t := time.NewTicker(w.opt.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if err := w.beatOnce(ctx); err != nil && ctx.Err() == nil {
+			w.logf("dist: heartbeat: %v", err)
+		}
+	}
+}
+
+func (w *Worker) beatOnce(ctx context.Context) error {
+	body, err := json.Marshal(heartbeatMsg{URL: w.opt.Self})
 	if err != nil {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		w.opt.Coordinator+"/v1/register", bytes.NewReader(body))
+		w.opt.Coordinator+"/v1/heartbeat", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -98,8 +200,11 @@ func (w *Worker) Register(ctx context.Context) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return w.Register(ctx)
+	}
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("dist: register with %s: %s", w.opt.Coordinator, resp.Status)
+		return fmt.Errorf("heartbeat with %s: %s", w.opt.Coordinator, resp.Status)
 	}
 	return nil
 }
@@ -158,6 +263,9 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	params := plan.CheckpointParams()
+	if w.opt.Keyframe != 0 {
+		params.Keyframe = w.opt.Keyframe
+	}
 	key := checkpoint.KeyFor(prog, cfg, params)
 
 	// From here the stream is committed: failures travel as Error
@@ -182,9 +290,16 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 		return true
 	}
 
-	set, swept, err := w.ensureSet(ctx, key, prog, cfg, params, func(captured int) bool {
+	onCaptured := func(captured int) bool {
+		if ok, _ := w.opt.Faults.fire(FaultKillMidSweep); ok {
+			w.opt.Faults.kill()
+		}
 		return send(shardRecord{Captured: captured})
-	})
+	}
+	onRetry := func(op string, attempt int, err error) {
+		send(shardRecord{Retry: &wireRetry{Op: op, Attempt: attempt, Err: err.Error()}})
+	}
+	set, swept, err := w.ensureSet(ctx, key, prog, cfg, params, onCaptured, onRetry)
 	if err != nil {
 		send(shardRecord{Error: err.Error()})
 		return
@@ -198,6 +313,9 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 	}
 	opt := engine.Options{Workers: w.opt.Workers}
 	err = engine.ReplayRange(ctx, prog, cfg, plan.U, set, lo, hi, opt, func(ru engine.RangeUnit) bool {
+		if ok, _ := w.opt.Faults.fire(FaultKillMidStream); ok {
+			w.opt.Faults.kill()
+		}
 		return send(shardRecord{Unit: &wireUnit{
 			Seq:       ru.Seq,
 			Index:     ru.Res.Index,
@@ -223,14 +341,26 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 	}})
 }
 
+// retryNotify observes one RPC attempt that failed and will be
+// retried.
+type retryNotify func(op string, attempt int, err error)
+
+func (n retryNotify) forOp(op string) func(int, error) {
+	if n == nil {
+		return nil
+	}
+	return func(attempt int, err error) { n(op, attempt, err) }
+}
+
 // ensureSet materializes the snapshot set for key: the local cache
 // first, then the fleet claim protocol — fetch when ready, sweep (and
 // upload) when this worker wins ownership, poll while another worker
-// sweeps. onCaptured observes local sweep progress; a false return
-// (the consumer hung up) aborts only the shard stream, never the
-// sweep itself — a half-captured set would waste the fleet's one
-// sweep.
-func (w *Worker) ensureSet(ctx context.Context, key checkpoint.Key, prog *program.Program, cfg uarch.Config, params checkpoint.Params, onCaptured func(int) bool) (set *checkpoint.Set, swept bool, err error) {
+// sweeps. Coordinator RPCs retry transient failures with backoff;
+// onRetry observes each retried attempt. onCaptured observes local
+// sweep progress; a false return (the consumer hung up) aborts only
+// the shard stream, never the sweep itself — a half-captured set would
+// waste the fleet's one sweep.
+func (w *Worker) ensureSet(ctx context.Context, key checkpoint.Key, prog *program.Program, cfg uarch.Config, params checkpoint.Params, onCaptured func(int) bool, onRetry retryNotify) (set *checkpoint.Set, swept bool, err error) {
 	if set := w.cache.Get(key); set != nil {
 		return set, false, nil
 	}
@@ -239,42 +369,53 @@ func (w *Worker) ensureSet(ctx context.Context, key checkpoint.Key, prog *progra
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
-		state, err := w.claim(ctx, hash)
+		var state string
+		var leaseNs int64
+		err := retry(ctx, w.policy, onRetry.forOp("sweep claim"), func() error {
+			s, l, cerr := w.claim(ctx, hash)
+			if cerr != nil {
+				return cerr
+			}
+			state, leaseNs = s, l
+			return nil
+		})
 		if err != nil {
 			return nil, false, fmt.Errorf("dist: claim sweep %s: %w", hash, err)
 		}
 		switch state {
 		case claimReady:
-			set, err := w.fetchSet(ctx, key)
+			var set *checkpoint.Set
+			err := retry(ctx, w.policy, onRetry.forOp("sweep fetch"), func() error {
+				s, ferr := w.fetchSet(ctx, key)
+				if ferr != nil {
+					return ferr
+				}
+				set = s
+				return nil
+			})
 			if err == nil {
 				w.cache.Put(key, set)
 				return set, false, nil
 			}
 			// The cached sweep vanished between the claim and the fetch
-			// (eviction) or the transfer broke: claim again.
+			// (eviction) or the transfer broke past the retries: claim
+			// again.
 			w.logf("dist: sweep fetch %s failed: %v; re-claiming", hash, err)
 		case claimOwner:
-			set := &checkpoint.Set{K: params.K}
-			sum, err := checkpoint.CaptureStream(ctx, prog, cfg, params, func(u *checkpoint.Unit) bool {
-				set.Units = append(set.Units, u)
-				if onCaptured != nil {
-					onCaptured(len(set.Units))
-				}
-				return true
-			})
+			set, err := w.ownerSweep(ctx, key, prog, cfg, params, leaseNs, onCaptured, onRetry)
 			if err != nil {
 				return nil, false, err
 			}
-			set.PopulationUnits = sum.PopulationUnits
-			set.SweepInsts = sum.SweepInsts
-			set.SweepTime = sum.SweepTime
 			w.sweeps.Add(1)
 			w.cache.Put(key, set)
-			if err := w.uploadSet(ctx, key, set); err != nil {
+			uerr := retry(ctx, w.policy, onRetry.forOp("sweep upload"), func() error {
+				return w.uploadSet(ctx, key, set)
+			})
+			if uerr != nil {
 				// The set is good locally; the fleet just cannot reuse
 				// it. The claim lease expires and another worker will
 				// re-sweep if needed.
-				w.logf("dist: sweep upload %s failed: %v", hash, err)
+				w.logf("dist: sweep upload %s failed: %v", hash, uerr)
 			}
 			return set, true, nil
 		case claimWait:
@@ -289,31 +430,201 @@ func (w *Worker) ensureSet(ctx context.Context, key checkpoint.Key, prog *progra
 	}
 }
 
-func (w *Worker) claim(ctx context.Context, hash string) (string, error) {
+// resumeInterval resolves WorkerOptions.ResumeInterval to a keyframe
+// count (0 = journal uploads disabled).
+func (w *Worker) resumeInterval() int {
+	switch {
+	case w.opt.ResumeInterval < 0:
+		return 0
+	case w.opt.ResumeInterval == 0:
+		return engine.DefaultResumeInterval
+	}
+	return w.opt.ResumeInterval
+}
+
+// ownerSweep runs the functional sweep this worker won the fleet claim
+// for. It resumes from the coordinator's partial journal when a dead
+// previous owner left one (falling back to a cold sweep if the journal
+// does not validate), uploads its own journal every resumeInterval
+// keyframes so a successor can do the same, and renews the claim lease
+// while it works.
+func (w *Worker) ownerSweep(ctx context.Context, key checkpoint.Key, prog *program.Program, cfg uarch.Config, params checkpoint.Params, leaseNs int64, onCaptured func(int) bool, onRetry retryNotify) (*checkpoint.Set, error) {
+	hash := key.Hash()
+	renewCtx, stopRenew := context.WithCancel(ctx)
+	defer stopRenew()
+	if lease := time.Duration(leaseNs); lease > 0 {
+		go w.renewLease(renewCtx, hash, lease/3)
+	}
+	rs, err := w.fetchPartial(ctx, key)
+	if err != nil {
+		w.logf("dist: partial journal fetch %s failed: %v; sweeping cold", hash, err)
+		rs = nil
+	}
+	interval := w.resumeInterval()
+	capture := func(rs *checkpoint.ResumeState) (*checkpoint.Set, error) {
+		set := &checkpoint.Set{K: params.K}
+		params := params
+		params.Resume = rs
+		var counted uint64 // sweep position already added to sweepExec
+		if rs != nil {
+			set.Units = append(set.Units, rs.Units...)
+			counted = rs.SweepInsts
+		}
+		kfSince := 0
+		params.OnFrame = func(fr checkpoint.ResumeFrame) {
+			// Count executed work frame by frame so a sweep killed
+			// mid-flight still accounts for what it burned.
+			w.sweepExec.Add(fr.SweepInsts - counted)
+			counted = fr.SweepInsts
+			if interval <= 0 || kfSince < interval {
+				return
+			}
+			kfSince = 0
+			st := &checkpoint.ResumeState{
+				Units:           set.Units[:fr.Captured],
+				PopulationUnits: prog.Length / params.U,
+				SweepInsts:      fr.SweepInsts,
+				SweepTime:       fr.SweepTime,
+				HaveIBlock:      fr.HaveIBlock,
+				LastIBlock:      fr.LastIBlock,
+			}
+			if err := w.uploadPartial(ctx, key, st, onRetry); err != nil {
+				// Non-fatal: the fleet just has a staler resume point.
+				w.logf("dist: partial journal upload %s failed: %v", hash, err)
+			}
+		}
+		sum, err := checkpoint.CaptureStream(ctx, prog, cfg, params, func(u *checkpoint.Unit) bool {
+			set.Units = append(set.Units, u)
+			if u.Mem != nil {
+				kfSince++ // keyframes mark the journal cadence
+			}
+			if onCaptured != nil {
+				onCaptured(len(set.Units))
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		set.PopulationUnits = sum.PopulationUnits
+		set.SweepInsts = sum.SweepInsts
+		set.SweepTime = sum.SweepTime
+		w.sweepExec.Add(sum.SweepInsts - counted)
+		return set, nil
+	}
+	set, err := capture(rs)
+	if err != nil && rs != nil && ctx.Err() == nil {
+		// The journal did not validate against this plan (corruption, a
+		// stale upload): degrade to a cold sweep rather than fail.
+		w.logf("dist: resume from fleet journal %s failed (%v); restarting the sweep cold", hash, err)
+		set, err = capture(nil)
+	}
+	return set, err
+}
+
+// renewLease re-claims the sweep as its current owner every `every`,
+// refreshing the coordinator's lease so a long sweep survives a short
+// LeaseTTL.
+func (w *Worker) renewLease(ctx context.Context, hash string, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if _, _, err := w.claim(ctx, hash); err != nil && ctx.Err() == nil {
+			w.logf("dist: lease renewal for %s failed: %v", hash, err)
+		}
+	}
+}
+
+func (w *Worker) claim(ctx context.Context, hash string) (string, int64, error) {
 	body, err := json.Marshal(claimMsg{Hash: hash, Owner: w.opt.Self})
 	if err != nil {
-		return "", err
+		return "", 0, permanent(err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		w.opt.Coordinator+"/v1/claims", bytes.NewReader(body))
 	if err != nil {
-		return "", err
+		return "", 0, permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.client.Do(req)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return "", fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		err := fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		if !httpRetryable(resp.StatusCode) {
+			return "", 0, permanent(err)
+		}
+		return "", 0, err
 	}
 	var reply claimReply
 	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return "", err
+		return "", 0, err
 	}
-	return reply.State, nil
+	return reply.State, reply.LeaseNs, nil
+}
+
+// fetchPartial downloads the run's current partial-sweep journal
+// (nil when none exists — the caller sweeps cold).
+func (w *Worker) fetchPartial(ctx context.Context, key checkpoint.Key) (*checkpoint.ResumeState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.opt.Coordinator+"/v1/partials/"+key.Hash(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("partial download: %s", resp.Status)
+	}
+	return checkpoint.DecodePartial(resp.Body, key)
+}
+
+// uploadPartial ships the owner's current journal to the coordinator,
+// retrying transient failures.
+func (w *Worker) uploadPartial(ctx context.Context, key checkpoint.Key, rs *checkpoint.ResumeState, onRetry retryNotify) error {
+	var buf bytes.Buffer
+	if err := checkpoint.EncodePartial(&buf, key, rs); err != nil {
+		return err
+	}
+	return retry(ctx, w.policy, onRetry.forOp("journal upload"), func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			w.opt.Coordinator+"/v1/partials/"+key.Hash(), bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return permanent(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			err := fmt.Errorf("partial upload: %s: %s", resp.Status, bytes.TrimSpace(msg))
+			if !httpRetryable(resp.StatusCode) {
+				return permanent(err)
+			}
+			return err
+		}
+		return nil
+	})
 }
 
 func (w *Worker) fetchSet(ctx context.Context, key checkpoint.Key) (*checkpoint.Set, error) {

@@ -69,6 +69,16 @@ type Options struct {
 	// the encoding, never the materialized launch states, and is
 	// excluded from the store key.
 	Keyframe int
+	// ResumeInterval controls the crash-safe sweep journal kept
+	// alongside the store: while the streaming sweep runs, the engine
+	// persists a partial-sweep record (checkpoint.PartialWriter) every
+	// ResumeInterval keyframes, and a later run of the same key resumes
+	// an interrupted sweep from the journal instead of restarting at
+	// instruction zero — the resumed unit stream is bit-identical to an
+	// uninterrupted sweep's. 0 selects DefaultResumeInterval; negative
+	// disables journaling and resume. Ignored without a Store (the
+	// journal lives in the store directory) and under TwoPhase.
+	ResumeInterval int
 	// TwoPhase disables capture/replay overlap: the full sweep runs
 	// before the first worker starts, as the engine behaved before the
 	// streaming pipeline. Results are bit-identical either way; the
@@ -95,6 +105,25 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// DefaultResumeInterval is the journal cadence used when
+// Options.ResumeInterval is zero: one partial-sweep commit every 4
+// keyframes keeps the journal I/O a small fraction of capture while
+// bounding the replay window an interruption loses to a few keyframe
+// intervals of units.
+const DefaultResumeInterval = 4
+
+// resumeInterval returns the effective journal cadence in keyframes (0
+// = journaling disabled).
+func (o Options) resumeInterval() int {
+	switch {
+	case o.ResumeInterval == 0:
+		return DefaultResumeInterval
+	case o.ResumeInterval < 0:
+		return 0
+	}
+	return o.ResumeInterval
+}
+
 // UnitResult is the measurement of one sampling unit.
 type UnitResult struct {
 	Index    uint64
@@ -115,6 +144,12 @@ type Result struct {
 	MeasuredInsts uint64 // detailed, measured
 	WarmingInsts  uint64 // detailed, unmeasured
 	SweepInsts    uint64 // functionally simulated by the capture sweep
+
+	// SweepResumedInsts is the journaled stream position the sweep
+	// resumed from (0 when the sweep ran cold): SweepInsts -
+	// SweepResumedInsts is the functional work this run actually
+	// executed, the quantity crash/resume accounting bounds.
+	SweepResumedInsts uint64
 
 	// SweepTime is the wall-clock cost of the capture sweep (overlapped
 	// with replay in the streaming schedule; the original sweep's cost
@@ -159,8 +194,12 @@ const streamBuffer = 4
 //
 // ctx cancels the whole pipeline: the sweep stops at its next chunk
 // boundary, workers finish only their in-flight unit, the store writer
-// aborts its staged entry (never committing a partial sweep), and Run
-// returns ctx.Err(). A nil ctx is treated as context.Background().
+// aborts its staged entry (a committed entry is always a complete
+// sweep), and Run returns ctx.Err(). With resume journaling enabled
+// (Options.ResumeInterval), the interrupted sweep's progress is
+// committed to a partial-sweep journal beside the store entries first,
+// so rerunning the same key continues the sweep instead of restarting
+// it. A nil ctx is treated as context.Background().
 func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpoint.Params, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -333,16 +372,101 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 				sw = nil
 			}
 		}
+		// Crash-safe resume: load any partial-sweep journal left by an
+		// interrupted run of this key, and stage a fresh journal this
+		// sweep commits its own progress into (the previously journaled
+		// units are re-added so the new journal is self-contained).
+		var pw *checkpoint.PartialWriter
+		var rs *checkpoint.ResumeState
+		if ri := opt.resumeInterval(); opt.Store != nil && ri > 0 {
+			var rerr error
+			if rs, rerr = checkpoint.Resume(opt.Store, key); rerr != nil {
+				opt.Store.Log("checkpoint store: resume unavailable: %v", rerr)
+				rs = nil
+			}
+			if pw0, perr := opt.Store.PartialWriter(key, prog.Length/p.U); perr != nil {
+				opt.Store.Log("checkpoint store: not journaling: %v", perr)
+			} else {
+				pw = pw0
+			}
+			p.Resume = rs
+		}
+		// journalFail stops journaling after a write error. The failed
+		// writer has already cleaned up after itself; a journal from an
+		// earlier run that this writer never replaced stays usable.
+		journalFail := func(werr error) {
+			opt.Store.Log("checkpoint store: sweep journal failed: %v", werr)
+			pw = nil
+		}
+
 		// With an in-memory cache attached, retain the streamed units so
 		// a complete sweep can be cached for later requests.
 		var retained []*checkpoint.Unit
 		captured := 0
-		sum, err := checkpoint.CaptureStream(ctx, prog, cfg, p, func(cu *checkpoint.Unit) bool {
+		kfSince := 0 // keyframes captured since the last journal commit
+		var lastFrame checkpoint.ResumeFrame
+		framePending := false
+		// The journaled units enter the pipeline (and the writers) ahead
+		// of the first newly captured unit — after CaptureStream validated
+		// the journal against the plan, so an unusable journal feeds
+		// nothing and the sweep can restart cold below.
+		fedResumed := rs == nil
+		feedResumed := func() bool {
+			fedResumed = true
+			for _, cu := range rs.Units {
+				if sw != nil {
+					if werr := sw.Add(cu); werr != nil {
+						opt.Store.Log("checkpoint store: save failed mid-sweep: %v", werr)
+						sw = nil
+					}
+				}
+				if pw != nil {
+					if werr := pw.Add(cu); werr != nil {
+						journalFail(werr)
+					}
+				}
+				if opt.Cache != nil {
+					retained = append(retained, cu)
+				}
+				select {
+				case col.feed <- cu:
+					captured++
+					if opt.OnCaptured != nil {
+						opt.OnCaptured(captured)
+					}
+				case <-col.quit:
+					return false
+				}
+			}
+			return true
+		}
+		p.OnFrame = func(fr checkpoint.ResumeFrame) {
+			lastFrame, framePending = fr, true
+			if pw != nil && kfSince >= opt.resumeInterval() {
+				if werr := pw.Checkpoint(fr); werr != nil {
+					journalFail(werr)
+				} else {
+					kfSince, framePending = 0, false
+				}
+			}
+		}
+		emit := func(cu *checkpoint.Unit) bool {
+			if !fedResumed && !feedResumed() {
+				return false
+			}
 			if sw != nil {
 				if werr := sw.Add(cu); werr != nil {
 					opt.Store.Log("checkpoint store: save failed mid-sweep: %v", werr)
 					sw = nil
 				}
+			}
+			if pw != nil {
+				if werr := pw.Add(cu); werr != nil {
+					journalFail(werr)
+				}
+			}
+			if cu.Mem != nil {
+				kfSince++
 			}
 			if opt.Cache != nil {
 				retained = append(retained, cu)
@@ -357,7 +481,23 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 			case <-col.quit:
 				return false
 			}
-		})
+		}
+		sum, err := checkpoint.CaptureStream(ctx, prog, cfg, p, emit)
+		if err != nil && p.Resume != nil && !fedResumed && ctx.Err() == nil {
+			// The journal failed resume validation before anything entered
+			// the pipeline: drop it and sweep cold rather than failing a
+			// run a cold sweep can still complete.
+			opt.Store.Log("checkpoint store: dropping unusable partial %s: %v", key.Hash(), err)
+			opt.Store.DropPartial(key)
+			p.Resume, rs = nil, nil
+			fedResumed = true
+			sum, err = checkpoint.CaptureStream(ctx, prog, cfg, p, emit)
+		}
+		if err == nil && sum.Complete && !fedResumed {
+			// The journal already covered every boundary: no new unit was
+			// captured, so the resumed units enter the pipeline here.
+			feedResumed()
+		}
 		close(col.feed)
 		if sw != nil {
 			if err == nil && sum.Complete {
@@ -366,6 +506,26 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 				}
 			} else {
 				sw.Abort()
+			}
+		}
+		if pw != nil {
+			if err == nil && sum.Complete {
+				// The committed entry supersedes the journal.
+				pw.Discard()
+			} else {
+				// Interrupted (cancel, early stop, failure): commit the
+				// journal through the last captured unit and keep it, so a
+				// rerun of this key resumes here instead of restarting.
+				if framePending && fedResumed {
+					if werr := pw.Checkpoint(lastFrame); werr != nil {
+						journalFail(werr)
+					}
+				}
+				if pw != nil {
+					if werr := pw.Close(); werr != nil {
+						opt.Store.Log("checkpoint store: sweep journal close failed: %v", werr)
+					}
+				}
 			}
 		}
 		if opt.Cache != nil && err == nil && sum.Complete {
@@ -394,6 +554,7 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 	}
 	res.PopulationUnits = sweep.sum.PopulationUnits
 	res.SweepInsts = sweep.sum.SweepInsts
+	res.SweepResumedInsts = sweep.sum.ResumedAt
 	res.SweepTime = sweep.sum.SweepTime
 	res.WallTime = time.Since(start)
 	return res, nil

@@ -38,6 +38,10 @@ type EngineOptions struct {
 	// only — materialized launch states, and therefore results, are
 	// unchanged.
 	Keyframe int
+	// ResumeInterval sets the crash-safe sweep journal cadence in
+	// keyframes (see engine.Options.ResumeInterval): 0 = default,
+	// negative disables partial-sweep journaling and resume.
+	ResumeInterval int
 	// TwoPhase runs the engine's capture-then-replay schedule instead of
 	// the streaming pipeline; results are bit-identical either way.
 	TwoPhase bool
@@ -55,16 +59,17 @@ type EngineOptions struct {
 // engineOptions translates EngineOptions to the engine's option struct.
 func (opt EngineOptions) engineOptions() engine.Options {
 	return engine.Options{
-		Workers:    opt.Workers,
-		Alpha:      opt.Alpha,
-		TargetEps:  opt.TargetEps,
-		MinUnits:   opt.MinUnits,
-		Store:      opt.Store,
-		Cache:      opt.Cache,
-		Keyframe:   opt.Keyframe,
-		TwoPhase:   opt.TwoPhase,
-		OnCaptured: opt.OnCaptured,
-		OnReplayed: opt.OnReplayed,
+		Workers:        opt.Workers,
+		Alpha:          opt.Alpha,
+		TargetEps:      opt.TargetEps,
+		MinUnits:       opt.MinUnits,
+		Store:          opt.Store,
+		Cache:          opt.Cache,
+		Keyframe:       opt.Keyframe,
+		ResumeInterval: opt.ResumeInterval,
+		TwoPhase:       opt.TwoPhase,
+		OnCaptured:     opt.OnCaptured,
+		OnReplayed:     opt.OnReplayed,
 	}
 }
 
@@ -275,15 +280,16 @@ func engineResult(plan Plan, er *engine.Result, sweepInRun bool) *Result {
 		}
 	}
 	res := &Result{
-		Plan:            plan,
-		PopulationUnits: er.PopulationUnits,
-		MeasuredInsts:   er.MeasuredInsts,
-		WarmingInsts:    er.WarmingInsts,
-		FastFwdInsts:    er.SweepInsts,
-		FastFwdTime:     er.SweepTime,
-		DetailedTime:    detailedWall,
-		SweepCached:     er.SweepCached,
-		Units:           make([]UnitResult, len(er.Units)),
+		Plan:                plan,
+		PopulationUnits:     er.PopulationUnits,
+		MeasuredInsts:       er.MeasuredInsts,
+		WarmingInsts:        er.WarmingInsts,
+		FastFwdInsts:        er.SweepInsts,
+		FastFwdTime:         er.SweepTime,
+		DetailedTime:        detailedWall,
+		SweepCached:         er.SweepCached,
+		FastFwdResumedInsts: er.SweepResumedInsts,
+		Units:               make([]UnitResult, len(er.Units)),
 	}
 	for i, u := range er.Units {
 		res.Units[i] = UnitResult{

@@ -179,6 +179,12 @@ type Result struct {
 	// FastFwd accounting then echoes the original (reused) sweep's cost
 	// rather than time spent in this run.
 	SweepCached bool
+	// FastFwdResumedInsts is the journaled stream position this run's
+	// sweep resumed from (0 when the sweep ran cold or was loaded
+	// whole): FastFwdInsts - FastFwdResumedInsts is the functional work
+	// the run actually executed. The FastFwd totals still echo the whole
+	// sweep, so speedup accounting is unchanged by a resume.
+	FastFwdResumedInsts uint64
 }
 
 // CPISample returns the per-unit CPI observations as a stats.Sample.

@@ -117,6 +117,21 @@ func (w *Warmer) Delta(since uint64) (*WarmDelta, error) {
 	return &WarmDelta{Hier: hier, Pred: pred, Since: since, Seq: seq}, nil
 }
 
+// FetchBlock returns the I-cache block of the last warmed fetch and
+// whether one exists — the dedup state Forward keys consecutive-fetch
+// suppression off. A resumable sweep journals it alongside the warm
+// snapshot: restoring warm state without it would re-warm the first
+// fetched block after resume and skew the LRU stamps off the
+// uninterrupted sweep.
+func (w *Warmer) FetchBlock() (block uint64, ok bool) {
+	return w.lastIBlock, w.haveIBlock
+}
+
+// SetFetchBlock restores the fetch-dedup state captured by FetchBlock.
+func (w *Warmer) SetFetchBlock(block uint64, ok bool) {
+	w.lastIBlock, w.haveIBlock = block, ok
+}
+
 // Forward advances the CPU by n instructions with functional warming.
 func (w *Warmer) Forward(cpu *functional.CPU, n uint64) error {
 	h := w.machine.Hier

@@ -15,9 +15,13 @@ import (
 // The cancellation matrix: cancel before the sweep, mid-sweep,
 // mid-replay, and mid-procedure-calibration. Each case asserts the run
 // returns ctx.Err() promptly (the issue's <100ms budget after the
-// cancel), leaks no goroutines, and never leaves a partial entry in
-// the checkpoint store. The tests run sequentially (goroutine counting
-// is process-global).
+// cancel), leaks no goroutines, and never leaves a partially written
+// COMMITTED entry in the checkpoint store — a committed *.ckpt is
+// always a complete sweep. A cancelled sweep may deliberately leave a
+// *.partial resume journal (crash-safe partial progress; see
+// resume_test.go), which the store's entry loader never confuses with
+// a committed entry. The tests run sequentially (goroutine counting is
+// process-global).
 
 const promptness = 100 * time.Millisecond
 
@@ -158,7 +162,8 @@ func TestCancelMidSweep(t *testing.T) {
 			cancel()
 		}
 	})
-	// The sweep never completed, so nothing may have been committed.
+	// The sweep never completed, so nothing may have been committed —
+	// only (at most) a *.partial resume journal.
 	if got := storeEntries(t, dir); len(got) != 0 {
 		t.Fatalf("cancelled sweep committed store entries: %v", got)
 	}

@@ -31,6 +31,14 @@ const (
 	// EventShardDone closes one shard of a distributed run; Replayed is
 	// the number of units the shard streamed back.
 	EventShardDone
+	// EventRetry reports a transient distributed-service failure being
+	// retried with backoff: Note names the operation, Attempt the attempt
+	// number just failed (1-based). Only distributed runs emit it.
+	EventRetry
+	// EventFallback reports the distributed client degrading to a local
+	// in-process run after exhausting its retries; Note carries the
+	// coordinator error that forced the fallback.
+	EventFallback
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +56,10 @@ func (k EventKind) String() string {
 		return "shard-start"
 	case EventShardDone:
 		return "shard-done"
+	case EventRetry:
+		return "retry"
+	case EventFallback:
+		return "fallback"
 	}
 	return "unknown"
 }
@@ -92,6 +104,12 @@ type Progress struct {
 	// Shard and Shards identify the emitting shard of a distributed run
 	// (shard events and per-unit events forwarded from workers).
 	Shard, Shards int
+	// Attempt is the 1-based attempt count of the operation an
+	// EventRetry reports.
+	Attempt int
+	// Note carries human-readable context: the retried operation and its
+	// error on EventRetry, the coordinator error on EventFallback.
+	Note string
 }
 
 // ProgressFunc receives progress events. Callbacks are serialized per

@@ -58,6 +58,7 @@ type settings struct {
 	workers     int
 	alpha       float64
 	keyframe    int
+	resumeInt   int
 	logf        func(format string, args ...any)
 	progress    ProgressFunc
 	defLength   uint64
@@ -143,6 +144,21 @@ func WithKeyframe(n int) Option {
 			return fmt.Errorf("sim: negative keyframe interval %d", n)
 		}
 		s.keyframe = n
+		return nil
+	}
+}
+
+// WithResumeInterval sets the crash-safe sweep journal cadence: with a
+// store attached, an in-progress functional sweep journals its position
+// and captured units every n keyframes, so a run killed or cancelled
+// mid-sweep resumes from the journal when the same request reruns —
+// producing a unit stream (and therefore a report) bit-identical to an
+// uninterrupted run. 0 keeps the built-in default cadence
+// (engine.DefaultResumeInterval keyframes); negative disables
+// journaling and resume. Sessions without a store never journal.
+func WithResumeInterval(n int) Option {
+	return func(s *settings) error {
+		s.resumeInt = n
 		return nil
 	}
 }
@@ -534,11 +550,12 @@ func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, 
 		// The effective alpha (request, else session) drives both the
 		// early-termination decision and the reported estimates, so
 		// the stop criterion and the report agree.
-		Alpha:     s.effAlpha(req),
-		TargetEps: req.TargetEps,
-		MinUnits:  req.MinUnits,
-		Keyframe:  s.set.keyframe,
-		TwoPhase:  req.TwoPhase,
+		Alpha:          s.effAlpha(req),
+		TargetEps:      req.TargetEps,
+		MinUnits:       req.MinUnits,
+		Keyframe:       s.set.keyframe,
+		ResumeInterval: s.set.resumeInt,
+		TwoPhase:       req.TwoPhase,
 	}
 	if !req.NoStore {
 		opt.Store = s.store

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/sim"
 )
@@ -107,7 +108,8 @@ func ParseWarming(s string) (sim.WarmingMode, error) {
 }
 
 // Engine groups the execution flags every sampling binary shares
-// (-parallel, -ckpt-dir, -ckpt-max-bytes, -keyframe) — previously
+// (-parallel, -ckpt-dir, -ckpt-max-bytes, -keyframe, -resume-interval)
+// — previously
 // duplicated, drifting definitions in each main package.
 type Engine struct {
 	Parallel    *int
@@ -115,6 +117,7 @@ type Engine struct {
 	CkptMax     *int64
 	MemCacheMax *int64
 	Keyframe    *int
+	ResumeInt   *int
 }
 
 // RegisterEngine installs the execution flags.
@@ -125,6 +128,7 @@ func RegisterEngine(fs *flag.FlagSet) *Engine {
 		CkptMax:     fs.Int64("ckpt-max-bytes", 0, "LRU size cap for the checkpoint store in bytes; each save evicts the least recently used entries over the cap (0 = unbounded)"),
 		MemCacheMax: fs.Int64("mem-cache-bytes", 0, "LRU size cap for the in-memory sweep cache of storeless sessions, in snapshot-payload bytes (0 = unbounded; ignored with -ckpt-dir)"),
 		Keyframe:    fs.Int("keyframe", 0, "full-snapshot interval of delta-encoded checkpoints: every n-th captured unit is a keyframe, units between carry dirty-block/dirty-page deltas (0 = built-in default, 1 = full snapshots only; results are identical either way)"),
+		ResumeInt:   fs.Int("resume-interval", 0, "crash-safe sweep journal cadence in keyframes: with -ckpt-dir, an in-progress sweep journals its position every n keyframes so an interrupted run resumes instead of resweeping (0 = built-in default, negative = disable journaling)"),
 	}
 }
 
@@ -140,6 +144,9 @@ func (e *Engine) SessionOptions(prog string) []sim.Option {
 	}
 	if *e.MemCacheMax != 0 {
 		opts = append(opts, sim.WithMemCacheBytes(*e.MemCacheMax))
+	}
+	if *e.ResumeInt != 0 {
+		opts = append(opts, sim.WithResumeInterval(*e.ResumeInt))
 	}
 	if *e.CkptDir != "" {
 		if *e.Parallel == 0 {
@@ -166,6 +173,33 @@ func (e *Engine) Apply(req *sim.Request) {
 		req.SerialLoop = true
 	default:
 		req.Workers = *e.Parallel
+	}
+}
+
+// Dist groups the fleet fault-tolerance flags of the distributed
+// binaries. Each role registers only its own side: the coordinator
+// owns the sweep claim lease, the worker owns its heartbeat and
+// journal-upload cadence; unregistered fields stay nil.
+type Dist struct {
+	Heartbeat *time.Duration
+	Lease     *time.Duration
+	ResumeInt *int
+}
+
+// RegisterDistCoordinator installs the coordinator's fault-tolerance
+// flags (-lease).
+func RegisterDistCoordinator(fs *flag.FlagSet) *Dist {
+	return &Dist{
+		Lease: fs.Duration("lease", 0, "sweep claim lease: a claimed sweep whose owner neither renews nor finishes within the lease is reclaimed by another worker, which resumes it from the owner's uploaded journal (0 = built-in default)"),
+	}
+}
+
+// RegisterDistWorker installs the worker's fault-tolerance flags
+// (-heartbeat, -resume-interval).
+func RegisterDistWorker(fs *flag.FlagSet) *Dist {
+	return &Dist{
+		Heartbeat: fs.Duration("heartbeat", 0, "liveness heartbeat interval announced to the coordinator, which stops dispatching to a worker silent for 3 intervals (0 = disabled, never expired)"),
+		ResumeInt: fs.Int("resume-interval", 0, "crash-safe sweep journal cadence in keyframes: a sweep owner uploads its partial journal to the coordinator every n keyframes so a successor resumes instead of resweeping (0 = built-in default, negative = disable journal uploads)"),
 	}
 }
 
