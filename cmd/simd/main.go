@@ -5,6 +5,7 @@
 //	simd coordinator -listen :9090 [-workers URL,URL] [-ckpt-dir DIR]
 //	simd worker -listen :9091 -coordinator http://HOST:9090 [-parallel N]
 //	simd run -coordinator http://HOST:9090 -bench gccx -n 400
+//	simd fsck -ckpt-dir DIR [-evict]
 //
 // The coordinator splits each run's sampling units into contiguous
 // shard ranges and merges the streamed results in stream order, so the
@@ -25,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dist"
 	"repro/sim"
 	"repro/sim/simflag"
@@ -44,6 +46,8 @@ func main() {
 		workerMain(os.Args[2:])
 	case "run":
 		runMain(os.Args[2:])
+	case "fsck":
+		fsckMain(os.Args[2:])
 	case "help", "-h", "-help", "--help":
 		usage()
 	default:
@@ -62,6 +66,7 @@ func usage() {
                    [-heartbeat D] [-resume-interval N]
   simd run         -coordinator URL [workload/machine/plan flags] [-eps E -min-units N]
                    [-fallback-local] [-v]
+  simd fsck        -ckpt-dir DIR [-evict]
 `)
 }
 
@@ -204,6 +209,10 @@ func runMain(args []string) {
 				log.Printf("retrying after transient failure (attempt %d): %s", ev.Attempt, ev.Note)
 			case sim.EventFallback:
 				log.Printf("coordinator unreachable; falling back to a local run: %s", ev.Note)
+			case sim.EventReattach:
+				log.Printf("run stream broke; re-attaching (attempt %d): %s", ev.Attempt, ev.Note)
+			case sim.EventQuarantine:
+				log.Printf("worker quarantined after integrity failure: %s", ev.Note)
 			}
 		}
 	}
@@ -231,4 +240,47 @@ func runMain(args []string) {
 	fmt.Printf("instructions: %d measured, %d detailed warming, %d fast-forwarded\n",
 		res.MeasuredInsts, res.WarmingInsts, res.FastFwdInsts)
 	fmt.Printf("distributed time: %v wall\n", rep.Elapsed.Round(time.Millisecond))
+}
+
+// fsckMain scrubs a checkpoint store offline: every committed entry
+// and partial journal must decode end to end (format-v4 CRC seals
+// included). Problems exit 1 unless -evict removed them all.
+func fsckMain(args []string) {
+	fs := flag.NewFlagSet("simd fsck", flag.ExitOnError)
+	var (
+		ckptDir = fs.String("ckpt-dir", "", "checkpoint store directory to scrub (required)")
+		evict   = fs.Bool("evict", false, "remove files that fail validation (the store reloads them on demand)")
+	)
+	fs.Parse(args)
+	if *ckptDir == "" {
+		log.Fatal("fsck requires -ckpt-dir DIR")
+	}
+	store, err := checkpoint.OpenStore(*ckptDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := store.Verify(*evict)
+	if rep != nil {
+		for _, p := range rep.Problems {
+			fmt.Printf("BAD  %s: %v\n", p.File, p.Err)
+		}
+		for _, name := range rep.Evicted {
+			fmt.Printf("EVICTED %s\n", name)
+		}
+		fmt.Printf("scanned %d entr%s, %d partial journal(s): %d problem(s)\n",
+			rep.Entries, plural(rep.Entries, "y", "ies"), rep.Partials, len(rep.Problems))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.Clean() && len(rep.Evicted) < len(rep.Problems) {
+		os.Exit(1)
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -96,6 +96,24 @@
 // can degrade to a bit-identical in-process run when the coordinator
 // is unreachable.
 //
+// The coordinator itself is crash-safe: accepted runs are journaled
+// (write-ahead) under the checkpoint store, runs get stable IDs, and
+// clients re-attach to a restarted coordinator's recovered runs from
+// their last received event. The failure model, end to end:
+//
+//	what dies                what happens                     what is re-done
+//	worker mid-shard         shard suffix requeued to peers   nothing (contiguous prefix kept)
+//	sweep owner mid-sweep    lease expires; peer resumes      sweep since last journaled keyframe
+//	coordinator mid-run      restart replays run journal      unmerged shard suffixes only
+//	client's connection      client re-attaches by run ID     nothing (stream resumes from last event)
+//	a bit, anywhere          CRC-32C digest catches it        corrupt frame's shard suffix, on another worker
+//	everything at once       journals on disk are the truth   the unjournaled tail, never the whole run
+//
+// In every row the final report stays bit-identical to an
+// uninterrupted local run, and sealed checkpoints (store format v4's
+// record and frame checksums, scrubbed offline by simd fsck) make
+// silent corruption detectable rather than absorbable.
+//
 // Executables are under cmd/ (their shared flags live in
 // sim/simflag), runnable examples under examples/ (examples/service
 // shows the concurrent session usage, examples/distributed the

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/bpred"
@@ -54,20 +55,39 @@ const (
 	v2BTBGrain   = 5
 )
 
+// castagnoli is the CRC-32C polynomial table shared by the store
+// checksums (format v4+) and the dist layer's wire digests. Castagnoli
+// has hardware support on every platform Go targets seriously, so the
+// checksum costs a fraction of the I/O it guards.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // codecWriter wraps the output stream with the scratch buffer the
-// fixed-width runs are staged through.
+// fixed-width runs are staged through. Every record byte flows through
+// the five primitives below, which fold it into a running CRC-32C; the
+// store seals each record span (committed set, resume frame) with the
+// running sum so single-bit corruption anywhere in the payload —
+// including inside a 4KiB page, which structural validation cannot
+// see — surfaces as a decode error instead of a wrong result.
 type codecWriter struct {
 	w       *bufio.Writer
 	scratch []byte
+	crc     uint32
 }
 
 func newCodecWriter(w io.Writer) *codecWriter {
 	return &codecWriter{w: bufio.NewWriterSize(w, 1<<16)}
 }
 
+// sum returns the CRC-32C of every byte written through the primitives
+// so far. The sealed checksum field is itself written via u64, so it
+// folds into the running sum identically on both sides — required for
+// partial journals, whose frames checksum a cumulative prefix.
+func (c *codecWriter) sum() uint32 { return c.crc }
+
 func (c *codecWriter) u64(v uint64) error {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
+	c.crc = crc32.Update(c.crc, castagnoli, b[:])
 	_, err := c.w.Write(b[:])
 	return err
 }
@@ -84,6 +104,7 @@ func (c *codecWriter) u64s(v []uint64) error {
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(buf[i*8:], x)
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, buf)
 	_, err := c.w.Write(buf)
 	return err
 }
@@ -100,6 +121,7 @@ func (c *codecWriter) u32s(v []uint32) error {
 	for i, x := range v {
 		binary.LittleEndian.PutUint32(buf[i*4:], x)
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, buf)
 	_, err := c.w.Write(buf)
 	return err
 }
@@ -108,6 +130,7 @@ func (c *codecWriter) bytes(v []byte) error {
 	if err := c.u64(uint64(len(v))); err != nil {
 		return err
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, v)
 	_, err := c.w.Write(v)
 	return err
 }
@@ -128,16 +151,19 @@ func (c *codecWriter) bools(v []bool) error {
 			buf[i] = 0
 		}
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, buf)
 	_, err := c.w.Write(buf)
 	return err
 }
 
-// codecReader mirrors codecWriter. maxLen bounds every length prefix
-// in BYTES of decoded payload so corrupt files fail fast instead of
-// attempting huge allocations.
+// codecReader mirrors codecWriter — including the running CRC-32C over
+// every byte read through the primitives. maxLen bounds every length
+// prefix in BYTES of decoded payload so corrupt files fail fast instead
+// of attempting huge allocations.
 type codecReader struct {
 	r       *bufio.Reader
 	scratch []byte
+	crc     uint32
 }
 
 const maxLen = 1 << 28
@@ -146,11 +172,17 @@ func newCodecReader(r io.Reader) *codecReader {
 	return &codecReader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// sum mirrors codecWriter.sum: the CRC-32C of every byte consumed so
+// far. Snapshot it immediately before reading a sealed checksum field
+// to get the value the writer sealed.
+func (c *codecReader) sum() uint32 { return c.crc }
+
 func (c *codecReader) u64() (uint64, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(c.r, b[:]); err != nil {
 		return 0, err
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, b[:])
 	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
@@ -180,6 +212,7 @@ func (c *codecReader) u64s() ([]uint64, error) {
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return nil, err
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, buf)
 	v := make([]uint64, n)
 	for i := range v {
 		v[i] = binary.LittleEndian.Uint64(buf[i*8:])
@@ -200,6 +233,7 @@ func (c *codecReader) u32s() ([]uint32, error) {
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return nil, err
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, buf)
 	v := make([]uint32, n)
 	for i := range v {
 		v[i] = binary.LittleEndian.Uint32(buf[i*4:])
@@ -216,6 +250,7 @@ func (c *codecReader) bytes() ([]byte, error) {
 	if _, err := io.ReadFull(c.r, v); err != nil {
 		return nil, err
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, v)
 	return v, nil
 }
 
@@ -231,6 +266,7 @@ func (c *codecReader) bools() ([]bool, error) {
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return nil, err
 	}
+	c.crc = crc32.Update(c.crc, castagnoli, buf)
 	v := make([]bool, n)
 	for i := range v {
 		v[i] = buf[i] != 0

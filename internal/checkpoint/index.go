@@ -19,10 +19,8 @@ package checkpoint
 // lands and is usable by the run that paid for it.
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -277,22 +275,7 @@ func readEntryKey(path string) (string, error) {
 		return "", err
 	}
 	defer f.Close()
-	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return "", err
-	}
-	if magic != storeMagic {
-		return "", fmt.Errorf("bad magic")
-	}
-	var version uint32
-	if err := binary.Read(f, binary.LittleEndian, &version); err != nil {
-		return "", err
-	}
-	if version != storeVersion && version != storeVersionV1 {
-		return "", fmt.Errorf("unknown version %d", version)
-	}
-	cr := newCodecReader(f)
-	man, err := readManifest(cr)
+	_, man, _, err := readHeader(f)
 	if err != nil {
 		return "", err
 	}

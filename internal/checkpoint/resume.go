@@ -355,7 +355,15 @@ func (e *setEncoder) frame(fr ResumeFrame) error {
 			return err
 		}
 	}
-	return e.cw.u64s(e.keyframes)
+	if err := e.cw.u64s(e.keyframes); err != nil {
+		return err
+	}
+	// Seal the cumulative journal prefix under this frame. Each frame's
+	// checksum covers every byte since the manifest — including earlier
+	// frames and their checksums, which folded into the running sum as
+	// ordinary u64 fields — so a reader verifying frame n has verified
+	// the whole prefix it would resume from.
+	return e.cw.u64(uint64(e.cw.sum()))
 }
 
 // EncodePartial writes rs, keyed by k, as one partial-sweep byte stream
@@ -419,9 +427,11 @@ func readPartial(r io.Reader, k Key) (*ResumeState, error) {
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	// Partial journals have no pre-v3 history to stay loadable for.
-	if version != storeVersion {
-		return nil, fmt.Errorf("partial format version %d, want %d", version, storeVersion)
+	// Partial journals have no pre-v3 history to stay loadable for; v3
+	// journals (pre-checksum) still resume so an upgrade mid-sweep does
+	// not throw away journaled work.
+	if version != storeVersion && version != storeVersionV3 {
+		return nil, fmt.Errorf("partial format version %d, want %d or %d", version, storeVersionV3, storeVersion)
 	}
 	cr := newCodecReader(r)
 	man, err := readManifest(cr)
@@ -477,6 +487,16 @@ scan:
 			keyIdx, err := cr.u64s()
 			if err != nil {
 				break scan
+			}
+			if version >= 4 {
+				// Verify the frame's seal over the whole journal prefix;
+				// a mismatch means bit rot somewhere before this point, so
+				// nothing from here on is trustworthy.
+				expect := cr.sum()
+				stored, err := cr.u64()
+				if err != nil || uint32(stored) != expect {
+					break scan
+				}
 			}
 			// A frame must describe exactly the units decoded before it;
 			// anything else means records were lost or spliced — stop

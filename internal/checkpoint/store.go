@@ -43,15 +43,31 @@ import (
 // memory and warm state keyframe together — the keyframe index now
 // guards both chains. Delta records also serialize their dirty-block
 // grain, so retuning the granularity never invalidates stored chains.
-// Version-1 (every unit a full snapshot) and version-2 (full page
-// tables, warm deltas) files still load; writers always emit v3.
-// Corruption anywhere — including mid-chain — degrades to a miss.
+// Version 4 seals every entry with a CRC-32C: the codec primitives
+// fold each record byte into a running checksum (codec.go) and the end
+// record is followed by the writer's final sum as a trailing uint64.
+// Resume frames in partial journals seal their cumulative prefix the
+// same way (resume.go). The magic and version themselves stay outside
+// the sum — they are validated byte-for-byte instead. Structural
+// validation catches truncation and splicing; the checksum closes the
+// remaining gap — single-bit rot inside an opaque payload (a 4KiB
+// page, a predictor table) that still parses. Pre-v4 files (v1: every
+// unit a full snapshot; v2: full page tables, warm deltas; v3: delta
+// memory) still load, without checksum protection; writers always emit
+// v4. Corruption anywhere — including mid-chain — degrades to a miss.
 const (
-	storeVersion   = 3
+	storeVersion   = 4
+	storeVersionV3 = 3
 	storeVersionV2 = 2
 	storeVersionV1 = 1
 	storeExt       = ".ckpt"
 )
+
+// knownVersion reports whether a file format version can be decoded:
+// every version from the first release through the current writer.
+func knownVersion(v uint32) bool {
+	return v >= storeVersionV1 && v <= storeVersion
+}
 
 var storeMagic = [8]byte{'S', 'M', 'R', 'T', 'C', 'K', 'P', 'T'}
 
@@ -262,31 +278,48 @@ func (s *Store) Load(k Key) (*Set, error) {
 	return set, nil
 }
 
-func readSet(r io.Reader, k Key) (*Set, error) {
+// readHeader consumes an entry's magic, version, and manifest,
+// returning the codec reader positioned at the first record. The magic
+// and version are read directly (outside the CRC), so a v4 checksum
+// covers exactly the bytes the codec primitives produced.
+func readHeader(r io.Reader) (*codecReader, *storeManifest, uint32, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("short header: %w", err)
+		return nil, nil, 0, fmt.Errorf("short header: %w", err)
 	}
 	if magic != storeMagic {
-		return nil, fmt.Errorf("bad magic %q", magic[:])
+		return nil, nil, 0, fmt.Errorf("bad magic %q", magic[:])
 	}
 	var version uint32
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	if version != storeVersion && version != storeVersionV2 && version != storeVersionV1 {
-		return nil, fmt.Errorf("format version %d, want %d, %d, or %d", version, storeVersion, storeVersionV2, storeVersionV1)
+	if !knownVersion(version) {
+		return nil, nil, 0, fmt.Errorf("format version %d, want %d..%d", version, storeVersionV1, storeVersion)
 	}
 	cr := newCodecReader(r)
 	man, err := readManifest(cr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return cr, man, version, nil
+}
+
+func readSet(r io.Reader, k Key) (*Set, error) {
+	cr, man, version, err := readHeader(r)
 	if err != nil {
 		return nil, err
 	}
 	if man.Key.String() != k.String() {
 		return nil, fmt.Errorf("key mismatch: stored %s", man.Key)
 	}
+	return readRecords(cr, version, man)
+}
 
-	set := &Set{K: k.K, PopulationUnits: man.PopulationUnits}
+// readRecords decodes the record stream of a committed entry whose
+// header was already consumed by readHeader.
+func readRecords(cr *codecReader, version uint32, man *storeManifest) (*Set, error) {
+	set := &Set{K: man.Key.K, PopulationUnits: man.PopulationUnits}
 	var pages []*[mem.PageSize]byte
 	var prev *Unit        // previously decoded unit (v3 chain predecessor)
 	var prevWarm *Unit    // warm chain predecessor (pre-v3 files)
@@ -368,6 +401,18 @@ func readSet(r io.Reader, k Key) (*Set, error) {
 				return nil, err
 			}
 			set.SweepTime = time.Duration(int64(nanos))
+			if version >= 4 {
+				// The trailing checksum seals every byte the codec read;
+				// snapshot the running sum before consuming the field itself.
+				expect := cr.sum()
+				stored, err := cr.u64()
+				if err != nil {
+					return nil, fmt.Errorf("checksum: %w", err)
+				}
+				if uint32(stored) != expect {
+					return nil, fmt.Errorf("checksum mismatch: stored %08x, computed %08x", uint32(stored), expect)
+				}
+			}
 			return set, nil
 		default:
 			return nil, fmt.Errorf("unknown record tag %d", tag)
@@ -588,6 +633,11 @@ func (e *setEncoder) finish(sweepInsts uint64, sweepTime time.Duration) error {
 		if err := e.cw.u64(v); err != nil {
 			return err
 		}
+	}
+	// Seal the entry: snapshot the running CRC before writing the field,
+	// so the reader's pre-field snapshot computes the same sum.
+	if err := e.cw.u64(uint64(e.cw.sum())); err != nil {
+		return err
 	}
 	return e.cw.w.Flush()
 }

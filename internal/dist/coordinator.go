@@ -3,11 +3,14 @@ package dist
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,8 +29,10 @@ var ErrBusy = errors.New("dist: coordinator at capacity")
 // Options configures a Coordinator.
 type Options struct {
 	// StoreDir, when non-empty, attaches an on-disk checkpoint store:
-	// uploaded sweeps are persisted and shared across runs and restarts.
-	// StoreMaxBytes caps it (see sim.WithStoreLimit).
+	// uploaded sweeps are persisted and shared across runs and restarts,
+	// and every accepted run keeps a write-ahead journal under
+	// StoreDir/runs/ that a restarted coordinator recovers in-flight
+	// runs from. StoreMaxBytes caps the store (see sim.WithStoreLimit).
 	StoreDir      string
 	StoreMaxBytes int64
 	// MemCacheBytes caps the in-memory sweep cache's snapshot payload
@@ -51,8 +56,8 @@ type Options struct {
 	// TTL can sit well below the longest sweep.
 	LeaseTTL time.Duration
 	// Faults, when non-nil, arms the deterministic fault-injection
-	// harness on the coordinator's hooks (FaultExpireLease). Testing
-	// only.
+	// harness on the coordinator's hooks (FaultExpireLease,
+	// FaultKillCoordinator). Testing only.
 	Faults *Faults
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
@@ -60,9 +65,14 @@ type Options struct {
 
 // Coordinator is the distributed sampling service's front door: it
 // admits runs, shards their sampled units across registered workers,
-// serves the fleet-wide sweep cache and claim table, and merges shard
-// streams into bit-identical reports. All methods are safe for
-// concurrent use.
+// serves the fleet-wide sweep cache and claim table, verifies every
+// streamed unit's digest, and merges shard streams into bit-identical
+// reports. Each accepted run gets a stable ID and an append-only event
+// history that clients stream (and re-attach to after losing the
+// connection); with a store attached, each run also keeps a write-ahead
+// journal so a restarted coordinator — a fresh NewCoordinator over the
+// same store directory — resumes in-flight runs instead of losing them.
+// All methods are safe for concurrent use.
 type Coordinator struct {
 	opt    Options
 	store  *checkpoint.Store
@@ -70,13 +80,28 @@ type Coordinator struct {
 	client *http.Client
 	slots  chan struct{}
 
+	// lifeCtx is the coordinator's serving lifetime; die (the
+	// FaultKillCoordinator hook) cancels it, aborting every run and
+	// handler the way a process death would. epoch is a random nonce
+	// identifying this coordinator incarnation: clients compare it on
+	// re-attach to detect a restart (their stream high-water mark refers
+	// to a dead event history).
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	epoch      string
+
 	mu      sync.Mutex
 	queued  int
 	workers []*workerRef
 	claims  map[string]claimState
 	active  map[string]*activeRun
 	progs   map[progKey]*program.Program
-	// partials holds uploaded partial-sweep journals (opaque format-v3
+	// runs holds every known run by ID — executing, queued, and (capped
+	// by maxFinishedRuns, in finished order) terminal, so late
+	// re-attaches can still fetch the outcome.
+	runs     map[string]*runState
+	finished []string
+	// partials holds uploaded partial-sweep journals (opaque format
 	// bytes) by key hash: a sweep owner uploads its journal as it
 	// progresses, and the worker that wins the claim after the owner
 	// dies resumes from here instead of resweeping. Entries are dropped
@@ -84,6 +109,10 @@ type Coordinator struct {
 	// also persisted as *.partial files, surviving coordinator restarts.
 	partials map[string][]byte
 }
+
+// maxFinishedRuns bounds how many terminal runs stay addressable for
+// late re-attaches before the oldest are dropped.
+const maxFinishedRuns = 64
 
 type claimState struct {
 	owner string
@@ -109,6 +138,11 @@ type workerRef struct {
 
 	mu   sync.Mutex
 	dead bool
+	// quarantined latches when a shard stream from this worker fails
+	// digest verification: unlike dead (a liveness state heartbeats
+	// clear), quarantine is sticky — a worker that produced a corrupt
+	// measurement is never dispatched to again by this coordinator.
+	quarantined bool
 	// beatEvery and lastBeat implement heartbeat liveness: a worker that
 	// announced a heartbeat interval and then fell silent for three
 	// intervals stops receiving dispatches until it beats again.
@@ -118,7 +152,11 @@ type workerRef struct {
 }
 
 func (w *workerRef) markDead() { w.mu.Lock(); w.dead = true; w.mu.Unlock() }
-func (w *workerRef) revive()   { w.mu.Lock(); w.dead = false; w.mu.Unlock() }
+func (w *workerRef) quarantine() {
+	w.mu.Lock()
+	w.quarantined = true
+	w.mu.Unlock()
+}
 func (w *workerRef) beat() {
 	w.mu.Lock()
 	w.dead = false
@@ -128,7 +166,7 @@ func (w *workerRef) beat() {
 func (w *workerRef) alive() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.dead {
+	if w.dead || w.quarantined {
 		return false
 	}
 	if w.beatEvery > 0 && !w.lastBeat.IsZero() && time.Since(w.lastBeat) > 3*w.beatEvery {
@@ -138,7 +176,10 @@ func (w *workerRef) alive() bool {
 }
 
 // NewCoordinator builds a coordinator (opening the on-disk store when
-// configured). Workers register themselves over POST /v1/register or
+// configured) and recovers any in-flight run journals the previous
+// incarnation left in the store directory: each becomes a live run
+// again, resuming from its journaled merge prefix as soon as workers
+// (re-)register. Workers register themselves over POST /v1/register or
 // are added directly with AddWorker.
 func NewCoordinator(opt Options) (*Coordinator, error) {
 	if opt.MaxActive <= 0 {
@@ -163,8 +204,11 @@ func NewCoordinator(opt Options) (*Coordinator, error) {
 		claims:   make(map[string]claimState),
 		active:   make(map[string]*activeRun),
 		progs:    make(map[progKey]*program.Program),
+		runs:     make(map[string]*runState),
 		partials: make(map[string][]byte),
+		epoch:    randHex(8),
 	}
+	c.lifeCtx, c.lifeCancel = context.WithCancel(context.Background())
 	c.sweeps.MaxBytes = opt.MemCacheBytes
 	if opt.StoreDir != "" {
 		store, err := checkpoint.OpenStore(opt.StoreDir)
@@ -174,8 +218,23 @@ func NewCoordinator(opt Options) (*Coordinator, error) {
 		store.MaxBytes = opt.StoreMaxBytes
 		store.Logf = opt.Logf
 		c.store = store
+		c.recoverRuns()
 	}
 	return c, nil
+}
+
+// randHex returns n random bytes hex-encoded (run IDs, the epoch).
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// Degrade to a clock-derived nonce; uniqueness not randomness is
+		// what the IDs need.
+		now := uint64(time.Now().UnixNano())
+		for i := range b {
+			b[i] = byte(now >> (8 * (i % 8)))
+		}
+	}
+	return hex.EncodeToString(b)
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -183,6 +242,19 @@ func (c *Coordinator) logf(format string, args ...any) {
 		c.opt.Logf(format, args...)
 	}
 }
+
+// die simulates the coordinator's process death (FaultKillCoordinator):
+// the serving context cancels, aborting every run, dispatch, and
+// handler; new requests are refused. Runs keep their journals (a dead
+// process cannot tidy up), which is exactly what the next incarnation
+// recovers from.
+func (c *Coordinator) die() {
+	c.logf("dist: coordinator killed (injected)")
+	c.lifeCancel()
+}
+
+// killed reports whether die was called.
+func (c *Coordinator) killed() bool { return c.lifeCtx.Err() != nil }
 
 // AddWorker registers a worker by base URL (idempotent; re-adding a
 // dead worker revives it). Workers added this way announce no
@@ -234,34 +306,6 @@ func (c *Coordinator) liveWorkers() []*workerRef {
 		}
 	}
 	return live
-}
-
-// admit acquires a run slot, waiting in the bounded queue when all
-// slots are busy. The returned release frees the slot.
-func (c *Coordinator) admit(ctx context.Context) (release func(), err error) {
-	select {
-	case c.slots <- struct{}{}:
-		return func() { <-c.slots }, nil
-	default:
-	}
-	c.mu.Lock()
-	if c.queued >= c.opt.MaxQueue {
-		c.mu.Unlock()
-		return nil, ErrBusy
-	}
-	c.queued++
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		c.queued--
-		c.mu.Unlock()
-	}()
-	select {
-	case c.slots <- struct{}{}:
-		return func() { <-c.slots }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
 }
 
 // workload returns the generated program for (name, length), cached.
@@ -322,29 +366,22 @@ func (c *Coordinator) sweepReady(run *activeRun) bool {
 	return c.store != nil && !run.noStore && c.store.Contains(run.key)
 }
 
-// Run executes one request across the registered workers, with the
-// same signature and Report shape as sim.Session.Run. The report's
-// measurement half is bit-identical to a local engine run of the same
-// request at any topology.
-func (c *Coordinator) Run(ctx context.Context, req *sim.Request) (*sim.Report, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	wr, err := wireFromRequest(req)
-	if err != nil {
-		return nil, err
-	}
-	release, err := c.admit(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	return c.runAdmitted(ctx, wr, req.Progress)
+// resolvedRun is a request resolved against its generated workload:
+// everything the execution needs, fixed at accept time so a journaled
+// run replays under the identical plan even if resolution defaults
+// ever change between incarnations.
+type resolvedRun struct {
+	spec  runSpec
+	plan  smarts.Plan
+	prog  *program.Program
+	pop   uint64
+	total int
 }
 
-// runAdmitted resolves and executes an admitted run.
-func (c *Coordinator) runAdmitted(ctx context.Context, wr *wireRequest, progress sim.ProgressFunc) (*sim.Report, error) {
-	start := time.Now()
+// resolve validates and resolves a wire request. Failures are
+// deterministic rejections (HTTP 400): retrying or falling back cannot
+// change them.
+func (c *Coordinator) resolve(wr *wireRequest) (*resolvedRun, error) {
 	req := wr.request()
 	length := req.Length
 	if length == 0 {
@@ -366,23 +403,327 @@ func (c *Coordinator) runAdmitted(ctx context.Context, wr *wireRequest, progress
 		return nil, err
 	}
 	spec := runSpec{Workload: req.Workload, Length: length, Config: cfg, Plan: specFromPlan(plan)}
+	pop := prog.Length / plan.U
+	return &resolvedRun{spec: spec, plan: plan, prog: prog, pop: pop,
+		total: plan.CheckpointParams().ExpectedUnits(pop)}, nil
+}
 
-	run := &shardedRun{
-		c:    c,
-		spec: spec,
-		plan: plan,
-		prog: prog,
-		wr:   wr,
-		sink: newSink(progress),
-	}
-	res, err := run.run(ctx)
+// resolveSpec rebuilds a recovered run's resolution from its journaled
+// spec — the already-resolved plan, not the raw request, so recovery
+// cannot re-resolve differently.
+func (c *Coordinator) resolveSpec(hdr *journalRun) (*resolvedRun, error) {
+	prog, err := c.workload(hdr.Spec.Workload, hdr.Spec.Length)
 	if err != nil {
 		return nil, err
 	}
-	alpha := wr.Alpha
-	if alpha == 0 {
-		alpha = stats.Alpha997
+	plan := hdr.Spec.Plan.plan()
+	if err := plan.Validate(); err != nil {
+		return nil, err
 	}
+	pop := prog.Length / plan.U
+	return &resolvedRun{spec: hdr.Spec, plan: plan, prog: prog, pop: pop,
+		total: plan.CheckpointParams().ExpectedUnits(pop)}, nil
+}
+
+// runState is one known run: its identity, event history, execution
+// context, and journal. The event history is an append-only sequence of
+// envelopes with 1-based Seq; consumers (the in-process Run call, the
+// HTTP stream handler) read it through next and block on the returned
+// channel for more.
+type runState struct {
+	id      string
+	c       *Coordinator
+	wr      *wireRequest
+	rr      *resolvedRun
+	rec     *recoveredRun
+	journal *runJournal
+
+	// ctx is a child of the coordinator's lifeCtx; cancel aborts the
+	// run (client cancellation, or the coordinator dying).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// hasSlot records that accept acquired an execution slot
+	// synchronously; inQueue that the run is counted in the wait queue.
+	hasSlot bool
+	inQueue bool
+
+	mu      sync.Mutex
+	base    int64 // Seq of envs[0] minus one (terminal pruning shifts it)
+	envs    []runEnvelope
+	waiters []chan struct{}
+	done    bool
+	errVal  error // terminal error value (in-process consumers preserve errors.Is)
+}
+
+func (c *Coordinator) newRunState(id string, wr *wireRequest) *runState {
+	rs := &runState{id: id, c: c, wr: wr}
+	rs.ctx, rs.cancel = context.WithCancel(c.lifeCtx)
+	return rs
+}
+
+func (c *Coordinator) runByID(id string) *runState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs[id]
+}
+
+// emit appends one envelope to the run's event history and wakes the
+// stream consumers. Events after the terminal record are dropped.
+func (rs *runState) emit(env runEnvelope) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.done {
+		return
+	}
+	env.Seq = rs.base + int64(len(rs.envs)) + 1
+	rs.envs = append(rs.envs, env)
+	for _, w := range rs.waiters {
+		close(w)
+	}
+	rs.waiters = nil
+}
+
+// emitProgress is the run's sim.ProgressFunc: events enter the history
+// as envelopes and reach every attached consumer.
+func (rs *runState) emitProgress(ev sim.Progress) {
+	wp := wireFromProgress(ev)
+	rs.emit(runEnvelope{Progress: &wp})
+}
+
+// terminal appends the final envelope. The history stays intact so
+// consumers attached right now drain the progress tail before the
+// outcome; prune reclaims it later (see noteFinished).
+func (rs *runState) terminal(env runEnvelope) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.done {
+		return
+	}
+	env.Seq = rs.base + int64(len(rs.envs)) + 1
+	rs.envs = append(rs.envs, env)
+	rs.done = true
+	for _, w := range rs.waiters {
+		close(w)
+	}
+	rs.waiters = nil
+}
+
+// prune drops a terminal run's progress history down to its final
+// envelope: late re-attachers need the outcome, not the
+// replay-by-replay past, and the history would otherwise pin every
+// event of every finished run. A consumer that was mid-history is
+// clamped forward by next and still receives the terminal record.
+func (rs *runState) prune() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.done || len(rs.envs) <= 1 {
+		return
+	}
+	last := rs.envs[len(rs.envs)-1]
+	rs.base = last.Seq - 1
+	rs.envs = []runEnvelope{last}
+}
+
+// next returns the event suffix after Seq from (possibly empty), the
+// terminal flag, and — when nothing new is buffered and the run still
+// executes — a channel that closes on the next emit.
+func (rs *runState) next(from int64) (envs []runEnvelope, done bool, wait <-chan struct{}) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if from < rs.base {
+		from = rs.base // pruned (or restarted) history: resume at its base
+	}
+	if idx := from - rs.base; idx < int64(len(rs.envs)) {
+		return append([]runEnvelope(nil), rs.envs[idx:]...), rs.done, nil
+	}
+	if rs.done {
+		return nil, true, nil
+	}
+	w := make(chan struct{})
+	rs.waiters = append(rs.waiters, w)
+	return nil, false, w
+}
+
+// terminalErr returns the run's stored terminal error value when the
+// consumer is in-process (preserving errors.Is identity for context
+// errors), else wraps the envelope string.
+func (rs *runState) terminalErr(fallback string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.errVal != nil {
+		return rs.errVal
+	}
+	return fmt.Errorf("dist: %s", fallback)
+}
+
+// finish records the run's outcome: the terminal envelope enters the
+// history and the journal is removed (nothing left to recover). When
+// the coordinator was killed, neither happens — a dead process writes
+// no farewell, and the journal IS the recovery state.
+func (rs *runState) finish(rep *sim.Report, err error) {
+	c := rs.c
+	if c.killed() {
+		rs.journal.close()
+		return
+	}
+	// Remove the journal BEFORE publishing the outcome: once any caller
+	// can observe the terminal state, no future incarnation may find the
+	// journal and silently re-run the work.
+	rs.journal.remove()
+	if err != nil {
+		rs.mu.Lock()
+		rs.errVal = err
+		rs.mu.Unlock()
+		rs.terminal(runEnvelope{Error: err.Error()})
+	} else {
+		rs.terminal(runEnvelope{Report: &wireReport{
+			Result:    rep.Result(),
+			CPI:       rep.CPI,
+			EPI:       rep.EPI,
+			ElapsedNs: int64(rep.Elapsed),
+		}})
+	}
+	rs.cancel()
+	c.noteFinished(rs.id)
+}
+
+// noteFinished caps the terminal-run registry at maxFinishedRuns and
+// prunes the histories of previously finished runs: the most recent
+// finisher keeps its full history (its consumers are still draining
+// the tail), older ones shrink to just their terminal envelope.
+func (c *Coordinator) noteFinished(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, prev := range c.finished {
+		if rs := c.runs[prev]; rs != nil {
+			rs.prune()
+		}
+	}
+	c.finished = append(c.finished, id)
+	for len(c.finished) > maxFinishedRuns {
+		delete(c.runs, c.finished[0])
+		c.finished = c.finished[1:]
+	}
+}
+
+// accept admits one resolved request as a new run: it acquires an
+// execution slot (or a queue seat, or fails with ErrBusy), assigns the
+// run its stable ID, installs the write-ahead journal header, and
+// starts the execution goroutine. The caller streams the outcome from
+// the returned runState.
+func (c *Coordinator) accept(wr *wireRequest) (*runState, error) {
+	if c.killed() {
+		return nil, fmt.Errorf("dist: coordinator is shut down")
+	}
+	rr, err := c.resolve(wr)
+	if err != nil {
+		return nil, err
+	}
+	hasSlot, inQueue := false, false
+	select {
+	case c.slots <- struct{}{}:
+		hasSlot = true
+	default:
+		c.mu.Lock()
+		if c.queued >= c.opt.MaxQueue {
+			c.mu.Unlock()
+			return nil, ErrBusy
+		}
+		c.queued++
+		inQueue = true
+		c.mu.Unlock()
+	}
+	rs := c.newRunState("r-"+randHex(8), wr)
+	rs.rr = rr
+	rs.hasSlot, rs.inQueue = hasSlot, inQueue
+	if c.store != nil {
+		hdr := journalRun{ID: rs.id, Req: *wr, Spec: rr.spec, Total: rr.total, Pop: rr.pop}
+		j, jerr := writeRunJournal(c.opt.StoreDir, rs.id, c.opt.Logf, journalLine{Run: &hdr})
+		if jerr != nil {
+			c.logf("dist: run %s executes unjournaled: %v", rs.id, jerr)
+		} else {
+			rs.journal = j
+		}
+	}
+	c.mu.Lock()
+	c.runs[rs.id] = rs
+	c.mu.Unlock()
+	go c.execRun(rs)
+	return rs, nil
+}
+
+// recoverRuns reloads the previous incarnation's run journals: each
+// valid journal is compacted (rewritten as exactly its verified
+// prefix) and becomes a live run again, queued for execution.
+func (c *Coordinator) recoverRuns() {
+	for _, rec := range loadRunJournals(c.opt.StoreDir, c.opt.Logf) {
+		rec := rec
+		j, err := writeRunJournal(c.opt.StoreDir, rec.hdr.ID, c.opt.Logf, rec.journalLines()...)
+		if err != nil {
+			c.logf("dist: cannot compact run journal %s: %v", rec.hdr.ID, err)
+			continue
+		}
+		rs := c.newRunState(rec.hdr.ID, &rec.hdr.Req)
+		rs.rec = &rec
+		rs.journal = j
+		c.mu.Lock()
+		c.runs[rs.id] = rs
+		c.mu.Unlock()
+		rr, rerr := c.resolveSpec(&rec.hdr)
+		if rerr != nil {
+			rs.finish(nil, fmt.Errorf("dist: recovering run %s: %w", rs.id, rerr))
+			continue
+		}
+		rs.rr = rr
+		c.logf("dist: recovered run %s from journal (%d merged unit(s), %d finished shard(s))",
+			rs.id, len(rec.units), len(rec.dones))
+		go c.execRun(rs)
+	}
+}
+
+// execRun drives one accepted run to its terminal state: wait for an
+// execution slot if accept queued it, execute, record the outcome.
+func (c *Coordinator) execRun(rs *runState) {
+	if !rs.hasSlot {
+		select {
+		case c.slots <- struct{}{}:
+			rs.hasSlot = true
+		case <-rs.ctx.Done():
+		}
+		if rs.inQueue {
+			c.mu.Lock()
+			c.queued--
+			c.mu.Unlock()
+		}
+		if !rs.hasSlot {
+			rs.finish(nil, rs.ctx.Err())
+			return
+		}
+	}
+	defer func() { <-c.slots }()
+	rep, err := c.runResolved(rs)
+	rs.finish(rep, err)
+}
+
+// runResolved executes a resolved run across the worker fleet.
+func (c *Coordinator) runResolved(rs *runState) (*sim.Report, error) {
+	start := time.Now()
+	run := &shardedRun{
+		c:       c,
+		spec:    rs.rr.spec,
+		plan:    rs.rr.plan,
+		prog:    rs.rr.prog,
+		wr:      rs.wr,
+		sink:    newSink(rs.emitProgress),
+		rec:     rs.rec,
+		journal: rs.journal,
+	}
+	res, err := run.run(rs.ctx)
+	if err != nil {
+		return nil, err
+	}
+	alpha := alphaOr997(rs.wr.Alpha)
 	rep := &sim.Report{Results: []*sim.Result{res}, Elapsed: time.Since(start)}
 	if len(res.Units) > 0 {
 		rep.CPI = res.CPIEstimate(alpha)
@@ -391,14 +732,77 @@ func (c *Coordinator) runAdmitted(ctx context.Context, wr *wireRequest, progress
 	return rep, nil
 }
 
+// Run executes one request across the registered workers, with the
+// same signature and Report shape as sim.Session.Run. The report's
+// measurement half is bit-identical to a local engine run of the same
+// request at any topology. Internally the call is accept + an
+// in-process attach to the run's event stream — the same protocol the
+// HTTP client speaks.
+func (c *Coordinator) Run(ctx context.Context, req *sim.Request) (*sim.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wr, err := wireFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := c.accept(wr)
+	if err != nil {
+		return nil, err
+	}
+	var from int64
+	for {
+		envs, done, wait := rs.next(from)
+		for _, env := range envs {
+			from = env.Seq
+			switch {
+			case env.Progress != nil:
+				if req.Progress != nil {
+					req.Progress(env.Progress.progress())
+				}
+			case env.Error != "":
+				return nil, rs.terminalErr(env.Error)
+			case env.Report != nil:
+				return reportFrom(env.Report), nil
+			}
+		}
+		if done {
+			return nil, fmt.Errorf("dist: run %s ended without a report", rs.id)
+		}
+		if wait == nil {
+			continue // drained a batch; more may already be buffered
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			rs.cancel()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// reportFrom rebuilds a sim.Report from its wire form. In-process
+// consumers share the *smarts.Result pointer (no serialization);
+// remote ones decoded it from JSON, which round-trips every
+// measurement field exactly.
+func reportFrom(wrep *wireReport) *sim.Report {
+	rep := &sim.Report{CPI: wrep.CPI, EPI: wrep.EPI, Elapsed: time.Duration(wrep.ElapsedNs)}
+	if wrep.Result != nil {
+		rep.Results = []*sim.Result{wrep.Result}
+	}
+	return rep
+}
+
 // shardedRun is the state of one dispatched run.
 type shardedRun struct {
-	c    *Coordinator
-	spec runSpec
-	plan smarts.Plan
-	prog *program.Program
-	wr   *wireRequest
-	sink *eventSink
+	c       *Coordinator
+	spec    runSpec
+	plan    smarts.Plan
+	prog    *program.Program
+	wr      *wireRequest
+	sink    *eventSink
+	rec     *recoveredRun // non-nil: resume from this journaled prefix
+	journal *runJournal
 
 	pop    uint64
 	total  int
@@ -406,8 +810,8 @@ type shardedRun struct {
 	m      *merger
 
 	// smu guards the merge and the shard bookkeeping below; merger
-	// offers are serialized under it (one lock, because the merge IS
-	// the shared state of the run).
+	// offers and journal appends are serialized under it (one lock,
+	// because the merge IS the shared state of the run).
 	smu       sync.Mutex
 	pending   chan shardRange
 	remaining int
@@ -442,15 +846,50 @@ func splitRange(n, parts int) []shardRange {
 	return out
 }
 
+func journalShardsFrom(shards []shardRange) []journalShard {
+	out := make([]journalShard, len(shards))
+	for i, sr := range shards {
+		out[i] = journalShard{Lo: sr.lo, Hi: sr.hi, Idx: sr.idx}
+	}
+	return out
+}
+
 func (r *shardedRun) run(ctx context.Context) (*smarts.Result, error) {
 	c := r.c
 	r.pop = r.prog.Length / r.plan.U
 	r.total = r.plan.CheckpointParams().ExpectedUnits(r.pop)
+
+	// A fresh run with no workers fails fast — the client can fall back
+	// locally. A recovered run waits instead: its workers died with the
+	// old coordinator and re-register as their heartbeats bounce.
 	workers := c.liveWorkers()
 	if len(workers) == 0 {
-		return nil, fmt.Errorf("dist: no live workers registered")
+		if r.rec == nil {
+			return nil, fmt.Errorf("dist: no live workers registered")
+		}
+		for len(workers) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+			workers = c.liveWorkers()
+		}
 	}
-	shards := splitRange(r.total, len(workers)*c.opt.ShardsPerWorker)
+
+	// The shard split is journaled state: recovery must requeue the
+	// exact ranges the dead incarnation cut, not re-split for today's
+	// fleet, or the contiguous-prefix bookkeeping below would not line
+	// up with the journaled units.
+	var shards []shardRange
+	if r.rec != nil && len(r.rec.shards) > 0 {
+		for _, s := range r.rec.shards {
+			shards = append(shards, shardRange{lo: s.Lo, hi: s.Hi, idx: s.Idx})
+		}
+	} else {
+		shards = splitRange(r.total, len(workers)*c.opt.ShardsPerWorker)
+		r.journal.append(journalLine{Shards: journalShardsFrom(shards)})
+	}
 	r.shards = len(shards)
 
 	key := checkpoint.KeyFor(r.prog, r.spec.Config, r.plan.CheckpointParams())
@@ -461,10 +900,7 @@ func (r *shardedRun) run(ctx context.Context) (*smarts.Result, error) {
 	r.sink.emit(sim.Progress{Kind: sim.EventRunStart, Stage: "sample", Offset: r.plan.J,
 		Population: r.pop, Total: r.total})
 
-	alpha := r.wr.Alpha
-	if alpha == 0 {
-		alpha = stats.Alpha997
-	}
+	alpha := alphaOr997(r.wr.Alpha)
 	r.m = newMerger(r.plan.U, alpha, r.wr.TargetEps, r.wr.MinUnits, r.total)
 	dispatchCtx, cancelDispatch := context.WithCancel(ctx)
 	defer cancelDispatch()
@@ -479,11 +915,15 @@ func (r *shardedRun) run(ctx context.Context) (*smarts.Result, error) {
 	r.m.onStop = cancelDispatch
 
 	r.pending = make(chan shardRange, r.shards+len(workers))
-	for _, sr := range shards {
-		r.pending <- sr
-	}
 	r.remaining = r.shards
-	if r.shards == 0 {
+	if r.rec != nil {
+		r.replayJournal(shards)
+	} else {
+		for _, sr := range shards {
+			r.pending <- sr
+		}
+	}
+	if r.remaining == 0 {
 		close(r.pending)
 	}
 
@@ -524,10 +964,53 @@ func (r *shardedRun) run(ctx context.Context) (*smarts.Result, error) {
 	done := sim.Progress{Kind: sim.EventRunDone, Stage: "sample", Offset: r.plan.J,
 		Replayed: len(res.Units), Cached: res.SweepCached, Population: r.pop, Total: r.total}
 	if len(res.Units) > 0 {
-		done.Estimate = res.CPIEstimate(alphaOr997(r.wr.Alpha))
+		done.Estimate = res.CPIEstimate(alpha)
 	}
 	r.sink.emit(done)
 	return res, nil
+}
+
+// replayJournal re-offers a recovered run's journaled merge prefix and
+// requeues the unfinished shard suffixes. Because the merge is a pure,
+// order-insensitive function of the offered set, re-offering the
+// journaled units then streaming the remainder from workers produces
+// the identical result an uninterrupted run would have — the journaled
+// prefix is simply work the fleet does not redo.
+func (r *shardedRun) replayJournal(shards []shardRange) {
+	rec := r.rec
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	merged := make(map[int]bool, len(rec.units))
+	for i := range rec.units {
+		merged[rec.units[i].Seq] = true
+		r.m.offer(rec.units[i])
+	}
+	doneIdx := make(map[int]bool, len(rec.dones))
+	for i := range rec.dones {
+		d := &rec.dones[i]
+		doneIdx[d.Idx] = true
+		if r.trailer == nil {
+			t := d.Done
+			r.trailer = &t
+		}
+		r.anySwept = r.anySwept || d.Done.Swept
+	}
+	for _, sr := range shards {
+		if doneIdx[sr.idx] {
+			r.remaining--
+			continue
+		}
+		// Units stream (and journal) in ascending order per shard, so
+		// the journaled prefix of each shard is contiguous from lo; only
+		// the suffix is redispatched. A fully-merged shard missing its
+		// trailer requeues as an empty range — the worker replays
+		// nothing and returns just the sweep-accounting trailer.
+		n := 0
+		for sr.lo+n < sr.hi && merged[sr.lo+n] {
+			n++
+		}
+		r.pending <- shardRange{lo: sr.lo + n, hi: sr.hi, idx: sr.idx}
+	}
 }
 
 func alphaOr997(alpha float64) float64 {
@@ -538,7 +1021,7 @@ func alphaOr997(alpha float64) float64 {
 }
 
 // workerLoop pulls shard ranges for one worker until the pool drains,
-// the run is cancelled, or the worker dies.
+// the run is cancelled, or the worker dies or is quarantined.
 func (r *shardedRun) workerLoop(ctx context.Context, w *workerRef) {
 	for {
 		var sr shardRange
@@ -555,6 +1038,7 @@ func (r *shardedRun) workerLoop(ctx context.Context, w *workerRef) {
 		if err == nil {
 			r.smu.Lock()
 			if trailer != nil {
+				r.journal.append(journalLine{Done: &journalDone{Idx: sr.idx, Done: *trailer}})
 				if r.trailer == nil {
 					r.trailer = trailer
 				}
@@ -581,6 +1065,24 @@ func (r *shardedRun) workerLoop(ctx context.Context, w *workerRef) {
 			r.smu.Unlock()
 			return
 		}
+		var corr *corruptError
+		if errors.As(err, &corr) {
+			// The worker streamed a unit whose digest does not match its
+			// measurement: a corrupt frame or a misbehaving worker. Only
+			// verified units entered the merge, so requeueing from the
+			// verified prefix keeps the result untouched; the worker is
+			// quarantined from all further dispatch.
+			w.quarantine()
+			r.c.logf("dist: %v; quarantining %s and requeueing %d unit(s)",
+				err, w.url, sr.hi-(sr.lo+received))
+			r.sink.emit(sim.Progress{Kind: sim.EventQuarantine, Stage: "sample", Offset: r.plan.J,
+				Population: r.pop, Total: r.total, Shard: sr.idx, Shards: r.shards,
+				Note: err.Error()})
+			r.smu.Lock()
+			r.pending <- shardRange{lo: sr.lo + received, hi: sr.hi, idx: sr.idx}
+			r.smu.Unlock()
+			return
+		}
 		// Transport failure: the worker is gone. Units stream in
 		// ascending order, so the received prefix is contiguous — the
 		// rest of the range goes back in the pool for the survivors,
@@ -601,9 +1103,22 @@ type appError struct{ msg string }
 
 func (e *appError) Error() string { return e.msg }
 
+// corruptError reports a streamed unit whose digest verification
+// failed; the worker that sent it is quarantined.
+type corruptError struct {
+	worker string
+	seq    int
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("dist: unit %d from worker %s failed digest verification", e.seq, e.worker)
+}
+
 // runShard executes one shard range on one worker, folding its streamed
-// units into the merge. It returns the number of unit records received
-// (the contiguous prefix of the range) and the stream trailer.
+// units into the merge. Every unit's digest is recomputed before the
+// offer; the first mismatch aborts the stream with a corruptError. It
+// returns the number of verified unit records received (the contiguous
+// prefix of the range) and the stream trailer.
 func (r *shardedRun) runShard(ctx context.Context, w *workerRef, sr shardRange) (received int, trailer *shardDone, err error) {
 	r.sink.emit(sim.Progress{Kind: sim.EventShardStart, Stage: "sample", Offset: r.plan.J,
 		Population: r.pop, Total: sr.hi - sr.lo, Shard: sr.idx, Shards: r.shards})
@@ -639,10 +1154,17 @@ func (r *shardedRun) runShard(ctx context.Context, w *workerRef, sr shardRange) 
 		case rec.Error != "":
 			return received, nil, &appError{msg: rec.Error}
 		case rec.Unit != nil:
+			if rec.Unit.digest() != rec.Unit.Digest {
+				return received, nil, &corruptError{worker: w.url, seq: rec.Unit.Seq}
+			}
 			r.smu.Lock()
+			r.journal.append(journalLine{Unit: rec.Unit})
 			r.m.offer(*rec.Unit)
 			r.smu.Unlock()
 			received++
+			if ok, _ := r.c.opt.Faults.fire(FaultKillCoordinator); ok {
+				r.c.die()
+			}
 		case rec.Captured > 0:
 			r.sink.emit(sim.Progress{Kind: sim.EventUnitCaptured, Stage: "sample", Offset: r.plan.J,
 				Captured: rec.Captured, Population: r.pop, Total: r.total,
@@ -691,7 +1213,9 @@ func etaFrom(start time.Time, done, total int) time.Duration {
 	return time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 }
 
-// Handler returns the coordinator's HTTP API.
+// Handler returns the coordinator's HTTP API. After die (the injected
+// coordinator kill) every request — including in-flight streams — is
+// severed exactly as a process death would sever it.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(rw http.ResponseWriter, _ *http.Request) {
@@ -704,8 +1228,15 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/sweeps/{hash}", c.handleSweepPut)
 	mux.HandleFunc("GET /v1/partials/{hash}", c.handlePartialGet)
 	mux.HandleFunc("PUT /v1/partials/{hash}", c.handlePartialPut)
-	mux.HandleFunc("POST /v1/runs", c.handleRun)
-	return mux
+	mux.HandleFunc("POST /v1/runs", c.handleRunCreate)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", c.handleRunStream)
+	mux.HandleFunc("DELETE /v1/runs/{id}", c.handleRunCancel)
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if c.killed() {
+			panic(http.ErrAbortHandler)
+		}
+		mux.ServeHTTP(rw, req)
+	})
 }
 
 func (c *Coordinator) handleRegister(rw http.ResponseWriter, req *http.Request) {
@@ -839,8 +1370,8 @@ func (c *Coordinator) handleSweepPut(rw http.ResponseWriter, req *http.Request) 
 	rw.WriteHeader(http.StatusNoContent)
 }
 
-// handlePartialPut accepts a sweep owner's partial journal (format-v3
-// partial record bytes). The journal is validated against the run's key
+// handlePartialPut accepts a sweep owner's partial journal (partial
+// record bytes). The journal is validated against the run's key
 // before it is kept: a corrupt upload is rejected so the fleet never
 // resumes from garbage — it degrades to an earlier journal or a cold
 // sweep instead.
@@ -903,7 +1434,10 @@ func (c *Coordinator) handlePartialGet(rw http.ResponseWriter, req *http.Request
 	rw.Write(raw)
 }
 
-func (c *Coordinator) handleRun(rw http.ResponseWriter, req *http.Request) {
+// handleRunCreate accepts a run and replies 202 with its stable ID and
+// the coordinator epoch; the caller streams events from
+// GET /v1/runs/{id}/stream.
+func (c *Coordinator) handleRunCreate(rw http.ResponseWriter, req *http.Request) {
 	var wr wireRequest
 	if err := json.NewDecoder(req.Body).Decode(&wr); err != nil {
 		http.Error(rw, "bad run body", http.StatusBadRequest)
@@ -913,45 +1447,75 @@ func (c *Coordinator) handleRun(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, err := c.admit(req.Context())
+	rs, err := c.accept(&wr)
 	switch {
 	case errors.Is(err, ErrBusy):
 		http.Error(rw, err.Error(), http.StatusTooManyRequests)
 		return
 	case err != nil:
-		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	defer release()
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(rw).Encode(runCreated{ID: rs.id, Epoch: c.epoch})
+}
 
+// handleRunStream serves a run's event history as NDJSON from
+// ?from=<seq> (exclusive), blocking for new events until the terminal
+// record. A client whose ?epoch does not match this incarnation is
+// streamed from the recovered history's start instead — its high-water
+// mark refers to events that died with the previous process.
+func (c *Coordinator) handleRunStream(rw http.ResponseWriter, req *http.Request) {
+	rs := c.runByID(req.PathValue("id"))
+	if rs == nil {
+		http.Error(rw, "unknown run", http.StatusNotFound)
+		return
+	}
+	var from int64
+	if q := req.URL.Query(); q.Get("epoch") == c.epoch {
+		from, _ = strconv.ParseInt(q.Get("from"), 10, 64)
+	}
 	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.Header().Set("X-Run-Epoch", c.epoch)
 	rw.WriteHeader(http.StatusOK)
 	fl, _ := rw.(http.Flusher)
-	var wmu sync.Mutex
 	enc := json.NewEncoder(rw)
-	send := func(env runEnvelope) {
-		wmu.Lock()
-		defer wmu.Unlock()
-		if err := enc.Encode(env); err != nil {
-			return
+	for {
+		envs, done, wait := rs.next(from)
+		for _, env := range envs {
+			if err := enc.Encode(env); err != nil {
+				return // consumer hung up
+			}
+			from = env.Seq
 		}
-		if fl != nil {
+		if fl != nil && len(envs) > 0 {
 			fl.Flush()
 		}
+		if done {
+			return
+		}
+		if wait == nil {
+			continue // drained a batch; more may already be buffered
+		}
+		select {
+		case <-wait:
+		case <-req.Context().Done():
+			return
+		case <-c.lifeCtx.Done():
+			panic(http.ErrAbortHandler) // the kill severs in-flight streams
+		}
 	}
-	progress := func(ev sim.Progress) {
-		wp := wireFromProgress(ev)
-		send(runEnvelope{Progress: &wp})
-	}
-	rep, err := c.runAdmitted(req.Context(), &wr, progress)
-	if err != nil {
-		send(runEnvelope{Error: err.Error()})
+}
+
+// handleRunCancel aborts a run on the client's behalf; the run reaches
+// a terminal error state and its journal is removed.
+func (c *Coordinator) handleRunCancel(rw http.ResponseWriter, req *http.Request) {
+	rs := c.runByID(req.PathValue("id"))
+	if rs == nil {
+		http.Error(rw, "unknown run", http.StatusNotFound)
 		return
 	}
-	send(runEnvelope{Report: &wireReport{
-		Result:    rep.Result(),
-		CPI:       rep.CPI,
-		EPI:       rep.EPI,
-		ElapsedNs: int64(rep.Elapsed),
-	}})
+	rs.cancel()
+	rw.WriteHeader(http.StatusNoContent)
 }

@@ -22,9 +22,18 @@
 //
 // The coordinator serves:
 //
-//	POST /v1/runs            serialized request in, NDJSON envelope
-//	                         stream out: progress events, then the final
+//	POST /v1/runs            serialized request in; replies 202 with the
+//	                         run's stable ID and the coordinator epoch.
+//	                         The run executes asynchronously — its
+//	                         lifetime is the coordinator's, not the
+//	                         connection's.
+//	GET  /v1/runs/{id}/stream?from=N&epoch=E
+//	                         NDJSON envelope stream out: every event
+//	                         carries a sequence number, and ?from=N
+//	                         resumes after the last envelope the client
+//	                         received — progress events, then the final
 //	                         report (or an error) as the last record.
+//	DELETE /v1/runs/{id}     cancel the run.
 //	POST /v1/register        worker announces its base URL and optional
 //	                         heartbeat interval.
 //	POST /v1/heartbeat       worker liveness beat; a worker that
@@ -113,9 +122,76 @@
 //
 // The crash/resume matrix is tested through a deterministic
 // fault-injection harness (Faults): kill-the-owner-mid-sweep,
-// kill-mid-stream, drop/delay RPC, and expire-lease trigger at exact
-// occurrence counts, so lease handoff and journaled resume run as
-// ordinary unit tests instead of wall-clock races.
+// kill-mid-stream, kill-the-coordinator, corrupt-frame, drop/delay
+// RPC, and expire-lease trigger at exact occurrence counts, so lease
+// handoff, journaled resume, coordinator recovery, and quarantine run
+// as ordinary unit tests instead of wall-clock races.
+//
+// # Surviving the coordinator
+//
+// With a store attached, the coordinator is no longer a single point
+// of run loss. Every accepted run writes a write-ahead journal
+// (runs/<id>.runj under the store directory, installed by atomic
+// temp+rename): the serialized request, the resolved spec (so recovery
+// never re-resolves against drifted defaults), the exact shard split,
+// then one checksummed line per merged unit and per completed shard
+// trailer, flushed as they land. A restarted coordinator replays each
+// journal's longest valid prefix: merged units are re-offered to a
+// fresh stream-order merge (offer order is irrelevant — the merge is a
+// pure function of the offered set), finished shards are absorbed from
+// their trailers, and each surviving shard is requeued from the first
+// stream position after its journaled contiguous prefix. Exactly-once
+// offer semantics hold across the crash: a journaled unit is never
+// re-dispatched, an unjournaled one is never skipped, and the final
+// report is bit-identical to an uninterrupted run. The journal is
+// removed before the terminal event is published, so a finished run
+// can never be resurrected.
+//
+// A run's lifecycle through a crash, client-side: POST /v1/runs
+// returns {ID, Epoch}; the client follows GET /v1/runs/{id}/stream.
+// When the coordinator dies the stream breaks; the client re-attaches
+// with backoff (surfacing each attempt as a sim.EventReattach progress
+// event), presenting its last received sequence number and the old
+// epoch. The restarted coordinator has a new epoch, so the sequence
+// numbers do not line up — it streams the recovered run from zero, and
+// the terminal record is still delivered exactly once, because only
+// the terminal record decides the run. Re-attach never degrades to a
+// local rerun: once the coordinator accepted the run it may still be
+// executing, and a silent local redo could double the work. Only run
+// creation falls back (dist.Client.Fallback); a 404 on attach means
+// the run is truly lost (no store, or terminal before the journal
+// existed) and surfaces as a permanent error.
+//
+// Recovery state machine, coordinator-side:
+//
+//	accepted   → journal header written; run registered; waits for a
+//	             MaxActive slot (queue rules unchanged).
+//	running    → shard split journaled, then one line per merged unit
+//	             (journal before offer: write-ahead), one per trailer.
+//	crashed    → whatever the kernel kept of the journal is the truth.
+//	recovered  → journal compacted to its verified prefix, spec rebuilt
+//	             from the header, merged prefix re-offered, shard
+//	             suffixes requeued; waits for workers to re-register
+//	             (heartbeats 404 on the new incarnation, so live
+//	             workers come back within a poll interval).
+//	terminal   → journal removed, then the report/error envelope is
+//	             published and the run's event history is pruned to it.
+//
+// # End-to-end result integrity
+//
+// Every measurement crosses the wire sealed: workers stamp each unit
+// record with a CRC-32C digest over its measurement fields, the
+// coordinator verifies the digest before the unit may enter the merge
+// or the journal, and the journal loader re-verifies it at recovery —
+// so a flipped bit in transit, in memory, or on disk cannot silently
+// perturb the estimate. A digest mismatch quarantines the worker
+// (sticky: heartbeats do not un-quarantine it; sim.EventQuarantine
+// surfaces the eviction), requeues the shard's unverified suffix to
+// the surviving workers, and the run completes bit-identical. The
+// checkpoint store applies the same discipline to sweeps at rest:
+// format v4 seals every record and partial frame with CRC-32C, and
+// checkpoint.Store.Verify (the simd fsck subcommand) scrubs a store
+// offline.
 //
 // # Early termination and admission
 //

@@ -36,6 +36,19 @@ const (
 	// claim as expired on the n-th claim poll, handing ownership to the
 	// caller as if the lease TTL had lapsed.
 	FaultExpireLease FaultPoint = "expire-lease"
+	// FaultKillCoordinator kills the coordinator process-style on the
+	// n-th unit merged: the serving context is cancelled, in-flight
+	// handlers abort their connections, and new requests are refused —
+	// everything short of actually exiting. The run journal on disk is
+	// what a restarted coordinator (a fresh NewCoordinator over the same
+	// store dir) recovers from.
+	FaultKillCoordinator FaultPoint = "kill-coordinator"
+	// FaultCorruptFrame flips a digest-covered field of the n-th unit
+	// record a worker streams back AFTER its digest was computed — a
+	// silently corrupted wire frame or misbehaving worker. The
+	// coordinator must detect the mismatch, quarantine the worker, and
+	// re-run the shard elsewhere.
+	FaultCorruptFrame FaultPoint = "corrupt-frame"
 )
 
 // errInjectedDrop is the transport error FaultDropRPC synthesizes.

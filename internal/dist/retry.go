@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -66,6 +67,14 @@ func permanent(err error) error {
 // onRetry (optional) observes each failed attempt that will be retried
 // — the hook the progress surfacing hangs off. Permanent errors
 // (permanent(...), *appError, context errors) short-circuit.
+//
+// The loop is bounded by the caller's ctx deadline in TOTAL elapsed
+// time, not just per attempt: when the next backoff would sleep past
+// the deadline, retry gives up immediately instead of burning the
+// remaining budget asleep. Exhaustion — attempts or deadline — wraps
+// the last attempt's cause with %w, so callers (and the EventFallback
+// note built from this error) see WHY the operation ultimately failed,
+// and errors.Is/As still match the underlying cause.
 func retry(ctx context.Context, p retryPolicy, onRetry func(attempt int, err error), fn func() error) error {
 	p = p.withDefaults()
 	var err error
@@ -79,14 +88,21 @@ func retry(ctx context.Context, p retryPolicy, onRetry func(attempt int, err err
 			return perm.err
 		}
 		var app *appError
-		if errors.As(err, &app) || ctx.Err() != nil || attempt >= p.Attempts {
+		if errors.As(err, &app) || ctx.Err() != nil {
 			return err
+		}
+		if attempt >= p.Attempts {
+			return fmt.Errorf("dist: giving up after %d attempt(s): %w", attempt, err)
+		}
+		wait := p.backoff(attempt)
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+			return fmt.Errorf("dist: retry budget exhausted by context deadline after %d attempt(s): %w", attempt, err)
 		}
 		if onRetry != nil {
 			onRetry(attempt, err)
 		}
 		select {
-		case <-time.After(p.backoff(attempt)):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -1,7 +1,10 @@
 package dist
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"time"
 
 	"repro/internal/smarts"
@@ -149,7 +152,11 @@ type shardMsg struct {
 // wireUnit is one replayed unit streamed back from a worker, carrying
 // the full engine measurement so the coordinator's merge reproduces the
 // local collector's accounting bit for bit (float64 fields round-trip
-// JSON exactly).
+// JSON exactly). Digest seals the measurement end to end: the worker
+// computes it at replay, the coordinator recomputes it before every
+// merger offer and before replaying a journaled unit at recovery, so a
+// corrupt frame — on the wire, in a misbehaving worker, or in the run
+// journal — is detected instead of folded into the estimate.
 type wireUnit struct {
 	Seq       int
 	Index     uint64
@@ -159,7 +166,30 @@ type wireUnit struct {
 	Warming   uint64
 	ElapsedNs int64
 	Partial   bool
+	Digest    uint32 `json:",omitempty"`
 }
+
+// digest computes the unit's CRC-32C over every measurement field that
+// feeds the merged estimate. ElapsedNs is excluded: it is per-worker
+// wall clock, reported for observability, and irrelevant to the result.
+func (u *wireUnit) digest() uint32 {
+	var b [57]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(int64(u.Seq)))
+	binary.LittleEndian.PutUint64(b[8:], u.Index)
+	binary.LittleEndian.PutUint64(b[16:], u.Cycles)
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(u.EnergyNJ))
+	binary.LittleEndian.PutUint64(b[32:], math.Float64bits(u.CPI))
+	binary.LittleEndian.PutUint64(b[40:], math.Float64bits(u.EPI))
+	binary.LittleEndian.PutUint64(b[48:], u.Warming)
+	if u.Partial {
+		b[56] = 1
+	}
+	return crc32.Checksum(b[:], wireCastagnoli)
+}
+
+// wireCastagnoli mirrors the checkpoint store's CRC-32C table for the
+// dist layer's wire and journal digests.
+var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // shardDone is a shard stream's trailer: the sweep accounting of the
 // set the shard replayed from.
@@ -265,11 +295,26 @@ type wireReport struct {
 }
 
 // runEnvelope is one NDJSON record of a coordinator run stream; exactly
-// one field is set, and a Report or Error record is final.
+// one of Progress/Report/Error is set, and a Report or Error record is
+// final. Seq is the envelope's 1-based position in the run's event
+// history: a client that lost its stream re-attaches with
+// ?from=<last Seq> and receives only the suffix, giving exactly-once
+// delivery across coordinator restarts and dropped connections.
 type runEnvelope struct {
+	Seq      int64         `json:"seq,omitempty"`
 	Progress *wireProgress `json:"progress,omitempty"`
 	Report   *wireReport   `json:"report,omitempty"`
 	Error    string        `json:"error,omitempty"`
+}
+
+// runCreated is the coordinator's reply to POST /v1/runs: the accepted
+// run's stable ID and the coordinator's epoch nonce. A client seeing a
+// different epoch on re-attach knows the coordinator restarted and its
+// ?from high-water mark refers to a dead event history; the stream
+// restarts from the journal-recovered history instead.
+type runCreated struct {
+	ID    string
+	Epoch string
 }
 
 // registerMsg announces a worker to the coordinator. IntervalNs, when

@@ -80,6 +80,7 @@ type Worker struct {
 	cache     *checkpoint.MemCache
 	sweeps    atomic.Uint64
 	sweepExec atomic.Uint64
+	replayed  atomic.Uint64
 
 	mu    sync.Mutex
 	progs map[progKey]*program.Program
@@ -118,6 +119,12 @@ func (w *Worker) SweepCount() uint64 { return w.sweeps.Load() }
 // killed mid-flight still counts what it burned — so the fleet-wide
 // sum bounds the sweep work duplicated across a crash/handoff.
 func (w *Worker) SweepExecInsts() uint64 { return w.sweepExec.Load() }
+
+// ReplayedUnits returns how many units this worker has replayed across
+// all shards. Summed over the fleet it bounds the replay work of a
+// run: after a coordinator crash/recovery, the fleet-wide sum must not
+// exceed the run's unit count by more than the unjournaled suffix.
+func (w *Worker) ReplayedUnits() uint64 { return w.replayed.Load() }
 
 // httpRetryable classifies an HTTP status as transient (worth a
 // backoff retry) or deterministic.
@@ -316,7 +323,8 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 		if ok, _ := w.opt.Faults.fire(FaultKillMidStream); ok {
 			w.opt.Faults.kill()
 		}
-		return send(shardRecord{Unit: &wireUnit{
+		w.replayed.Add(1)
+		u := &wireUnit{
 			Seq:       ru.Seq,
 			Index:     ru.Res.Index,
 			Cycles:    ru.Res.Cycles,
@@ -326,7 +334,14 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 			Warming:   ru.Warming,
 			ElapsedNs: int64(ru.Elapsed),
 			Partial:   ru.Partial,
-		}})
+		}
+		// Seal the measurement end to end: the digest travels with the
+		// unit and the coordinator recomputes it before every merge.
+		u.Digest = u.digest()
+		if ok, _ := w.opt.Faults.fire(FaultCorruptFrame); ok {
+			u.Cycles ^= 1 // corrupt a covered field AFTER sealing
+		}
+		return send(shardRecord{Unit: u})
 	})
 	if err != nil {
 		send(shardRecord{Error: err.Error()})

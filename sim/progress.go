@@ -39,6 +39,18 @@ const (
 	// in-process run after exhausting its retries; Note carries the
 	// coordinator error that forced the fallback.
 	EventFallback
+	// EventReattach reports the distributed client reconnecting to its
+	// run's progress stream after losing the coordinator connection
+	// (e.g. across a coordinator restart); Attempt counts the reconnect
+	// attempts, Note carries the error that severed the stream. The run
+	// continues from its journaled state — no work is redone beyond the
+	// coordinator's recovery resume point.
+	EventReattach
+	// EventQuarantine reports the coordinator excluding a worker from
+	// dispatch after its shard stream failed integrity verification
+	// (corrupt unit digest); Note names the worker. The shard is re-run
+	// on another worker, so the report is unaffected.
+	EventQuarantine
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +72,10 @@ func (k EventKind) String() string {
 		return "retry"
 	case EventFallback:
 		return "fallback"
+	case EventReattach:
+		return "reattach"
+	case EventQuarantine:
+		return "quarantine"
 	}
 	return "unknown"
 }
