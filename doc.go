@@ -114,6 +114,54 @@
 // record and frame checksums, scrubbed offline by simd fsck) make
 // silent corruption detectable rather than absorbable.
 //
+// # Project invariants and how simlint enforces them
+//
+// The guarantees above are load-bearing — "bit-identical at any
+// worker count" and "0 allocs/inst on the sweep hot loops" are easy to
+// break with one innocent-looking line. cmd/simlint is an in-repo,
+// stdlib-only static analyzer suite (go/ast + go/types, no external
+// dependencies) that CI runs between vet and build; it exits nonzero
+// on any violation, printing file:line: diagnostics. The invariants it
+// enforces:
+//
+//   - determinism: packages whose outputs must be bit-identical
+//     (internal/smarts, checkpoint, engine, dist, stats, delta, and the
+//     simulated core) must not let map iteration order, wall-clock
+//     reads, or the global math/rand stream shape results. Map
+//     iteration that appends into a result is flagged unless the
+//     result is sorted afterward; time.Now is flagged unless routed
+//     through internal/wallclock, the documented allowlist for
+//     telemetry (elapsed-time reporting) and liveness (leases,
+//     heartbeats, backoff) — readings that are reported but never fold
+//     into an estimate.
+//   - hotpath: functions annotated //simlint:hotpath (the per-
+//     instruction sweep and replay paths: mem/cache/TLB/bpred accesses,
+//     functional Step, delta Mark) must be allocation- and
+//     dispatch-free — no make/new/append/closures/defer/interface
+//     boxing/fmt — and may only call other hot-path functions or
+//     declared //simlint:coldpath <reason> rare paths.
+//   - ctx: exported blocking APIs in the service layers (sim, engine,
+//     checkpoint, dist) take a context.Context first, don't bury it in
+//     structs, and long loops with I/O or RPC calls stay
+//     cancellation-aware (ctx check, select, or channel receive).
+//   - storekey: structs annotated //simlint:keystruct <HashFunc> (the
+//     checkpoint Key/Params and the warm-relevant cache/bpred/uarch
+//     geometry) must have every field either referenced by the named
+//     key-hash function or annotated //simlint:nonkey <reason> — so
+//     adding a config knob without folding it into the store key (a
+//     silent cache-aliasing bug) fails CI.
+//   - errwrap: fmt.Errorf uses %w (not %v) for error operands so
+//     errors.Is/As keep matching, and the checkpoint store/journal and
+//     dist layers never discard an error with _ undocumented.
+//
+// Suppressions are never bare: //simlint:coldpath, ordered, noctx,
+// nonkey, and discard all require a reason string, and a directive
+// meta-analyzer rejects unknown verbs and missing reasons. The suite
+// lives in internal/lint with a seeded-violation test module under
+// internal/lint/testdata; run it locally with
+//
+//	go run ./cmd/simlint ./...
+//
 // Executables are under cmd/ (their shared flags live in
 // sim/simflag), runnable examples under examples/ (examples/service
 // shows the concurrent session usage, examples/distributed the

@@ -16,7 +16,11 @@ import (
 	"repro/internal/isa"
 )
 
-// Config sizes the predictor per the paper's Table 3.
+// Config sizes the predictor per the paper's Table 3. Every field
+// changes what functional warming trains, so every field is folded
+// into checkpoint.WarmSignature.
+//
+//simlint:keystruct WarmSignature
 type Config struct {
 	// TableEntries is the size of the bimodal, gshare, and chooser tables
 	// (power of two). 2048 for the 8-way machine, 8192 for the 16-way.
@@ -125,10 +129,12 @@ func New(cfg Config) *Unit {
 // Config returns the unit's configuration.
 func (u *Unit) Config() Config { return u.cfg }
 
+//simlint:hotpath
 func (u *Unit) idx(pc uint64) int {
 	return int(pc) & (u.cfg.TableEntries - 1)
 }
 
+//simlint:hotpath
 func (u *Unit) gidx(pc uint64) int {
 	h := u.history & ((1 << u.cfg.HistoryBits) - 1)
 	return int(pc^h) & (u.cfg.TableEntries - 1)
@@ -148,6 +154,8 @@ type Prediction struct {
 // returns the prediction. It does not update any state: call Update with
 // the actual outcome afterwards (the detailed core does both; functional
 // warming calls Update only... see Warm).
+//
+//simlint:hotpath
 func (u *Unit) Predict(pc uint64, op isa.Op) Prediction {
 	u.Stats.Lookups++
 	switch op.Class() {
@@ -189,6 +197,8 @@ type Outcome struct {
 // are identical whichever mode calls them; functional warming simply
 // calls Predict+Update in instruction order, which is how SMARTSim warms
 // sim-bpred state.
+//
+//simlint:hotpath
 func (u *Unit) Update(o Outcome) {
 	switch o.Op.Class() {
 	case isa.ClassBranch:
@@ -236,6 +246,8 @@ func (u *Unit) Update(o Outcome) {
 // CheckMispredict compares a prediction against the resolved outcome and
 // records the mispredict cause in the stats. It returns true when the
 // front end would have followed the wrong path.
+//
+//simlint:hotpath
 func (u *Unit) CheckMispredict(p Prediction, o Outcome) bool {
 	switch o.Op.Class() {
 	case isa.ClassBranch:
@@ -271,6 +283,8 @@ func (u *Unit) CheckMispredict(p Prediction, o Outcome) bool {
 // Warm performs the functional-warming action for one control
 // instruction: a full predict+update pass so counters, history, BTB, and
 // RAS evolve exactly as an in-order front end would train them.
+//
+//simlint:hotpath
 func (u *Unit) Warm(o Outcome) {
 	p := u.Predict(o.PC, o.Op)
 	u.CheckMispredict(p, o)
@@ -292,6 +306,7 @@ func (u *Unit) Flush() {
 	u.markAllDirty()
 }
 
+//simlint:hotpath
 func (u *Unit) btbLookup(pc uint64) (uint64, bool) {
 	set := int(pc) & (u.cfg.BTBSets - 1)
 	base := set * u.cfg.BTBWays
@@ -307,6 +322,7 @@ func (u *Unit) btbLookup(pc uint64) (uint64, bool) {
 	return 0, false
 }
 
+//simlint:hotpath
 func (u *Unit) btbInsert(pc, target uint64) {
 	set := int(pc) & (u.cfg.BTBSets - 1)
 	base := set * u.cfg.BTBWays
@@ -335,6 +351,7 @@ func (u *Unit) btbInsert(pc, target uint64) {
 	u.markBTB(victim)
 }
 
+//simlint:hotpath
 func (u *Unit) rasPush(ret uint64) {
 	if u.rasTop < len(u.ras) {
 		u.ras[u.rasTop] = ret
@@ -346,12 +363,14 @@ func (u *Unit) rasPush(ret uint64) {
 	}
 }
 
+//simlint:hotpath
 func (u *Unit) rasPop() {
 	if u.rasTop > 0 {
 		u.rasTop--
 	}
 }
 
+//simlint:hotpath
 func satInc(c uint8) uint8 {
 	if c < 3 {
 		return c + 1
@@ -359,6 +378,7 @@ func satInc(c uint8) uint8 {
 	return 3
 }
 
+//simlint:hotpath
 func satDec(c uint8) uint8 {
 	if c > 0 {
 		return c - 1
@@ -366,6 +386,7 @@ func satDec(c uint8) uint8 {
 	return 0
 }
 
+//simlint:hotpath
 func b2u(b bool) uint64 {
 	if b {
 		return 1

@@ -35,9 +35,13 @@ const (
 )
 
 // markTbl records direction-table index i as modified.
+//
+//simlint:hotpath
 func (u *Unit) markTbl(i int) { u.tblDirty.Mark(i) }
 
 // markBTB records BTB entry i as modified.
+//
+//simlint:hotpath
 func (u *Unit) markBTB(i int) { u.btbDirty.Mark(i) }
 
 // markAllDirty forces the next delta to carry the full arrays.

@@ -22,9 +22,14 @@ import (
 	"repro/internal/delta"
 )
 
-// Config describes one cache level.
+// Config describes one cache level. The geometry fields are folded
+// into checkpoint.WarmSignature: two configs with equal geometry warm
+// identically from one stream.
+//
+//simlint:keystruct WarmSignature
 type Config struct {
 	// Name is used in stats output ("L1D" etc.).
+	//simlint:nonkey display label; never observed by the sweep
 	Name string
 	// Sets and Ways define the organization. Sets must be a power of two.
 	Sets, Ways int
@@ -120,6 +125,8 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // index splits addr into set base index and tag.
+//
+//simlint:hotpath
 func (c *Cache) index(addr uint64) (int, uint64) {
 	block := addr >> c.cfg.BlockBits
 	set := int(block & c.setMask)
@@ -140,6 +147,8 @@ type AccessResult struct {
 
 // Access performs one access, updating replacement and contents.
 // write marks the block dirty on hit or after fill (write-allocate).
+//
+//simlint:hotpath
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	c.Stats.Accesses++
 	c.stamp++
@@ -205,6 +214,8 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 // Touch is small enough for the compiler to inline into the warming
 // loop, which is what makes the in-order sweep's dominant case — a
 // repeated hit on the same hot block — cheap.
+//
+//simlint:hotpath
 func (c *Cache) Touch(addr uint64, write bool) bool {
 	block := addr >> c.cfg.BlockBits
 	i := c.lastIdx

@@ -50,6 +50,8 @@ func (l Level) String() string {
 // FetchAccess performs a timed instruction fetch of the block containing
 // byte address addr and returns the access latency in cycles and the
 // level that supplied the block.
+//
+//simlint:hotpath
 func (h *Hierarchy) FetchAccess(addr uint64) (int, Level) {
 	lat := h.Lat.L1
 	if !h.ITLB.Access(addr) {
@@ -69,6 +71,8 @@ func (h *Hierarchy) FetchAccess(addr uint64) (int, Level) {
 // DataAccess performs a timed data access (write=true for stores
 // draining from the store buffer) and returns the latency in cycles and
 // the supplying level.
+//
+//simlint:hotpath
 func (h *Hierarchy) DataAccess(addr uint64, write bool) (int, Level) {
 	lat := h.Lat.L1
 	if !h.DTLB.Access(addr) {
@@ -97,6 +101,8 @@ func (h *Hierarchy) DataAccess(addr uint64, write bool) (int, Level) {
 // without computing timing. Used by functional warming. The Touch calls
 // are hint-validated fast paths that are state-identical to the full
 // Access they shortcut (see Cache.Touch).
+//
+//simlint:hotpath
 func (h *Hierarchy) WarmFetch(addr uint64) {
 	h.ITLB.Touch(addr)
 	if h.IL1.Touch(addr, false) {
@@ -114,6 +120,8 @@ func (h *Hierarchy) WarmFetch(addr uint64) {
 // replays the in-order instruction stream while the detailed core issues
 // loads out of order and drains stores after commit. That ordering gap is
 // the residual bias Table 5 of the paper measures.
+//
+//simlint:hotpath
 func (h *Hierarchy) WarmData(addr uint64, write bool) {
 	h.DTLB.Touch(addr)
 	if h.DL1.Touch(addr, write) {

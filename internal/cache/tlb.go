@@ -29,6 +29,8 @@ func NewTLB(name string, entries, ways int, pageBits uint) *TLB {
 
 // Access looks up the page containing addr, filling on miss, and reports
 // whether it hit.
+//
+//simlint:hotpath
 func (t *TLB) Access(addr uint64) bool {
 	return t.inner.Access(addr>>t.pageBits<<1, false).Hit
 }
@@ -38,6 +40,8 @@ func (t *TLB) Access(addr uint64) bool {
 // fast path when the translation matches the most recently used one —
 // the overwhelmingly common case in the functional-warming sweep, where
 // consecutive accesses stay on the same page.
+//
+//simlint:hotpath
 func (t *TLB) Touch(addr uint64) {
 	key := addr >> t.pageBits << 1
 	if !t.inner.Touch(key, false) {

@@ -83,10 +83,13 @@ import (
 	"repro/internal/mem"
 	"repro/internal/program"
 	"repro/internal/uarch"
+	"repro/internal/wallclock"
 )
 
 // Params selects the units to checkpoint. It mirrors the SMARTS plan
 // fields (U, W, K, J) without importing the smarts package.
+//
+//simlint:keystruct KeyFor offsets
 type Params struct {
 	// U is the sampling unit size in instructions.
 	U uint64
@@ -124,6 +127,7 @@ type Params struct {
 	// bit — so Keyframe is deliberately excluded from the store Key.
 	// Cold captures delta-encode memory the same way (they have no warm
 	// state).
+	//simlint:nonkey encoding-only knob; materialized launch states are bit-identical
 	Keyframe int
 	// OnFrame, when non-nil, observes the sweep's resumable state after
 	// each captured unit is emitted: the ResumeFrame pinpoints the exact
@@ -131,6 +135,7 @@ type Params struct {
 	// units captured so far (see resume.go). Called from the sweep
 	// goroutine, after emit returned true. Like Keyframe, OnFrame is an
 	// execution-side knob excluded from the store Key.
+	//simlint:nonkey execution-side observer; never changes captured state
 	OnFrame func(ResumeFrame)
 	// Resume, when non-nil, continues a previously journaled sweep of
 	// this same plan instead of starting at instruction zero: the
@@ -142,6 +147,7 @@ type Params struct {
 	// the tail of an uninterrupted sweep; the first resumed capture is a
 	// fresh keyframe (an encoding-only divergence, like Keyframe itself
 	// excluded from bit-identity and from the store Key).
+	//simlint:nonkey resume point of the same sweep; the unit stream is bit-identical
 	Resume *ResumeState
 }
 
@@ -618,7 +624,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 	}
 
 	sum := &Summary{PopulationUnits: prog.Length / p.U}
-	start := time.Now()
+	start := wallclock.Now()
 	gen := newBoundaryGen(p, sum.PopulationUnits)
 	var pos uint64 // instructions consumed from the stream so far
 
@@ -631,7 +637,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 		pos = cpu.Count
 		sum.Captured = len(rs.Units)
 		sum.ResumedAt = rs.SweepInsts
-		// Backdate start so time.Since(start) — used by every exit path —
+		// Backdate start so wallclock.Since(start) — used by every exit path —
 		// accumulates on top of the journaled sweep time.
 		start = start.Add(-rs.SweepTime)
 	}
@@ -650,7 +656,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 		if cerr := ctx.Err(); cerr != nil {
 			sum.Complete = false
 			sum.SweepInsts = cpu.Count
-			sum.SweepTime = time.Since(start)
+			sum.SweepTime = wallclock.Since(start)
 			return sum, cerr
 		}
 		b, ok := gen.next()
@@ -671,7 +677,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 			}
 			if err != nil {
 				sum.SweepInsts = cpu.Count
-				sum.SweepTime = time.Since(start)
+				sum.SweepTime = wallclock.Since(start)
 				return sum, fmt.Errorf("checkpoint: sweep to unit %d: %w", b.unit, err)
 			}
 			pos = cpu.Count
@@ -681,7 +687,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 			if cerr := ctx.Err(); cerr != nil {
 				sum.Complete = false
 				sum.SweepInsts = cpu.Count
-				sum.SweepTime = time.Since(start)
+				sum.SweepTime = wallclock.Since(start)
 				return sum, cerr
 			}
 		}
@@ -708,7 +714,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 			md, derr := cpu.Mem.Delta(lastMem)
 			if derr != nil {
 				sum.SweepInsts = cpu.Count
-				sum.SweepTime = time.Since(start)
+				sum.SweepTime = wallclock.Since(start)
 				return sum, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
 			}
 			u.MemDelta = md
@@ -718,7 +724,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 				d, derr := warmer.Delta(lastSeq)
 				if derr != nil {
 					sum.SweepInsts = cpu.Count
-					sum.SweepTime = time.Since(start)
+					sum.SweepTime = wallclock.Since(start)
 					return sum, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
 				}
 				u.Delta = d
@@ -738,7 +744,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 			fr := ResumeFrame{
 				Captured:   sum.Captured,
 				SweepInsts: cpu.Count,
-				SweepTime:  time.Since(start),
+				SweepTime:  wallclock.Since(start),
 			}
 			if warmer != nil {
 				fr.LastIBlock, fr.HaveIBlock = warmer.FetchBlock()
@@ -747,7 +753,7 @@ func CaptureStream(ctx context.Context, prog *program.Program, cfg uarch.Config,
 		}
 	}
 	sum.SweepInsts = cpu.Count
-	sum.SweepTime = time.Since(start)
+	sum.SweepTime = wallclock.Since(start)
 	return sum, nil
 }
 

@@ -120,8 +120,17 @@ func (s *Store) loadIndexLocked() (*storeIndex, error) {
 		}
 	}
 	ix.Entries = kept
-	for hash, size := range present {
-		e := IndexEntry{Hash: hash, Bytes: size}
+	// Adopt untracked store files in sorted-hash order: ranging over
+	// the map directly would append them in randomized order, so two
+	// rebuilds of the same directory would disagree on entry order
+	// (and on eviction tie-breaks downstream).
+	orphans := make([]string, 0, len(present))
+	for hash := range present {
+		orphans = append(orphans, hash)
+	}
+	sort.Strings(orphans)
+	for _, hash := range orphans {
+		e := IndexEntry{Hash: hash, Bytes: present[hash]}
 		path := filepath.Join(s.dir, hash+storeExt)
 		if st, err := os.Stat(path); err == nil {
 			e.Created, e.LastUsed = st.ModTime(), st.ModTime()
@@ -180,7 +189,7 @@ func (s *Store) noteCommit(hash, key string, units int) {
 		s.Log("checkpoint store: index update failed: %v", err)
 		return
 	}
-	now := time.Now()
+	now := time.Now() //simlint:ordered LRU recency stamp; never read by the sweep
 	size := int64(0)
 	if st, err := os.Stat(filepath.Join(s.dir, hash+storeExt)); err == nil {
 		size = st.Size()
@@ -262,7 +271,7 @@ func (s *Store) noteUse(hash string) {
 	if e == nil {
 		return
 	}
-	e.LastUsed = time.Now()
+	e.LastUsed = time.Now() //simlint:ordered LRU recency stamp; never read by the sweep
 	s.saveIndexLocked(ix)
 }
 

@@ -148,6 +148,8 @@ func (s *Store) partialPath(k Key) string {
 
 // LoadPartial returns the partial sweep journaled under k, or nil when
 // no usable journal exists. See Resume.
+//
+//simlint:noctx bounded single-file metadata read; no long blocking
 func (s *Store) LoadPartial(k Key) (*ResumeState, error) {
 	path := s.partialPath(k)
 	f, err := os.Open(path)
@@ -179,6 +181,8 @@ func (s *Store) DropPartial(k Key) {
 // PartialWriter — used when a ready-made ResumeState arrives (the
 // distributed coordinator receiving a worker's journal upload) rather
 // than streaming out of a live sweep.
+//
+//simlint:noctx bounded single-file atomic install; no long blocking
 func (s *Store) SavePartial(k Key, rs *ResumeState) error {
 	tmp, err := os.CreateTemp(s.dir, k.Hash()+".tmp-*")
 	if err != nil {
@@ -225,6 +229,8 @@ type PartialWriter struct {
 
 // PartialWriter stages a partial-sweep journal for k. pop is the
 // workload's population size in units.
+//
+//simlint:noctx opens a staging temp file; writes stream under the caller's ctx
 func (s *Store) PartialWriter(k Key, pop uint64) (*PartialWriter, error) {
 	tmp, err := os.CreateTemp(s.dir, k.Hash()+".tmp-*")
 	if err != nil {

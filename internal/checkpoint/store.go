@@ -78,6 +78,8 @@ var storeMagic = [8]byte{'S', 'M', 'R', 'T', 'C', 'K', 'P', 'T'}
 // deliberately excluded: they change what the detailed replay measures,
 // not what the sweep captures, so machine configs differing only in
 // those reuse one sweep.
+//
+//simlint:keystruct String
 type Key struct {
 	// Workload is the program name; ProgramHash fingerprints its exact
 	// code, initial image, entry, and length, so regenerating a workload
@@ -252,6 +254,8 @@ func readManifest(cr *codecReader) (*storeManifest, error) {
 // corruption — all count as misses; corruption is logged). The returned
 // Set's SweepInsts/SweepTime echo the original sweep's cost; the caller
 // decides how to account for having skipped it.
+//
+//simlint:noctx bounded single-file read; a hit is far cheaper than the sweep it replaces
 func (s *Store) Load(k Key) (*Set, error) {
 	path := s.path(k)
 	f, err := os.Open(path)
@@ -489,6 +493,8 @@ type SetWriter struct {
 
 // Writer stages a new store entry for k. pop is the workload's
 // population size in units (Summary.PopulationUnits).
+//
+//simlint:noctx opens a staging temp file; writes stream under the caller's ctx
 func (s *Store) Writer(k Key, pop uint64) (*SetWriter, error) {
 	tmp, err := os.CreateTemp(s.dir, k.Hash()+".tmp-*")
 	if err != nil {

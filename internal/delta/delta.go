@@ -134,6 +134,8 @@ func (b *Bitmap) Grain() uint8 { return b.grainShift }
 // Mark records that entry i may have changed since the last snapshot
 // point. It is the fast-path operation: small enough to inline into the
 // callers' update loops.
+//
+//simlint:hotpath
 func (b *Bitmap) Mark(i int) {
 	b.words[uint(i)>>b.wordShift] |= 1 << ((uint(i) >> b.grainShift) & 63)
 }

@@ -140,7 +140,7 @@ func (c *Client) createRun(ctx context.Context, body []byte, progress sim.Progre
 		case http.StatusTooManyRequests:
 			return fmt.Errorf("%w (coordinator %s)", ErrBusy, c.url)
 		default:
-			msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+			msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096)) //simlint:discard best-effort error-body snippet for the message
 			err := fmt.Errorf("dist: coordinator %s: %s: %s", c.url, r.Status, bytes.TrimSpace(msg))
 			if !httpRetryable(r.StatusCode) {
 				return permanent(&rejectedError{err: err})
@@ -246,7 +246,7 @@ func (c *Client) attach(ctx context.Context, id string, from int64, epoch string
 		resp.Body.Close()
 		return nil, &rejectedError{err: fmt.Errorf("dist: run %s lost: the coordinator no longer knows it", id)}
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //simlint:discard best-effort error-body snippet for the message
 		resp.Body.Close()
 		return nil, fmt.Errorf("dist: attach run %s: %s: %s", id, resp.Status, bytes.TrimSpace(msg))
 	}
@@ -256,7 +256,7 @@ func (c *Client) attach(ctx context.Context, id string, from int64, epoch string
 // wants; best-effort with its own short deadline (the caller's context
 // is already cancelled).
 func (c *Client) cancelRun(id string) {
-	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second) //simlint:noctx the caller's ctx is already cancelled; detached short deadline
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(dctx, http.MethodDelete, c.url+"/v1/runs/"+id, nil)
 	if err != nil {

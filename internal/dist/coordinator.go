@@ -19,6 +19,7 @@ import (
 	"repro/internal/smarts"
 	"repro/internal/stats"
 	"repro/internal/uarch"
+	"repro/internal/wallclock"
 	"repro/sim"
 )
 
@@ -160,7 +161,7 @@ func (w *workerRef) quarantine() {
 func (w *workerRef) beat() {
 	w.mu.Lock()
 	w.dead = false
-	w.lastBeat = time.Now()
+	w.lastBeat = wallclock.Now()
 	w.mu.Unlock()
 }
 func (w *workerRef) alive() bool {
@@ -169,7 +170,7 @@ func (w *workerRef) alive() bool {
 	if w.dead || w.quarantined {
 		return false
 	}
-	if w.beatEvery > 0 && !w.lastBeat.IsZero() && time.Since(w.lastBeat) > 3*w.beatEvery {
+	if w.beatEvery > 0 && !w.lastBeat.IsZero() && wallclock.Since(w.lastBeat) > 3*w.beatEvery {
 		return false
 	}
 	return true
@@ -208,7 +209,7 @@ func NewCoordinator(opt Options) (*Coordinator, error) {
 		partials: make(map[string][]byte),
 		epoch:    randHex(8),
 	}
-	c.lifeCtx, c.lifeCancel = context.WithCancel(context.Background())
+	c.lifeCtx, c.lifeCancel = context.WithCancel(context.Background()) //simlint:noctx server lifecycle root; outlives any one request, cancelled by Close
 	c.sweeps.MaxBytes = opt.MemCacheBytes
 	if opt.StoreDir != "" {
 		store, err := checkpoint.OpenStore(opt.StoreDir)
@@ -229,7 +230,7 @@ func randHex(n int) string {
 	if _, err := rand.Read(b); err != nil {
 		// Degrade to a clock-derived nonce; uniqueness not randomness is
 		// what the IDs need.
-		now := uint64(time.Now().UnixNano())
+		now := uint64(wallclock.Now().UnixNano())
 		for i := range b {
 			b[i] = byte(now >> (8 * (i % 8)))
 		}
@@ -270,7 +271,7 @@ func (c *Coordinator) addWorker(url string, beatEvery time.Duration) {
 			w.dead = false
 			w.beatEvery = beatEvery
 			if beatEvery > 0 {
-				w.lastBeat = time.Now()
+				w.lastBeat = wallclock.Now()
 			}
 			w.mu.Unlock()
 			return
@@ -278,7 +279,7 @@ func (c *Coordinator) addWorker(url string, beatEvery time.Duration) {
 	}
 	ref := &workerRef{url: url, beatEvery: beatEvery}
 	if beatEvery > 0 {
-		ref.lastBeat = time.Now()
+		ref.lastBeat = wallclock.Now()
 	}
 	c.workers = append(c.workers, ref)
 	c.logf("dist: worker registered: %s", url)
@@ -708,7 +709,7 @@ func (c *Coordinator) execRun(rs *runState) {
 
 // runResolved executes a resolved run across the worker fleet.
 func (c *Coordinator) runResolved(rs *runState) (*sim.Report, error) {
-	start := time.Now()
+	start := wallclock.Now()
 	run := &shardedRun{
 		c:       c,
 		spec:    rs.rr.spec,
@@ -724,7 +725,7 @@ func (c *Coordinator) runResolved(rs *runState) (*sim.Report, error) {
 		return nil, err
 	}
 	alpha := alphaOr997(rs.wr.Alpha)
-	rep := &sim.Report{Results: []*sim.Result{res}, Elapsed: time.Since(start)}
+	rep := &sim.Report{Results: []*sim.Result{res}, Elapsed: wallclock.Since(start)}
 	if len(res.Units) > 0 {
 		rep.CPI = res.CPIEstimate(alpha)
 		rep.EPI = res.EPIEstimate(alpha)
@@ -904,7 +905,7 @@ func (r *shardedRun) run(ctx context.Context) (*smarts.Result, error) {
 	r.m = newMerger(r.plan.U, alpha, r.wr.TargetEps, r.wr.MinUnits, r.total)
 	dispatchCtx, cancelDispatch := context.WithCancel(ctx)
 	defer cancelDispatch()
-	replayStart := time.Now()
+	replayStart := wallclock.Now()
 	r.m.onFold = func(merged uint64, est stats.Estimate) {
 		r.sink.emit(sim.Progress{Kind: sim.EventUnitReplayed, Stage: "sample", Offset: r.plan.J,
 			Replayed: int(merged), Estimate: est, Population: r.pop, Total: r.total,
@@ -1138,7 +1139,7 @@ func (r *shardedRun) runShard(ctx context.Context, w *workerRef, sr shardRange) 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //simlint:discard best-effort error-body snippet for the message
 		return 0, nil, &appError{msg: fmt.Sprintf("dist: worker %s rejected shard: %s: %s",
 			w.url, resp.Status, bytes.TrimSpace(msg))}
 	}
@@ -1209,7 +1210,7 @@ func etaFrom(start time.Time, done, total int) time.Duration {
 	if done <= 0 || total <= 0 || done >= total {
 		return 0
 	}
-	elapsed := time.Since(start)
+	elapsed := wallclock.Since(start)
 	return time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 }
 
@@ -1289,12 +1290,12 @@ func (c *Coordinator) handleClaim(rw http.ResponseWriter, req *http.Request) {
 				claimed = false // injected: treat the lease as lapsed
 			}
 		}
-		if !claimed || cl.owner == msg.Owner || time.Since(cl.since) > c.opt.LeaseTTL {
+		if !claimed || cl.owner == msg.Owner || wallclock.Since(cl.since) > c.opt.LeaseTTL {
 			// Unclaimed, re-claimed by the current owner (which renews the
 			// lease), or the lease expired (the owner died mid-sweep): the
 			// caller sweeps — resuming from the dead owner's uploaded
 			// partial journal when one exists.
-			c.claims[msg.Hash] = claimState{owner: msg.Owner, since: time.Now()}
+			c.claims[msg.Hash] = claimState{owner: msg.Owner, since: wallclock.Now()}
 			state = claimOwner
 		}
 	}
@@ -1474,7 +1475,7 @@ func (c *Coordinator) handleRunStream(rw http.ResponseWriter, req *http.Request)
 	}
 	var from int64
 	if q := req.URL.Query(); q.Get("epoch") == c.epoch {
-		from, _ = strconv.ParseInt(q.Get("from"), 10, 64)
+		from, _ = strconv.ParseInt(q.Get("from"), 10, 64) //simlint:discard malformed offset restarts the stream from zero, which is always safe
 	}
 	rw.Header().Set("Content-Type", "application/x-ndjson")
 	rw.Header().Set("X-Run-Epoch", c.epoch)

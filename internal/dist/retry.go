@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/wallclock"
 )
 
 // retryPolicy shapes the capped exponential backoff the distributed
@@ -95,7 +97,7 @@ func retry(ctx context.Context, p retryPolicy, onRetry func(attempt int, err err
 			return fmt.Errorf("dist: giving up after %d attempt(s): %w", attempt, err)
 		}
 		wait := p.backoff(attempt)
-		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= wait {
+		if dl, ok := ctx.Deadline(); ok && wallclock.Until(dl) <= wait {
 			return fmt.Errorf("dist: retry budget exhausted by context deadline after %d attempt(s): %w", attempt, err)
 		}
 		if onRetry != nil {

@@ -575,7 +575,7 @@ func (w *Worker) claim(ctx context.Context, hash string) (string, int64, error) 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //simlint:discard best-effort error-body snippet for the message
 		err := fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
 		if !httpRetryable(resp.StatusCode) {
 			return "", 0, permanent(err)
@@ -631,7 +631,7 @@ func (w *Worker) uploadPartial(ctx context.Context, key checkpoint.Key, rs *chec
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //simlint:discard best-effort error-body snippet for the message //simlint:discard best-effort error-body snippet for the message
 			err := fmt.Errorf("partial upload: %s: %s", resp.Status, bytes.TrimSpace(msg))
 			if !httpRetryable(resp.StatusCode) {
 				return permanent(err)
@@ -676,7 +676,7 @@ func (w *Worker) uploadSet(ctx context.Context, key checkpoint.Key, set *checkpo
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //simlint:discard best-effort error-body snippet for the message
 		return fmt.Errorf("sweep upload: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	return nil

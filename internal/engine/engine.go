@@ -36,6 +36,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/uarch"
+	"repro/internal/wallclock"
 )
 
 // Options configures engine execution beyond the sampling parameters.
@@ -213,7 +214,7 @@ func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpo
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := wallclock.Now()
 	if opt.Keyframe > 0 {
 		p.Keyframe = opt.Keyframe
 	}
@@ -307,7 +308,7 @@ func RunSet(ctx context.Context, prog *program.Program, cfg uarch.Config, u uint
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return replaySet(ctx, prog, cfg, u, copySet(set), opt, time.Now())
+	return replaySet(ctx, prog, cfg, u, copySet(set), opt, wallclock.Now())
 }
 
 // replaySet feeds an in-memory set through the replay pool. It owns
@@ -320,7 +321,7 @@ func replaySet(ctx context.Context, prog *program.Program, cfg uarch.Config, u u
 		SweepTime:       set.SweepTime,
 	}
 	if len(set.Units) == 0 {
-		res.WallTime = time.Since(start)
+		res.WallTime = wallclock.Since(start)
 		return res, nil
 	}
 	nw := opt.workers()
@@ -347,7 +348,7 @@ func replaySet(ctx context.Context, prog *program.Program, cfg uarch.Config, u u
 	if err := col.collect(res); err != nil {
 		return nil, err
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = wallclock.Since(start)
 	return res, nil
 }
 
@@ -556,7 +557,7 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 	res.SweepInsts = sweep.sum.SweepInsts
 	res.SweepResumedInsts = sweep.sum.ResumedAt
 	res.SweepTime = sweep.sum.SweepTime
-	res.WallTime = time.Since(start)
+	res.WallTime = wallclock.Since(start)
 	return res, nil
 }
 
@@ -753,13 +754,13 @@ func replay(prog *program.Program, cfg uarch.Config, cu *checkpoint.Unit, u uint
 	core := uarch.NewCore(machine)
 
 	w := cu.WarmLen()
-	start := time.Now()
+	start := wallclock.Now()
 	marks := []uarch.Mark{{At: w}, {At: w + u}}
 	runStats, err := core.Run(src, w+u, marks)
 	if err != nil {
 		return unitDone{err: fmt.Errorf("engine: detailed run at unit %d: %w", cu.Index, err)}
 	}
-	elapsed := time.Since(start)
+	elapsed := wallclock.Since(start)
 	if runStats.Insts < w+u {
 		return unitDone{partial: true, elapsed: elapsed}
 	}

@@ -66,6 +66,8 @@ func New(p *program.Program) *CPU {
 }
 
 // reg reads a register, honoring the hardwired zero.
+//
+//simlint:hotpath
 func (c *CPU) reg(r isa.Reg) uint64 {
 	if r == isa.RegZero {
 		return 0
@@ -74,6 +76,8 @@ func (c *CPU) reg(r isa.Reg) uint64 {
 }
 
 // setReg writes a register, discarding writes to the zero register.
+//
+//simlint:hotpath
 func (c *CPU) setReg(r isa.Reg, v uint64) {
 	if r != isa.RegZero {
 		c.Regs[r] = v
@@ -83,11 +87,14 @@ func (c *CPU) setReg(r isa.Reg, v uint64) {
 // Step executes one instruction. If d is non-nil it is filled with the
 // dynamic record. Step returns ErrHalted once the program has finished
 // and an error for architectural faults (PC out of range).
+//
+//simlint:hotpath
 func (c *CPU) Step(d *DynInst) error {
 	if c.Halted {
 		return ErrHalted
 	}
 	if c.PC >= uint64(len(c.code)) {
+		//simlint:coldpath architectural fault; taken at most once per run
 		return fmt.Errorf("functional: PC %d outside code (%d insts)", c.PC, len(c.code))
 	}
 	in := c.code[c.PC]
@@ -197,6 +204,7 @@ func (c *CPU) Step(d *DynInst) error {
 	case isa.OpHalt:
 		c.Halted = true
 	default:
+		//simlint:coldpath architectural fault; taken at most once per run
 		return fmt.Errorf("functional: invalid opcode %v at PC %d", in.Op, pc)
 	}
 
@@ -246,14 +254,17 @@ func (c *CPU) RunToCompletion() (uint64, error) {
 	return c.Count, nil
 }
 
+//simlint:hotpath
 func (c *CPU) fp(r isa.Reg) float64 { return math.Float64frombits(c.Regs[r]) }
 
+//simlint:hotpath
 func (c *CPU) setFP(r isa.Reg, v float64) {
 	if r != isa.RegZero {
 		c.Regs[r] = math.Float64bits(v)
 	}
 }
 
+//simlint:hotpath
 func boolTo64(b bool) uint64 {
 	if b {
 		return 1

@@ -225,6 +225,8 @@ var opNames = [numOps]string{
 }
 
 // Class returns the instruction class of op.
+//
+//simlint:hotpath
 func (o Op) Class() Class {
 	if int(o) >= numOps {
 		return ClassNop

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runCtx enforces context discipline in the blocking layers (sim, the
+// engine, the checkpoint store, the fleet): every run can be
+// cancelled promptly at any depth, which the cancellation matrix
+// tests only spot-check. Four rules:
+//
+//  1. context.Background()/context.TODO() are forbidden outside main
+//     packages — a layer that mints its own root context detaches
+//     itself from the caller's cancellation. One idiom is exempt: the
+//     guarded compatibility default
+//
+//     if ctx == nil {
+//     ctx = context.Background()
+//     }
+//
+//     which only fires when the caller explicitly opted out of
+//     cancellation by passing nil;
+//
+//  2. a function that takes a context.Context must take it first;
+//
+//  3. an exported function that takes a ctx and loops over work
+//     (units, shards, RPCs) must reference the ctx inside the loop —
+//     either a ctx.Err()/ctx.Done() check or passing it to a callee;
+//
+//  4. an exported function that performs file or network I/O must
+//     take a context.
+//
+// Suppress with //simlint:noctx <reason> on the function (or the
+// offending statement for rule 1): acceptable reasons are bounded
+// single-file metadata operations and detached lifecycle owners
+// (servers that outlive any one request).
+func runCtx(m *Module, cfg Config, pkg *Package) []Diag {
+	if !contains(cfg.CtxPkgs, pkg.ImportPath) {
+		return nil
+	}
+	var diags []Diag
+	report := func(n ast.Node, f *ast.File, msg string) {
+		if pkg.suppressedAt(m.Fset, n.Pos(), enclosingFunc(f, n.Pos()), "noctx") {
+			return
+		}
+		diags = append(diags, Diag{Pos: m.Fset.Position(n.Pos()), Analyzer: "ctx", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		// Rule 1: no minted root contexts anywhere in the package,
+		// except the guarded nil-default idiom.
+		allowed := guardedNilDefaults(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := stdlibCall(pkg, call, "context"); ok && (name == "Background" || name == "TODO") {
+				if !allowed[call] {
+					report(call, f, "context."+name+"() detaches from the caller's cancellation; accept a ctx instead")
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam, ctxIndex := ctxParamOf(pkg, fd)
+			// Rule 2: ctx must be the first parameter.
+			if ctxParam != nil && ctxIndex != 0 {
+				report(fd, f, "context.Context must be the first parameter of "+fd.Name.Name)
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			if ctxParam != nil {
+				// Rule 3: loops in exported ctx-taking functions must
+				// observe the ctx.
+				checkLoops(m, pkg, f, fd, ctxParam, report)
+			} else if ctxIndex == -1 {
+				// Rule 4: direct blocking I/O wants a ctx.
+				if call, kind := firstIOCall(pkg, fd); call != nil {
+					report(call, f, "exported "+fd.Name.Name+" performs "+kind+" but takes no context.Context")
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// guardedNilDefaults collects the context.Background() calls that
+// appear as `x = context.Background()` inside an `if x == nil` guard —
+// the compatibility default for callers that pass a nil ctx.
+func guardedNilDefaults(f *ast.File) map[*ast.CallExpr]bool {
+	allowed := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		var guarded string
+		for _, pair := range [][2]ast.Expr{{cond.X, cond.Y}, {cond.Y, cond.X}} {
+			id, okID := pair[0].(*ast.Ident)
+			nilID, okNil := pair[1].(*ast.Ident)
+			if okID && okNil && nilID.Name == "nil" {
+				guarded = id.Name
+			}
+		}
+		if guarded == "" {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != guarded {
+				continue
+			}
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// ctxParamOf returns the object and position of fd's context.Context
+// parameter, or (nil, -1).
+func ctxParamOf(pkg *Package, fd *ast.FuncDecl) (types.Object, int) {
+	if fd.Type.Params == nil {
+		return nil, -1
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		isCtx := ok && tv.Type != nil && tv.Type.String() == "context.Context"
+		names := field.Names
+		if len(names) == 0 {
+			if isCtx {
+				return nil, idx // unnamed ctx param: position known, no object
+			}
+			idx++
+			continue
+		}
+		for _, name := range names {
+			if isCtx {
+				return pkg.Info.Defs[name], idx
+			}
+			idx++
+		}
+	}
+	return nil, -1
+}
+
+// checkLoops flags for/range loops that call functions without ever
+// observing cancellation. A loop is cancellation-aware when it
+// mentions ctx (a ctx.Err() check, a select on ctx.Done(), passing
+// ctx to a callee) or when it is channel-driven — a select statement,
+// a receive, or ranging over a channel: in this codebase those
+// channels are wired to ctx by a watcher goroutine, so the loop
+// unblocks when the ctx does. Loops nested inside an aware loop are
+// covered by the outer check; a loop whose only calls are sync
+// bookkeeping, goroutine spawns, or builtins is exempt (it cannot run
+// long).
+func checkLoops(m *Module, pkg *Package, f *ast.File, fd *ast.FuncDecl, ctxObj types.Object, report func(ast.Node, *ast.File, string)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		isRange := false
+		var rangeX ast.Expr
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body, isRange, rangeX = loop.Body, true, loop.X
+		default:
+			return true
+		}
+		aware := false
+		if isRange {
+			if tv, ok := pkg.Info.Types[rangeX]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					aware = true // driven by a channel that closes on cancel
+				}
+			}
+		}
+		hasCall := false
+		ast.Inspect(body, func(sub ast.Node) bool {
+			switch sub := sub.(type) {
+			case *ast.GoStmt:
+				return false // spawned work runs concurrently, not in the loop
+			case *ast.SelectStmt:
+				aware = true
+			case *ast.UnaryExpr:
+				if sub.Op == token.ARROW {
+					aware = true // blocking receive: unblocks on close
+				}
+			case *ast.CallExpr:
+				if !isTrivialCall(pkg, sub) {
+					hasCall = true
+				}
+			case *ast.Ident:
+				if ctxObj != nil && pkg.Info.Uses[sub] == ctxObj {
+					aware = true
+				} else if ctxObj == nil && sub.Name == "ctx" {
+					aware = true
+				}
+			}
+			return true
+		})
+		if aware {
+			return false // nested loops are covered by this loop's check
+		}
+		if hasCall {
+			report(n, f, "loop in exported "+fd.Name.Name+" never checks its context (add a ctx.Err() check or pass ctx to the work)")
+			return false // don't cascade into nested loops
+		}
+		return true
+	})
+}
+
+// isTrivialCall reports calls that cannot block or do meaningful
+// work: builtins, type conversions, and sync bookkeeping
+// (WaitGroup/Mutex methods).
+func isTrivialCall(pkg *Package, call *ast.CallExpr) bool {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstIOCall returns the first direct file/network call in fd and a
+// description, or (nil, "").
+func firstIOCall(pkg *Package, fd *ast.FuncDecl) (*ast.CallExpr, string) {
+	var found *ast.CallExpr
+	var kind string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := stdlibCall(pkg, call, "os"); ok {
+			switch name {
+			case "Open", "OpenFile", "Create", "CreateTemp", "ReadFile", "WriteFile", "ReadDir":
+				found, kind = call, "file I/O (os."+name+")"
+			}
+		}
+		if name, ok := stdlibCall(pkg, call, "net"); ok {
+			switch name {
+			case "Dial", "DialTimeout", "Listen":
+				found, kind = call, "network I/O (net."+name+")"
+			}
+		}
+		if name, ok := stdlibCall(pkg, call, "net/http"); ok {
+			switch name {
+			case "Get", "Post", "PostForm", "Head", "NewRequest":
+				found, kind = call, "network I/O (http."+name+"; use NewRequestWithContext)"
+			}
+		}
+		return true
+	})
+	return found, kind
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// runErrwrap enforces error-chain hygiene:
+//
+//  1. module-wide, fmt.Errorf with an error operand must wrap it with
+//     %w — a %v/%s severs the chain, breaking errors.Is/As matching
+//     that the store's corruption-degrades-to-miss paths and the dist
+//     retry policy rely on (suppress with //simlint:nowrap <reason>
+//     when flattening is intended, e.g. log-only rendering);
+//  2. in the store/journal and fleet packages, assigning an error
+//     return to the blank identifier is flagged — those layers must
+//     either handle, wrap, or explicitly justify dropping an error
+//     with //simlint:discard <reason>.
+func runErrwrap(m *Module, cfg Config, pkg *Package) []Diag {
+	var diags []Diag
+	strict := contains(cfg.ErrDiscardPkgs, pkg.ImportPath)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if msg := errorfViolation(pkg, n); msg != "" {
+					if !pkg.suppressedAt(m.Fset, n.Pos(), enclosingFunc(f, n.Pos()), "nowrap") {
+						diags = append(diags, Diag{Pos: m.Fset.Position(n.Pos()), Analyzer: "errwrap", Message: msg})
+					}
+				}
+			case *ast.AssignStmt:
+				if !strict {
+					return true
+				}
+				for _, msg := range discardedErrors(pkg, n) {
+					if !pkg.suppressedAt(m.Fset, n.Pos(), enclosingFunc(f, n.Pos()), "discard") {
+						diags = append(diags, Diag{Pos: m.Fset.Position(n.Pos()), Analyzer: "errwrap", Message: msg})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// errorfViolation checks a fmt.Errorf call: every error-typed operand
+// must be formatted with %w.
+func errorfViolation(pkg *Package, call *ast.CallExpr) string {
+	name, ok := stdlibCall(pkg, call, "fmt")
+	if !ok || name != "Errorf" || len(call.Args) < 2 {
+		return ""
+	}
+	format, ok := stringConstant(pkg, call.Args[0])
+	if !ok {
+		return ""
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil || !implementsError(tv.Type) {
+			continue
+		}
+		switch verbs[i] {
+		case 'w':
+			// correct
+		case 'v', 's':
+			return "fmt.Errorf formats an error operand with %" + string(verbs[i]) +
+				"; use %w so errors.Is/As keep matching the cause"
+		}
+	}
+	return ""
+}
+
+func stringConstant(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the argument-consuming verb letters of a
+// format string, in order.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, argument indexes.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.[]*", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+// discardedErrors flags `_ = f()` / `x, _ := f()` where the blank
+// position is an error return.
+func discardedErrors(pkg *Package, assign *ast.AssignStmt) []string {
+	var msgs []string
+	blankAt := func(i int) bool {
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// Tuple assignment from one call.
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tv, ok := pkg.Info.Types[call]
+		if !ok {
+			return nil
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < tuple.Len() && i < len(assign.Lhs); i++ {
+			if blankAt(i) && implementsError(tuple.At(i).Type()) {
+				msgs = append(msgs, "error return discarded with _ (handle it, or annotate //simlint:discard <reason>)")
+			}
+		}
+		return msgs
+	}
+	for i := range assign.Lhs {
+		if i >= len(assign.Rhs) || !blankAt(i) {
+			continue
+		}
+		if _, ok := assign.Rhs[i].(*ast.CallExpr); !ok {
+			continue
+		}
+		tv, ok := pkg.Info.Types[assign.Rhs[i]]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if implementsError(tv.Type) {
+			msgs = append(msgs, "error return discarded with _ (handle it, or annotate //simlint:discard <reason>)")
+		}
+	}
+	return msgs
+}

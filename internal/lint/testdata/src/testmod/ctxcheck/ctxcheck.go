@@ -1,0 +1,72 @@
+// Package ctxcheck seeds ctx-analyzer cases: minted root contexts,
+// misplaced ctx parameters, ctx-blind loops, and context-free I/O.
+package ctxcheck
+
+import (
+	"context"
+	"os"
+)
+
+// Mint returns a fresh root context: flagged.
+func Mint() context.Context {
+	return context.Background() // want ctx `context.Background`
+}
+
+// NilDefault uses the guarded compatibility idiom: clean.
+func NilDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Wrong takes its context second: flagged.
+func Wrong(name string, ctx context.Context) error { // want ctx `must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// Work loops over items without ever observing ctx: flagged.
+func Work(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items { // want ctx `never checks its context`
+		total += process(it)
+	}
+	return total
+}
+
+// WorkOK checks ctx.Err inside the loop: clean.
+func WorkOK(ctx context.Context, items []int) (int, error) {
+	total := 0
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += process(it)
+	}
+	return total, nil
+}
+
+// Drain ranges over a channel: clean (the channel closes when the
+// producer observes cancellation).
+func Drain(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += process(v)
+	}
+	return total
+}
+
+func process(i int) int { return i * i }
+
+// ReadAll performs file I/O without a context: flagged.
+func ReadAll(path string) ([]byte, error) {
+	return os.ReadFile(path) // want ctx `file I/O`
+}
+
+// ReadAllOK performs the same I/O under a reasoned annotation: clean.
+//
+//simlint:noctx bounded single-file metadata read; no long blocking
+func ReadAllOK(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,89 @@
+// Package det seeds determinism-analyzer cases: map-iteration folds,
+// wall-clock reads, and global PRNG use, each next to its fixed or
+// annotated twin.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Fold appends map keys in iteration order: flagged.
+func Fold(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism `appends into a result`
+		out = append(out, k)
+	}
+	return out
+}
+
+// FoldSorted uses the collect-then-sort idiom: clean.
+func FoldSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum folds floats across randomized iteration order: flagged
+// (floating-point addition is not associative).
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want determinism `accumulates into s`
+		s += v
+	}
+	return s
+}
+
+// SumInt folds integers: clean (integer addition commutes).
+func SumInt(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Send streams map keys on a channel in iteration order: flagged.
+func Send(m map[string]int, ch chan string) {
+	for k := range m { // want determinism `sends on a channel`
+		ch <- k
+	}
+}
+
+// Emit prints map entries in iteration order: flagged.
+func Emit(m map[string]int) {
+	for k, v := range m { // want determinism `writes output`
+		fmt.Println(k, v)
+	}
+}
+
+// Stamp reads the wall clock: flagged.
+func Stamp() time.Time {
+	return time.Now() // want determinism `time.Now`
+}
+
+// StampOK reads the wall clock under an annotation: clean.
+func StampOK() time.Time {
+	return time.Now() //simlint:ordered telemetry only; never folded into results
+}
+
+// Elapsed reads the wall clock via Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism `time.Since`
+}
+
+// Roll uses the global math/rand source: flagged.
+func Roll() int {
+	return rand.Intn(6) // want determinism `global math/rand`
+}
+
+// RollOK seeds a local source: clean.
+func RollOK() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}

@@ -1,0 +1,48 @@
+// Package errw seeds errwrap-analyzer cases: flattened error wraps
+// and discarded error returns (this package path is listed in
+// Config.ErrDiscardPkgs).
+package errw
+
+import (
+	"fmt"
+	"os"
+)
+
+// Wrap flattens the cause with %v: flagged.
+func Wrap(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want errwrap `use %w`
+}
+
+// WrapOK wraps with %w: clean.
+func WrapOK(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// WrapString formats a plain string with %v: clean (no error
+// operand).
+func WrapString(name string) error {
+	return fmt.Errorf("op %v failed", name)
+}
+
+// Flatten renders an error to text under a reasoned annotation:
+// clean.
+func Flatten(err error) string {
+	//simlint:nowrap log-only rendering; the chain is not propagated
+	return fmt.Errorf("log: %v", err).Error()
+}
+
+// Discard drops an error return: flagged.
+func Discard() {
+	_ = os.Remove("x") // want errwrap `error return discarded`
+}
+
+// DiscardOK drops an error under a reasoned annotation: clean.
+func DiscardOK() {
+	_ = os.Remove("x") //simlint:discard best-effort cleanup of a temp file
+}
+
+// DiscardTuple drops the error position of a tuple: flagged.
+func DiscardTuple() string {
+	wd, _ := os.Getwd() // want errwrap `error return discarded`
+	return wd
+}

@@ -1,0 +1,3 @@
+module testmod
+
+go 1.24

@@ -1,0 +1,60 @@
+// Package storekey seeds storekey-analyzer cases: a key struct with a
+// covered field, an uncovered field, an annotated non-key field, an
+// embedded field, and a directive naming an unknown hash function.
+package storekey
+
+import "fmt"
+
+// Key folds A into the key text; B is uncovered, C is declared
+// non-key.
+//
+//simlint:keystruct KeyText
+type Key struct {
+	A string
+	B int // want storekey `field Key.B is not folded into the store key`
+	//simlint:nonkey presentation only; never observed by the sweep
+	C bool
+}
+
+// KeyText is the hash function named by the keystruct directive.
+func KeyText(k Key) string {
+	return fmt.Sprintf("a=%s", k.A)
+}
+
+// Base is embedded below.
+type Base struct{ Y int }
+
+// Embed embeds Base without coverage: flagged.
+//
+//simlint:keystruct KeyText2
+type Embed struct {
+	Base // want storekey `embedded field`
+	Z    int
+}
+
+// KeyText2 covers Z but not the embedded Base.
+func KeyText2(e Embed) string {
+	return fmt.Sprintf("z=%d", e.Z)
+}
+
+// Embed2 declares the embedded field non-key: clean.
+//
+//simlint:keystruct KeyText3
+type Embed2 struct {
+	//simlint:nonkey carried for display only
+	Base
+	W int
+}
+
+// KeyText3 covers W.
+func KeyText3(e Embed2) string {
+	return fmt.Sprintf("w=%d", e.W)
+}
+
+// Orphan names a hash function that does not exist: flagged on the
+// directive line.
+//
+//simlint:keystruct Missing
+type Orphan struct { // want-1 storekey `unknown key-hash function Missing`
+	X int
+}

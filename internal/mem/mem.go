@@ -50,6 +50,8 @@ func New() *Memory {
 }
 
 // page returns the page containing addr for reading, or nil when absent.
+//
+//simlint:coldpath page-table walk; amortized over the page's lifetime
 func (m *Memory) page(addr uint64, allocate bool) *[PageSize]byte {
 	if allocate {
 		return m.wpage(addr)
@@ -69,6 +71,8 @@ func (m *Memory) page(addr uint64, allocate bool) *[PageSize]byte {
 
 // wpage returns a writable page containing addr, allocating or
 // copy-on-writing it as needed.
+//
+//simlint:coldpath copy-on-write materialization; once per page per snapshot
 func (m *Memory) wpage(addr uint64) *[PageSize]byte {
 	num := addr >> PageBits
 	if m.lastPage != nil && m.lastPageNum == num && m.lastWritable {
@@ -124,6 +128,8 @@ func (m *Memory) Write8(addr uint64, v uint8) {
 // folds the page-match and bounds checks into one branch, so the
 // overwhelmingly common same-page access costs one compare and one
 // fixed-width load/store — no page-map lookup, no inner call.
+//
+//simlint:hotpath
 func (m *Memory) Read32(addr uint64) uint32 {
 	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); p != nil && off <= PageSize-4 {
 		return binary.LittleEndian.Uint32(p[off:])
@@ -131,6 +137,7 @@ func (m *Memory) Read32(addr uint64) uint32 {
 	return m.read32Slow(addr)
 }
 
+//simlint:coldpath page-crossing or first-touch access; off the cached-page fast path
 func (m *Memory) read32Slow(addr uint64) uint32 {
 	off := addr & pageMask
 	if off <= PageSize-4 {
@@ -149,6 +156,8 @@ func (m *Memory) read32Slow(addr uint64) uint32 {
 
 // Write32 stores v little-endian at addr. The access may straddle a page
 // boundary.
+//
+//simlint:hotpath
 func (m *Memory) Write32(addr uint64, v uint32) {
 	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); m.lastWritable && p != nil && off <= PageSize-4 {
 		binary.LittleEndian.PutUint32(p[off:], v)
@@ -157,6 +166,7 @@ func (m *Memory) Write32(addr uint64, v uint32) {
 	m.write32Slow(addr, v)
 }
 
+//simlint:coldpath page-crossing or copy-on-write access; off the cached-page fast path
 func (m *Memory) write32Slow(addr uint64, v uint32) {
 	off := addr & pageMask
 	if off <= PageSize-4 {
@@ -171,6 +181,8 @@ func (m *Memory) write32Slow(addr uint64, v uint32) {
 
 // Read64 returns the little-endian 64-bit value at addr. The access may
 // straddle a page boundary. See Read32 for the fast-path shape.
+//
+//simlint:hotpath
 func (m *Memory) Read64(addr uint64) uint64 {
 	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); p != nil && off <= PageSize-8 {
 		return binary.LittleEndian.Uint64(p[off:])
@@ -178,6 +190,7 @@ func (m *Memory) Read64(addr uint64) uint64 {
 	return m.read64Slow(addr)
 }
 
+//simlint:coldpath page-crossing or first-touch access; off the cached-page fast path
 func (m *Memory) read64Slow(addr uint64) uint64 {
 	off := addr & pageMask
 	if off <= PageSize-8 {
@@ -196,6 +209,8 @@ func (m *Memory) read64Slow(addr uint64) uint64 {
 
 // Write64 stores v little-endian at addr. The access may straddle a page
 // boundary.
+//
+//simlint:hotpath
 func (m *Memory) Write64(addr uint64, v uint64) {
 	if p, off := m.lastPage, addr^(m.lastPageNum<<PageBits); m.lastWritable && p != nil && off <= PageSize-8 {
 		binary.LittleEndian.PutUint64(p[off:], v)
@@ -204,6 +219,7 @@ func (m *Memory) Write64(addr uint64, v uint64) {
 	m.write64Slow(addr, v)
 }
 
+//simlint:coldpath page-crossing or copy-on-write access; off the cached-page fast path
 func (m *Memory) write64Slow(addr uint64, v uint64) {
 	off := addr & pageMask
 	if off <= PageSize-8 {

@@ -24,41 +24,59 @@ import (
 	"repro/internal/isa"
 )
 
-// Config describes one simulated machine (paper Table 3).
+// Config describes one simulated machine (paper Table 3). Fields the
+// functional sweep observes are folded into checkpoint.WarmSignature;
+// the rest shape detailed replay only and are marked nonkey so
+// machine variants differing in timing/width share one sweep.
+//
+//simlint:keystruct WarmSignature
 type Config struct {
+	//simlint:nonkey display label; never observed by the sweep
 	Name string
 
 	// Pipeline widths.
+	//simlint:nonkey detailed-replay timing; the sweep never fetches in widths
 	FetchWidth, DecodeWidth, IssueWidth, CommitWidth int
 	// DecodeDepth is the front-end depth in cycles between fetch and
 	// earliest dispatch.
+	//simlint:nonkey detailed-replay timing
 	DecodeDepth int
 
 	// Window sizes.
+	//simlint:nonkey detailed-replay structures; not warmed by the sweep
 	RUUSize, LSQSize int
 
 	// Memory system.
+	//simlint:nonkey detailed-replay structure; not warmed by the sweep
 	StoreBufEntries int
-	MSHRs           int
-	DL1Ports        int
-	IL1, DL1, L2    cache.Config
-	ITLBEntries     int
-	DTLBEntries     int
-	TLBWays         int
-	Lat             cache.Latencies
+	//simlint:nonkey detailed-replay structure; not warmed by the sweep
+	MSHRs int
+	//simlint:nonkey detailed-replay bandwidth; not warmed by the sweep
+	DL1Ports     int
+	IL1, DL1, L2 cache.Config
+	ITLBEntries  int
+	DTLBEntries  int
+	TLBWays      int
+	//simlint:nonkey access latencies shape replay cycle counts, not warm contents
+	Lat cache.Latencies
 
 	// Functional units.
+	//simlint:nonkey detailed-replay resources; not warmed by the sweep
 	IntALU, IntMulDiv, FPALU, FPMulDiv int
 
 	// Branch prediction.
-	BPred             bpred.Config
+	BPred bpred.Config
+	//simlint:nonkey replay penalty cycles; prediction contents are keyed via BPred
 	MispredictPenalty int
-	PredsPerCycle     int
+	//simlint:nonkey replay bandwidth; prediction contents are keyed via BPred
+	PredsPerCycle int
 
 	// Execution latencies by instruction class (loads use the hierarchy).
+	//simlint:nonkey detailed-replay timing
 	OpLat [isa.NumClasses]int
 
 	// EnergyScale scales the Wattch-like event energies for this width.
+	//simlint:nonkey energy accounting; never observed by the sweep
 	EnergyScale float64
 }
 

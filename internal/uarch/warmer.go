@@ -133,6 +133,8 @@ func (w *Warmer) SetFetchBlock(block uint64, ok bool) {
 }
 
 // Forward advances the CPU by n instructions with functional warming.
+//
+//simlint:hotpath
 func (w *Warmer) Forward(cpu *functional.CPU, n uint64) error {
 	h := w.machine.Hier
 	p := w.machine.Pred

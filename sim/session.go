@@ -15,6 +15,7 @@ import (
 	"repro/internal/smarts"
 	"repro/internal/stats"
 	"repro/internal/uarch"
+	"repro/internal/wallclock"
 )
 
 // Session is the long-lived service object behind Session.Run: it owns
@@ -377,14 +378,14 @@ func (s *Session) Run(ctx context.Context, req *Request) (*Report, error) {
 	if err := s.runnable(ctx); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := wallclock.Now()
 
 	if req.Experiment != "" {
 		rep, err := s.runExperiment(ctx, req)
 		if err != nil {
 			return nil, err
 		}
-		rep.Elapsed = time.Since(start)
+		rep.Elapsed = wallclock.Since(start)
 		return rep, nil
 	}
 
@@ -419,7 +420,7 @@ func (s *Session) Run(ctx context.Context, req *Request) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = wallclock.Since(start)
 	return rep, nil
 }
 
@@ -539,7 +540,7 @@ func etaFrom(start time.Time, done, total int) time.Duration {
 	if done <= 0 || total <= 0 || done >= total {
 		return 0
 	}
-	elapsed := time.Since(start)
+	elapsed := wallclock.Since(start)
 	return time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 }
 
@@ -563,7 +564,7 @@ func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, 
 	}
 	if sink != nil {
 		pop, total := planTotals(plan, prog)
-		start := time.Now()
+		start := wallclock.Now()
 		opt.OnCaptured = func(captured int) {
 			sink.emit(Progress{Kind: EventUnitCaptured, Stage: stage, Offset: offset, Captured: captured,
 				Population: pop, Total: total, ETA: etaFrom(start, captured, total)})
@@ -575,7 +576,7 @@ func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, 
 		var replayStart time.Time
 		opt.OnReplayed = func(replayed int, est stats.Estimate) {
 			if replayStart.IsZero() {
-				replayStart = time.Now()
+				replayStart = wallclock.Now()
 			}
 			sink.emit(Progress{Kind: EventUnitReplayed, Stage: stage, Offset: offset, Replayed: replayed, Estimate: est,
 				Population: pop, Total: total, ETA: etaFrom(replayStart, replayed, total)})
@@ -677,7 +678,7 @@ func (s *Session) runPhases(ctx context.Context, req *Request, prog *program.Pro
 			pj.Offsets = nil
 			perOffset[j] = pj.ExpectedUnits(pop)
 		}
-		start := time.Now()
+		start := wallclock.Now()
 		opt.OnCaptured = func(captured int) {
 			sink.emit(Progress{Kind: EventUnitCaptured, Stage: "sample", Captured: captured,
 				Population: pop, Total: sweepTotal, ETA: etaFrom(start, captured, sweepTotal)})
@@ -689,7 +690,7 @@ func (s *Session) runPhases(ctx context.Context, req *Request, prog *program.Pro
 		replayedAll := 0
 		opt.OnPhaseReplayed = func(j uint64, replayed int, est stats.Estimate) {
 			if replayStart.IsZero() {
-				replayStart = time.Now()
+				replayStart = wallclock.Now()
 			}
 			replayedAll++
 			sink.emit(Progress{Kind: EventUnitReplayed, Stage: "sample", Offset: j, Replayed: replayed, Estimate: est,
