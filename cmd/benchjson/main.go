@@ -55,22 +55,28 @@ type Report struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pipeline.json", "output JSON path")
-		benchRe   = flag.String("bench", ".", "benchmark name regexp (go test -bench)")
-		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
-		pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
-		timeout   = flag.String("timeout", "30m", "go test timeout")
-		echo      = flag.Bool("echo", true, "mirror the raw go test output to stderr")
-		baseline  = flag.String("baseline", "", "baseline report to compare against (a previous output of this tool)")
-		regress   = flag.String("regress", "", "comma-separated lower-is-better regression gates as metric:maxPct (e.g. 'snapshotBytes/unit:10'); checked against -baseline after the run")
-		warnOnly  = flag.Bool("regress-warn", false, "report tripped regression gates as warnings instead of failing")
+		out        = flag.String("out", "BENCH_pipeline.json", "output JSON path")
+		benchRe    = flag.String("bench", ".", "benchmark name regexp (go test -bench)")
+		benchtime  = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		pkgs       = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+		timeout    = flag.String("timeout", "30m", "go test timeout")
+		echo       = flag.Bool("echo", true, "mirror the raw go test output to stderr")
+		baseline   = flag.String("baseline", "", "baseline report to compare against (a previous output of this tool)")
+		regress    = flag.String("regress", "", "comma-separated lower-is-better regression gates as metric:maxPct (e.g. 'snapshotBytes/unit:10'); checked against -baseline after the run")
+		regressMin = flag.String("regress-min", "", "comma-separated higher-is-better regression gates as metric:maxPct (e.g. 'units/s:10'): fail when the metric drops more than maxPct below the baseline")
+		warnOnly   = flag.Bool("regress-warn", false, "report tripped regression gates as warnings instead of failing")
 	)
 	flag.Parse()
 
-	gates, err := parseGates(*regress)
+	gates, err := parseGates(*regress, false)
 	if err != nil {
 		fatal(err)
 	}
+	minGates, err := parseGates(*regressMin, true)
+	if err != nil {
+		fatal(err)
+	}
+	gates = append(gates, minGates...)
 
 	patterns := strings.Split(*pkgs, ",")
 	args := []string{"test", "-run", "^$", "-bench", *benchRe,
@@ -127,38 +133,59 @@ func main() {
 	}
 }
 
-// gate is one lower-is-better regression bound: metric may grow at most
-// maxPct percent over the baseline.
+// gate is one regression bound. Lower-is-better gates (-regress) allow
+// the metric to grow at most maxPct percent over the baseline;
+// higher-is-better gates (-regress-min) allow it to drop at most
+// maxPct percent below. A gate scoped to one benchmark
+// ("BenchmarkCaptureDense=units/s:10") ignores the metric elsewhere —
+// several benchmarks report units/s, but only some are worth gating.
 type gate struct {
+	bench  string // empty = every benchmark reporting the metric
 	metric string
 	maxPct float64
+	min    bool // higher-is-better: fire on a drop, not a rise
 }
 
-func parseGates(spec string) ([]gate, error) {
+func parseGates(spec string, min bool) ([]gate, error) {
 	if spec == "" {
 		return nil, nil
+	}
+	flagName := "-regress"
+	if min {
+		flagName = "-regress-min"
 	}
 	var gates []gate
 	for _, part := range strings.Split(spec, ",") {
 		metric, pct, ok := strings.Cut(strings.TrimSpace(part), ":")
 		if !ok {
-			return nil, fmt.Errorf("bad -regress entry %q: want metric:maxPct", part)
+			return nil, fmt.Errorf("bad %s entry %q: want [Benchmark=]metric:maxPct", flagName, part)
 		}
 		p, err := strconv.ParseFloat(pct, 64)
 		if err != nil || p < 0 {
-			return nil, fmt.Errorf("bad -regress bound %q", pct)
+			return nil, fmt.Errorf("bad %s bound %q", flagName, pct)
 		}
-		gates = append(gates, gate{metric: metric, maxPct: p})
+		bench, metric, _ := cutLast(metric, "=")
+		gates = append(gates, gate{bench: bench, metric: metric, maxPct: p, min: min})
 	}
 	return gates, nil
+}
+
+// cutLast splits s on the last sep; found=false leaves everything in
+// the suffix (no benchmark scope).
+func cutLast(s, sep string) (prefix, suffix string, found bool) {
+	if i := strings.LastIndex(s, sep); i >= 0 {
+		return s[:i], s[i+len(sep):], true
+	}
+	return "", s, false
 }
 
 // checkRegressions compares the fresh results against the baseline
 // report, benchmark by benchmark, for each gated metric. Benchmarks or
 // metrics absent from either side are skipped — a gate only fires on a
-// genuine same-benchmark, same-metric increase beyond its bound. All
-// gates are lower-is-better; byte-count metrics are deterministic, so
-// they are the ones worth gating in CI.
+// genuine same-benchmark, same-metric move beyond its bound, in the
+// gate's bad direction (an increase for -regress, a drop for
+// -regress-min). Deterministic byte counts take tight bounds;
+// throughput gates need slack for runner noise.
 func checkRegressions(baselinePath string, benches []Benchmark, gates []gate) ([]string, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -177,6 +204,9 @@ func checkRegressions(baselinePath string, benches []Benchmark, gates []gate) ([
 	var violations []string
 	for _, b := range benches {
 		for _, g := range gates {
+			if g.bench != "" && g.bench != b.Name {
+				continue
+			}
 			got, ok := b.Metrics[g.metric]
 			if !ok {
 				continue
@@ -185,7 +215,13 @@ func checkRegressions(baselinePath string, benches []Benchmark, gates []gate) ([
 			if !ok || want <= 0 {
 				continue
 			}
-			if got > want*(1+g.maxPct/100) {
+			if g.min {
+				if got < want*(1-g.maxPct/100) {
+					violations = append(violations, fmt.Sprintf(
+						"%s %s: %.4g vs baseline %.4g (%.1f%%, allowed -%.0f%%)",
+						b.Name, g.metric, got, want, (got/want-1)*100, g.maxPct))
+				}
+			} else if got > want*(1+g.maxPct/100) {
 				violations = append(violations, fmt.Sprintf(
 					"%s %s: %.4g vs baseline %.4g (+%.1f%%, allowed +%.0f%%)",
 					b.Name, g.metric, got, want, (got/want-1)*100, g.maxPct))

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline marshals a Report for checkRegressions to read back.
+func writeBaseline(t *testing.T, benches []Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(Report{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("units/s:10, snapshotBytes/unit:5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 || gates[0].metric != "units/s" || gates[0].maxPct != 10 || !gates[0].min {
+		t.Fatalf("parsed gates %+v", gates)
+	}
+	scoped, err := parseGates("BenchmarkCaptureDense=units/s:10", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scoped) != 1 || scoped[0].bench != "BenchmarkCaptureDense" || scoped[0].metric != "units/s" {
+		t.Fatalf("parsed scoped gate %+v", scoped)
+	}
+	for _, bad := range []string{"units/s", "units/s:x", "units/s:-3"} {
+		if _, err := parseGates(bad, false); err == nil {
+			t.Errorf("parseGates(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCheckRegressionsBenchScope verifies a scoped gate ignores the
+// same metric on other benchmarks.
+func TestCheckRegressionsBenchScope(t *testing.T) {
+	base := writeBaseline(t, []Benchmark{
+		{Name: "BenchmarkCaptureDense", Metrics: map[string]float64{"units/s": 10000}},
+		{Name: "BenchmarkEnginePipelined", Metrics: map[string]float64{"units/s": 300}},
+	})
+	gates := []gate{{bench: "BenchmarkCaptureDense", metric: "units/s", maxPct: 10, min: true}}
+	v, err := checkRegressions(base, []Benchmark{
+		{Name: "BenchmarkCaptureDense", Metrics: map[string]float64{"units/s": 9500}},
+		{Name: "BenchmarkEnginePipelined", Metrics: map[string]float64{"units/s": 100}},
+	}, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Errorf("scoped gate fired outside its benchmark: %v", v)
+	}
+	v, err = checkRegressions(base, []Benchmark{
+		{Name: "BenchmarkCaptureDense", Metrics: map[string]float64{"units/s": 5000}},
+	}, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkCaptureDense") {
+		t.Errorf("scoped gate missed its benchmark: %v", v)
+	}
+}
+
+func TestCheckRegressionsBothDirections(t *testing.T) {
+	base := writeBaseline(t, []Benchmark{{
+		Name:    "BenchmarkCaptureDense",
+		Package: "repro/internal/checkpoint",
+		Metrics: map[string]float64{"units/s": 10000, "snapshotBytes/unit": 14000},
+	}})
+	gates := []gate{
+		{metric: "units/s", maxPct: 10, min: true},
+		{metric: "snapshotBytes/unit", maxPct: 10},
+	}
+	run := func(units, bytes float64) []string {
+		t.Helper()
+		v, err := checkRegressions(base, []Benchmark{{
+			Name:    "BenchmarkCaptureDense",
+			Package: "repro/internal/checkpoint",
+			Metrics: map[string]float64{"units/s": units, "snapshotBytes/unit": bytes},
+		}}, gates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	if v := run(9500, 14500); len(v) != 0 {
+		t.Errorf("within-bound run flagged: %v", v)
+	}
+	if v := run(8000, 14000); len(v) != 1 || !strings.Contains(v[0], "units/s") {
+		t.Errorf("throughput drop not flagged: %v", v)
+	}
+	if v := run(10000, 16000); len(v) != 1 || !strings.Contains(v[0], "snapshotBytes/unit") {
+		t.Errorf("byte growth not flagged: %v", v)
+	}
+	// A throughput gain must never trip the higher-is-better gate.
+	if v := run(20000, 14000); len(v) != 0 {
+		t.Errorf("throughput gain flagged: %v", v)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/program"
@@ -29,11 +30,18 @@ import (
 //	storeBytes/unit         on-disk entry bytes per unit, delta encoding
 //	fullStoreBytes/unit     on-disk entry bytes per unit, full snapshots
 //	units/s                 delta-encoded capture throughput
+//	sweepNsPerInst          sweep cost per functionally warmed instruction
+//	sweepSpeedupX@N=4       serial sweep time / 4-segment parallel sweep
+//	                        time, overlap disabled (pure sweep scaling;
+//	                        at most ~1 on a single-core runner)
 //
 // CI gates snapshotBytes/unit, memBytes/unit, and storeBytes/unit
 // against the committed BENCH_pipeline.json baseline (see cmd/benchjson
 // -regress): all are deterministic byte counts, so any >10% regression
-// is a real encoding change, not runner noise.
+// is a real encoding change, not runner noise. Capture throughput
+// (units/s) is gated the other way (-regress-min) so interpreter or
+// sweep regressions fail loudly; sweepSpeedupX is reported but not
+// gated — it measures the runner's cores as much as the code.
 func BenchmarkCaptureDense(b *testing.B) {
 	spec, err := program.ByName("gccx")
 	if err != nil {
@@ -88,6 +96,25 @@ func BenchmarkCaptureDense(b *testing.B) {
 	}
 	deltaStore := entrySize(set, dense)
 	fullStore := entrySize(full, fullParams)
+
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/(float64(b.N)*float64(set.SweepInsts)), "sweepNsPerInst")
+
+	// Parallel-sweep scaling, untimed: one 4-segment capture with the
+	// warm-up overlap disabled, against the timed loop's serial per-op
+	// time. Overlap must be off here — this stream is shorter than
+	// DefaultSweepOverlap, so the default would clamp every segment
+	// start to zero and measure N redundant serial sweeps instead of
+	// sweep scaling.
+	parParams := dense
+	parParams.SweepParallelism = 4
+	parParams.SweepOverlap = -1
+	parStart := time.Now()
+	if _, err := checkpoint.Capture(context.Background(), p, cfg, parParams); err != nil {
+		b.Fatal(err)
+	}
+	parDur := time.Since(parStart)
+	serialPerOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(serialPerOp)/float64(parDur), "sweepSpeedupX@N=4")
 
 	b.ReportMetric(deltaBytes/units, "snapshotBytes/unit")
 	b.ReportMetric(fullBytes/units, "fullSnapshotBytes/unit")

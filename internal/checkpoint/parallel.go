@@ -1,0 +1,328 @@
+package checkpoint
+
+// Speculative parallel sweeps.
+//
+// The serial capture sweep is the one phase of sampled simulation that
+// does not scale with workers: functional warming walks the whole
+// dynamic stream in order. captureParallel breaks the order dependence
+// speculatively. A "pioneer" CPU runs the stream arch-only — no cache,
+// TLB, or predictor warming, several times cheaper per instruction —
+// and hands each of N contiguous stream segments its starting
+// architectural state and memory image the moment it reaches the
+// segment's start position. Each segment then runs a normal warming
+// sweep over its own span concurrently with the others, capturing its
+// share of the launch boundaries, and the per-segment unit streams are
+// stitched back together in stream order for the consumer.
+//
+// Architectural state and memory are exact: warming never alters them,
+// so the pioneer's handoff states equal the serial sweep's states at
+// the same positions bit for bit, and so do every captured unit's Arch
+// and memory image. What speculation loses is warm state: a segment's
+// caches and predictor start cold at its start position rather than
+// carrying the history of the whole prefix — exactly the paper's
+// detailed-warming scenario, whose bias Table 5 measures. Each segment
+// therefore begins sweeping SweepOverlap instructions before its first
+// boundary, warming (and discarding) the overlap so the first captured
+// units are not stone cold; the bias-vs-stride experiment
+// (internal/experiments) measures what remains. Captures without
+// functional warming carry no warm state at all and are bit-identical
+// to the serial sweep at any parallelism.
+//
+// Wall clock is roughly max over segments of (arch-only prefix +
+// segment sweep): with the arch-only walk several times faster than
+// warming, N segments approach an N-fold speedup before memory
+// bandwidth intervenes.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/functional"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/uarch"
+	"repro/internal/wallclock"
+)
+
+// DefaultSweepOverlap is the per-segment warm-up length used when
+// Params.SweepOverlap is zero: long enough to refill the simulated
+// cache hierarchy's working set for the suite workloads — the
+// bias-vs-stride experiment (internal/experiments, "stride") measures
+// the warm transient at about 500k-1M instructions for the full-scale
+// machine configurations, after which parallel-sweep bias returns to
+// the serial residual (see doc.go "Parallel sweeps and warming bias").
+// On streams shorter than the overlap the segment starts clamp to
+// zero and the sweep degenerates to redundant exact serial sweeps, so
+// short captures lose speedup, never accuracy.
+const DefaultSweepOverlap = 1_000_000
+
+// segPlan is one concurrent segment of a parallel sweep: a contiguous
+// run of the plan's launch boundaries (in global order) plus the stream
+// position the segment's sweep starts warming from.
+type segPlan struct {
+	bounds []boundary
+	start  uint64 // sweep start: first launch minus the warm-up overlap
+}
+
+// planSegments partitions the plan's boundary sequence into at most n
+// contiguous runs of near-equal unit count. Boundaries are generated
+// exactly as the serial sweep generates them, so concatenating the
+// segments' captures reproduces the serial emission order. Segment 0
+// always starts at stream position 0 — it is a genuine serial prefix,
+// warm state included; later segments start an overlap before their
+// first boundary (clamped at 0).
+func planSegments(p Params, pop uint64, n int) []segPlan {
+	var all []boundary
+	gen := newBoundaryGen(p, pop)
+	for {
+		b, ok := gen.next()
+		if !ok {
+			break
+		}
+		all = append(all, b)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	overlap := uint64(p.sweepOverlap())
+	segs := make([]segPlan, 0, n)
+	for s := 0; s < n; s++ {
+		sp := segPlan{bounds: all[s*len(all)/n : (s+1)*len(all)/n]}
+		if s > 0 {
+			sp.start = sp.bounds[0].launch
+			if overlap < sp.start {
+				sp.start -= overlap
+			} else {
+				sp.start = 0
+			}
+		}
+		segs = append(segs, sp)
+	}
+	return segs
+}
+
+// ffArch fast-forwards an arch-only CPU to stream position target,
+// observing ctx every FFChunk instructions. Early halt returns nil
+// with cpu.Count short of target; the caller decides what that means.
+func ffArch(ctx context.Context, cpu *functional.CPU, target uint64) error {
+	for cpu.Count < target {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		step := target - cpu.Count
+		if step > FFChunk {
+			step = FFChunk
+		}
+		if _, err := cpu.Run(step); err != nil {
+			return err
+		}
+		if cpu.Halted {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runSegment sweeps one segment: a fresh CPU resumed from the
+// pioneer's handoff state, a fresh (cold) warmer when the plan warms,
+// the segment's boundaries captured exactly as the serial sweep
+// captures them — per-segment keyframe cadence, the first unit a full
+// keyframe. Units are sent to out, which the caller sized to hold the
+// whole segment so this goroutine never blocks on the stitcher.
+// Returns the number of instructions the segment executed.
+func runSegment(ctx context.Context, prog *program.Program, cfg uarch.Config, p Params, sp segPlan, arch functional.ArchState, img *mem.Image, out chan<- *Unit) (uint64, error) {
+	cpu := functional.NewAt(prog, arch, img.NewMemory())
+	var warmer *uarch.Warmer
+	if p.FunctionalWarm {
+		machine := uarch.NewMachine(cfg)
+		warmer = uarch.NewWarmer(machine, cfg)
+		if p.Components != nil {
+			warmer.Components = *p.Components
+		}
+	}
+	kf := p.keyframe()
+	var prevUnit *Unit
+	var lastSeq, lastMem uint64
+	captured := 0
+	for _, b := range sp.bounds {
+		for cpu.Count < b.launch {
+			if cerr := ctx.Err(); cerr != nil {
+				return cpu.Count - sp.start, cerr
+			}
+			step := b.launch - cpu.Count
+			if step > FFChunk {
+				step = FFChunk
+			}
+			var err error
+			if warmer != nil {
+				err = warmer.Forward(cpu, step)
+			} else {
+				_, err = cpu.Run(step)
+			}
+			if err != nil {
+				return cpu.Count - sp.start, fmt.Errorf("checkpoint: parallel sweep to unit %d: %w", b.unit, err)
+			}
+			if cpu.Halted {
+				break
+			}
+		}
+		if cpu.Count < b.launch {
+			break // program ended before this unit's launch point
+		}
+
+		u := &Unit{
+			Index:    b.unit,
+			Start:    b.start,
+			LaunchAt: b.launch,
+			Arch:     cpu.Arch(),
+		}
+		if prevUnit == nil || captured%kf == 0 {
+			u.Mem = cpu.Mem.Snapshot()
+			lastMem = cpu.Mem.Seq()
+			if warmer != nil {
+				snap := warmer.Snapshot()
+				u.Warm = &WarmState{Hier: snap.Hier, Pred: snap.Pred}
+				lastSeq = snap.Seq
+			}
+		} else {
+			md, derr := cpu.Mem.Delta(lastMem)
+			if derr != nil {
+				return cpu.Count - sp.start, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
+			}
+			u.MemDelta = md
+			u.Prev = prevUnit
+			lastMem = md.Seq
+			if warmer != nil {
+				d, derr := warmer.Delta(lastSeq)
+				if derr != nil {
+					return cpu.Count - sp.start, fmt.Errorf("checkpoint: unit %d: %w", b.unit, derr)
+				}
+				u.Delta = d
+				lastSeq = d.Seq
+			}
+		}
+		prevUnit = u
+		captured++
+		out <- u
+	}
+	return cpu.Count - sp.start, nil
+}
+
+// captureParallel is CaptureStream's speculative parallel sweep (see
+// the package comment at the top of this file). The pioneer goroutine
+// walks the stream arch-only, spawning each segment's warming sweep as
+// it reaches the segment's start; this goroutine stitches the
+// per-segment unit streams back into one ordered stream for emit.
+// Summary.SweepInsts totals the functional work actually executed —
+// the pioneer's walk plus every segment's sweep — so it exceeds the
+// serial sweep's count by the speculation overhead.
+func captureParallel(ctx context.Context, prog *program.Program, cfg uarch.Config, p Params, emit func(*Unit) bool) (*Summary, error) {
+	sum := &Summary{PopulationUnits: prog.Length / p.U, Complete: true}
+	start := wallclock.Now()
+	segs := planSegments(p, sum.PopulationUnits, p.sweepSegments())
+	if len(segs) == 0 {
+		return sum, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	chans := make([]chan *Unit, len(segs))
+	for i, sp := range segs {
+		// Full-segment capacity: segment goroutines run to completion at
+		// their own pace, never blocked on the stitcher.
+		chans[i] = make(chan *Unit, len(sp.bounds))
+	}
+	errs := make([]error, len(segs))
+	insts := make([]uint64, len(segs))
+	var pioneerInsts uint64
+	var pioneerErr error
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spawned := make([]bool, len(segs))
+		defer func() {
+			// Segments the pioneer never reached still need their channels
+			// closed so the stitcher terminates.
+			for i := range segs {
+				if !spawned[i] {
+					close(chans[i])
+				}
+			}
+		}()
+		cpu := functional.New(prog)
+		for i, sp := range segs {
+			if err := ffArch(cctx, cpu, sp.start); err != nil {
+				pioneerErr = err
+				pioneerInsts = cpu.Count
+				return
+			}
+			if cpu.Count < sp.start {
+				break // program ended before this segment's start
+			}
+			arch := cpu.Arch()
+			img := cpu.Mem.Snapshot()
+			spawned[i] = true
+			wg.Add(1)
+			go func(i int, sp segPlan) {
+				defer wg.Done()
+				defer close(chans[i])
+				insts[i], errs[i] = runSegment(cctx, prog, cfg, p, sp, arch, img, chans[i])
+			}(i, sp)
+		}
+		pioneerInsts = cpu.Count
+	}()
+
+	// Stitch: drain the segments in stream order. Boundaries were
+	// partitioned contiguously from the globally ordered sequence, so
+	// concatenation preserves the serial sweep's nondecreasing launch
+	// order. A consumer stop or a segment error cancels the rest;
+	// already-filled channels are still drained so every goroutine
+	// finishes before we return.
+	stopped := false
+	var segErr error
+	for i := range segs {
+		for u := range chans[i] {
+			if stopped || segErr != nil {
+				continue
+			}
+			sum.Captured++
+			if !emit(u) {
+				stopped = true
+				sum.Complete = false
+				cancel()
+			}
+		}
+		if segErr == nil && errs[i] != nil {
+			segErr = errs[i]
+			cancel()
+		}
+	}
+	wg.Wait()
+
+	sum.SweepInsts = pioneerInsts
+	for _, n := range insts {
+		sum.SweepInsts += n
+	}
+	sum.SweepTime = wallclock.Since(start)
+	if cerr := ctx.Err(); cerr != nil {
+		sum.Complete = false
+		return sum, cerr
+	}
+	if stopped {
+		return sum, nil
+	}
+	if segErr != nil {
+		return sum, segErr
+	}
+	if pioneerErr != nil {
+		return sum, pioneerErr
+	}
+	return sum, nil
+}

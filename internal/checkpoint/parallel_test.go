@@ -1,0 +1,268 @@
+package checkpoint_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/uarch"
+)
+
+// TestParallelCaptureMatchesSerial verifies the speculative sweep's
+// exactness claim: at any parallelism, every captured unit's identity
+// (index, start, launch point), architectural state, and materialized
+// memory image are bit-identical to the serial sweep's. Only warm
+// state may differ (segments start cold); unwarmed captures have none,
+// so they must match completely.
+func TestParallelCaptureMatchesSerial(t *testing.T) {
+	p := genProg(t, "gccx", 300_000)
+	cfg := uarch.Config8Way()
+	cases := []struct {
+		name   string
+		params checkpoint.Params
+	}{
+		{"warm", checkpoint.Params{U: 1000, W: 2000, K: 20, FunctionalWarm: true}},
+		{"cold", checkpoint.Params{U: 1000, W: 2000, K: 20}},
+		{"offsets-maxunits", checkpoint.Params{
+			U: 1000, W: 500, K: 20, Offsets: []uint64{0, 7}, MaxUnits: 5, FunctionalWarm: true,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := capture(t, p, cfg, tc.params)
+			par := tc.params
+			par.SweepParallelism = 4
+			par.SweepOverlap = 10_000
+			parallel := capture(t, p, cfg, par)
+
+			if len(parallel.Units) != len(serial.Units) {
+				t.Fatalf("parallel captured %d units, serial %d", len(parallel.Units), len(serial.Units))
+			}
+			for i, su := range serial.Units {
+				pu := parallel.Units[i]
+				if pu.Index != su.Index || pu.Start != su.Start || pu.LaunchAt != su.LaunchAt {
+					t.Fatalf("unit %d: parallel (idx=%d start=%d launch=%d) vs serial (idx=%d start=%d launch=%d)",
+						i, pu.Index, pu.Start, pu.LaunchAt, su.Index, su.Start, su.LaunchAt)
+				}
+				if pu.Arch != su.Arch {
+					t.Fatalf("unit %d (index %d): architectural state differs from serial sweep", i, su.Index)
+				}
+			}
+			// Materialized memory must match bit for bit, through whatever
+			// keyframe/delta encoding each sweep chose (cadence restarts per
+			// segment, so the encodings legitimately differ).
+			for _, i := range []int{0, 1, len(serial.Units) / 2, len(serial.Units) - 1} {
+				sl, err := serial.Materialize(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl, err := parallel.Materialize(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				memEqual(t, pl.Mem.NewMemory(), sl.Mem.NewMemory())
+				if tc.params.FunctionalWarm {
+					if pl.Warm == nil {
+						t.Fatalf("unit %d: parallel warmed capture missing warm state", i)
+					}
+				} else if pl.Warm != nil {
+					t.Fatalf("unit %d: cold capture carries warm state", i)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCaptureStreamStop verifies a consumer stop mid-stream:
+// the sweep cancels its segments, drains cleanly, and reports an
+// incomplete summary — no goroutine leaks, no deadlock.
+func TestParallelCaptureStreamStop(t *testing.T) {
+	p := genProg(t, "gccx", 300_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{
+		U: 1000, W: 1000, K: 10, FunctionalWarm: true,
+		SweepParallelism: 4, SweepOverlap: -1,
+	}
+	emitted := 0
+	sum, err := checkpoint.CaptureStream(context.Background(), p, cfg, params, func(u *checkpoint.Unit) bool {
+		emitted++
+		return emitted < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Complete {
+		t.Fatal("summary claims completion after consumer stop")
+	}
+	if emitted != 3 {
+		t.Fatalf("emit called %d times, want 3", emitted)
+	}
+}
+
+// TestParallelCaptureCancel verifies context cancellation surfaces and
+// leaves the sweep incomplete.
+func TestParallelCaptureCancel(t *testing.T) {
+	p := genProg(t, "gccx", 300_000)
+	cfg := uarch.Config8Way()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	params := checkpoint.Params{
+		U: 1000, K: 10, FunctionalWarm: true, SweepParallelism: 4,
+	}
+	sum, err := checkpoint.CaptureStream(ctx, p, cfg, params, func(u *checkpoint.Unit) bool { return true })
+	if err == nil {
+		t.Fatal("cancelled parallel sweep returned nil error")
+	}
+	if sum == nil || sum.Complete {
+		t.Fatal("cancelled parallel sweep claims completion")
+	}
+}
+
+// TestParallelKeySeparation pins the store-key discipline: warmed
+// parallel sweeps key separately from serial (cold segment starts
+// change the captured warm state), unwarmed ones share the serial
+// entry (they are bit-identical), and the serial key text itself is
+// unchanged by the new fields (existing stores stay valid).
+func TestParallelKeySeparation(t *testing.T) {
+	p := genProg(t, "gccx", 100_000)
+	cfg := uarch.Config8Way()
+	warm := checkpoint.Params{U: 1000, W: 1000, K: 10, FunctionalWarm: true}
+	warmPar := warm
+	warmPar.SweepParallelism = 4
+
+	serialKey := checkpoint.KeyFor(p, cfg, warm)
+	parKey := checkpoint.KeyFor(p, cfg, warmPar)
+	if serialKey.String() == parKey.String() {
+		t.Fatal("warmed parallel sweep shares the serial store key")
+	}
+	otherOverlap := warmPar
+	otherOverlap.SweepOverlap = 12_345
+	if parKey.String() == checkpoint.KeyFor(p, cfg, otherOverlap).String() {
+		t.Fatal("different overlaps share a store key")
+	}
+
+	cold := checkpoint.Params{U: 1000, K: 10}
+	coldPar := cold
+	coldPar.SweepParallelism = 4
+	if checkpoint.KeyFor(p, cfg, cold).String() != checkpoint.KeyFor(p, cfg, coldPar).String() {
+		t.Fatal("unwarmed parallel sweep (bit-identical to serial) does not share the serial store key")
+	}
+}
+
+// TestParallelValidate pins the parameter errors.
+func TestParallelValidate(t *testing.T) {
+	bad := checkpoint.Params{U: 1000, K: 10, SweepParallelism: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative SweepParallelism accepted")
+	}
+	resume := checkpoint.Params{
+		U: 1000, K: 10, SweepParallelism: 2,
+		Resume: &checkpoint.ResumeState{},
+	}
+	if err := resume.Validate(); err == nil {
+		t.Fatal("parallel sweep with Resume accepted")
+	}
+}
+
+// TestParallelCaptureStoreRoundTrip verifies a parallel capture's unit
+// stream survives the store: the per-segment keyframe cadence produces
+// chains the streaming writer can encode, and the loaded set
+// materializes bit-identically.
+func TestParallelCaptureStoreRoundTrip(t *testing.T) {
+	p := genProg(t, "gccx", 200_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{
+		U: 1000, W: 1000, K: 10, FunctionalWarm: true,
+		SweepParallelism: 3, SweepOverlap: 5_000, Keyframe: 4,
+	}
+	set := capture(t, p, cfg, params)
+	store, err := checkpoint.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := checkpoint.KeyFor(p, cfg, params)
+	if err := store.Save(key, set); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("store miss for just-saved parallel capture")
+	}
+	if len(loaded.Units) != len(set.Units) {
+		t.Fatalf("loaded %d units, saved %d", len(loaded.Units), len(set.Units))
+	}
+	for _, i := range []int{0, len(set.Units) / 2, len(set.Units) - 1} {
+		want, err := set.Materialize(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Materialize(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memEqual(t, got.Mem.NewMemory(), want.Mem.NewMemory())
+	}
+}
+
+// TestParallelMoreSegmentsThanUnits clamps gracefully: parallelism far
+// above the unit count still captures every unit exactly once.
+func TestParallelMoreSegmentsThanUnits(t *testing.T) {
+	p := genProg(t, "gccx", 100_000)
+	cfg := uarch.Config8Way()
+	params := checkpoint.Params{U: 1000, K: 30, FunctionalWarm: true, SweepParallelism: 64}
+	set := capture(t, p, cfg, params)
+	serial := params
+	serial.SweepParallelism = 0
+	want := capture(t, p, cfg, serial)
+	if len(set.Units) != len(want.Units) {
+		t.Fatalf("got %d units, want %d", len(set.Units), len(want.Units))
+	}
+	for i := range want.Units {
+		if set.Units[i].Index != want.Units[i].Index || set.Units[i].Arch != want.Units[i].Arch {
+			t.Fatalf("unit %d differs from serial", i)
+		}
+	}
+}
+
+// captureMallocs runs one capture and returns the total heap
+// allocations it performed.
+func captureMallocs(t *testing.T, params checkpoint.Params) uint64 {
+	t.Helper()
+	p := genProg(t, "gccx", 300_000)
+	cfg := uarch.Config8Way()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	set := capture(t, p, cfg, params)
+	runtime.ReadMemStats(&after)
+	if len(set.Units) == 0 {
+		t.Fatal("no units captured")
+	}
+	return after.Mallocs - before.Mallocs
+}
+
+// TestParallelCaptureAllocDiscipline guards the segment-stitch path's
+// allocation behavior: a parallel capture may allocate a bounded
+// multiple of the serial capture (per-segment machines, warmers,
+// channels, and goroutines are legitimate fixed costs), but nothing
+// per instruction — the pioneer's fast-forward and each segment's
+// sweep run the same zero-alloc hot loops as the serial sweep. An
+// accidental per-instruction allocation would add at least one malloc
+// per pioneer instruction (~300k here), far beyond the bound.
+func TestParallelCaptureAllocDiscipline(t *testing.T) {
+	serialParams := checkpoint.Params{U: 1000, W: 2000, K: 10, FunctionalWarm: true}
+	parParams := serialParams
+	parParams.SweepParallelism = 4
+	parParams.SweepOverlap = -1
+
+	serial := captureMallocs(t, serialParams)
+	parallel := captureMallocs(t, parParams)
+	if bound := 2*serial + 20_000; parallel > bound {
+		t.Fatalf("parallel capture made %d allocations, serial %d; bound %d — per-instruction allocation crept into the speculative sweep",
+			parallel, serial, bound)
+	}
+}

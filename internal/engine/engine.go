@@ -80,6 +80,19 @@ type Options struct {
 	// disables journaling and resume. Ignored without a Store (the
 	// journal lives in the store directory) and under TwoPhase.
 	ResumeInterval int
+	// SweepParallelism overrides checkpoint.Params.SweepParallelism when
+	// above 1: the capture sweep runs as that many concurrent stream
+	// segments (speculative parallel sweep). Architectural state stays
+	// exact; segments after the first start with cold warm state plus
+	// SweepOverlap instructions of warm-up, a measured bias (see the
+	// checkpoint package). Warmed parallel sweeps key separately in the
+	// store, and the crash-safe sweep journal is disabled for them (a
+	// parallel sweep has no single resumable position).
+	SweepParallelism int
+	// SweepOverlap overrides checkpoint.Params.SweepOverlap when
+	// nonzero; see that field for the semantics (0 default, negative =
+	// stone cold).
+	SweepOverlap int64
 	// TwoPhase disables capture/replay overlap: the full sweep runs
 	// before the first worker starts, as the engine behaved before the
 	// streaming pipeline. Results are bit-identical either way; the
@@ -217,6 +230,12 @@ func Run(ctx context.Context, prog *program.Program, cfg uarch.Config, p checkpo
 	start := wallclock.Now()
 	if opt.Keyframe > 0 {
 		p.Keyframe = opt.Keyframe
+	}
+	if opt.SweepParallelism > 1 {
+		p.SweepParallelism = opt.SweepParallelism
+	}
+	if opt.SweepOverlap != 0 {
+		p.SweepOverlap = opt.SweepOverlap
 	}
 
 	var key checkpoint.Key
@@ -379,7 +398,7 @@ func replayStreaming(ctx context.Context, prog *program.Program, cfg uarch.Confi
 		// units are re-added so the new journal is self-contained).
 		var pw *checkpoint.PartialWriter
 		var rs *checkpoint.ResumeState
-		if ri := opt.resumeInterval(); opt.Store != nil && ri > 0 {
+		if ri := opt.resumeInterval(); opt.Store != nil && ri > 0 && p.SweepParallelism <= 1 {
 			var rerr error
 			if rs, rerr = checkpoint.Resume(opt.Store, key); rerr != nil {
 				opt.Store.Log("checkpoint store: resume unavailable: %v", rerr)

@@ -39,6 +39,8 @@ func MeasureBias(ctx context.Context, ec *Context, bench string, cfg uarch.Confi
 
 	base := smarts.PlanForN(p.Length, u, w, n, mode, 0)
 	base.Parallelism = ec.Parallelism
+	base.SweepParallelism = ec.SweepParallelism
+	base.SweepOverlap = ec.SweepOverlap
 	base.Store = ec.Ckpt
 	if phases < 1 {
 		phases = 1

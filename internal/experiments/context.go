@@ -127,6 +127,14 @@ type Context struct {
 	// smarts.Plan.Store). Results are bit-identical with or without it.
 	Ckpt *checkpoint.Store
 
+	// SweepParallelism and SweepOverlap are copied into every sampling
+	// plan on the engine path (see smarts.Plan.SweepParallelism): the
+	// bias-vs-stride experiment varies them to measure the speculative
+	// parallel sweep's cold-start bias. Like Parallelism, they are plain
+	// fields set before runs, not concurrency-safe knobs.
+	SweepParallelism int
+	SweepOverlap     int64
+
 	mu    sync.Mutex
 	progs map[string]*program.Program
 	refs  map[string]*smarts.Reference

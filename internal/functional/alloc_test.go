@@ -44,6 +44,50 @@ func TestStepZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRunDynZeroAllocs pins the batch interpreter to zero heap
+// allocations per instruction in steady state — the RunDyn analogue of
+// TestStepZeroAllocs.
+func TestRunDynZeroAllocs(t *testing.T) {
+	p := loopProg(t, 400_000)
+	cpu := functional.New(p)
+	if _, err := cpu.Run(50_000); err != nil {
+		t.Fatal(err) // reach steady state (pages allocated, code pre-decoded)
+	}
+	var ring [256]functional.DynRec
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := cpu.RunDyn(ring[:], uint64(len(ring))); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("functional.RunDyn allocates %.4f objects per batch; want 0", allocs)
+	}
+}
+
+// BenchmarkRunDyn measures the batch interpreter's per-instruction cost
+// (b.N = executed instructions) with ring recording on, the
+// configuration the warming sweep runs it in.
+func BenchmarkRunDyn(b *testing.B) {
+	p := loopProg(b, 2_000_000)
+	cpu := functional.New(p)
+	var ring [256]functional.DynRec
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		if cpu.Halted {
+			b.StopTimer()
+			cpu = functional.New(p)
+			b.StartTimer()
+		}
+		k, err := cpu.RunDyn(ring[:], uint64(len(ring)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += int(k)
+	}
+}
+
 // BenchmarkStep measures the functional simulator's per-instruction cost
 // on a realistic workload mix — the unit of work every fast-forward and
 // sweep instruction pays.

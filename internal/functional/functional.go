@@ -41,6 +41,25 @@ type DynInst struct {
 // Class returns the instruction's class.
 func (d *DynInst) Class() isa.Class { return d.Inst.Op.Class() }
 
+// DynRec is the compact per-instruction record the batch interpreter
+// (RunDyn) writes: the dynamic outcomes functional warming consumes —
+// fetch PC, effective address, branch direction and target — plus the
+// opcode and its pre-decoded class, without the full static instruction
+// DynInst carries for the detailed model.
+type DynRec struct {
+	// PC is the instruction index.
+	PC uint64
+	// EA is the effective byte address for loads and stores.
+	EA uint64
+	// NextPC is the PC of the next dynamic instruction.
+	NextPC uint64
+	// Op is the opcode; Class its pre-decoded class.
+	Op    isa.Op
+	Class isa.Class
+	// Taken reports whether a control instruction redirected the PC.
+	Taken bool
+}
+
 // CPU is the functional simulator state.
 type CPU struct {
 	Prog *program.Program
@@ -55,6 +74,10 @@ type CPU struct {
 	// code caches Prog.Code so the Step hot loop fetches through one
 	// slice header instead of two pointer dereferences per instruction.
 	code []isa.Inst
+	// dec is the pre-decoded code the RunDyn batch loop executes from,
+	// built lazily on first use so CPUs that only Step (the detailed
+	// model's oracle source) never pay the decode pass.
+	dec []isa.DecInst
 }
 
 // ErrHalted is returned by Step after the program has halted.
@@ -227,27 +250,210 @@ func (c *CPU) Step(d *DynInst) error {
 	return nil
 }
 
+// rmask folds a register index into the register file's bounds, eliding
+// the bounds check on every operand access in the batch loop.
+// Program.Validate guarantees operands are in range, so the mask never
+// changes a valid program's semantics.
+const rmask = isa.NumRegs - 1
+
+// RunDyn is the batch interpreter: it executes up to max instructions
+// with the PC, the instruction count, and the register file pointer
+// held in locals, fetching pre-decoded instructions (class, operand
+// indices, and widened immediate resolved once per static instruction).
+// When ring is non-empty, at most len(ring) instructions execute and
+// ring[i] receives the i-th one's dynamic record — the batch analogue
+// of Step's DynInst out-parameter that Warmer.ForwardBatch amortizes
+// its per-instruction warming dispatch over.
+//
+// RunDyn returns the number of instructions executed: max unless the
+// program halted (the count then includes the Halt itself) or faulted.
+// A CPU that has already halted executes nothing and returns (0, nil).
+//
+//simlint:hotpath
+func (c *CPU) RunDyn(ring []DynRec, max uint64) (uint64, error) {
+	if c.Halted {
+		return 0, nil
+	}
+	if c.dec == nil {
+		//simlint:coldpath one-time lazy predecode per CPU
+		c.dec = isa.Predecode(c.code)
+	}
+	if len(ring) > 0 && uint64(len(ring)) < max {
+		max = uint64(len(ring))
+	}
+	code := c.dec
+	regs := &c.Regs
+	regs[isa.RegZero] = 0 // invariant; lets operand reads skip the zero check
+	pc := c.PC
+	count := c.Count
+	var n uint64
+	for n < max {
+		if pc >= uint64(len(code)) {
+			c.PC = pc
+			c.Count = count
+			//simlint:coldpath architectural fault; taken at most once per run
+			return n, fmt.Errorf("functional: PC %d outside code (%d insts)", pc, len(code))
+		}
+		in := &code[pc]
+		next := pc + 1
+		var ea uint64
+		taken := false
+
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] + regs[in.Src2&rmask]
+		case isa.OpSub:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] - regs[in.Src2&rmask]
+		case isa.OpAnd:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] & regs[in.Src2&rmask]
+		case isa.OpOr:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] | regs[in.Src2&rmask]
+		case isa.OpXor:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] ^ regs[in.Src2&rmask]
+		case isa.OpShl:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] << (regs[in.Src2&rmask] & 63)
+		case isa.OpShr:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] >> (regs[in.Src2&rmask] & 63)
+		case isa.OpSlt:
+			regs[in.Dst&rmask] = boolTo64(int64(regs[in.Src1&rmask]) < int64(regs[in.Src2&rmask]))
+		case isa.OpAddI:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] + in.Imm
+		case isa.OpAndI:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] & in.Imm
+		case isa.OpOrI:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] | in.Imm
+		case isa.OpXorI:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] ^ in.Imm
+		case isa.OpShlI:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] << (in.Imm & 63)
+		case isa.OpShrI:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] >> (in.Imm & 63)
+		case isa.OpSltI:
+			regs[in.Dst&rmask] = boolTo64(int64(regs[in.Src1&rmask]) < int64(in.Imm))
+		case isa.OpMul:
+			regs[in.Dst&rmask] = regs[in.Src1&rmask] * regs[in.Src2&rmask]
+		case isa.OpDiv:
+			b := int64(regs[in.Src2&rmask])
+			if b == 0 {
+				regs[in.Dst&rmask] = 0
+			} else {
+				regs[in.Dst&rmask] = uint64(int64(regs[in.Src1&rmask]) / b)
+			}
+		case isa.OpRem:
+			b := int64(regs[in.Src2&rmask])
+			if b == 0 {
+				regs[in.Dst&rmask] = 0
+			} else {
+				regs[in.Dst&rmask] = uint64(int64(regs[in.Src1&rmask]) % b)
+			}
+
+		case isa.OpFAdd:
+			regs[in.Dst&rmask] = math.Float64bits(math.Float64frombits(regs[in.Src1&rmask]) + math.Float64frombits(regs[in.Src2&rmask]))
+		case isa.OpFSub:
+			regs[in.Dst&rmask] = math.Float64bits(math.Float64frombits(regs[in.Src1&rmask]) - math.Float64frombits(regs[in.Src2&rmask]))
+		case isa.OpFMul:
+			regs[in.Dst&rmask] = math.Float64bits(math.Float64frombits(regs[in.Src1&rmask]) * math.Float64frombits(regs[in.Src2&rmask]))
+		case isa.OpFDiv:
+			regs[in.Dst&rmask] = math.Float64bits(math.Float64frombits(regs[in.Src1&rmask]) / math.Float64frombits(regs[in.Src2&rmask]))
+		case isa.OpFNeg:
+			regs[in.Dst&rmask] = math.Float64bits(-math.Float64frombits(regs[in.Src1&rmask]))
+		case isa.OpCvtIF:
+			regs[in.Dst&rmask] = math.Float64bits(float64(int64(regs[in.Src1&rmask])))
+		case isa.OpCvtFI:
+			regs[in.Dst&rmask] = uint64(int64(math.Float64frombits(regs[in.Src1&rmask])))
+
+		case isa.OpLoad, isa.OpFLoad:
+			ea = regs[in.Src1&rmask] + in.Imm
+			regs[in.Dst&rmask] = c.Mem.Read64(ea)
+		case isa.OpLoad32:
+			ea = regs[in.Src1&rmask] + in.Imm
+			regs[in.Dst&rmask] = uint64(c.Mem.Read32(ea))
+		case isa.OpStore, isa.OpFStore:
+			ea = regs[in.Src1&rmask] + in.Imm
+			c.Mem.Write64(ea, regs[in.Src2&rmask])
+		case isa.OpStore32:
+			ea = regs[in.Src1&rmask] + in.Imm
+			c.Mem.Write32(ea, uint32(regs[in.Src2&rmask]))
+
+		case isa.OpBeq:
+			if regs[in.Src1&rmask] == regs[in.Src2&rmask] {
+				taken = true
+				next = in.Target
+			}
+		case isa.OpBne:
+			if regs[in.Src1&rmask] != regs[in.Src2&rmask] {
+				taken = true
+				next = in.Target
+			}
+		case isa.OpBlt:
+			if int64(regs[in.Src1&rmask]) < int64(regs[in.Src2&rmask]) {
+				taken = true
+				next = in.Target
+			}
+		case isa.OpBge:
+			if int64(regs[in.Src1&rmask]) >= int64(regs[in.Src2&rmask]) {
+				taken = true
+				next = in.Target
+			}
+		case isa.OpJmp:
+			taken = true
+			next = in.Target
+		case isa.OpJr:
+			taken = true
+			next = regs[in.Src1&rmask]
+		case isa.OpCall:
+			taken = true
+			regs[isa.RegLR] = pc + 1
+			next = in.Target
+		case isa.OpRet:
+			taken = true
+			next = regs[isa.RegLR]
+		case isa.OpHalt:
+			c.Halted = true
+		default:
+			c.PC = pc
+			c.Count = count
+			//simlint:coldpath architectural fault; taken at most once per run
+			return n, fmt.Errorf("functional: invalid opcode %v at PC %d", in.Op, pc)
+		}
+
+		// Restore the hardwired zero clobbered by a Dst==RegZero write;
+		// one unconditional store replaces a per-write branch.
+		regs[isa.RegZero] = 0
+
+		if len(ring) > 0 {
+			r := &ring[n]
+			r.PC = pc
+			r.EA = ea
+			r.NextPC = next
+			r.Op = in.Op
+			r.Class = in.Class
+			r.Taken = taken
+		}
+		pc = next
+		count++
+		n++
+		if c.Halted {
+			break
+		}
+	}
+	c.PC = pc
+	c.Count = count
+	return n, nil
+}
+
 // Run executes up to n instructions, returning the number executed. It
 // stops early when the program halts.
 func (c *CPU) Run(n uint64) (uint64, error) {
-	var done uint64
-	for done < n {
-		if err := c.Step(nil); err != nil {
-			if err == ErrHalted {
-				return done, nil
-			}
-			return done, err
-		}
-		done++
-	}
-	return done, nil
+	return c.RunDyn(nil, n)
 }
 
 // RunToCompletion executes until the program halts and returns the total
 // dynamic instruction count (including the halt).
 func (c *CPU) RunToCompletion() (uint64, error) {
 	for !c.Halted {
-		if err := c.Step(nil); err != nil && err != ErrHalted {
+		if _, err := c.RunDyn(nil, 1<<30); err != nil {
 			return c.Count, err
 		}
 	}

@@ -274,6 +274,42 @@ type Inst struct {
 	Target uint32 // absolute instruction index for direct control flow
 }
 
+// DecInst is the pre-decoded dense form of one static instruction, the
+// representation the functional interpreter's batch loop executes from:
+// the class resolved and the immediate and target widened once per
+// static instruction instead of once per dynamic one. It is derived
+// state only — Inst remains the canonical encoding.
+type DecInst struct {
+	// Imm is the immediate, widened once (two's complement preserved).
+	Imm uint64
+	// Target is the absolute instruction index for direct control flow.
+	Target uint64
+	// Op is the opcode; Class caches Op.Class().
+	Op    Op
+	Class Class
+	// Dst, Src1, Src2 are the operand registers, as on Inst.
+	Dst, Src1, Src2 Reg
+}
+
+// Predecode resolves code into its dense pre-decoded form. One pass at
+// interpreter construction replaces the per-dynamic-instruction class
+// lookups and immediate widenings of instruction-at-a-time execution.
+func Predecode(code []Inst) []DecInst {
+	dec := make([]DecInst, len(code))
+	for i, in := range code {
+		dec[i] = DecInst{
+			Imm:    uint64(in.Imm),
+			Target: uint64(in.Target),
+			Op:     in.Op,
+			Class:  in.Op.Class(),
+			Dst:    in.Dst,
+			Src1:   in.Src1,
+			Src2:   in.Src2,
+		}
+	}
+	return dec
+}
+
 // String renders the instruction in a readable assembly-like form.
 func (i Inst) String() string {
 	switch i.Op.Class() {

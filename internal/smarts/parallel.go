@@ -38,6 +38,15 @@ type EngineOptions struct {
 	// only — materialized launch states, and therefore results, are
 	// unchanged.
 	Keyframe int
+	// SweepParallelism, when above 1, runs the capture sweep as that
+	// many concurrent stream segments (the speculative parallel sweep;
+	// see checkpoint.Params.SweepParallelism). Architectural state stays
+	// exact; warm state in segments after the first starts cold plus
+	// SweepOverlap warm-up instructions, a measured bias.
+	SweepParallelism int
+	// SweepOverlap is the per-segment warm-up length of a parallel
+	// sweep (0 = checkpoint.DefaultSweepOverlap, negative = none).
+	SweepOverlap int64
 	// ResumeInterval sets the crash-safe sweep journal cadence in
 	// keyframes (see engine.Options.ResumeInterval): 0 = default,
 	// negative disables partial-sweep journaling and resume.
@@ -59,17 +68,19 @@ type EngineOptions struct {
 // engineOptions translates EngineOptions to the engine's option struct.
 func (opt EngineOptions) engineOptions() engine.Options {
 	return engine.Options{
-		Workers:        opt.Workers,
-		Alpha:          opt.Alpha,
-		TargetEps:      opt.TargetEps,
-		MinUnits:       opt.MinUnits,
-		Store:          opt.Store,
-		Cache:          opt.Cache,
-		Keyframe:       opt.Keyframe,
-		ResumeInterval: opt.ResumeInterval,
-		TwoPhase:       opt.TwoPhase,
-		OnCaptured:     opt.OnCaptured,
-		OnReplayed:     opt.OnReplayed,
+		Workers:          opt.Workers,
+		Alpha:            opt.Alpha,
+		TargetEps:        opt.TargetEps,
+		MinUnits:         opt.MinUnits,
+		Store:            opt.Store,
+		Cache:            opt.Cache,
+		Keyframe:         opt.Keyframe,
+		SweepParallelism: opt.SweepParallelism,
+		SweepOverlap:     opt.SweepOverlap,
+		ResumeInterval:   opt.ResumeInterval,
+		TwoPhase:         opt.TwoPhase,
+		OnCaptured:       opt.OnCaptured,
+		OnReplayed:       opt.OnReplayed,
 	}
 }
 
@@ -81,12 +92,14 @@ func (pl Plan) CheckpointParams() checkpoint.Params { return pl.params() }
 // params translates a validated Plan into checkpoint capture parameters.
 func (pl Plan) params() checkpoint.Params {
 	p := checkpoint.Params{
-		U:              pl.U,
-		K:              pl.K,
-		J:              pl.J,
-		FunctionalWarm: pl.Warming == FunctionalWarming,
-		Components:     pl.Components,
-		MaxUnits:       pl.MaxUnits,
+		U:                pl.U,
+		K:                pl.K,
+		J:                pl.J,
+		FunctionalWarm:   pl.Warming == FunctionalWarming,
+		Components:       pl.Components,
+		MaxUnits:         pl.MaxUnits,
+		SweepParallelism: pl.SweepParallelism,
+		SweepOverlap:     pl.SweepOverlap,
 	}
 	if pl.Warming != NoWarming {
 		p.W = pl.W
@@ -182,6 +195,12 @@ func RunSampledPhasesContext(ctx context.Context, prog *program.Program, cfg uar
 	params.Offsets = js
 	if opt.Keyframe > 0 {
 		params.Keyframe = opt.Keyframe
+	}
+	if opt.SweepParallelism > 1 {
+		params.SweepParallelism = opt.SweepParallelism
+	}
+	if opt.SweepOverlap != 0 {
+		params.SweepOverlap = opt.SweepOverlap
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err

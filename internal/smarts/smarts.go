@@ -105,6 +105,15 @@ type Plan struct {
 	// state carried out of earlier units' detailed simulation instead of
 	// snapshot state (see RunSampled).
 	Parallelism int
+	// SweepParallelism, when above 1 on the engine path, runs the
+	// capture sweep as that many concurrent stream segments (the
+	// speculative parallel sweep; see checkpoint.Params.SweepParallelism
+	// for the exactness and cold-start-bias semantics). Ignored by the
+	// classic serial loop, which has no capture sweep.
+	SweepParallelism int
+	// SweepOverlap is the per-segment warm-up length of a parallel
+	// sweep (0 = checkpoint.DefaultSweepOverlap, negative = none).
+	SweepOverlap int64
 	// Store, when non-nil and the engine is selected, reuses functional
 	// sweeps across runs through the on-disk checkpoint store: a run
 	// whose (workload, plan, warm geometry) was swept before loads the

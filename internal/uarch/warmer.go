@@ -37,7 +37,14 @@ type Warmer struct {
 	blockBits  uint
 	lastIBlock uint64
 	haveIBlock bool
-	rec        functional.DynInst
+	// ring is the batch buffer ForwardBatch hands to the CPU's batch
+	// interpreter: one RunDyn call fills it with up to warmBatch dynamic
+	// records, and the warming loop replays them into the structures —
+	// amortizing interpreter dispatch and warming dispatch over the
+	// batch instead of alternating per instruction. Warmers are few (one
+	// per capture sweep), so the buffer is kept inline rather than
+	// allocated per call.
+	ring [warmBatch]functional.DynRec
 
 	// chain numbers the snapshots taken through Snapshot/Delta so delta
 	// chains can assert they extend the latest baseline. The warmed
@@ -132,43 +139,76 @@ func (w *Warmer) SetFetchBlock(block uint64, ok bool) {
 	w.lastIBlock, w.haveIBlock = block, ok
 }
 
+// warmBatch is the ForwardBatch ring size: large enough to amortize
+// the per-batch interpreter entry/exit and warming-loop setup to
+// nothing, small enough (32 bytes per record) to stay resident in L1
+// while the warming loop re-reads what the interpreter just wrote.
+const warmBatch = 256
+
 // Forward advances the CPU by n instructions with functional warming.
 //
 //simlint:hotpath
 func (w *Warmer) Forward(cpu *functional.CPU, n uint64) error {
+	return w.ForwardBatch(cpu, n)
+}
+
+// ForwardBatch advances the CPU by up to n instructions with functional
+// warming, in batches: the CPU's batch interpreter (RunDyn) fills the
+// warmer's record ring, then the warming loop replays the ring into the
+// selected structures, reading each record's pre-decoded class instead
+// of re-deriving it per dynamic instruction. Warming consumes only the
+// recorded outcomes (fetch PCs, effective addresses, branch results),
+// never live architectural state, so deferring it by a batch leaves the
+// warmed state bit-identical to instruction-at-a-time warming. A halt
+// inside the batch warms every record through the Halt itself and
+// returns nil, exactly as the per-instruction loop did.
+//
+//simlint:hotpath
+func (w *Warmer) ForwardBatch(cpu *functional.CPU, n uint64) error {
 	h := w.machine.Hier
 	p := w.machine.Pred
-	for i := uint64(0); i < n; i++ {
-		if err := cpu.Step(&w.rec); err != nil {
-			if err == functional.ErrHalted {
-				return nil
-			}
+	for n > 0 {
+		batch := n
+		if batch > warmBatch {
+			batch = warmBatch
+		}
+		k, err := cpu.RunDyn(w.ring[:batch], batch)
+		if err != nil {
 			return err
 		}
-		d := &w.rec
-		if w.Components.ICache {
-			iblock := d.PC * isa.InstBytes >> w.blockBits
-			if !w.haveIBlock || iblock != w.lastIBlock {
-				h.WarmFetch(d.PC * isa.InstBytes)
-				w.haveIBlock, w.lastIBlock = true, iblock
+		if k == 0 {
+			return nil // already halted
+		}
+		for i := uint64(0); i < k; i++ {
+			d := &w.ring[i]
+			if w.Components.ICache {
+				iblock := d.PC * isa.InstBytes >> w.blockBits
+				if !w.haveIBlock || iblock != w.lastIBlock {
+					h.WarmFetch(d.PC * isa.InstBytes)
+					w.haveIBlock, w.lastIBlock = true, iblock
+				}
+			}
+			switch d.Class {
+			case isa.ClassLoad:
+				if w.Components.DCache {
+					h.WarmData(d.EA, false)
+				}
+			case isa.ClassStore:
+				if w.Components.DCache {
+					h.WarmData(d.EA, true)
+				}
+			case isa.ClassBranch, isa.ClassJump, isa.ClassRet:
+				if w.Components.Predictor {
+					p.Warm(bpred.Outcome{
+						Op: d.Op, PC: d.PC, Taken: d.Taken,
+						Target: d.NextPC, NextPC: d.PC + 1,
+					})
+				}
 			}
 		}
-		switch d.Inst.Op.Class() {
-		case isa.ClassLoad:
-			if w.Components.DCache {
-				h.WarmData(d.EA, false)
-			}
-		case isa.ClassStore:
-			if w.Components.DCache {
-				h.WarmData(d.EA, true)
-			}
-		case isa.ClassBranch, isa.ClassJump, isa.ClassRet:
-			if w.Components.Predictor {
-				p.Warm(bpred.Outcome{
-					Op: d.Inst.Op, PC: d.PC, Taken: d.Taken,
-					Target: d.NextPC, NextPC: d.PC + 1,
-				})
-			}
+		n -= k
+		if cpu.Halted {
+			return nil
 		}
 	}
 	return nil

@@ -59,6 +59,8 @@ type settings struct {
 	workers     int
 	alpha       float64
 	keyframe    int
+	sweepPar    int
+	sweepOver   int64
 	resumeInt   int
 	logf        func(format string, args ...any)
 	progress    ProgressFunc
@@ -145,6 +147,41 @@ func WithKeyframe(n int) Option {
 			return fmt.Errorf("sim: negative keyframe interval %d", n)
 		}
 		s.keyframe = n
+		return nil
+	}
+}
+
+// WithSweepParallelism runs the session's functional capture sweeps as
+// n concurrent stream segments (the speculative parallel sweep): the
+// selected launch boundaries are split into n contiguous runs, each
+// segment's starting architectural state is fast-forwarded without
+// warming, and the segments sweep concurrently. Architectural state
+// and memory of every captured unit stay bit-identical to the serial
+// sweep; warm state in segments after the first starts cold plus a
+// warm-up overlap (WithSweepOverlap), a measured bias — see the
+// bias-vs-stride experiment and the "Parallel sweeps and warming bias"
+// section of the package documentation. Warmed parallel sweeps key
+// separately in the checkpoint store and disable the crash-safe sweep
+// journal. 0 and 1 keep the serial sweep (bit-identical to previous
+// releases); negative is an error.
+func WithSweepParallelism(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("sim: negative sweep parallelism %d", n)
+		}
+		s.sweepPar = n
+		return nil
+	}
+}
+
+// WithSweepOverlap sets the per-segment warm-up length of parallel
+// sweeps: each segment after the first begins warming n instructions
+// before its first launch boundary, trading sweep time for cold-start
+// bias. 0 keeps the built-in default (checkpoint.DefaultSweepOverlap);
+// negative starts segments stone cold. Ignored by serial sweeps.
+func WithSweepOverlap(n int64) Option {
+	return func(s *settings) error {
+		s.sweepOver = n
 		return nil
 	}
 }
@@ -551,12 +588,14 @@ func (s *Session) engineOptions(req *Request, sink *progressSink, stage string, 
 		// The effective alpha (request, else session) drives both the
 		// early-termination decision and the reported estimates, so
 		// the stop criterion and the report agree.
-		Alpha:          s.effAlpha(req),
-		TargetEps:      req.TargetEps,
-		MinUnits:       req.MinUnits,
-		Keyframe:       s.set.keyframe,
-		ResumeInterval: s.set.resumeInt,
-		TwoPhase:       req.TwoPhase,
+		Alpha:            s.effAlpha(req),
+		TargetEps:        req.TargetEps,
+		MinUnits:         req.MinUnits,
+		Keyframe:         s.set.keyframe,
+		SweepParallelism: s.set.sweepPar,
+		SweepOverlap:     s.set.sweepOver,
+		ResumeInterval:   s.set.resumeInt,
+		TwoPhase:         req.TwoPhase,
 	}
 	if !req.NoStore {
 		opt.Store = s.store
